@@ -1,0 +1,160 @@
+//! BBA — the buffer-based rate adaptation of Huang et al. (SIGCOMM 2014).
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{clamp_quality, AbrContext};
+use crate::Abr;
+
+/// Buffer-Based Adaptation (BBA-0): the chosen bitrate is a piecewise-linear
+/// function of the current buffer occupancy.
+///
+/// Below the *reservoir* the lowest quality is selected; above the *cushion*
+/// the highest; in between the rate map interpolates linearly between the
+/// minimum and maximum available bitrates. Reservoir and cushion are
+/// expressed as fractions of the player's buffer capacity so the same policy
+/// works for the 5 s and 30 s buffer settings used in the paper's
+/// counterfactuals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bba {
+    /// Fraction of buffer capacity reserved before leaving the lowest rung.
+    pub reservoir_fraction: f64,
+    /// Fraction of buffer capacity at which the highest rung is reached.
+    pub cushion_fraction: f64,
+}
+
+impl Bba {
+    /// BBA with the standard 10% reservoir / 90% cushion split.
+    pub fn new() -> Self {
+        Self {
+            reservoir_fraction: 0.10,
+            cushion_fraction: 0.90,
+        }
+    }
+
+    /// Custom reservoir/cushion fractions (both in `(0, 1)`, reservoir <
+    /// cushion).
+    pub fn with_fractions(reservoir_fraction: f64, cushion_fraction: f64) -> Self {
+        assert!(reservoir_fraction > 0.0 && cushion_fraction < 1.0001);
+        assert!(reservoir_fraction < cushion_fraction);
+        Self {
+            reservoir_fraction,
+            cushion_fraction,
+        }
+    }
+
+    /// The rate-map value (Mbps) for a buffer level.
+    fn rate_map(&self, ctx: &AbrContext) -> f64 {
+        let bitrates = ctx.asset.ladder().bitrates();
+        let r_min = bitrates[0];
+        let r_max = *bitrates.last().expect("ladder is non-empty");
+        let reservoir = self.reservoir_fraction * ctx.buffer_capacity_s;
+        let cushion_end = self.cushion_fraction * ctx.buffer_capacity_s;
+        if ctx.buffer_s <= reservoir {
+            r_min
+        } else if ctx.buffer_s >= cushion_end {
+            r_max
+        } else {
+            let frac = (ctx.buffer_s - reservoir) / (cushion_end - reservoir);
+            r_min + frac * (r_max - r_min)
+        }
+    }
+}
+
+impl Default for Bba {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Abr for Bba {
+    fn name(&self) -> &'static str {
+        "BBA"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let target_rate = self.rate_map(ctx);
+        let bitrates = ctx.asset.ladder().bitrates();
+        // Highest rung whose nominal bitrate does not exceed the rate map.
+        let mut chosen = 0;
+        for (q, &rate) in bitrates.iter().enumerate() {
+            if rate <= target_rate + 1e-12 {
+                chosen = q;
+            }
+        }
+        clamp_quality(chosen, ctx.num_qualities())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_media::VideoAsset;
+
+    fn ctx(asset: &VideoAsset, buffer_s: f64, capacity_s: f64) -> AbrContext<'_> {
+        AbrContext {
+            asset,
+            next_chunk: 10,
+            buffer_s,
+            buffer_capacity_s: capacity_s,
+            throughput_history_mbps: &[],
+            download_time_history_s: &[],
+            last_quality: None,
+        }
+    }
+
+    #[test]
+    fn empty_buffer_selects_lowest_quality() {
+        let asset = VideoAsset::paper_default(1);
+        let mut bba = Bba::new();
+        assert_eq!(bba.choose(&ctx(&asset, 0.0, 5.0)), 0);
+        assert_eq!(bba.choose(&ctx(&asset, 0.3, 5.0)), 0);
+    }
+
+    #[test]
+    fn full_buffer_selects_highest_quality() {
+        let asset = VideoAsset::paper_default(1);
+        let mut bba = Bba::new();
+        let top = asset.num_qualities() - 1;
+        assert_eq!(bba.choose(&ctx(&asset, 5.0, 5.0)), top);
+        assert_eq!(bba.choose(&ctx(&asset, 29.0, 30.0)), top);
+    }
+
+    #[test]
+    fn quality_is_monotone_in_buffer_level() {
+        let asset = VideoAsset::paper_default(1);
+        let mut bba = Bba::new();
+        let mut prev = 0usize;
+        for i in 0..=20 {
+            let buffer = i as f64 * 0.25;
+            let q = bba.choose(&ctx(&asset, buffer, 5.0));
+            assert!(q >= prev, "buffer {buffer}: quality dropped from {prev} to {q}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn scales_with_buffer_capacity() {
+        let asset = VideoAsset::paper_default(1);
+        let mut bba = Bba::new();
+        // 3 s of buffer is most of a 5 s capacity but little of a 30 s one.
+        let q_small_cap = bba.choose(&ctx(&asset, 3.0, 5.0));
+        let q_large_cap = bba.choose(&ctx(&asset, 3.0, 30.0));
+        assert!(q_small_cap >= q_large_cap);
+    }
+
+    #[test]
+    fn choice_is_always_a_valid_rung() {
+        let asset = VideoAsset::paper_default(1);
+        let mut bba = Bba::with_fractions(0.2, 0.8);
+        for i in 0..40 {
+            let q = bba.choose(&ctx(&asset, i as f64, 30.0));
+            assert!(q < asset.num_qualities());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_fractions() {
+        let _ = Bba::with_fractions(0.9, 0.2);
+    }
+}

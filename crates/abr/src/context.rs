@@ -1,0 +1,179 @@
+//! The decision context handed to an ABR algorithm at each chunk boundary.
+
+use veritas_media::VideoAsset;
+
+/// Everything an ABR algorithm is allowed to observe when picking the
+/// quality of the next chunk.
+///
+/// This mirrors what a real client-side ABR sees: the manifest (sizes of the
+/// upcoming chunks at every quality), its own buffer level, and the download
+/// history of previous chunks — but *not* the intrinsic network bandwidth,
+/// which is exactly the latent confounder Veritas later has to recover.
+#[derive(Debug, Clone)]
+pub struct AbrContext<'a> {
+    /// The video being streamed (sizes and SSIM per chunk/quality).
+    pub asset: &'a VideoAsset,
+    /// Index of the chunk whose quality must be chosen now.
+    pub next_chunk: usize,
+    /// Current playback buffer level in seconds.
+    pub buffer_s: f64,
+    /// Maximum buffer the player will hold, in seconds.
+    pub buffer_capacity_s: f64,
+    /// Observed throughput of previously downloaded chunks in Mbps, oldest
+    /// first.
+    pub throughput_history_mbps: &'a [f64],
+    /// Download times of previously downloaded chunks in seconds, oldest
+    /// first.
+    pub download_time_history_s: &'a [f64],
+    /// Quality index chosen for the previous chunk, if any.
+    pub last_quality: Option<usize>,
+}
+
+impl<'a> AbrContext<'a> {
+    /// Harmonic mean of the last `window` observed throughputs (Mbps), the
+    /// standard robust throughput predictor used by MPC-family algorithms.
+    /// Returns `None` when there is no history yet.
+    pub fn harmonic_mean_throughput(&self, window: usize) -> Option<f64> {
+        let hist = self.throughput_history_mbps;
+        if hist.is_empty() || window == 0 {
+            return None;
+        }
+        let start = hist.len().saturating_sub(window);
+        let recent = &hist[start..];
+        let mut denom = 0.0;
+        for &x in recent {
+            if x <= 0.0 {
+                return Some(0.0);
+            }
+            denom += 1.0 / x;
+        }
+        Some(recent.len() as f64 / denom)
+    }
+
+    /// Maximum relative error of the harmonic-mean predictor over the recent
+    /// window, used by RobustMPC to discount its prediction.
+    pub fn recent_prediction_error(&self, window: usize) -> f64 {
+        let hist = self.throughput_history_mbps;
+        if hist.len() < 2 {
+            return 0.0;
+        }
+        let start = hist.len().saturating_sub(window + 1);
+        let recent = &hist[start..];
+        let mut max_err: f64 = 0.0;
+        for i in 1..recent.len() {
+            // Prediction for step i is the harmonic mean of everything
+            // before it within the window.
+            let prior = &recent[..i];
+            let denom: f64 = prior.iter().map(|&x| 1.0 / x.max(1e-9)).sum();
+            let pred = prior.len() as f64 / denom;
+            let actual = recent[i].max(1e-9);
+            max_err = max_err.max(((pred - actual) / actual).abs());
+        }
+        max_err
+    }
+
+    /// Number of quality rungs available.
+    pub fn num_qualities(&self) -> usize {
+        self.asset.num_qualities()
+    }
+}
+
+/// A quality decision must always be a valid rung index; helper used by
+/// implementations to clamp defensively.
+pub fn clamp_quality(quality: usize, num_qualities: usize) -> usize {
+    quality.min(num_qualities.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_media::VideoAsset;
+
+    fn ctx<'a>(
+        asset: &'a VideoAsset,
+        tput: &'a [f64],
+        dt: &'a [f64],
+        buffer_s: f64,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            asset,
+            next_chunk: 3,
+            buffer_s,
+            buffer_capacity_s: 5.0,
+            throughput_history_mbps: tput,
+            download_time_history_s: dt,
+            last_quality: Some(1),
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_of_uniform_history_is_the_value() {
+        let asset = VideoAsset::paper_default(1);
+        let tput = [4.0, 4.0, 4.0];
+        let dt = [1.0, 1.0, 1.0];
+        let c = ctx(&asset, &tput, &dt, 3.0);
+        assert!((c.harmonic_mean_throughput(5).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_dominated_by_small_values() {
+        let asset = VideoAsset::paper_default(1);
+        let tput = [1.0, 9.0];
+        let dt = [1.0, 1.0];
+        let c = ctx(&asset, &tput, &dt, 3.0);
+        let hm = c.harmonic_mean_throughput(5).unwrap();
+        assert!(hm < 2.0, "harmonic mean {hm} should be pulled toward 1");
+    }
+
+    #[test]
+    fn harmonic_mean_respects_window() {
+        let asset = VideoAsset::paper_default(1);
+        let tput = [0.1, 8.0, 8.0];
+        let dt = [1.0, 1.0, 1.0];
+        let c = ctx(&asset, &tput, &dt, 3.0);
+        assert!((c.harmonic_mean_throughput(2).unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_empty_history_is_none() {
+        let asset = VideoAsset::paper_default(1);
+        let c = ctx(&asset, &[], &[], 3.0);
+        assert!(c.harmonic_mean_throughput(5).is_none());
+    }
+
+    #[test]
+    fn zero_throughput_history_gives_zero() {
+        let asset = VideoAsset::paper_default(1);
+        let tput = [0.0, 5.0];
+        let dt = [1.0, 1.0];
+        let c = ctx(&asset, &tput, &dt, 3.0);
+        assert_eq!(c.harmonic_mean_throughput(5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn prediction_error_is_zero_for_stable_history() {
+        let asset = VideoAsset::paper_default(1);
+        let tput = [4.0, 4.0, 4.0, 4.0];
+        let dt = [1.0; 4];
+        let c = ctx(&asset, &tput, &dt, 3.0);
+        assert!(c.recent_prediction_error(5) < 1e-12);
+    }
+
+    #[test]
+    fn prediction_error_grows_with_volatility() {
+        let asset = VideoAsset::paper_default(1);
+        let stable = [4.0, 4.0, 4.0, 4.0];
+        let volatile = [1.0, 8.0, 2.0, 9.0];
+        let dt = [1.0; 4];
+        let c_stable = ctx(&asset, &stable, &dt, 3.0);
+        let c_vol = ctx(&asset, &volatile, &dt, 3.0);
+        assert!(c_vol.recent_prediction_error(5) > c_stable.recent_prediction_error(5));
+    }
+
+    #[test]
+    fn clamp_quality_bounds() {
+        assert_eq!(clamp_quality(7, 5), 4);
+        assert_eq!(clamp_quality(2, 5), 2);
+        assert_eq!(clamp_quality(0, 0), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! MPC — model-predictive bitrate control (Yin et al., SIGCOMM 2015).
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::{clamp_quality, AbrContext};
+use crate::Abr;
+
+/// QoE weights for the MPC objective.
+///
+/// The objective over the lookahead horizon is
+/// `Σ bitrate_k − λ Σ |bitrate_k − bitrate_{k−1}| − μ Σ rebuffer_k`,
+/// the linear QoE form from the MPC paper with bitrates in Mbps and
+/// rebuffering in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeWeights {
+    /// Smoothness penalty per Mbps of bitrate change.
+    pub smoothness_lambda: f64,
+    /// Rebuffering penalty per second stalled.
+    pub rebuffer_mu: f64,
+}
+
+impl Default for QoeWeights {
+    fn default() -> Self {
+        Self {
+            smoothness_lambda: 1.0,
+            rebuffer_mu: 8.0,
+        }
+    }
+}
+
+/// Model Predictive Control ABR.
+///
+/// At every chunk boundary the controller predicts future throughput with the
+/// harmonic mean of recent observations (optionally discounted by the recent
+/// maximum prediction error — RobustMPC), then exhaustively searches quality
+/// assignments over a short lookahead horizon, simulating buffer evolution
+/// and picking the first decision of the best plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mpc {
+    /// Number of future chunks considered in the lookahead.
+    pub horizon: usize,
+    /// Number of past chunks in the harmonic-mean throughput predictor.
+    pub prediction_window: usize,
+    /// QoE weights.
+    pub weights: QoeWeights,
+    /// If true, discount the throughput prediction by the recent maximum
+    /// relative error (RobustMPC).
+    pub robust: bool,
+}
+
+impl Mpc {
+    /// Standard MPC with a 5-chunk horizon.
+    pub fn new() -> Self {
+        Self {
+            horizon: 5,
+            prediction_window: 5,
+            weights: QoeWeights::default(),
+            robust: false,
+        }
+    }
+
+    /// RobustMPC: same controller with an error-discounted predictor.
+    pub fn robust() -> Self {
+        Self {
+            robust: true,
+            ..Self::new()
+        }
+    }
+
+    /// Overrides the lookahead horizon (must be ≥ 1; values above 5 get slow
+    /// because the search is exhaustive).
+    pub fn with_horizon(mut self, horizon: usize) -> Self {
+        assert!(horizon >= 1);
+        self.horizon = horizon;
+        self
+    }
+
+    /// Overrides the QoE weights.
+    pub fn with_weights(mut self, weights: QoeWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    fn predicted_throughput(&self, ctx: &AbrContext) -> f64 {
+        let base = ctx
+            .harmonic_mean_throughput(self.prediction_window)
+            .unwrap_or(1.0)
+            .max(1e-3);
+        if self.robust {
+            let err = ctx.recent_prediction_error(self.prediction_window);
+            base / (1.0 + err)
+        } else {
+            base
+        }
+    }
+
+    /// Scores one candidate plan (quality per horizon step), returning the
+    /// total QoE. Buffer evolution: each chunk takes `size / throughput` to
+    /// download, during which the buffer drains; on completion it gains one
+    /// chunk duration, capped at capacity.
+    fn score_plan(
+        &self,
+        ctx: &AbrContext,
+        plan: &[usize],
+        predicted_throughput_mbps: f64,
+    ) -> f64 {
+        let asset = ctx.asset;
+        let chunk_dur = asset.chunk_duration_s();
+        let mut buffer = ctx.buffer_s;
+        let mut qoe = 0.0;
+        let mut prev_rate = ctx
+            .last_quality
+            .map(|q| asset.ladder().bitrate(q));
+        for (step, &q) in plan.iter().enumerate() {
+            let chunk = ctx.next_chunk + step;
+            if chunk >= asset.num_chunks() {
+                break;
+            }
+            let size = asset.size_bytes(chunk, q);
+            let dt = size * 8.0 / 1e6 / predicted_throughput_mbps;
+            let rebuffer = (dt - buffer).max(0.0);
+            buffer = (buffer - dt).max(0.0) + chunk_dur;
+            buffer = buffer.min(ctx.buffer_capacity_s);
+            let rate = asset.ladder().bitrate(q);
+            qoe += rate;
+            if let Some(prev) = prev_rate {
+                qoe -= self.weights.smoothness_lambda * (rate - prev).abs();
+            }
+            qoe -= self.weights.rebuffer_mu * rebuffer;
+            prev_rate = Some(rate);
+        }
+        qoe
+    }
+}
+
+impl Default for Mpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Abr for Mpc {
+    fn name(&self) -> &'static str {
+        if self.robust {
+            "RobustMPC"
+        } else {
+            "MPC"
+        }
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let num_q = ctx.num_qualities();
+        if num_q == 1 {
+            return 0;
+        }
+        let remaining = ctx.asset.num_chunks().saturating_sub(ctx.next_chunk);
+        let horizon = self.horizon.min(remaining.max(1));
+        let predicted = self.predicted_throughput(ctx);
+
+        // Exhaustive search over quality assignments for the horizon,
+        // enumerated as base-`num_q` counters.
+        let mut best_plan_first = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        let total_plans = num_q.pow(horizon as u32);
+        let mut plan = vec![0usize; horizon];
+        for idx in 0..total_plans {
+            let mut rem = idx;
+            for slot in plan.iter_mut() {
+                *slot = rem % num_q;
+                rem /= num_q;
+            }
+            let score = self.score_plan(ctx, &plan, predicted);
+            if score > best_score {
+                best_score = score;
+                best_plan_first = plan[0];
+            }
+        }
+        clamp_quality(best_plan_first, num_q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_media::VideoAsset;
+
+    fn ctx<'a>(
+        asset: &'a VideoAsset,
+        tput: &'a [f64],
+        buffer_s: f64,
+        last_quality: Option<usize>,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            asset,
+            next_chunk: 20,
+            buffer_s,
+            buffer_capacity_s: 5.0,
+            throughput_history_mbps: tput,
+            download_time_history_s: &[],
+            last_quality,
+        }
+    }
+
+    #[test]
+    fn poor_throughput_history_selects_low_quality() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let tput = [0.2, 0.25, 0.2, 0.22];
+        let q = mpc.choose(&ctx(&asset, &tput, 2.0, Some(0)));
+        assert_eq!(q, 0, "0.2 Mbps history must keep MPC at the lowest rung");
+    }
+
+    #[test]
+    fn rich_throughput_and_full_buffer_selects_high_quality() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let tput = [9.0, 9.5, 10.0, 9.0];
+        let q = mpc.choose(&ctx(&asset, &tput, 5.0, Some(4)));
+        assert!(q >= asset.num_qualities() - 2, "got rung {q}");
+    }
+
+    #[test]
+    fn quality_is_weakly_monotone_in_predicted_throughput() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let mut prev = 0usize;
+        for tput in [0.2, 0.5, 1.0, 2.0, 4.0, 6.0, 9.0] {
+            let hist = [tput; 4];
+            let q = mpc.choose(&ctx(&asset, &hist, 4.0, Some(prev)));
+            assert!(q >= prev || q + 1 >= prev, "tput {tput}: {prev} -> {q}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_conservative_even_with_good_history() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let tput = [6.0, 6.0, 6.0];
+        let q_empty = mpc.choose(&ctx(&asset, &tput, 0.0, Some(2)));
+        let q_full = mpc.choose(&ctx(&asset, &tput, 5.0, Some(2)));
+        assert!(q_empty <= q_full);
+    }
+
+    #[test]
+    fn robust_variant_is_no_more_aggressive_than_plain_mpc() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let mut robust = Mpc::robust();
+        // Volatile history inflates the error estimate.
+        let tput = [1.0, 8.0, 1.5, 7.0];
+        let q_plain = mpc.choose(&ctx(&asset, &tput, 3.0, Some(2)));
+        let q_robust = robust.choose(&ctx(&asset, &tput, 3.0, Some(2)));
+        assert!(q_robust <= q_plain);
+    }
+
+    #[test]
+    fn no_history_still_returns_a_valid_choice() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let q = mpc.choose(&ctx(&asset, &[], 1.0, None));
+        assert!(q < asset.num_qualities());
+    }
+
+    #[test]
+    fn horizon_end_of_video_does_not_panic() {
+        let asset = VideoAsset::paper_default(1);
+        let mut mpc = Mpc::new();
+        let tput = [3.0, 3.0];
+        let c = AbrContext {
+            asset: &asset,
+            next_chunk: asset.num_chunks() - 1,
+            buffer_s: 3.0,
+            buffer_capacity_s: 5.0,
+            throughput_history_mbps: &tput,
+            download_time_history_s: &[],
+            last_quality: Some(2),
+        };
+        let q = mpc.choose(&c);
+        assert!(q < asset.num_qualities());
+    }
+
+    #[test]
+    fn smoothness_penalty_discourages_oscillation() {
+        let asset = VideoAsset::paper_default(1);
+        // With an enormous smoothness penalty the controller should stay at
+        // the previous quality when throughput is moderate.
+        let mut sticky = Mpc::new().with_weights(QoeWeights {
+            smoothness_lambda: 100.0,
+            rebuffer_mu: 8.0,
+        });
+        let tput = [2.5, 2.5, 2.5];
+        let q = sticky.choose(&ctx(&asset, &tput, 4.0, Some(2)));
+        assert_eq!(q, 2);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Mpc::new().name(), "MPC");
+        assert_eq!(Mpc::robust().name(), "RobustMPC");
+    }
+}

@@ -1,0 +1,175 @@
+//! Simple ABR policies: rate-based, random, and fixed-quality.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::{clamp_quality, AbrContext};
+use crate::Abr;
+
+/// Rate-based adaptation: pick the highest rung whose nominal bitrate fits
+/// under a safety-discounted harmonic-mean throughput estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputRule {
+    /// Fraction of the predicted throughput the chosen bitrate may use.
+    pub safety_factor: f64,
+    /// Number of past chunks in the harmonic-mean predictor.
+    pub prediction_window: usize,
+}
+
+impl ThroughputRule {
+    /// The common 0.9 safety factor over a 5-chunk window.
+    pub fn new() -> Self {
+        Self {
+            safety_factor: 0.9,
+            prediction_window: 5,
+        }
+    }
+}
+
+impl Default for ThroughputRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Abr for ThroughputRule {
+    fn name(&self) -> &'static str {
+        "ThroughputRule"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let predicted = ctx
+            .harmonic_mean_throughput(self.prediction_window)
+            .unwrap_or(0.0);
+        let budget = predicted * self.safety_factor;
+        let bitrates = ctx.asset.ladder().bitrates();
+        let mut chosen = 0;
+        for (q, &rate) in bitrates.iter().enumerate() {
+            if rate <= budget {
+                chosen = q;
+            }
+        }
+        clamp_quality(chosen, ctx.num_qualities())
+    }
+}
+
+/// Picks a uniformly random rung for every chunk.
+///
+/// This is not a serious ABR; it generates the randomized chunk-size
+/// sequences the paper uses as the *test set* for interventional queries
+/// (§4.4), where decisions must not correlate with network conditions.
+#[derive(Debug, Clone)]
+pub struct RandomAbr {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomAbr {
+    /// A random policy seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+}
+
+impl Abr for RandomAbr {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        self.rng.gen_range(0..ctx.num_qualities())
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Always selects the same rung (clamped to the ladder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedQuality(pub usize);
+
+impl Abr for FixedQuality {
+    fn name(&self) -> &'static str {
+        "Fixed"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        clamp_quality(self.0, ctx.num_qualities())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_media::VideoAsset;
+
+    fn ctx<'a>(asset: &'a VideoAsset, tput: &'a [f64]) -> AbrContext<'a> {
+        AbrContext {
+            asset,
+            next_chunk: 5,
+            buffer_s: 3.0,
+            buffer_capacity_s: 5.0,
+            throughput_history_mbps: tput,
+            download_time_history_s: &[],
+            last_quality: None,
+        }
+    }
+
+    #[test]
+    fn throughput_rule_tracks_available_rate() {
+        let asset = VideoAsset::paper_default(1);
+        let mut rule = ThroughputRule::new();
+        let low = [0.2, 0.2, 0.2];
+        assert_eq!(rule.choose(&ctx(&asset, &low)), 0);
+        let mid = [1.5, 1.5, 1.5];
+        let q_mid = rule.choose(&ctx(&asset, &mid));
+        assert!(q_mid >= 1 && q_mid <= 2, "1.5 Mbps fits the 1.0 rung: got {q_mid}");
+        let high = [9.0, 9.0, 9.0];
+        assert_eq!(rule.choose(&ctx(&asset, &high)), asset.num_qualities() - 1);
+    }
+
+    #[test]
+    fn throughput_rule_with_no_history_is_conservative() {
+        let asset = VideoAsset::paper_default(1);
+        let mut rule = ThroughputRule::new();
+        assert_eq!(rule.choose(&ctx(&asset, &[])), 0);
+    }
+
+    #[test]
+    fn random_abr_is_deterministic_per_seed_and_covers_rungs() {
+        let asset = VideoAsset::paper_default(1);
+        let mut a = RandomAbr::new(7);
+        let mut b = RandomAbr::new(7);
+        let picks_a: Vec<usize> = (0..50).map(|_| a.choose(&ctx(&asset, &[]))).collect();
+        let picks_b: Vec<usize> = (0..50).map(|_| b.choose(&ctx(&asset, &[]))).collect();
+        assert_eq!(picks_a, picks_b);
+        let distinct: std::collections::BTreeSet<usize> = picks_a.iter().copied().collect();
+        assert!(distinct.len() >= 3, "50 random picks should cover several rungs");
+        for &q in &picks_a {
+            assert!(q < asset.num_qualities());
+        }
+    }
+
+    #[test]
+    fn random_abr_reset_replays_the_same_sequence() {
+        let asset = VideoAsset::paper_default(1);
+        let mut a = RandomAbr::new(11);
+        let first: Vec<usize> = (0..10).map(|_| a.choose(&ctx(&asset, &[]))).collect();
+        a.reset();
+        let second: Vec<usize> = (0..10).map(|_| a.choose(&ctx(&asset, &[]))).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fixed_quality_clamps() {
+        let asset = VideoAsset::paper_default(1);
+        let mut f = FixedQuality(2);
+        assert_eq!(f.choose(&ctx(&asset, &[])), 2);
+        let mut too_high = FixedQuality(99);
+        assert_eq!(too_high.choose(&ctx(&asset, &[])), asset.num_qualities() - 1);
+    }
+}

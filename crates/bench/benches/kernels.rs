@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the computational kernels: the EHMM
+//! algorithms, the TCP throughput estimator, the round-level TCP model, and
+//! the MPC lookahead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use veritas_abr::{Abr, AbrContext, Mpc};
+use veritas_ehmm::{
+    forward_backward, sample_path, viterbi, EhmmSpec, EmissionTable, TransitionMatrix,
+};
+use veritas_media::VideoAsset;
+use veritas_net::{estimate_throughput, LinkModel, TcpConnection, TcpInfo};
+use veritas_trace::BandwidthTrace;
+
+fn emission_table(num_obs: usize, num_states: usize) -> EmissionTable {
+    let rows: Vec<Vec<f64>> = (0..num_obs)
+        .map(|n| {
+            let target = (n * 7) % num_states;
+            (0..num_states)
+                .map(|i| -0.5 * ((i as f64 - target as f64) / 1.5).powi(2))
+                .collect()
+        })
+        .collect();
+    let gaps: Vec<u32> = (0..num_obs).map(|n| if n == 0 { 0 } else { 1 + (n % 3) as u32 }).collect();
+    EmissionTable::new(rows, gaps)
+}
+
+fn bench_ehmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ehmm");
+    for &num_obs in &[50usize, 300] {
+        let num_states = 21;
+        let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(num_states, 0.8));
+        let obs = emission_table(num_obs, num_states);
+        group.bench_with_input(BenchmarkId::new("viterbi", num_obs), &num_obs, |b, _| {
+            b.iter(|| viterbi(black_box(&spec), black_box(&obs)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward", num_obs),
+            &num_obs,
+            |b, _| b.iter(|| forward_backward(black_box(&spec), black_box(&obs))),
+        );
+        let vit = viterbi(&spec, &obs);
+        let post = forward_backward(&spec, &obs);
+        group.bench_with_input(BenchmarkId::new("sample_path", num_obs), &num_obs, |b, _| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| sample_path(black_box(&post), black_box(&vit), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcp");
+    let info = TcpInfo {
+        cwnd_segments: 10.0,
+        ssthresh_segments: 1000.0,
+        rto_s: 0.3,
+        srtt_s: 0.08,
+        min_rtt_s: 0.08,
+        last_send_gap_s: 2.0,
+    };
+    group.bench_function("estimator_f_1mb", |b| {
+        b.iter(|| estimate_throughput(black_box(6.0), black_box(&info), black_box(1_000_000.0)))
+    });
+    group.bench_function("connection_download_1mb", |b| {
+        let trace = BandwidthTrace::constant(6.0, 1e6);
+        b.iter(|| {
+            let mut conn = TcpConnection::new(LinkModel::paper_default());
+            conn.download(black_box(1_000_000.0), 0.0, black_box(&trace))
+        })
+    });
+    group.finish();
+}
+
+fn bench_abr(c: &mut Criterion) {
+    let asset = VideoAsset::paper_default(1);
+    let history = [3.0, 4.0, 5.0, 4.5, 3.8];
+    let dt = [1.0, 0.9, 1.1, 1.0, 1.2];
+    let ctx = AbrContext {
+        asset: &asset,
+        next_chunk: 50,
+        buffer_s: 3.5,
+        buffer_capacity_s: 5.0,
+        throughput_history_mbps: &history,
+        download_time_history_s: &dt,
+        last_quality: Some(2),
+    };
+    c.bench_function("mpc_lookahead_horizon5", |b| {
+        let mut mpc = Mpc::new();
+        b.iter(|| mpc.choose(black_box(&ctx)))
+    });
+}
+
+criterion_group!(benches, bench_ehmm, bench_tcp, bench_abr);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the end-to-end pipelines: session emulation,
+//! full abduction on a recorded session, and a complete counterfactual
+//! comparison (abduction + K replays + baseline + oracle).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use veritas::{Abduction, CounterfactualEngine, Scenario, VeritasConfig};
+use veritas_abr::Mpc;
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let asset = VideoAsset::generate(
+        QualityLadder::paper_default(),
+        240.0,
+        2.0,
+        VbrParams::default(),
+        1,
+    );
+    let player = PlayerConfig::paper_default();
+    let truth = FccLike::new(3.0, 8.0).generate(1200.0, 9);
+    let mut abr = Mpc::new();
+    let log = run_session(&asset, &mut abr, &truth, &player);
+    let config = VeritasConfig::paper_default().with_samples(3);
+
+    c.bench_function("emulate_session_120_chunks", |b| {
+        b.iter(|| {
+            let mut abr = Mpc::new();
+            run_session(black_box(&asset), &mut abr, black_box(&truth), black_box(&player))
+        })
+    });
+
+    c.bench_function("abduction_120_chunks", |b| {
+        b.iter(|| Abduction::infer(black_box(&log), black_box(&config)))
+    });
+
+    c.bench_function("counterfactual_compare_120_chunks", |b| {
+        let engine = CounterfactualEngine::new(config);
+        let scenario = Scenario::new("bba", player, asset.clone());
+        b.iter(|| engine.compare(black_box(&log), black_box(&truth), black_box(&scenario)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Ablations of the Veritas design choices (DESIGN.md section 5): transition
+//! prior, emission noise, quantization, sampling, and TCP-state conditioning.
+
+use veritas_bench::experiments::ablation::ablation_table;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::{traces_from_env, CorpusSpec};
+
+fn main() {
+    let traces = traces_from_env(10);
+    let corpus = CorpusSpec::counterfactual(traces).build();
+    println!("Ablations: GTBW reconstruction MAE over {traces} traces\n");
+    let table = ablation_table(&corpus);
+    println!("{}", table.render());
+    let path = results_dir().join("ablations.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

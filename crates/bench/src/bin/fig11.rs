@@ -1,0 +1,24 @@
+//! Figure 11: predicted impact of offering a higher set of video qualities.
+
+use veritas::VeritasConfig;
+use veritas_bench::experiments::counterfactual::{
+    outcomes_table, run_counterfactual, summary_table, PaperScenario,
+};
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::{traces_from_env, CorpusSpec};
+
+fn main() {
+    let traces = traces_from_env(40);
+    let corpus = CorpusSpec::counterfactual(traces).build();
+    let config = VeritasConfig::paper_default();
+    let scenario = PaperScenario::HigherQualities.scenario(&corpus);
+    println!("Figure 11: predicted impact of a higher quality ladder over {traces} traces\n");
+    let outcomes = run_counterfactual(&corpus, &scenario, &config);
+    let table = outcomes_table(&outcomes);
+    println!("{}", table.render());
+    println!("{}", summary_table(&outcomes).render());
+    let path = results_dir().join("fig11.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 12: interventional download-time prediction — FuguNN vs Veritas on
+//! randomized chunk sequences.
+
+use veritas::VeritasConfig;
+use veritas_bench::experiments::interventional::{fig12, fig12_scatter_table, fig12_summary_table};
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::traces_from_env;
+
+fn main() {
+    let training_traces = traces_from_env(20);
+    let test_traces = (training_traces / 3).max(2);
+    let config = VeritasConfig::paper_default();
+    println!(
+        "Figure 12: Fugu trained on {training_traces} MPC traces, tested on {test_traces} randomized traces\n"
+    );
+    let result = fig12(training_traces, test_traces, 30, &config);
+    let scatter = fig12_scatter_table(&result, 2000);
+    let summary = fig12_summary_table(&result);
+    println!("{}", summary.render());
+    println!("Expected shape: Fugu underestimates long download times; Veritas stays near the diagonal.");
+    let _ = scatter.write_csv(&results_dir().join("fig12_scatter.csv"));
+    let _ = summary.write_csv(&results_dir().join("fig12_summary.csv"));
+    println!("wrote fig12_scatter.csv and fig12_summary.csv under {}", results_dir().display());
+}

@@ -1,0 +1,20 @@
+//! Figure 14 (appendix): average bitrate comparison across all counterfactual
+//! queries.
+
+use veritas::VeritasConfig;
+use veritas_bench::experiments::counterfactual::fig14_bitrates;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::{traces_from_env, CorpusSpec};
+
+fn main() {
+    let traces = traces_from_env(20);
+    let corpus = CorpusSpec::counterfactual(traces).build();
+    let config = VeritasConfig::paper_default();
+    println!("Figure 14: median average-bitrate per counterfactual query ({traces} traces)\n");
+    let table = fig14_bitrates(&corpus, &config);
+    println!("{}", table.render());
+    let path = results_dir().join("fig14.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

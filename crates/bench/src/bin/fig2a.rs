@@ -1,0 +1,17 @@
+//! Figure 2(a): download-time distribution per chunk-size bucket under MPC
+//! on a mix of poor and good traces (non-monotonic due to ABR confounding).
+
+use veritas_bench::experiments::motivation::fig2a;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::traces_from_env;
+
+fn main() {
+    let traces_per_condition = traces_from_env(10);
+    println!("Figure 2(a): {traces_per_condition} poor + {traces_per_condition} good traces, MPC, 5 s buffer\n");
+    let table = fig2a(traces_per_condition);
+    println!("{}", table.render());
+    let path = results_dir().join("fig2a.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 2(b): Fugu's prediction error when forced to answer a causal query
+//! (download time of a forced low- vs high-quality next chunk).
+
+use veritas_bench::experiments::motivation::fig2b;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::traces_from_env;
+
+fn main() {
+    let training_traces = traces_from_env(10);
+    println!("Figure 2(b): Fugu trained on {training_traces} poor + {training_traces} good MPC traces\n");
+    let table = fig2b(training_traces);
+    println!("{}", table.render());
+    println!("Expected shape: accurate for the low-quality chunk, a large under-estimate for the high-quality chunk.");
+    let path = results_dir().join("fig2b.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 2(c): observed throughput vs payload size over a constant 18 Mbps
+//! link with random inter-request gaps (TCP slow-start / size effects).
+
+use veritas_bench::experiments::motivation::fig2c;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::traces_from_env;
+
+fn main() {
+    let requests = traces_from_env(40);
+    println!("Figure 2(c): {requests} requests per size bucket, constant 18 Mbps link\n");
+    let table = fig2c(requests);
+    println!("{}", table.render());
+    let path = results_dir().join("fig2c.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 5: error CDF of the Veritas throughput estimator f against the
+//! ground-truth TCP model across capacities, delays, sizes and gaps.
+
+use veritas_bench::experiments::motivation::fig5;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::traces_from_env;
+
+fn main() {
+    let payloads = traces_from_env(40);
+    println!("Figure 5: {payloads} payloads per (capacity, delay) setting\n");
+    let table = fig5(payloads);
+    println!("{}", table.render());
+    println!("Expected shape: the bulk of the error mass within ~1 Mbps.");
+    let path = results_dir().join("fig5.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

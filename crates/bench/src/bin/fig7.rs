@@ -1,0 +1,19 @@
+//! Figure 7: GTBW vs Baseline vs Veritas posterior samples for one example
+//! session, plus per-series reconstruction error.
+
+use veritas::VeritasConfig;
+use veritas_bench::experiments::counterfactual::fig7_example;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::CorpusSpec;
+
+fn main() {
+    let corpus = CorpusSpec::counterfactual(1).build();
+    let config = VeritasConfig::paper_default();
+    let (series, errors) = fig7_example(&corpus, 0, &config);
+    println!("Figure 7: example trace reconstruction\n");
+    println!("{}", series.render());
+    println!("{}", errors.render());
+    let _ = series.write_csv(&results_dir().join("fig7_series.csv"));
+    let _ = errors.write_csv(&results_dir().join("fig7_errors.csv"));
+    println!("wrote fig7_series.csv and fig7_errors.csv under {}", results_dir().display());
+}

@@ -1,0 +1,18 @@
+//! Figure 8: the true impact of changing the ABR from MPC to BBA, both
+//! settings replayed on the ground-truth traces.
+
+use veritas_bench::experiments::counterfactual::fig8_true_impact;
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::{traces_from_env, CorpusSpec};
+
+fn main() {
+    let traces = traces_from_env(40);
+    let corpus = CorpusSpec::counterfactual(traces).build();
+    println!("Figure 8: true impact of MPC -> BBA over {traces} traces\n");
+    let table = fig8_true_impact(&corpus, "bba");
+    println!("{}", table.render());
+    let path = results_dir().join("fig8.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

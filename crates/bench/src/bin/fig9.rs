@@ -1,0 +1,25 @@
+//! Figure 9: predicted impact of changing the ABR from MPC to BBA —
+//! Baseline vs GTBW (oracle) vs Veritas(Low/High).
+
+use veritas::VeritasConfig;
+use veritas_bench::experiments::counterfactual::{
+    outcomes_table, run_counterfactual, summary_table, PaperScenario,
+};
+use veritas_bench::report::results_dir;
+use veritas_bench::workload::{traces_from_env, CorpusSpec};
+
+fn main() {
+    let traces = traces_from_env(40);
+    let corpus = CorpusSpec::counterfactual(traces).build();
+    let config = VeritasConfig::paper_default();
+    let scenario = PaperScenario::AbrToBba.scenario(&corpus);
+    println!("Figure 9: predicted impact of MPC -> BBA over {traces} traces\n");
+    let outcomes = run_counterfactual(&corpus, &scenario, &config);
+    let table = outcomes_table(&outcomes);
+    println!("{}", table.render());
+    println!("{}", summary_table(&outcomes).render());
+    let path = results_dir().join("fig9.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("wrote {}", path.display());
+    }
+}

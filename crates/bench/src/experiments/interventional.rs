@@ -1,0 +1,166 @@
+//! Interventional experiments: Figure 12 (download-time prediction for
+//! randomized chunk sequences) and the in-text underestimation statistics.
+
+use veritas::{InterventionalPredictor, VeritasConfig};
+use veritas_fugu::{FuguConfig, FuguModel, TrainConfig};
+use veritas_trace::stats::percentile;
+
+use crate::report::{f3, mean, Table};
+use crate::workload::{randomized_test_corpus, Corpus, CorpusSpec};
+use crate::{default_threads, parallel_map};
+
+/// One (actual, Fugu-predicted, Veritas-predicted) download-time triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionTriple {
+    /// Actual download time in seconds.
+    pub actual_s: f64,
+    /// Fugu's prediction in seconds.
+    pub fugu_s: f64,
+    /// Veritas's prediction in seconds.
+    pub veritas_s: f64,
+}
+
+/// Result of the Figure 12 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// All prediction triples across the test corpus.
+    pub triples: Vec<PredictionTriple>,
+    /// Fugu's mean absolute error (seconds).
+    pub fugu_mae_s: f64,
+    /// Veritas's mean absolute error (seconds).
+    pub veritas_mae_s: f64,
+    /// The 90th percentile of Fugu's *underestimation* (actual − predicted,
+    /// clamped at zero) — the paper reports Fugu underestimating by 5.8 s
+    /// for 10% of chunks.
+    pub fugu_p90_underestimate_s: f64,
+    /// Veritas's 90th-percentile underestimation.
+    pub veritas_p90_underestimate_s: f64,
+    /// Worst-case Fugu underestimation (seconds).
+    pub fugu_max_underestimate_s: f64,
+    /// Worst-case Veritas underestimation (seconds).
+    pub veritas_max_underestimate_s: f64,
+}
+
+/// Runs the Figure 12 experiment: train Fugu on deployed-MPC logs over a
+/// 0.5–10 Mbps corpus, then predict chunk download times on random-bitrate
+/// test sessions with both Fugu and Veritas.
+pub fn fig12(
+    training_traces: usize,
+    test_traces: usize,
+    fugu_epochs: usize,
+    config: &VeritasConfig,
+) -> Fig12Result {
+    let training = CorpusSpec::interventional(training_traces).build();
+    let fugu = FuguModel::train_on_logs(
+        &training.logs,
+        FuguConfig {
+            train: TrainConfig {
+                epochs: fugu_epochs,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        },
+    );
+    let test = randomized_test_corpus(test_traces, 777);
+    let predictor = InterventionalPredictor::new(*config);
+
+    let jobs: Vec<usize> = (0..test.logs.len()).collect();
+    let per_trace: Vec<Vec<PredictionTriple>> = parallel_map(jobs, default_threads(), |i| {
+        let log = &test.logs[i];
+        let fugu_preds = fugu.predict_over_log(log);
+        let veritas_preds = predictor.predict_over_log(log);
+        fugu_preds
+            .into_iter()
+            .zip(veritas_preds)
+            .map(|((fp, actual), (vp, _))| PredictionTriple {
+                actual_s: actual,
+                fugu_s: fp,
+                veritas_s: vp,
+            })
+            .collect()
+    });
+    let triples: Vec<PredictionTriple> = per_trace.into_iter().flatten().collect();
+    summarize(triples)
+}
+
+fn summarize(triples: Vec<PredictionTriple>) -> Fig12Result {
+    let fugu_abs: Vec<f64> = triples.iter().map(|t| (t.fugu_s - t.actual_s).abs()).collect();
+    let veritas_abs: Vec<f64> = triples
+        .iter()
+        .map(|t| (t.veritas_s - t.actual_s).abs())
+        .collect();
+    let fugu_under: Vec<f64> = triples
+        .iter()
+        .map(|t| (t.actual_s - t.fugu_s).max(0.0))
+        .collect();
+    let veritas_under: Vec<f64> = triples
+        .iter()
+        .map(|t| (t.actual_s - t.veritas_s).max(0.0))
+        .collect();
+    Fig12Result {
+        fugu_mae_s: mean(&fugu_abs),
+        veritas_mae_s: mean(&veritas_abs),
+        fugu_p90_underestimate_s: percentile(&fugu_under, 90.0),
+        veritas_p90_underestimate_s: percentile(&veritas_under, 90.0),
+        fugu_max_underestimate_s: fugu_under.iter().cloned().fold(0.0, f64::max),
+        veritas_max_underestimate_s: veritas_under.iter().cloned().fold(0.0, f64::max),
+        triples,
+    }
+}
+
+/// Renders the Figure 12 scatter data (one row per predicted chunk).
+pub fn fig12_scatter_table(result: &Fig12Result, max_rows: usize) -> Table {
+    let mut table = Table::new(vec!["actual_s", "fugu_predicted_s", "veritas_predicted_s"]);
+    for t in result.triples.iter().take(max_rows) {
+        table.push_row(vec![f3(t.actual_s), f3(t.fugu_s), f3(t.veritas_s)]);
+    }
+    table
+}
+
+/// Renders the Figure 12 summary statistics.
+pub fn fig12_summary_table(result: &Fig12Result) -> Table {
+    let mut table = Table::new(vec!["metric", "fugu", "veritas"]);
+    table.push_row(vec![
+        "mae_s".to_string(),
+        f3(result.fugu_mae_s),
+        f3(result.veritas_mae_s),
+    ]);
+    table.push_row(vec![
+        "p90_underestimate_s".to_string(),
+        f3(result.fugu_p90_underestimate_s),
+        f3(result.veritas_p90_underestimate_s),
+    ]);
+    table.push_row(vec![
+        "max_underestimate_s".to_string(),
+        f3(result.fugu_max_underestimate_s),
+        f3(result.veritas_max_underestimate_s),
+    ]);
+    table
+}
+
+/// Helper for building a Fugu training corpus reused by other binaries.
+pub fn fugu_training_corpus(traces: usize) -> Corpus {
+    CorpusSpec::interventional(traces).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_small_run_shows_fugu_bias() {
+        let config = VeritasConfig::paper_default();
+        let result = fig12(3, 1, 6, &config);
+        assert!(!result.triples.is_empty());
+        // Veritas should underestimate less badly than Fugu at the tail.
+        assert!(
+            result.veritas_p90_underestimate_s <= result.fugu_p90_underestimate_s + 0.5,
+            "Veritas p90 underestimate {} vs Fugu {}",
+            result.veritas_p90_underestimate_s,
+            result.fugu_p90_underestimate_s
+        );
+        let scatter = fig12_scatter_table(&result, 50);
+        assert!(scatter.len() <= 50);
+        assert_eq!(fig12_summary_table(&result).len(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Per-figure experiment implementations.
+//!
+//! Every public function here corresponds to a figure (or in-text statistic)
+//! of the paper; the binaries in `src/bin/` are thin wrappers around them.
+//! See `DESIGN.md` §4 for the complete index.
+
+pub mod ablation;
+pub mod counterfactual;
+pub mod interventional;
+pub mod motivation;

@@ -1,0 +1,258 @@
+//! Motivation experiments: Figure 2(a–c) and the estimator-error CDF
+//! (Figure 5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use veritas_abr::Mpc;
+use veritas_fugu::{FuguConfig, FuguModel, TrainConfig};
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_net::{estimate_throughput, LinkModel, TcpConnection};
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+use veritas_trace::stats::percentile;
+use veritas_trace::BandwidthTrace;
+
+use crate::report::{f3, Table};
+
+/// Figure 2(a): distribution of download times per chunk-size bucket under
+/// MPC on a mix of poor (0–0.3 Mbps) and good (9–10 Mbps) traces. The
+/// non-monotonic relationship is the fingerprint of ABR-induced confounding.
+pub fn fig2a(traces_per_condition: usize) -> Table {
+    let asset = VideoAsset::generate(
+        QualityLadder::paper_default(),
+        600.0,
+        2.0,
+        VbrParams::default(),
+        1,
+    );
+    let player = PlayerConfig::paper_default();
+    let mut pairs: Vec<(f64, f64)> = Vec::new(); // (size MB, download time s)
+    let poor = FccLike::new(0.15, 0.3);
+    let good = FccLike::new(9.0, 10.0);
+    for i in 0..traces_per_condition as u64 {
+        for (tag, gen) in [(0u64, &poor), (1u64, &good)] {
+            let truth = gen.generate(3600.0, 10_000 + i * 2 + tag);
+            let mut abr = Mpc::new();
+            let log = run_session(&asset, &mut abr, &truth, &player);
+            for r in &log.records {
+                pairs.push((r.size_bytes / 1e6, r.download_time_s));
+            }
+        }
+    }
+    // The paper's size buckets (MB).
+    let buckets = [
+        (0.0, 0.02),
+        (0.02, 0.04),
+        (0.04, 0.10),
+        (0.10, 1.0),
+        (1.0, 2.0),
+        (2.0, 4.2),
+    ];
+    let mut table = Table::new(vec![
+        "size_bucket_mb",
+        "chunks",
+        "p25_download_s",
+        "median_download_s",
+        "p75_download_s",
+    ]);
+    for (lo, hi) in buckets {
+        let times: Vec<f64> = pairs
+            .iter()
+            .filter(|(s, _)| *s >= lo && *s < hi)
+            .map(|(_, t)| *t)
+            .collect();
+        if times.is_empty() {
+            continue;
+        }
+        table.push_row(vec![
+            format!("{lo}-{hi}"),
+            times.len().to_string(),
+            f3(percentile(&times, 25.0)),
+            f3(percentile(&times, 50.0)),
+            f3(percentile(&times, 75.0)),
+        ]);
+    }
+    table
+}
+
+/// Figure 2(b): Fugu's causal-query error. Train Fugu on mixed-condition MPC
+/// logs, then on a poor-network session ask for the download time of the
+/// next chunk if it were forced to the lowest vs the highest quality, and
+/// compare against the actual download times of those forced choices.
+pub fn fig2b(training_traces: usize) -> Table {
+    let asset = VideoAsset::generate(
+        QualityLadder::paper_default(),
+        600.0,
+        2.0,
+        VbrParams::default(),
+        1,
+    );
+    let player = PlayerConfig::paper_default();
+    let poor = FccLike::new(0.15, 0.3);
+    let good = FccLike::new(9.0, 10.0);
+    let mut training_logs = Vec::new();
+    for i in 0..training_traces as u64 {
+        for (tag, gen) in [(0u64, &poor), (1u64, &good)] {
+            let truth = gen.generate(3600.0, 20_000 + i * 2 + tag);
+            let mut abr = Mpc::new();
+            training_logs.push(run_session(&asset, &mut abr, &truth, &player));
+        }
+    }
+    let fugu = FuguModel::train_on_logs(
+        &training_logs,
+        FuguConfig {
+            train: TrainConfig {
+                epochs: 30,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        },
+    );
+
+    // A fresh poor-network session: after a run of low-quality chunks, ask
+    // what would happen for a forced low vs forced high next chunk.
+    let truth = poor.generate(3600.0, 30_001);
+    let mut abr = Mpc::new();
+    let log = run_session(&asset, &mut abr, &truth, &player);
+    let n = log.records.len() / 2;
+    let sizes = log.chunk_sizes();
+    let times = log.download_times();
+
+    let mut table = Table::new(vec!["forced_next_chunk", "actual_download_s", "fugu_predicted_s"]);
+    for (label, quality) in [("low_quality", 0usize), ("high_quality", asset.num_qualities() - 1)] {
+        let candidate_size = asset.size_bytes(n, quality);
+        let predicted = fugu.predict_download_time(&sizes[..n], &times[..n], candidate_size);
+        // Ground truth: actually download that size at that point in the
+        // session, over the same network, from the same TCP state.
+        let mut conn = TcpConnection::new(player.link);
+        // Warm the connection with the session history so its state matches.
+        let mut now = 0.0;
+        for r in log.records.iter().take(n) {
+            let _ = conn.download(r.size_bytes, r.start_time_s.max(now), &truth);
+            now = r.end_time_s;
+        }
+        let actual = conn
+            .download(candidate_size, log.records[n].start_time_s, &truth)
+            .duration_s;
+        table.push_row(vec![label.to_string(), f3(actual), f3(predicted)]);
+    }
+    table
+}
+
+/// Figure 2(c): observed throughput versus payload size at a constant 18 Mbps
+/// link, with random inter-request gaps — the TCP slow-start/size effect.
+pub fn fig2c(requests_per_bucket: usize) -> Table {
+    let link = LinkModel::paper_default();
+    let trace = BandwidthTrace::constant(18.0, 1e6);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut table = Table::new(vec![
+        "log2_size_kb",
+        "samples",
+        "p10_mbps",
+        "median_mbps",
+        "p90_mbps",
+    ]);
+    for log2_kb in 1..=12u32 {
+        let size_bytes = (1u64 << log2_kb) as f64 * 1000.0;
+        let mut observed = Vec::with_capacity(requests_per_bucket);
+        let mut conn = TcpConnection::new(link);
+        let mut now = 0.0;
+        for _ in 0..requests_per_bucket {
+            let gap: f64 = rng.gen_range(0.12..8.0);
+            now += gap;
+            let result = conn.download(size_bytes, now, &trace);
+            now += result.duration_s;
+            observed.push(result.throughput_mbps);
+        }
+        table.push_row(vec![
+            log2_kb.to_string(),
+            observed.len().to_string(),
+            f3(percentile(&observed, 10.0)),
+            f3(percentile(&observed, 50.0)),
+            f3(percentile(&observed, 90.0)),
+        ]);
+    }
+    table
+}
+
+/// One (absolute error, relative error) sample of the estimator `f` against
+/// the ground-truth TCP model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorErrorSample {
+    /// `f`'s predicted throughput minus the simulated throughput (Mbps).
+    pub error_mbps: f64,
+    /// Error relative to the simulated throughput.
+    pub relative_error: f64,
+}
+
+/// Figure 5: error distribution of the throughput estimator `f` across a
+/// sweep of capacities, delays, payload sizes, and inter-request gaps.
+pub fn fig5_samples(payloads_per_setting: usize) -> Vec<EstimatorErrorSample> {
+    let mut samples = Vec::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for &capacity in &[0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        for &delay_ms in &[5.0, 10.0, 20.0, 40.0] {
+            let link = LinkModel::with_rtt(2.0 * delay_ms / 1000.0);
+            let trace = BandwidthTrace::constant(capacity, 1e6);
+            let mut conn = TcpConnection::new(link);
+            let mut now = 0.0;
+            for _ in 0..payloads_per_setting {
+                let size_bytes: f64 = rng.gen_range(2_000.0..4_000_000.0);
+                let gap: f64 = rng.gen_range(0.12..8.0);
+                now += gap;
+                let info = conn.info_at(now);
+                let predicted = estimate_throughput(capacity, &info, size_bytes);
+                let result = conn.download(size_bytes, now, &trace);
+                now += result.duration_s;
+                let actual = result.throughput_mbps;
+                samples.push(EstimatorErrorSample {
+                    error_mbps: predicted - actual,
+                    relative_error: (predicted - actual) / actual.max(1e-6),
+                });
+            }
+        }
+    }
+    samples
+}
+
+/// Renders the Figure 5 CDF of absolute estimator error.
+pub fn fig5(payloads_per_setting: usize) -> Table {
+    let samples = fig5_samples(payloads_per_setting);
+    let abs_errors: Vec<f64> = samples.iter().map(|s| s.error_mbps.abs()).collect();
+    let mut table = Table::new(vec!["percentile", "abs_error_mbps"]);
+    for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+        table.push_row(vec![format!("{p}"), f3(percentile(&abs_errors, p))]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2c_shows_size_dependent_throughput() {
+        let table = fig2c(12);
+        assert_eq!(table.len(), 12);
+        let csv = table.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        let median_of = |row: &str| -> f64 { row.split(',').nth(3).unwrap().parse().unwrap() };
+        // Small payloads see far less than the 18 Mbps link; the largest see
+        // most of it.
+        assert!(median_of(rows[0]) < 2.0);
+        assert!(median_of(rows[11]) > 10.0);
+    }
+
+    #[test]
+    fn fig5_estimator_error_is_mostly_small() {
+        let samples = fig5_samples(6);
+        assert!(!samples.is_empty());
+        let abs: Vec<f64> = samples.iter().map(|s| s.error_mbps.abs()).collect();
+        let median = percentile(&abs, 50.0);
+        assert!(
+            median < 1.0,
+            "median estimator error {median} Mbps should be under 1 Mbps (paper Fig. 5)"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment harness for reproducing every figure in the Veritas paper.
+//!
+//! The library half holds reusable workload builders, a small parallel map,
+//! and the per-figure experiment functions; the binaries under `src/bin/`
+//! are thin wrappers that run one experiment each and print the series the
+//! corresponding paper figure plots (see `DESIGN.md` §4 for the
+//! figure-to-binary index and `EXPERIMENTS.md` for recorded results).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` using up to `threads` worker threads, preserving
+/// input order in the output. Used to spread independent per-trace
+/// experiments across cores.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = Mutex::new(work);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let next = queue.lock().pop();
+                match next {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        results.lock().push((idx, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Number of worker threads to use by default: the available parallelism
+/// minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), 4, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_works() {
+        let out = parallel_map(vec!["a", "bb", "ccc"], 1, |s: &str| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

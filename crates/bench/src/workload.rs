@@ -1,0 +1,195 @@
+//! Standard workloads used across the figure reproductions.
+
+use veritas_abr::{abr_by_name, Abr};
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_player::{run_session, PlayerConfig, SessionLog};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+use veritas_trace::BandwidthTrace;
+
+/// A corpus of ground-truth traces plus the deployed-setting logs recorded
+/// over them — the raw material of every counterfactual experiment.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The video asset streamed in every session.
+    pub asset: VideoAsset,
+    /// The deployed player configuration (Setting A).
+    pub player: PlayerConfig,
+    /// Name of the deployed ABR (Setting A).
+    pub deployed_abr: String,
+    /// Ground-truth bandwidth traces (hidden from inference).
+    pub truths: Vec<BandwidthTrace>,
+    /// One recorded session log per trace.
+    pub logs: Vec<SessionLog>,
+}
+
+/// Parameters for building a [`Corpus`].
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of traces/sessions.
+    pub traces: usize,
+    /// Per-trace mean bandwidth range in Mbps (FCC-like sampling).
+    pub bandwidth_range_mbps: (f64, f64),
+    /// Deployed ABR name.
+    pub deployed_abr: String,
+    /// Deployed player configuration.
+    pub player: PlayerConfig,
+    /// Video duration in seconds.
+    pub video_duration_s: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self {
+            traces: 40,
+            bandwidth_range_mbps: (3.0, 8.0),
+            deployed_abr: "mpc".to_string(),
+            player: PlayerConfig::paper_default(),
+            video_duration_s: 600.0,
+            seed: 20_240_001,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// The paper's counterfactual corpus (§4.1): FCC-like traces with means
+    /// in 3–8 Mbps, MPC deployed with a 5 s buffer, 10-minute video.
+    pub fn counterfactual(traces: usize) -> Self {
+        Self {
+            traces,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's interventional corpus (§4.4): per-trace means spanning
+    /// 0.5–10 Mbps.
+    pub fn interventional(traces: usize) -> Self {
+        Self {
+            traces,
+            bandwidth_range_mbps: (0.5, 10.0),
+            ..Self::default()
+        }
+    }
+
+    /// Builds the corpus: generates traces, runs the deployed setting over
+    /// each, and records the logs.
+    pub fn build(&self) -> Corpus {
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            self.video_duration_s,
+            2.0,
+            VbrParams::default(),
+            self.seed,
+        );
+        let generator = FccLike::new(self.bandwidth_range_mbps.0, self.bandwidth_range_mbps.1);
+        // Traces must outlast the session even under poor conditions.
+        let trace_duration = self.video_duration_s * 6.0;
+        let truths: Vec<BandwidthTrace> = (0..self.traces as u64)
+            .map(|i| generator.generate(trace_duration, self.seed ^ (0x9E37 + i)))
+            .collect();
+        let logs = truths
+            .iter()
+            .map(|truth| {
+                let mut abr = self.deployed_abr_instance();
+                run_session(&asset, abr.as_mut(), truth, &self.player)
+            })
+            .collect();
+        Corpus {
+            asset,
+            player: self.player,
+            deployed_abr: self.deployed_abr.clone(),
+            truths,
+            logs,
+        }
+    }
+
+    fn deployed_abr_instance(&self) -> Box<dyn Abr> {
+        abr_by_name(&self.deployed_abr)
+            .unwrap_or_else(|| panic!("unknown deployed ABR {}", self.deployed_abr))
+    }
+}
+
+/// Builds a corpus whose sessions use randomized bitrate choices — the test
+/// set for interventional download-time prediction (chunk sizes uncorrelated
+/// with network conditions).
+pub fn randomized_test_corpus(traces: usize, seed: u64) -> Corpus {
+    let spec = CorpusSpec::interventional(traces);
+    let asset = VideoAsset::generate(
+        QualityLadder::paper_default(),
+        spec.video_duration_s,
+        2.0,
+        VbrParams::default(),
+        spec.seed,
+    );
+    let generator = FccLike::new(spec.bandwidth_range_mbps.0, spec.bandwidth_range_mbps.1);
+    let trace_duration = spec.video_duration_s * 6.0;
+    let truths: Vec<BandwidthTrace> = (0..traces as u64)
+        .map(|i| generator.generate(trace_duration, seed ^ (0xBEEF + i)))
+        .collect();
+    let logs = truths
+        .iter()
+        .enumerate()
+        .map(|(i, truth)| {
+            let mut abr = veritas_abr::RandomAbr::new(seed.wrapping_add(i as u64));
+            run_session(&asset, &mut abr, truth, &spec.player)
+        })
+        .collect();
+    Corpus {
+        asset,
+        player: spec.player,
+        deployed_abr: "random".to_string(),
+        truths,
+        logs,
+    }
+}
+
+/// Reads the number of traces from the first CLI argument or an environment
+/// variable (`VERITAS_TRACES`), falling back to `default`.
+pub fn traces_from_env(default: usize) -> usize {
+    if let Some(arg) = std::env::args().nth(1) {
+        if let Ok(n) = arg.trim_start_matches("--traces=").parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::env::var("VERITAS_TRACES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: usize| n.max(1))
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_matching_truths_and_logs() {
+        let spec = CorpusSpec {
+            traces: 2,
+            video_duration_s: 60.0,
+            ..CorpusSpec::counterfactual(2)
+        };
+        let corpus = spec.build();
+        assert_eq!(corpus.truths.len(), 2);
+        assert_eq!(corpus.logs.len(), 2);
+        for log in &corpus.logs {
+            assert_eq!(log.abr_name, "MPC");
+            assert_eq!(log.records.len(), corpus.asset.num_chunks());
+            log.check_invariants().expect("corpus logs must be consistent");
+        }
+    }
+
+    #[test]
+    fn randomized_corpus_uses_random_abr() {
+        let corpus = randomized_test_corpus(1, 5);
+        assert_eq!(corpus.logs[0].abr_name, "Random");
+    }
+
+    #[test]
+    fn interventional_spec_widens_the_bandwidth_range() {
+        let spec = CorpusSpec::interventional(3);
+        assert_eq!(spec.bandwidth_range_mbps, (0.5, 10.0));
+        assert_eq!(spec.traces, 3);
+    }
+}

@@ -1,0 +1,363 @@
+//! The Veritas abduction step: inverting observed chunk downloads into a
+//! posterior over the latent GTBW time series (paper §3.2–§3.3).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use veritas_ehmm::{
+    forward_backward, interpolate_full_path, sample_path, states_to_values, viterbi, EhmmSpec,
+    EmissionTable, Posteriors, TransitionMatrix, ViterbiResult,
+};
+use veritas_net::emission_log_density;
+use veritas_player::SessionLog;
+use veritas_trace::{BandwidthTrace, Quantizer};
+
+use crate::VeritasConfig;
+
+/// The outcome of running Veritas abduction on one session log: the fitted
+/// EHMM posterior, the Viterbi decode, and everything needed to materialize
+/// sampled GTBW traces.
+#[derive(Debug, Clone)]
+pub struct Abduction {
+    config: VeritasConfig,
+    quantizer: Quantizer,
+    spec: EhmmSpec,
+    emissions: EmissionTable,
+    /// δ-interval index in which each chunk download starts.
+    start_intervals: Vec<usize>,
+    /// Total number of δ-intervals spanned by the session.
+    total_intervals: usize,
+    viterbi: ViterbiResult,
+    posteriors: Posteriors,
+}
+
+impl Abduction {
+    /// Runs the abduction step on a session log.
+    ///
+    /// Only the *observed* variables of the log are used: chunk sizes,
+    /// download start times, observed throughputs and TCP snapshots. The
+    /// ground-truth bandwidth field is never read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the log has no chunks.
+    pub fn infer(log: &SessionLog, config: &VeritasConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid Veritas config: {e}"));
+        assert!(!log.records.is_empty(), "cannot run abduction on an empty session");
+
+        let quantizer = Quantizer::new(config.epsilon_mbps, config.max_capacity_mbps);
+        let capacities = quantizer.values();
+
+        // Emission table: one row per chunk, one column per capacity state,
+        // scored by the TCP estimator f with Gaussian noise (paper Eq. 3).
+        let mut rows = Vec::with_capacity(log.records.len());
+        let mut start_intervals = Vec::with_capacity(log.records.len());
+        for record in &log.records {
+            let row: Vec<f64> = capacities
+                .iter()
+                .map(|&c| {
+                    emission_log_density(
+                        record.throughput_mbps,
+                        c,
+                        &record.tcp_info,
+                        record.size_bytes,
+                        config.sigma_mbps,
+                    )
+                })
+                .collect();
+            rows.push(row);
+            start_intervals.push((record.start_time_s / config.delta_s).floor() as usize);
+        }
+        let gaps: Vec<u32> = start_intervals
+            .iter()
+            .enumerate()
+            .map(|(n, &t)| {
+                if n == 0 {
+                    0
+                } else {
+                    (t - start_intervals[n - 1]) as u32
+                }
+            })
+            .collect();
+        let emissions = EmissionTable::new(rows, gaps);
+
+        let total_intervals = ((log.session_duration_s / config.delta_s).ceil() as usize)
+            .max(start_intervals.last().copied().unwrap_or(0) + 1)
+            .max(1);
+
+        let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(
+            capacities.len(),
+            config.stay_probability,
+        ));
+
+        let viterbi = viterbi(&spec, &emissions);
+        let posteriors = forward_backward(&spec, &emissions);
+
+        Self {
+            config: *config,
+            quantizer,
+            spec,
+            emissions,
+            start_intervals,
+            total_intervals,
+            viterbi,
+            posteriors,
+        }
+    }
+
+    /// The configuration used for this abduction.
+    pub fn config(&self) -> &VeritasConfig {
+        &self.config
+    }
+
+    /// The capacity grid (Mbps values of each hidden state).
+    pub fn capacity_grid(&self) -> Vec<f64> {
+        self.quantizer.values()
+    }
+
+    /// The fitted hidden-chain specification (useful for interventional
+    /// queries that need the transition matrix).
+    pub fn spec(&self) -> &EhmmSpec {
+        &self.spec
+    }
+
+    /// The smoothed posteriors over chunk capacities.
+    pub fn posteriors(&self) -> &Posteriors {
+        &self.posteriors
+    }
+
+    /// The Viterbi (jointly most likely) capacity state per chunk.
+    pub fn viterbi_states(&self) -> &[usize] {
+        &self.viterbi.path
+    }
+
+    /// Per-chunk capacity in Mbps along the Viterbi path.
+    pub fn viterbi_chunk_capacities(&self) -> Vec<f64> {
+        states_to_values(&self.viterbi.path, &self.capacity_grid())
+    }
+
+    /// Per-chunk posterior-mean capacity in Mbps.
+    pub fn posterior_mean_chunk_capacities(&self) -> Vec<f64> {
+        let grid = self.capacity_grid();
+        (0..self.emissions.num_obs())
+            .map(|n| self.posteriors.posterior_mean(n, &grid))
+            .collect()
+    }
+
+    /// δ-interval index of each chunk's download start.
+    pub fn start_intervals(&self) -> &[usize] {
+        &self.start_intervals
+    }
+
+    /// Number of δ-intervals in the reconstructed series.
+    pub fn total_intervals(&self) -> usize {
+        self.total_intervals
+    }
+
+    /// The most likely full GTBW trace (Viterbi path interpolated across
+    /// off-periods).
+    pub fn viterbi_trace(&self) -> BandwidthTrace {
+        self.states_to_trace(&self.viterbi.path)
+    }
+
+    /// Samples `k` GTBW traces from the posterior (paper Algorithm 1 plus
+    /// off-period interpolation), deterministically derived from the
+    /// configured seed.
+    pub fn sample_traces(&self, k: usize) -> Vec<BandwidthTrace> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        (0..k)
+            .map(|_| {
+                let states = sample_path(&self.posteriors, &self.viterbi, &mut rng);
+                self.states_to_trace(&states)
+            })
+            .collect()
+    }
+
+    /// Samples the configured number (`K`) of GTBW traces.
+    pub fn sample_default_traces(&self) -> Vec<BandwidthTrace> {
+        self.sample_traces(self.config.num_samples)
+    }
+
+    /// Converts a per-chunk state path into a full-session bandwidth trace.
+    fn states_to_trace(&self, chunk_states: &[usize]) -> BandwidthTrace {
+        let full_states =
+            interpolate_full_path(&self.start_intervals, chunk_states, self.total_intervals);
+        let values = states_to_values(&full_states, &self.capacity_grid());
+        BandwidthTrace::from_uniform(self.config.delta_s, &values)
+            .expect("interpolated capacity trace is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_abr::Mpc;
+    use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+    use veritas_player::{run_session, PlayerConfig};
+    use veritas_trace::generators::{FccLike, TraceGenerator};
+    use veritas_trace::stats::trace_mae;
+
+    fn asset() -> VideoAsset {
+        VideoAsset::generate(
+            QualityLadder::paper_default(),
+            240.0,
+            2.0,
+            VbrParams::default(),
+            5,
+        )
+    }
+
+    fn logged_session(truth: &BandwidthTrace) -> SessionLog {
+        let mut abr = Mpc::new();
+        run_session(&asset(), &mut abr, truth, &PlayerConfig::paper_default())
+    }
+
+    #[test]
+    fn abduction_runs_and_produces_consistent_shapes() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 21);
+        let log = logged_session(&truth);
+        let ab = Abduction::infer(&log, &VeritasConfig::paper_default());
+        assert_eq!(ab.viterbi_states().len(), log.records.len());
+        assert_eq!(ab.posterior_mean_chunk_capacities().len(), log.records.len());
+        assert_eq!(ab.start_intervals().len(), log.records.len());
+        assert!(ab.total_intervals() >= *ab.start_intervals().last().unwrap() + 1);
+        let trace = ab.viterbi_trace();
+        assert!(trace.duration() >= log.records.last().unwrap().start_time_s);
+    }
+
+    #[test]
+    fn recovers_a_constant_capacity_exactly_on_grid() {
+        let truth = BandwidthTrace::constant(4.0, 1200.0);
+        let log = logged_session(&truth);
+        let ab = Abduction::infer(&log, &VeritasConfig::paper_default());
+        let est = ab.viterbi_trace();
+        // The bulk of the inferred trace should sit at (or next to) 4 Mbps.
+        let mae = trace_mae(&truth.with_duration(est.duration()), &est, 5.0);
+        assert!(mae < 1.0, "constant 4 Mbps trace recovered with MAE {mae}");
+    }
+
+    #[test]
+    fn veritas_is_no_worse_than_baseline_on_deployed_mpc_sessions() {
+        // On sessions where MPC mostly saturates the link both estimators are
+        // decent; averaged over several traces Veritas must remain at least
+        // comparable (it pays a small quantization cost but gains whenever
+        // chunks fail to saturate the link).
+        let gen = FccLike::new(3.0, 8.0);
+        let mut mae_veritas = 0.0;
+        let mut mae_baseline = 0.0;
+        for seed in 30..34u64 {
+            let truth = gen.generate(600.0, seed);
+            let log = logged_session(&truth);
+            let ab = Abduction::infer(&log, &VeritasConfig::paper_default());
+            let veritas_trace = ab.viterbi_trace();
+            let baseline = crate::baseline::baseline_trace(&log, 5.0);
+            let horizon = log.session_duration_s.min(truth.duration());
+            let truth_cut = truth.with_duration(horizon);
+            mae_veritas += trace_mae(&truth_cut, &veritas_trace, 5.0);
+            mae_baseline += trace_mae(&truth_cut, &baseline, 5.0);
+        }
+        assert!(
+            mae_veritas < mae_baseline * 1.15 + 0.1,
+            "Veritas MAE {mae_veritas} should stay comparable to Baseline MAE {mae_baseline}"
+        );
+    }
+
+    #[test]
+    fn veritas_recovers_capacity_hidden_by_small_chunks() {
+        // The paper's central scenario: the deployed policy keeps picking
+        // small chunks, so the observed throughput (and hence Baseline) badly
+        // underestimates the true capacity, while Veritas — conditioning on
+        // TCP state and chunk size through f — recovers it.
+        let truth = BandwidthTrace::constant(6.0, 2400.0);
+        let mut abr = veritas_abr::FixedQuality(1); // ~0.4 Mbps chunks
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let ab = Abduction::infer(&log, &VeritasConfig::paper_default());
+        let veritas_trace = ab.viterbi_trace();
+        let baseline = crate::baseline::baseline_trace(&log, 5.0);
+        let horizon = log.session_duration_s.min(truth.duration());
+        let truth_cut = truth.with_duration(horizon);
+        let mae_veritas = trace_mae(&truth_cut, &veritas_trace, 5.0);
+        let mae_baseline = trace_mae(&truth_cut, &baseline, 5.0);
+        assert!(
+            mae_veritas < mae_baseline,
+            "Veritas MAE {mae_veritas} must beat Baseline MAE {mae_baseline} when chunks are small"
+        );
+    }
+
+    #[test]
+    fn sampled_traces_are_deterministic_and_on_grid() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 40);
+        let log = logged_session(&truth);
+        let config = VeritasConfig::paper_default();
+        let ab = Abduction::infer(&log, &config);
+        let a = ab.sample_traces(3);
+        let b = ab.sample_traces(3);
+        assert_eq!(a, b, "sampling must be reproducible from the configured seed");
+        for trace in &a {
+            for v in trace.values() {
+                let snapped = (v / config.epsilon_mbps).round() * config.epsilon_mbps;
+                assert!((v - snapped).abs() < 1e-9, "sampled value {v} is off the ε grid");
+                assert!(v <= config.max_capacity_mbps + 1e-9);
+            }
+        }
+        assert_eq!(ab.sample_default_traces().len(), config.num_samples);
+    }
+
+    #[test]
+    fn samples_bracket_the_viterbi_solution_in_uncertain_regions() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 55);
+        let log = logged_session(&truth);
+        let ab = Abduction::infer(&log, &VeritasConfig::paper_default().with_samples(5));
+        let samples = ab.sample_default_traces();
+        // All samples agree with the Viterbi trace on at least some chunks
+        // (certain regions) but not everywhere (uncertain regions).
+        let viterbi_states = ab.viterbi_states().to_vec();
+        let mut total_disagreement = 0usize;
+        for trace in &samples {
+            let sampled_at_chunks: Vec<f64> = log
+                .records
+                .iter()
+                .map(|r| trace.bandwidth_at(r.start_time_s))
+                .collect();
+            let viterbi_at_chunks = states_to_values(&viterbi_states, &ab.capacity_grid());
+            total_disagreement += sampled_at_chunks
+                .iter()
+                .zip(&viterbi_at_chunks)
+                .filter(|(a, b)| (**a - **b).abs() > 1e-9)
+                .count();
+        }
+        assert!(
+            total_disagreement > 0,
+            "posterior sampling should explore beyond the single Viterbi path"
+        );
+    }
+
+    #[test]
+    fn abduction_never_reads_ground_truth() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 60);
+        let log = logged_session(&truth);
+        let stripped = log.without_ground_truth();
+        let config = VeritasConfig::paper_default();
+        let with_gt = Abduction::infer(&log, &config);
+        let without_gt = Abduction::infer(&stripped, &config);
+        assert_eq!(with_gt.viterbi_states(), without_gt.viterbi_states());
+        assert_eq!(with_gt.sample_traces(2), without_gt.sample_traces(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty session")]
+    fn rejects_empty_logs() {
+        let log = SessionLog {
+            abr_name: "MPC".into(),
+            buffer_capacity_s: 5.0,
+            chunk_duration_s: 2.0,
+            records: vec![],
+            startup_delay_s: 0.0,
+            total_rebuffer_s: 0.0,
+            session_duration_s: 0.0,
+        };
+        let _ = Abduction::infer(&log, &VeritasConfig::paper_default());
+    }
+}

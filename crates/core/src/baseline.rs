@@ -1,0 +1,239 @@
+//! The comparison estimators: Baseline (observed-throughput replay) and the
+//! ground-truth Oracle.
+
+use veritas_player::SessionLog;
+use veritas_trace::BandwidthTrace;
+
+/// Reconstructs a bandwidth trace directly from the observed per-chunk
+/// throughputs — the scheme the paper calls *Baseline* (§4.1).
+///
+/// During a chunk's download window the observed throughput of that chunk is
+/// assumed to be the available bandwidth; during off-periods (no download in
+/// flight) the value is linearly interpolated between the throughputs of the
+/// surrounding chunks. Before the first chunk and after the last the nearest
+/// chunk's throughput is held.
+///
+/// This is what most trace-driven video evaluations do today. It is accurate
+/// when the observed throughput saturates the link (large chunks on a warm
+/// connection) and systematically conservative otherwise — the bias Veritas
+/// corrects.
+pub fn baseline_trace(log: &SessionLog, delta_s: f64) -> BandwidthTrace {
+    assert!(delta_s > 0.0, "delta must be positive");
+    assert!(!log.records.is_empty(), "cannot build a baseline trace from an empty log");
+
+    let horizon_s = log
+        .session_duration_s
+        .max(log.records.last().expect("non-empty").end_time_s);
+    let n = (horizon_s / delta_s).ceil().max(1.0) as usize;
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = (i as f64 + 0.5) * delta_s;
+            baseline_value_at(log, t)
+        })
+        .collect();
+    BandwidthTrace::from_uniform(delta_s, &values).expect("baseline trace is valid")
+}
+
+/// The Baseline estimate of available bandwidth at absolute time `t_s`.
+pub fn baseline_value_at(log: &SessionLog, t_s: f64) -> f64 {
+    let records = &log.records;
+    // Inside a download window: that chunk's observed throughput.
+    for r in records {
+        if t_s >= r.start_time_s && t_s <= r.end_time_s {
+            return r.throughput_mbps;
+        }
+    }
+    // Before the first download or after the last: hold the nearest value.
+    if t_s < records[0].start_time_s {
+        return records[0].throughput_mbps;
+    }
+    if t_s > records[records.len() - 1].end_time_s {
+        return records[records.len() - 1].throughput_mbps;
+    }
+    // In an off-period between chunk k and k+1: linear interpolation between
+    // the two observed throughputs across the gap.
+    for pair in records.windows(2) {
+        let (prev, next) = (&pair[0], &pair[1]);
+        if t_s > prev.end_time_s && t_s < next.start_time_s {
+            let span = (next.start_time_s - prev.end_time_s).max(1e-9);
+            let frac = (t_s - prev.end_time_s) / span;
+            return prev.throughput_mbps + frac * (next.throughput_mbps - prev.throughput_mbps);
+        }
+    }
+    // Numerical edge (t exactly at a boundary not caught above).
+    records[records.len() - 1].throughput_mbps
+}
+
+/// The Oracle estimator: the ground-truth bandwidth trace itself, truncated
+/// to the session horizon. Counterfactual predictions made on this trace are
+/// the ideal any inference scheme is compared against.
+pub fn oracle_trace(ground_truth: &BandwidthTrace, log: &SessionLog) -> BandwidthTrace {
+    let horizon_s = log
+        .session_duration_s
+        .max(log.records.last().map(|r| r.end_time_s).unwrap_or(1.0))
+        .max(1.0);
+    ground_truth.with_duration(horizon_s)
+}
+
+/// Reconstructs a coarse ground-truth trace from the oracle-only field in a
+/// log (bandwidth sampled at each chunk request). Useful when the original
+/// trace object is unavailable but the log retains the ground truth.
+pub fn gtbw_trace_from_log(log: &SessionLog, delta_s: f64) -> BandwidthTrace {
+    assert!(delta_s > 0.0);
+    assert!(!log.records.is_empty());
+    let horizon_s = log.session_duration_s.max(delta_s);
+    let n = (horizon_s / delta_s).ceil().max(1.0) as usize;
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = (i as f64 + 0.5) * delta_s;
+            // Nearest chunk request's ground truth.
+            let mut best = log.records[0].gtbw_at_request_mbps;
+            let mut best_dist = f64::INFINITY;
+            for r in &log.records {
+                let d = (r.start_time_s - t).abs();
+                if d < best_dist {
+                    best_dist = d;
+                    best = r.gtbw_at_request_mbps;
+                }
+            }
+            best.max(0.0)
+        })
+        .collect();
+    BandwidthTrace::from_uniform(delta_s, &values).expect("gtbw trace is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_abr::{FixedQuality, Mpc};
+    use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+    use veritas_player::{run_session, PlayerConfig};
+    use veritas_trace::generators::{FccLike, TraceGenerator};
+    use veritas_trace::stats::{trace_mae, underestimation_fraction};
+
+    fn asset() -> VideoAsset {
+        VideoAsset::generate(
+            QualityLadder::paper_default(),
+            240.0,
+            2.0,
+            VbrParams::default(),
+            5,
+        )
+    }
+
+    #[test]
+    fn baseline_matches_observed_throughput_during_downloads() {
+        let truth = BandwidthTrace::constant(6.0, 1200.0);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        for r in log.records.iter().take(20) {
+            let mid = (r.start_time_s + r.end_time_s) / 2.0;
+            assert!((baseline_value_at(&log, mid) - r.throughput_mbps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn baseline_interpolates_during_off_periods() {
+        let truth = BandwidthTrace::constant(8.0, 1200.0);
+        // Tiny fixed-quality chunks on a fast link leave long off-periods.
+        let mut abr = FixedQuality(0);
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        // Find an off-period and check the interpolated value lies between
+        // the two neighboring observed throughputs.
+        let mut found = false;
+        for pair in log.records.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            if next.start_time_s - prev.end_time_s > 0.5 {
+                let mid = (prev.end_time_s + next.start_time_s) / 2.0;
+                let v = baseline_value_at(&log, mid);
+                let lo = prev.throughput_mbps.min(next.throughput_mbps) - 1e-9;
+                let hi = prev.throughput_mbps.max(next.throughput_mbps) + 1e-9;
+                assert!(v >= lo && v <= hi, "interpolated {v} outside [{lo}, {hi}]");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected at least one off-period in this workload");
+    }
+
+    #[test]
+    fn baseline_underestimates_gtbw_when_chunks_are_small() {
+        // The paper's central observation: with small chunks (ABR stuck at
+        // low qualities, or off-periods shrinking the effective window), the
+        // observed throughput is far below the true capacity.
+        let truth = BandwidthTrace::constant(8.0, 1200.0);
+        let mut abr = FixedQuality(0);
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let baseline = baseline_trace(&log, 5.0);
+        let frac_under = underestimation_fraction(
+            &truth.with_duration(baseline.duration()),
+            &baseline,
+            5.0,
+            1.0,
+        );
+        assert!(
+            frac_under > 0.8,
+            "Baseline should underestimate an 8 Mbps link when only tiny chunks are observed (got {frac_under})"
+        );
+    }
+
+    #[test]
+    fn baseline_is_accurate_when_chunks_saturate_the_link() {
+        let truth = BandwidthTrace::constant(2.0, 2400.0);
+        // Force the top rung (4 Mbps nominal > capacity) so every download
+        // saturates the link.
+        let mut abr = FixedQuality(4);
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let baseline = baseline_trace(&log, 5.0);
+        let mae = trace_mae(&truth.with_duration(baseline.duration()), &baseline, 5.0);
+        assert!(mae < 0.5, "saturating chunks should make Baseline accurate (MAE {mae})");
+    }
+
+    #[test]
+    fn oracle_trace_is_the_truth_over_the_session_horizon() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 9);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let oracle = oracle_trace(&truth, &log);
+        assert!((oracle.duration() - log.session_duration_s.max(log.records.last().unwrap().end_time_s)).abs() < 1e-6);
+        for t in [1.0, 50.0, 200.0] {
+            assert_eq!(oracle.bandwidth_at(t), truth.bandwidth_at(t));
+        }
+    }
+
+    #[test]
+    fn gtbw_trace_from_log_tracks_the_truth_at_request_times() {
+        let truth = BandwidthTrace::constant(5.5, 1200.0);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let rebuilt = gtbw_trace_from_log(&log, 5.0);
+        let mae = trace_mae(&truth.with_duration(rebuilt.duration()), &rebuilt, 5.0);
+        assert!(mae < 0.1, "MAE {mae}");
+    }
+
+    #[test]
+    fn baseline_values_before_and_after_session_hold_nearest() {
+        let truth = BandwidthTrace::constant(6.0, 1200.0);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let first = &log.records[0];
+        let last = log.records.last().unwrap();
+        assert_eq!(baseline_value_at(&log, first.start_time_s - 1.0), first.throughput_mbps);
+        assert_eq!(baseline_value_at(&log, last.end_time_s + 100.0), last.throughput_mbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty log")]
+    fn baseline_rejects_empty_logs() {
+        let log = SessionLog {
+            abr_name: "MPC".into(),
+            buffer_capacity_s: 5.0,
+            chunk_duration_s: 2.0,
+            records: vec![],
+            startup_delay_s: 0.0,
+            total_rebuffer_s: 0.0,
+            session_duration_s: 0.0,
+        };
+        let _ = baseline_trace(&log, 5.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Veritas configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the Veritas abduction step.
+///
+/// The defaults are the paper's evaluation settings (§4.1): GTBW transition
+/// interval δ = 5 s, capacity grid step ε = 0.5 Mbps, emission noise
+/// σ = 0.5 Mbps, a tridiagonal transition prior, a uniform initial
+/// distribution, and K = 5 posterior samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VeritasConfig {
+    /// Width of one GTBW interval in seconds (δ).
+    pub delta_s: f64,
+    /// Capacity quantization step in Mbps (ε).
+    pub epsilon_mbps: f64,
+    /// Top of the capacity grid in Mbps.
+    pub max_capacity_mbps: f64,
+    /// Emission noise standard deviation in Mbps (σ).
+    pub sigma_mbps: f64,
+    /// Probability of staying in the same capacity state across one δ
+    /// interval (the tridiagonal prior's diagonal).
+    pub stay_probability: f64,
+    /// Number of posterior capacity traces to sample (K).
+    pub num_samples: usize,
+    /// Seed for posterior sampling.
+    pub seed: u64,
+}
+
+impl VeritasConfig {
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            delta_s: 5.0,
+            epsilon_mbps: 0.5,
+            max_capacity_mbps: 10.0,
+            sigma_mbps: 0.5,
+            stay_probability: 0.8,
+            num_samples: 5,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the capacity-grid ceiling (e.g. when the workload is known
+    /// to contain faster links).
+    pub fn with_max_capacity(mut self, max_capacity_mbps: f64) -> Self {
+        assert!(max_capacity_mbps > 0.0);
+        self.max_capacity_mbps = max_capacity_mbps;
+        self
+    }
+
+    /// Overrides the number of posterior samples.
+    pub fn with_samples(mut self, num_samples: usize) -> Self {
+        assert!(num_samples >= 1);
+        self.num_samples = num_samples;
+        self
+    }
+
+    /// Overrides the emission noise.
+    pub fn with_sigma(mut self, sigma_mbps: f64) -> Self {
+        assert!(sigma_mbps > 0.0);
+        self.sigma_mbps = sigma_mbps;
+        self
+    }
+
+    /// Overrides the stay probability of the tridiagonal prior.
+    pub fn with_stay_probability(mut self, stay_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&stay_probability));
+        self.stay_probability = stay_probability;
+        self
+    }
+
+    /// Overrides the RNG seed used for posterior sampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.delta_s.is_finite() && self.delta_s > 0.0) {
+            return Err(format!("delta_s must be positive, got {}", self.delta_s));
+        }
+        if !(self.epsilon_mbps.is_finite() && self.epsilon_mbps > 0.0) {
+            return Err(format!("epsilon_mbps must be positive, got {}", self.epsilon_mbps));
+        }
+        if self.max_capacity_mbps < self.epsilon_mbps {
+            return Err("max_capacity_mbps must be at least epsilon_mbps".to_string());
+        }
+        if !(self.sigma_mbps.is_finite() && self.sigma_mbps > 0.0) {
+            return Err(format!("sigma_mbps must be positive, got {}", self.sigma_mbps));
+        }
+        if !(0.0..=1.0).contains(&self.stay_probability) {
+            return Err(format!(
+                "stay_probability must be in [0, 1], got {}",
+                self.stay_probability
+            ));
+        }
+        if self.num_samples == 0 {
+            return Err("num_samples must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Number of capacity states implied by ε and the ceiling.
+    pub fn num_states(&self) -> usize {
+        (self.max_capacity_mbps / self.epsilon_mbps).floor() as usize + 1
+    }
+}
+
+impl Default for VeritasConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_settings() {
+        let c = VeritasConfig::paper_default();
+        assert_eq!(c.delta_s, 5.0);
+        assert_eq!(c.epsilon_mbps, 0.5);
+        assert_eq!(c.sigma_mbps, 0.5);
+        assert_eq!(c.num_samples, 5);
+        assert_eq!(c.num_states(), 21);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = VeritasConfig::paper_default()
+            .with_max_capacity(20.0)
+            .with_samples(9)
+            .with_sigma(1.0)
+            .with_stay_probability(0.95)
+            .with_seed(99);
+        assert_eq!(c.max_capacity_mbps, 20.0);
+        assert_eq!(c.num_samples, 9);
+        assert_eq!(c.sigma_mbps, 1.0);
+        assert_eq!(c.stay_probability, 0.95);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.num_states(), 41);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = VeritasConfig::paper_default();
+        c.delta_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = VeritasConfig::paper_default();
+        c.epsilon_mbps = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = VeritasConfig::paper_default();
+        c.max_capacity_mbps = 0.1;
+        assert!(c.validate().is_err());
+        let mut c = VeritasConfig::paper_default();
+        c.stay_probability = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = VeritasConfig::paper_default();
+        c.num_samples = 0;
+        assert!(c.validate().is_err());
+    }
+}

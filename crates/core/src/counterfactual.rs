@@ -1,0 +1,323 @@
+//! Counterfactual ("what if we went back and changed the system") queries.
+//!
+//! Given the log of a session recorded under Setting A, predict the QoE the
+//! same session would have experienced under Setting B — a different ABR
+//! algorithm, buffer size, or quality ladder (paper §3.3, Figure 6, §4.3).
+//! Veritas answers by sampling K GTBW traces from the abduction posterior
+//! and replaying Setting B on each; Baseline replays on the observed
+//! throughput reconstruction; the Oracle replays on the true trace.
+
+use veritas_abr::abr_by_name;
+use veritas_media::VideoAsset;
+use veritas_player::{run_session, PlayerConfig, QoeSummary, SessionLog};
+use veritas_trace::BandwidthTrace;
+
+use crate::{baseline_trace, oracle_trace, Abduction, VeritasConfig};
+
+/// A counterfactual setting (Setting B): which ABR to run, with what player
+/// configuration, over which encoding of the video.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// ABR algorithm name, resolved through [`veritas_abr::abr_by_name`].
+    pub abr: String,
+    /// Player configuration (buffer size, link).
+    pub player: PlayerConfig,
+    /// The video asset — possibly re-encoded onto a different ladder for
+    /// change-of-qualities queries.
+    pub asset: VideoAsset,
+}
+
+impl Scenario {
+    /// Builds a scenario, validating the ABR name eagerly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `abr` is not a recognized algorithm name.
+    pub fn new(abr: &str, player: PlayerConfig, asset: VideoAsset) -> Self {
+        assert!(
+            abr_by_name(abr).is_some(),
+            "unknown ABR algorithm name: {abr}"
+        );
+        Self {
+            abr: abr.to_string(),
+            player,
+            asset,
+        }
+    }
+
+    /// Replays this scenario over a bandwidth trace and returns the QoE.
+    pub fn replay(&self, trace: &BandwidthTrace) -> QoeSummary {
+        self.replay_full(trace).qoe()
+    }
+
+    /// Replays this scenario over a bandwidth trace and returns the full log.
+    pub fn replay_full(&self, trace: &BandwidthTrace) -> SessionLog {
+        let mut abr = abr_by_name(&self.abr).expect("validated at construction");
+        run_session(&self.asset, abr.as_mut(), trace, &self.player)
+    }
+}
+
+/// Veritas's answer to a counterfactual query: one predicted outcome per
+/// posterior sample, summarized as a range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePrediction {
+    /// QoE of the scenario replayed on each sampled GTBW trace.
+    pub samples: Vec<QoeSummary>,
+}
+
+impl RangePrediction {
+    /// The paper's Veritas(Low)/Veritas(High) summary for a metric: the
+    /// second-lowest and second-highest values across samples (falling back
+    /// to min/max when fewer than three samples exist).
+    pub fn range_of<F: Fn(&QoeSummary) -> f64>(&self, metric: F) -> (f64, f64) {
+        let mut values: Vec<f64> = self.samples.iter().map(metric).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+        match values.len() {
+            0 => (f64::NAN, f64::NAN),
+            1 => (values[0], values[0]),
+            2 => (values[0], values[1]),
+            n => (values[1], values[n - 2]),
+        }
+    }
+
+    /// Median value of a metric across samples.
+    pub fn median_of<F: Fn(&QoeSummary) -> f64>(&self, metric: F) -> f64 {
+        let mut values: Vec<f64> = self.samples.iter().map(metric).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+        if values.is_empty() {
+            f64::NAN
+        } else {
+            values[values.len() / 2]
+        }
+    }
+
+    /// Veritas(Low)/Veritas(High) for mean SSIM.
+    pub fn ssim_range(&self) -> (f64, f64) {
+        self.range_of(|q| q.mean_ssim)
+    }
+
+    /// Veritas(Low)/Veritas(High) for the rebuffering ratio (percent).
+    pub fn rebuffer_range(&self) -> (f64, f64) {
+        self.range_of(|q| q.rebuffer_ratio_percent)
+    }
+
+    /// Veritas(Low)/Veritas(High) for the average bitrate (Mbps).
+    pub fn bitrate_range(&self) -> (f64, f64) {
+        self.range_of(|q| q.avg_bitrate_mbps)
+    }
+}
+
+/// The three predictions the evaluation compares for every counterfactual
+/// query on every trace.
+#[derive(Debug, Clone)]
+pub struct CounterfactualComparison {
+    /// Veritas's range prediction (K posterior samples).
+    pub veritas: RangePrediction,
+    /// The Baseline (observed-throughput replay) prediction.
+    pub baseline: QoeSummary,
+    /// The Oracle (ground-truth replay) outcome — the target.
+    pub oracle: QoeSummary,
+}
+
+/// Answers counterfactual queries from session logs.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterfactualEngine {
+    config: VeritasConfig,
+}
+
+impl CounterfactualEngine {
+    /// Creates an engine with the given Veritas configuration.
+    pub fn new(config: VeritasConfig) -> Self {
+        Self { config }
+    }
+
+    /// The Veritas configuration in use.
+    pub fn config(&self) -> &VeritasConfig {
+        &self.config
+    }
+
+    /// Veritas's prediction: abduction on the Setting-A log, then replay of
+    /// the scenario on each sampled GTBW trace.
+    pub fn veritas_predict(&self, log: &SessionLog, scenario: &Scenario) -> RangePrediction {
+        let abduction = Abduction::infer(log, &self.config);
+        self.veritas_predict_from_abduction(&abduction, scenario)
+    }
+
+    /// Same as [`Self::veritas_predict`] but reusing an existing abduction
+    /// (e.g. when several scenarios are evaluated against the same log).
+    pub fn veritas_predict_from_abduction(
+        &self,
+        abduction: &Abduction,
+        scenario: &Scenario,
+    ) -> RangePrediction {
+        let samples = abduction
+            .sample_default_traces()
+            .iter()
+            .map(|trace| scenario.replay(trace))
+            .collect();
+        RangePrediction { samples }
+    }
+
+    /// Baseline prediction: replay the scenario on the observed-throughput
+    /// reconstruction of the Setting-A log.
+    pub fn baseline_predict(&self, log: &SessionLog, scenario: &Scenario) -> QoeSummary {
+        let trace = baseline_trace(log, self.config.delta_s);
+        scenario.replay(&trace)
+    }
+
+    /// Oracle prediction: replay the scenario on the true GTBW trace.
+    pub fn oracle_predict(
+        &self,
+        ground_truth: &BandwidthTrace,
+        log: &SessionLog,
+        scenario: &Scenario,
+    ) -> QoeSummary {
+        scenario.replay(&oracle_trace(ground_truth, log))
+    }
+
+    /// Runs all three predictions for one (log, scenario) pair.
+    pub fn compare(
+        &self,
+        log: &SessionLog,
+        ground_truth: &BandwidthTrace,
+        scenario: &Scenario,
+    ) -> CounterfactualComparison {
+        CounterfactualComparison {
+            veritas: self.veritas_predict(log, scenario),
+            baseline: self.baseline_predict(log, scenario),
+            oracle: self.oracle_predict(ground_truth, log, scenario),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_abr::Mpc;
+    use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+    use veritas_player::run_session;
+    use veritas_trace::generators::{FccLike, TraceGenerator};
+
+    fn asset() -> VideoAsset {
+        VideoAsset::generate(
+            QualityLadder::paper_default(),
+            240.0,
+            2.0,
+            VbrParams::default(),
+            5,
+        )
+    }
+
+    fn deployed_log(truth: &BandwidthTrace) -> SessionLog {
+        let mut abr = Mpc::new();
+        run_session(&asset(), &mut abr, truth, &PlayerConfig::paper_default())
+    }
+
+    fn engine() -> CounterfactualEngine {
+        CounterfactualEngine::new(VeritasConfig::paper_default().with_samples(3))
+    }
+
+    #[test]
+    fn scenario_validates_abr_names() {
+        let s = Scenario::new("bba", PlayerConfig::paper_default(), asset());
+        assert_eq!(s.abr, "bba");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ABR")]
+    fn scenario_rejects_unknown_abr() {
+        let _ = Scenario::new("pensieve", PlayerConfig::paper_default(), asset());
+    }
+
+    #[test]
+    fn range_prediction_uses_second_order_statistics() {
+        let mk = |ssim: f64| QoeSummary {
+            mean_ssim: ssim,
+            rebuffer_ratio_percent: 0.0,
+            avg_bitrate_mbps: 1.0,
+            startup_delay_s: 1.0,
+            chunks: 10,
+        };
+        let pred = RangePrediction {
+            samples: vec![mk(0.90), mk(0.95), mk(0.97), mk(0.92), mk(0.99)],
+        };
+        let (lo, hi) = pred.ssim_range();
+        assert!((lo - 0.92).abs() < 1e-12);
+        assert!((hi - 0.97).abs() < 1e-12);
+        assert!((pred.median_of(|q| q.mean_ssim) - 0.95).abs() < 1e-12);
+        // Small-sample fallbacks.
+        let two = RangePrediction {
+            samples: vec![mk(0.5), mk(0.7)],
+        };
+        assert_eq!(two.ssim_range(), (0.5, 0.7));
+        let one = RangePrediction { samples: vec![mk(0.6)] };
+        assert_eq!(one.ssim_range(), (0.6, 0.6));
+    }
+
+    #[test]
+    fn oracle_replay_matches_direct_emulation_of_setting_b() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 71);
+        let log = deployed_log(&truth);
+        let scenario = Scenario::new("bba", PlayerConfig::paper_default(), asset());
+        let oracle = engine().oracle_predict(&truth, &log, &scenario);
+        // Direct emulation of Setting B on the same truth.
+        let direct = scenario.replay(&truth.with_duration(
+            log.session_duration_s.max(log.records.last().unwrap().end_time_s),
+        ));
+        assert_eq!(oracle, direct);
+    }
+
+    #[test]
+    fn veritas_prediction_produces_k_samples_and_is_deterministic() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 72);
+        let log = deployed_log(&truth);
+        let scenario = Scenario::new("bba", PlayerConfig::paper_default(), asset());
+        let e = engine();
+        let a = e.veritas_predict(&log, &scenario);
+        let b = e.veritas_predict(&log, &scenario);
+        assert_eq!(a.samples.len(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn veritas_is_closer_to_oracle_than_baseline_for_buffer_change() {
+        // Change of buffer size 5 s -> 30 s with MPC. Baseline's conservative
+        // bandwidth makes it mispredict; Veritas should land nearer the
+        // oracle on average bitrate (the most bandwidth-sensitive metric).
+        let gen = FccLike::new(3.0, 8.0);
+        let e = engine();
+        let scenario = Scenario::new(
+            "mpc",
+            PlayerConfig::paper_default().with_buffer_capacity(30.0),
+            asset(),
+        );
+        let mut veritas_err = 0.0;
+        let mut baseline_err = 0.0;
+        for seed in 0..3u64 {
+            let truth = gen.generate(600.0, 80 + seed);
+            let log = deployed_log(&truth);
+            let cmp = e.compare(&log, &truth, &scenario);
+            let oracle_bitrate = cmp.oracle.avg_bitrate_mbps;
+            veritas_err +=
+                (cmp.veritas.median_of(|q| q.avg_bitrate_mbps) - oracle_bitrate).abs();
+            baseline_err += (cmp.baseline.avg_bitrate_mbps - oracle_bitrate).abs();
+        }
+        assert!(
+            veritas_err < baseline_err,
+            "Veritas bitrate error {veritas_err} should beat Baseline {baseline_err}"
+        );
+    }
+
+    #[test]
+    fn change_of_qualities_scenario_replays_on_the_reencoded_asset() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 90);
+        let log = deployed_log(&truth);
+        let higher = asset().reencoded(QualityLadder::paper_higher_qualities());
+        let scenario = Scenario::new("mpc", PlayerConfig::paper_default(), higher.clone());
+        let oracle = engine().oracle_predict(&truth, &log, &scenario);
+        // The re-encoded ladder's lowest rung is 1 Mbps, so the average
+        // bitrate must be at least that.
+        assert!(oracle.avg_bitrate_mbps >= 0.9);
+        assert_eq!(higher.num_qualities(), 5);
+    }
+}

@@ -1,0 +1,387 @@
+//! The Veritas Baum–Welch forward–backward variant (paper Algorithm 2).
+//!
+//! As with the Viterbi variant, the only structural change from the textbook
+//! algorithm is that transitions between consecutive observations use
+//! `A^{Δ_n}`. The implementation uses per-step scaling (normalizing the
+//! forward and backward vectors) so long sessions do not underflow, and
+//! returns both the per-observation marginals `γ` and the pairwise
+//! posteriors `Γ` (called `ξ` in HMM literature) that the capacity sampler
+//! consumes.
+
+use crate::matrix::TransitionPowers;
+use crate::model::{EhmmSpec, EmissionTable};
+
+/// Posterior quantities produced by the forward–backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posteriors {
+    /// `gamma[n][i] = P(C_{s_n} = i | Y_{1:N}, W, S)`.
+    pub gamma: Vec<Vec<f64>>,
+    /// `xi[n][i][j] = P(C_{s_n} = i, C_{s_{n+1}} = j | Y_{1:N}, W, S)`,
+    /// defined for `n = 0..N−2` (the paper's `Γ_{i,j,n}`).
+    pub xi: Vec<Vec<Vec<f64>>>,
+    /// Log-likelihood of the observations under the model, up to the
+    /// per-observation emission scaling constants (comparable across
+    /// candidate hidden-state priors for the same observations).
+    pub log_likelihood: f64,
+}
+
+impl Posteriors {
+    /// Marginally most likely state per observation (differs in general from
+    /// the Viterbi path, which is the jointly most likely sequence).
+    pub fn marginal_map_path(&self) -> Vec<usize> {
+        self.gamma
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite posteriors"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Posterior mean of an arbitrary state-indexed value (e.g. the capacity
+    /// grid) at observation `n`.
+    pub fn posterior_mean(&self, n: usize, values: &[f64]) -> f64 {
+        self.gamma[n]
+            .iter()
+            .zip(values)
+            .map(|(&p, &v)| p * v)
+            .sum()
+    }
+}
+
+/// Runs the scaled forward–backward algorithm with embedded transition gaps.
+pub fn forward_backward(spec: &EhmmSpec, obs: &EmissionTable) -> Posteriors {
+    assert_eq!(
+        spec.num_states(),
+        obs.num_states(),
+        "spec and emission table disagree on the state count"
+    );
+    let num_states = spec.num_states();
+    let num_obs = obs.num_obs();
+    let mut powers = TransitionPowers::new(spec.transition().clone());
+
+    // Pre-compute scaled linear emissions and the A^Δ for every step.
+    let emissions: Vec<Vec<f64>> = (0..num_obs).map(|n| obs.scaled_linear_row(n)).collect();
+    let step_matrices: Vec<usize> = (0..num_obs).map(|n| obs.gap(n) as usize).collect();
+
+    // Forward pass with per-step normalization.
+    let mut alpha = vec![vec![0.0_f64; num_states]; num_obs];
+    let mut log_likelihood = 0.0_f64;
+    for i in 0..num_states {
+        alpha[0][i] = spec.initial()[i] * emissions[0][i];
+    }
+    log_likelihood += normalize(&mut alpha[0]);
+    for n in 1..num_obs {
+        let a = powers.power(step_matrices[n] as u32).clone();
+        let (prev, rest) = alpha.split_at_mut(n);
+        let prev = &prev[n - 1];
+        let cur = &mut rest[0];
+        for j in 0..num_states {
+            let mut acc = 0.0;
+            for i in 0..num_states {
+                acc += prev[i] * a.get(i, j);
+            }
+            cur[j] = acc * emissions[n][j];
+        }
+        log_likelihood += normalize(cur);
+    }
+
+    // Backward pass, scaled by the same per-step constants implicitly via
+    // normalization.
+    let mut beta = vec![vec![1.0_f64; num_states]; num_obs];
+    for n in (0..num_obs - 1).rev() {
+        let a = powers.power(step_matrices[n + 1] as u32).clone();
+        let mut row = vec![0.0_f64; num_states];
+        for i in 0..num_states {
+            let mut acc = 0.0;
+            for j in 0..num_states {
+                acc += a.get(i, j) * emissions[n + 1][j] * beta[n + 1][j];
+            }
+            row[i] = acc;
+        }
+        normalize(&mut row);
+        beta[n] = row;
+    }
+
+    // Marginals.
+    let mut gamma = vec![vec![0.0_f64; num_states]; num_obs];
+    for n in 0..num_obs {
+        for i in 0..num_states {
+            gamma[n][i] = alpha[n][i] * beta[n][i];
+        }
+        normalize(&mut gamma[n]);
+    }
+
+    // Pairwise posteriors.
+    let mut xi = Vec::with_capacity(num_obs.saturating_sub(1));
+    for n in 0..num_obs.saturating_sub(1) {
+        let a = powers.power(step_matrices[n + 1] as u32).clone();
+        let mut pair = vec![vec![0.0_f64; num_states]; num_states];
+        let mut total = 0.0;
+        for i in 0..num_states {
+            for j in 0..num_states {
+                let v = alpha[n][i] * a.get(i, j) * emissions[n + 1][j] * beta[n + 1][j];
+                pair[i][j] = v;
+                total += v;
+            }
+        }
+        if total > 0.0 {
+            for row in &mut pair {
+                for v in row.iter_mut() {
+                    *v /= total;
+                }
+            }
+        } else {
+            // Degenerate step: fall back to an uninformative pair posterior.
+            let flat = 1.0 / (num_states * num_states) as f64;
+            for row in &mut pair {
+                for v in row.iter_mut() {
+                    *v = flat;
+                }
+            }
+        }
+        xi.push(pair);
+    }
+
+    Posteriors {
+        gamma,
+        xi,
+        log_likelihood,
+    }
+}
+
+/// Normalizes a vector in place and returns the log of its pre-normalization
+/// sum (0 contribution if the sum was zero).
+fn normalize(v: &mut [f64]) -> f64 {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+        sum.ln()
+    } else {
+        let flat = 1.0 / v.len() as f64;
+        for x in v.iter_mut() {
+            *x = flat;
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{TransitionMatrix, TransitionPowers};
+
+    fn spec3() -> EhmmSpec {
+        EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(3, 0.7))
+    }
+
+    /// Exact posteriors by brute-force enumeration of every state sequence.
+    fn brute_force(spec: &EhmmSpec, obs: &EmissionTable) -> (Vec<Vec<f64>>, Vec<Vec<Vec<f64>>>) {
+        let num_states = spec.num_states();
+        let num_obs = obs.num_obs();
+        let mut powers = TransitionPowers::new(spec.transition().clone());
+        let emissions: Vec<Vec<f64>> = (0..num_obs).map(|n| obs.scaled_linear_row(n)).collect();
+        let total_paths = num_states.pow(num_obs as u32);
+        let mut gamma = vec![vec![0.0; num_states]; num_obs];
+        let mut xi = vec![vec![vec![0.0; num_states]; num_states]; num_obs - 1];
+        let mut z = 0.0;
+        for idx in 0..total_paths {
+            let mut rem = idx;
+            let mut path = vec![0usize; num_obs];
+            for slot in path.iter_mut() {
+                *slot = rem % num_states;
+                rem /= num_states;
+            }
+            let mut w = spec.initial()[path[0]] * emissions[0][path[0]];
+            for n in 1..num_obs {
+                let a = powers.power(obs.gap(n));
+                w *= a.get(path[n - 1], path[n]) * emissions[n][path[n]];
+            }
+            z += w;
+            for n in 0..num_obs {
+                gamma[n][path[n]] += w;
+            }
+            for n in 0..num_obs - 1 {
+                xi[n][path[n]][path[n + 1]] += w;
+            }
+        }
+        for row in &mut gamma {
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        for pair in &mut xi {
+            for row in pair.iter_mut() {
+                for v in row.iter_mut() {
+                    *v /= z;
+                }
+            }
+        }
+        (gamma, xi)
+    }
+
+    fn example_obs() -> EmissionTable {
+        EmissionTable::new(
+            vec![
+                vec![-0.2, -1.5, -3.0],
+                vec![-1.0, -0.4, -2.0],
+                vec![-2.5, -0.9, -0.8],
+                vec![-3.0, -1.2, -0.3],
+            ],
+            vec![0, 1, 3, 2],
+        )
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let p = forward_backward(&spec3(), &example_obs());
+        for (n, row) in p.gamma.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "gamma[{n}] sums to {sum}");
+            assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        }
+        for (n, pair) in p.xi.iter().enumerate() {
+            let sum: f64 = pair.iter().flatten().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "xi[{n}] sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let spec = spec3();
+        let obs = example_obs();
+        let p = forward_backward(&spec, &obs);
+        let (gamma_bf, xi_bf) = brute_force(&spec, &obs);
+        for n in 0..obs.num_obs() {
+            for i in 0..3 {
+                assert!(
+                    (p.gamma[n][i] - gamma_bf[n][i]).abs() < 1e-9,
+                    "gamma[{n}][{i}]: {} vs brute force {}",
+                    p.gamma[n][i],
+                    gamma_bf[n][i]
+                );
+            }
+        }
+        for n in 0..obs.num_obs() - 1 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!(
+                        (p.xi[n][i][j] - xi_bf[n][i][j]).abs() < 1e-9,
+                        "xi[{n}][{i}][{j}]: {} vs {}",
+                        p.xi[n][i][j],
+                        xi_bf[n][i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_marginals_are_consistent_with_gamma() {
+        let p = forward_backward(&spec3(), &example_obs());
+        for n in 0..p.xi.len() {
+            for i in 0..3 {
+                let row_sum: f64 = p.xi[n][i].iter().sum();
+                assert!(
+                    (row_sum - p.gamma[n][i]).abs() < 1e-9,
+                    "sum_j xi[{n}][{i}][j] = {row_sum} != gamma[{n}][{i}] = {}",
+                    p.gamma[n][i]
+                );
+            }
+            for j in 0..3 {
+                let col_sum: f64 = (0..3).map(|i| p.xi[n][i][j]).sum();
+                assert!((col_sum - p.gamma[n + 1][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn peaked_emissions_pin_the_posterior() {
+        let spec = spec3();
+        let obs = EmissionTable::new(
+            vec![
+                vec![-0.1, -12.0, -12.0],
+                vec![-12.0, -0.1, -12.0],
+                vec![-12.0, -12.0, -0.1],
+            ],
+            vec![0, 2, 2],
+        );
+        let p = forward_backward(&spec, &obs);
+        assert!(p.gamma[0][0] > 0.98);
+        assert!(p.gamma[1][1] > 0.98);
+        assert!(p.gamma[2][2] > 0.98);
+        assert_eq!(p.marginal_map_path(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uninformative_emissions_recover_the_prior_chain() {
+        // With flat emissions the marginal at the first observation is the
+        // initial distribution.
+        let spec = spec3();
+        let obs = EmissionTable::new(vec![vec![-1.0; 3]; 4], vec![0, 1, 1, 1]);
+        let p = forward_backward(&spec, &obs);
+        for i in 0..3 {
+            assert!((p.gamma[0][i] - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn posterior_mean_interpolates_between_states() {
+        let spec = spec3();
+        let obs = EmissionTable::new(
+            vec![vec![-0.5, -0.5, -30.0]],
+            vec![0],
+        );
+        let p = forward_backward(&spec, &obs);
+        let mean = p.posterior_mean(0, &[0.0, 1.0, 2.0]);
+        assert!((mean - 0.5).abs() < 1e-6, "two equally likely states average to 0.5, got {mean}");
+    }
+
+    #[test]
+    fn long_sequences_do_not_underflow() {
+        let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(21, 0.9));
+        let num_obs = 300;
+        let rows: Vec<Vec<f64>> = (0..num_obs)
+            .map(|n| {
+                let target = (n / 30) % 21;
+                (0..21)
+                    .map(|i| -0.5 * ((i as f64 - target as f64) / 0.7).powi(2))
+                    .collect()
+            })
+            .collect();
+        let gaps = vec![1u32; num_obs];
+        let obs = EmissionTable::new(rows, gaps);
+        let p = forward_backward(&spec, &obs);
+        assert!(p.log_likelihood.is_finite());
+        for row in &p.gamma {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn likelihood_prefers_the_better_fitting_prior() {
+        // Observations that hop between the extreme states (two grid steps
+        // apart, with gaps of 2 so the jump is reachable) should be better
+        // explained by a less sticky chain than by an almost-frozen one.
+        let volatile_obs = EmissionTable::new(
+            vec![
+                vec![-0.1, -8.0, -8.0],
+                vec![-8.0, -8.0, -0.1],
+                vec![-0.1, -8.0, -8.0],
+                vec![-8.0, -8.0, -0.1],
+            ],
+            vec![0, 2, 2, 2],
+        );
+        let sticky = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(3, 0.999));
+        let mobile = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(3, 0.4));
+        let ll_sticky = forward_backward(&sticky, &volatile_obs).log_likelihood;
+        let ll_mobile = forward_backward(&mobile, &volatile_obs).log_likelihood;
+        assert!(ll_mobile > ll_sticky);
+    }
+}

@@ -1,0 +1,142 @@
+//! Reconstruction of the full hidden-state time series from per-chunk samples.
+//!
+//! The EHMM only attaches hidden states to the δ-intervals in which chunk
+//! downloads *start*; intervals covered by off-periods (or by long downloads)
+//! have no observation. The paper interpolates those intermediate `C_t` from
+//! the sampled `C_{s_1:N}` — this module implements that reconstruction.
+
+/// Expands per-chunk states into a state index per δ-interval.
+///
+/// * `start_intervals[n]` — the δ-interval index in which chunk `n` starts
+///   (non-decreasing).
+/// * `states[n]` — the sampled state index for chunk `n`.
+/// * `total_intervals` — the length `T` of the reconstructed series.
+///
+/// Intervals before the first chunk hold the first state, intervals after
+/// the last chunk hold the last state, and intervals between two chunk
+/// starts are linearly interpolated between their states (rounded to the
+/// nearest integer grid index). When several chunks start in the same
+/// interval the last one wins.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, lengths differ, or `start_intervals` is
+/// not sorted.
+pub fn interpolate_full_path(
+    start_intervals: &[usize],
+    states: &[usize],
+    total_intervals: usize,
+) -> Vec<usize> {
+    assert!(!start_intervals.is_empty(), "need at least one chunk");
+    assert_eq!(
+        start_intervals.len(),
+        states.len(),
+        "start_intervals and states must have equal length"
+    );
+    assert!(total_intervals > 0);
+    assert!(
+        start_intervals.windows(2).all(|w| w[0] <= w[1]),
+        "start intervals must be non-decreasing"
+    );
+
+    // Deduplicate intervals: keep the last chunk's state for each interval.
+    let mut anchors: Vec<(usize, usize)> = Vec::with_capacity(start_intervals.len());
+    for (&t, &s) in start_intervals.iter().zip(states) {
+        let t = t.min(total_intervals - 1);
+        match anchors.last_mut() {
+            Some(last) if last.0 == t => last.1 = s,
+            _ => anchors.push((t, s)),
+        }
+    }
+
+    let mut out = vec![0usize; total_intervals];
+    // Before the first anchor.
+    for slot in out.iter_mut().take(anchors[0].0) {
+        *slot = anchors[0].1;
+    }
+    // Between anchors: linear interpolation.
+    for w in anchors.windows(2) {
+        let (t0, s0) = w[0];
+        let (t1, s1) = w[1];
+        let span = (t1 - t0).max(1) as f64;
+        for t in t0..=t1.min(total_intervals - 1) {
+            let frac = (t - t0) as f64 / span;
+            let value = s0 as f64 + frac * (s1 as f64 - s0 as f64);
+            out[t] = value.round().max(0.0) as usize;
+        }
+    }
+    // From the last anchor to the end.
+    let (t_last, s_last) = *anchors.last().expect("non-empty anchors");
+    for slot in out.iter_mut().skip(t_last) {
+        *slot = s_last;
+    }
+    out
+}
+
+/// Converts a per-interval state-index series into values using a grid
+/// (e.g. the ε-quantized capacities).
+pub fn states_to_values(states: &[usize], grid: &[f64]) -> Vec<f64> {
+    states
+        .iter()
+        .map(|&s| grid[s.min(grid.len() - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chunk_fills_the_whole_series() {
+        let path = interpolate_full_path(&[3], &[5], 8);
+        assert_eq!(path, vec![5; 8]);
+    }
+
+    #[test]
+    fn holds_edges_and_interpolates_between_anchors() {
+        // Chunks at intervals 2 and 6 with states 0 and 4.
+        let path = interpolate_full_path(&[2, 6], &[0, 4], 10);
+        assert_eq!(&path[..3], &[0, 0, 0]);
+        assert_eq!(path[6], 4);
+        assert_eq!(&path[7..], &[4, 4, 4]);
+        // Linear in between: 2->0, 3->1, 4->2, 5->3, 6->4.
+        assert_eq!(&path[2..7], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn same_interval_chunks_use_the_last_state() {
+        let path = interpolate_full_path(&[1, 1, 1], &[2, 3, 4], 4);
+        assert_eq!(path, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn descending_interpolation_works_too() {
+        let path = interpolate_full_path(&[0, 4], &[4, 0], 5);
+        assert_eq!(path, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn out_of_range_start_interval_is_clamped() {
+        let path = interpolate_full_path(&[0, 50], &[1, 3], 5);
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[4], 3);
+    }
+
+    #[test]
+    fn states_to_values_maps_through_the_grid() {
+        let grid = [0.0, 0.5, 1.0, 1.5];
+        assert_eq!(states_to_values(&[0, 2, 3, 9], &grid), vec![0.0, 1.0, 1.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_unsorted_intervals() {
+        let _ = interpolate_full_path(&[5, 2], &[0, 1], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = interpolate_full_path(&[1, 2], &[0], 10);
+    }
+}

@@ -1,0 +1,44 @@
+//! Embedded Hidden Markov Model machinery for Veritas.
+//!
+//! A standard HMM attaches exactly one observation to every hidden state and
+//! uses a constant per-step transition matrix. The Veritas EHMM departs from
+//! that in two ways (paper §3.2):
+//!
+//! 1. **Embedded transitions** — hidden states live on a regular δ-interval
+//!    grid, but observations (chunk downloads) occur irregularly: a state may
+//!    emit zero, one, or several observations. Transitions between
+//!    consecutive *observations* therefore use `A^{Δ_n}`, the one-step matrix
+//!    raised to the integer gap between chunk-start intervals.
+//! 2. **Domain-specific emissions** — the emission density is not a
+//!    parametric family fit to data but a physical model (the TCP throughput
+//!    estimator `f` plus Gaussian noise), supplied by the caller as a
+//!    precomputed [`EmissionTable`].
+//!
+//! The crate is deliberately generic: nothing here knows about bandwidth or
+//! TCP, so the same machinery is reusable for other embedded-observation
+//! inference problems. The Veritas-specific wiring lives in the `veritas`
+//! crate.
+//!
+//! Provided algorithms: the gap-aware Viterbi decoder ([`viterbi`], paper
+//! Algorithm 3), the scaled forward–backward smoother ([`forward_backward`],
+//! paper Algorithm 2), the posterior capacity sampler ([`sample_path`],
+//! paper Algorithm 1) plus an exact FFBS alternative
+//! ([`sample_path_ffbs`]), and the off-period interpolation
+//! ([`interpolate_full_path`]).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod forward_backward;
+mod interpolate;
+mod matrix;
+mod model;
+mod sampler;
+mod viterbi;
+
+pub use forward_backward::{forward_backward, Posteriors};
+pub use interpolate::{interpolate_full_path, states_to_values};
+pub use matrix::{TransitionMatrix, TransitionPowers};
+pub use model::{EhmmSpec, EmissionTable};
+pub use sampler::{sample_path, sample_path_ffbs, sample_paths};
+pub use viterbi::{path_log_score, viterbi, ViterbiResult};

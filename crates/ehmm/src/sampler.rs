@@ -1,0 +1,287 @@
+//! Posterior capacity-path sampling (paper Algorithm 1) plus an exact
+//! forward-filtering backward-sampling variant used as an ablation.
+
+use rand::Rng;
+
+use crate::forward_backward::Posteriors;
+use crate::matrix::TransitionPowers;
+use crate::model::{EhmmSpec, EmissionTable};
+use crate::viterbi::ViterbiResult;
+
+/// Samples one hidden-state path using the paper's capacity sampler
+/// (Algorithm 1): the last state is anchored at the Viterbi solution, then
+/// earlier states are drawn backwards from the pairwise posterior `Γ`
+/// conditioned on the state already drawn for the next chunk.
+pub fn sample_path<R: Rng + ?Sized>(
+    posteriors: &Posteriors,
+    viterbi: &ViterbiResult,
+    rng: &mut R,
+) -> Vec<usize> {
+    let num_obs = posteriors.gamma.len();
+    assert_eq!(viterbi.path.len(), num_obs, "viterbi path length mismatch");
+    let num_states = posteriors.gamma[0].len();
+    let mut path = vec![0usize; num_obs];
+    path[num_obs - 1] = viterbi.path[num_obs - 1];
+    for n in (0..num_obs - 1).rev() {
+        let next_state = path[n + 1];
+        // ξ_{n,i} = Γ[n][i][next_state]
+        let weights: Vec<f64> = (0..num_states)
+            .map(|i| posteriors.xi[n][i][next_state])
+            .collect();
+        path[n] = sample_categorical(&weights, rng);
+    }
+    path
+}
+
+/// Draws `k` independent sample paths with Algorithm 1.
+pub fn sample_paths<R: Rng + ?Sized>(
+    posteriors: &Posteriors,
+    viterbi: &ViterbiResult,
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    (0..k).map(|_| sample_path(posteriors, viterbi, rng)).collect()
+}
+
+/// Exact forward-filtering backward-sampling: draws the final state from its
+/// filtered marginal and each earlier state from
+/// `P(C_n | C_{n+1}, Y_{1:n}) ∝ α_n(i) · A^{Δ_{n+1}}(i, j)`.
+///
+/// This is the textbook-exact posterior sampler; the paper's Algorithm 1 is
+/// an approximation that anchors the final state at the Viterbi solution and
+/// reuses the smoothed pair posteriors. Keeping both lets the benchmark
+/// suite quantify the difference (`DESIGN.md`, ablations).
+pub fn sample_path_ffbs<R: Rng + ?Sized>(
+    spec: &EhmmSpec,
+    obs: &EmissionTable,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert_eq!(spec.num_states(), obs.num_states());
+    let num_states = spec.num_states();
+    let num_obs = obs.num_obs();
+    let mut powers = TransitionPowers::new(spec.transition().clone());
+    let emissions: Vec<Vec<f64>> = (0..num_obs).map(|n| obs.scaled_linear_row(n)).collect();
+
+    // Forward filter (scaled).
+    let mut alpha = vec![vec![0.0_f64; num_states]; num_obs];
+    for i in 0..num_states {
+        alpha[0][i] = spec.initial()[i] * emissions[0][i];
+    }
+    normalize(&mut alpha[0]);
+    for n in 1..num_obs {
+        let a = powers.power(obs.gap(n)).clone();
+        let (prev, rest) = alpha.split_at_mut(n);
+        let prev = &prev[n - 1];
+        let cur = &mut rest[0];
+        for j in 0..num_states {
+            let mut acc = 0.0;
+            for i in 0..num_states {
+                acc += prev[i] * a.get(i, j);
+            }
+            cur[j] = acc * emissions[n][j];
+        }
+        normalize(cur);
+    }
+
+    // Backward sample.
+    let mut path = vec![0usize; num_obs];
+    path[num_obs - 1] = sample_categorical(&alpha[num_obs - 1], rng);
+    for n in (0..num_obs - 1).rev() {
+        let a = powers.power(obs.gap(n + 1)).clone();
+        let next_state = path[n + 1];
+        let weights: Vec<f64> = (0..num_states)
+            .map(|i| alpha[n][i] * a.get(i, next_state))
+            .collect();
+        path[n] = sample_categorical(&weights, rng);
+    }
+    path
+}
+
+fn normalize(v: &mut [f64]) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        let flat = 1.0 / v.len() as f64;
+        for x in v.iter_mut() {
+            *x = flat;
+        }
+    }
+}
+
+fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Degenerate weights: fall back to a uniform draw.
+        return rng.gen_range(0..weights.len());
+    }
+    let mut threshold = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        threshold -= w;
+        if threshold <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward_backward::forward_backward;
+    use crate::matrix::TransitionMatrix;
+    use crate::viterbi::viterbi;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec3() -> EhmmSpec {
+        EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(3, 0.7))
+    }
+
+    fn peaked_obs() -> EmissionTable {
+        EmissionTable::new(
+            vec![
+                vec![-0.1, -10.0, -10.0],
+                vec![-10.0, -0.1, -10.0],
+                vec![-10.0, -0.1, -10.0],
+                vec![-10.0, -10.0, -0.1],
+            ],
+            vec![0, 1, 1, 1],
+        )
+    }
+
+    fn ambiguous_obs() -> EmissionTable {
+        EmissionTable::new(
+            vec![
+                vec![-0.1, -10.0, -10.0],
+                vec![-1.0, -1.0, -1.0],
+                vec![-1.0, -1.0, -1.0],
+                vec![-10.0, -10.0, -0.1],
+            ],
+            vec![0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn samples_follow_peaked_posteriors() {
+        let spec = spec3();
+        let obs = peaked_obs();
+        let p = forward_backward(&spec, &obs);
+        let v = viterbi(&spec, &obs);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let path = sample_path(&p, &v, &mut rng);
+            assert_eq!(path, vec![0, 1, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn sampled_states_are_always_in_range() {
+        let spec = spec3();
+        let obs = ambiguous_obs();
+        let p = forward_backward(&spec, &obs);
+        let v = viterbi(&spec, &obs);
+        let mut rng = StdRng::seed_from_u64(2);
+        for path in sample_paths(&p, &v, 50, &mut rng) {
+            assert_eq!(path.len(), obs.num_obs());
+            assert!(path.iter().all(|&s| s < 3));
+        }
+    }
+
+    #[test]
+    fn ambiguous_regions_produce_diverse_samples() {
+        let spec = spec3();
+        let obs = ambiguous_obs();
+        let p = forward_backward(&spec, &obs);
+        let v = viterbi(&spec, &obs);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = sample_paths(&p, &v, 200, &mut rng);
+        // The two endpoints are pinned; the middle should vary across draws.
+        let middle_states: std::collections::BTreeSet<usize> =
+            samples.iter().map(|s| s[1]).collect();
+        assert!(
+            middle_states.len() >= 2,
+            "ambiguous middle chunk should not always get the same state"
+        );
+        // And every sample still honors the pinned endpoints.
+        assert!(samples.iter().all(|s| s[0] == 0 && s[3] == 2));
+    }
+
+    #[test]
+    fn sampling_frequencies_track_the_pair_posterior() {
+        let spec = spec3();
+        let obs = ambiguous_obs();
+        let p = forward_backward(&spec, &obs);
+        let v = viterbi(&spec, &obs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = sample_paths(&p, &v, 4000, &mut rng);
+        // Empirical distribution of state at n=2 conditioned on state 1 at
+        // n=3 ... but n=3 is pinned to 2 (Viterbi). The sampler draws state
+        // at n=2 from Γ[2][·][2] normalized; compare empirical frequencies.
+        let weights: Vec<f64> = (0..3).map(|i| p.xi[2][i][2]).collect();
+        let z: f64 = weights.iter().sum();
+        let expected: Vec<f64> = weights.iter().map(|w| w / z).collect();
+        let mut counts = [0.0_f64; 3];
+        for s in &samples {
+            counts[s[2]] += 1.0;
+        }
+        for c in counts.iter_mut() {
+            *c /= samples.len() as f64;
+        }
+        for i in 0..3 {
+            assert!(
+                (counts[i] - expected[i]).abs() < 0.03,
+                "state {i}: empirical {} vs posterior {}",
+                counts[i],
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_given_the_rng_seed() {
+        let spec = spec3();
+        let obs = ambiguous_obs();
+        let p = forward_backward(&spec, &obs);
+        let v = viterbi(&spec, &obs);
+        let a = sample_paths(&p, &v, 10, &mut StdRng::seed_from_u64(9));
+        let b = sample_paths(&p, &v, 10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ffbs_agrees_with_algorithm_one_on_peaked_posteriors() {
+        let spec = spec3();
+        let obs = peaked_obs();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let path = sample_path_ffbs(&spec, &obs, &mut rng);
+            assert_eq!(path, vec![0, 1, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn ffbs_respects_zero_gap_constraint() {
+        let spec = spec3();
+        let obs = EmissionTable::new(
+            vec![vec![-0.1, -10.0, -10.0], vec![-10.0, -10.0, -0.1]],
+            vec![0, 0],
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let path = sample_path_ffbs(&spec, &obs, &mut rng);
+            assert_eq!(path[0], path[1], "a zero gap cannot change state");
+        }
+    }
+
+    #[test]
+    fn categorical_sampler_handles_degenerate_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let idx = sample_categorical(&[0.0, 0.0, 0.0], &mut rng);
+        assert!(idx < 3);
+        let idx = sample_categorical(&[0.0, 5.0, 0.0], &mut rng);
+        assert_eq!(idx, 1);
+    }
+}

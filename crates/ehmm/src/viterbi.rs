@@ -1,0 +1,227 @@
+//! The Veritas Viterbi variant (paper Algorithm 3).
+//!
+//! Identical to the textbook Viterbi decoder except that the transition
+//! between consecutive observations `n−1 → n` uses `A^{Δ_n}` (the one-step
+//! matrix raised to the embedded gap) instead of a constant `A`.
+
+use crate::matrix::TransitionPowers;
+use crate::model::{EhmmSpec, EmissionTable};
+
+/// Result of Viterbi decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViterbiResult {
+    /// Most likely hidden state index per observation.
+    pub path: Vec<usize>,
+    /// Log-likelihood of the best path (up to the per-observation emission
+    /// constants, which cancel between candidate paths).
+    pub log_likelihood: f64,
+}
+
+/// Runs the embedded-gap Viterbi decoder and returns the most likely state
+/// sequence for the observations.
+pub fn viterbi(spec: &EhmmSpec, obs: &EmissionTable) -> ViterbiResult {
+    assert_eq!(
+        spec.num_states(),
+        obs.num_states(),
+        "spec and emission table disagree on the state count"
+    );
+    let num_states = spec.num_states();
+    let num_obs = obs.num_obs();
+    let mut powers = TransitionPowers::new(spec.transition().clone());
+
+    // delta[i]: best log-score of any path ending in state i at the current
+    // observation. psi[n][i]: argmax predecessor.
+    let mut delta: Vec<f64> = spec
+        .initial()
+        .iter()
+        .zip(obs.log_row(0))
+        .map(|(&p, &e)| safe_ln(p) + e)
+        .collect();
+    let mut psi: Vec<Vec<usize>> = Vec::with_capacity(num_obs);
+    psi.push(vec![0; num_states]);
+
+    for n in 1..num_obs {
+        let a = powers.power(obs.gap(n)).clone();
+        let emissions = obs.log_row(n);
+        let mut next = vec![f64::NEG_INFINITY; num_states];
+        let mut back = vec![0usize; num_states];
+        for j in 0..num_states {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_i = 0usize;
+            for i in 0..num_states {
+                let score = delta[i] + safe_ln(a.get(i, j));
+                if score > best {
+                    best = score;
+                    best_i = i;
+                }
+            }
+            next[j] = best + emissions[j];
+            back[j] = best_i;
+        }
+        delta = next;
+        psi.push(back);
+    }
+
+    // Backtrack from the best final state.
+    let (mut best_state, best_score) = delta
+        .iter()
+        .enumerate()
+        .fold((0usize, f64::NEG_INFINITY), |(bi, bs), (i, &s)| {
+            if s > bs {
+                (i, s)
+            } else {
+                (bi, bs)
+            }
+        });
+    let mut path = vec![0usize; num_obs];
+    path[num_obs - 1] = best_state;
+    for n in (1..num_obs).rev() {
+        best_state = psi[n][best_state];
+        path[n - 1] = best_state;
+    }
+    ViterbiResult {
+        path,
+        log_likelihood: best_score,
+    }
+}
+
+/// Log-score of an arbitrary state path under the model — used by tests and
+/// by property checks asserting that Viterbi's path is at least as likely as
+/// any other candidate.
+pub fn path_log_score(spec: &EhmmSpec, obs: &EmissionTable, path: &[usize]) -> f64 {
+    assert_eq!(path.len(), obs.num_obs());
+    let mut powers = TransitionPowers::new(spec.transition().clone());
+    let mut score = safe_ln(spec.initial()[path[0]]) + obs.log_row(0)[path[0]];
+    for n in 1..path.len() {
+        let a = powers.power(obs.gap(n));
+        score += safe_ln(a.get(path[n - 1], path[n])) + obs.log_row(n)[path[n]];
+    }
+    score
+}
+
+fn safe_ln(p: f64) -> f64 {
+    if p <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        p.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::TransitionMatrix;
+
+    /// A 3-state model where state 1 is sticky and the emissions clearly
+    /// identify the state.
+    fn simple_spec() -> EhmmSpec {
+        EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(3, 0.8))
+    }
+
+    fn peaked_emissions(states: &[usize], num_states: usize) -> Vec<Vec<f64>> {
+        states
+            .iter()
+            .map(|&s| {
+                (0..num_states)
+                    .map(|i| if i == s { -0.1 } else { -8.0 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_clearly_identified_states() {
+        let spec = simple_spec();
+        let truth = vec![0, 0, 1, 1, 2, 2, 1];
+        let obs = EmissionTable::new(peaked_emissions(&truth, 3), vec![0, 1, 1, 1, 1, 1, 1]);
+        let result = viterbi(&spec, &obs);
+        assert_eq!(result.path, truth);
+    }
+
+    #[test]
+    fn ambiguous_emissions_fall_back_to_the_sticky_prior() {
+        let spec = simple_spec();
+        // First and last observations identify state 2; the middle ones are
+        // completely uninformative. The tridiagonal prior should keep the
+        // path at state 2 throughout rather than wandering.
+        let mut rows = peaked_emissions(&[2], 3);
+        for _ in 0..4 {
+            rows.push(vec![-1.0, -1.0, -1.0]);
+        }
+        rows.extend(peaked_emissions(&[2], 3));
+        let obs = EmissionTable::new(rows, vec![0, 1, 1, 1, 1, 1]);
+        let result = viterbi(&spec, &obs);
+        assert_eq!(result.path, vec![2; 6]);
+    }
+
+    #[test]
+    fn viterbi_beats_or_matches_any_enumerated_path() {
+        let spec = simple_spec();
+        let rows = vec![
+            vec![-0.2, -1.5, -3.0],
+            vec![-1.0, -0.4, -2.0],
+            vec![-2.5, -0.9, -0.8],
+            vec![-3.0, -1.2, -0.3],
+        ];
+        let obs = EmissionTable::new(rows, vec![0, 1, 3, 2]);
+        let result = viterbi(&spec, &obs);
+        let viterbi_score = path_log_score(&spec, &obs, &result.path);
+        assert!((viterbi_score - result.log_likelihood).abs() < 1e-9);
+        // Enumerate all 3^4 paths.
+        for idx in 0..81usize {
+            let mut rem = idx;
+            let mut path = vec![0usize; 4];
+            for slot in path.iter_mut() {
+                *slot = rem % 3;
+                rem /= 3;
+            }
+            let score = path_log_score(&spec, &obs, &path);
+            assert!(
+                score <= viterbi_score + 1e-9,
+                "path {path:?} (score {score}) beats Viterbi ({viterbi_score})"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_gaps_allow_larger_jumps() {
+        let spec = simple_spec();
+        // Two observations: state 0 then state 2. With a gap of 1 the
+        // tridiagonal chain cannot jump two rungs, so Viterbi must
+        // compromise; with a gap of 3 the jump becomes feasible and both
+        // endpoints can be honored.
+        let rows = peaked_emissions(&[0, 2], 3);
+        let tight = EmissionTable::new(rows.clone(), vec![0, 1]);
+        let loose = EmissionTable::new(rows, vec![0, 3]);
+        let tight_path = viterbi(&spec, &tight).path;
+        let loose_path = viterbi(&spec, &loose).path;
+        assert_eq!(loose_path, vec![0, 2]);
+        assert_ne!(tight_path, vec![0, 2], "a one-step tridiagonal chain cannot jump 0 -> 2");
+    }
+
+    #[test]
+    fn zero_gap_forces_identical_states() {
+        let spec = simple_spec();
+        // Contradictory peaked emissions but a gap of zero (same interval):
+        // the decoder must keep the two observations in the same state.
+        let rows = peaked_emissions(&[0, 2], 3);
+        let obs = EmissionTable::new(rows, vec![0, 0]);
+        let path = viterbi(&spec, &obs).path;
+        assert_eq!(path[0], path[1]);
+    }
+
+    #[test]
+    fn single_observation_picks_the_emission_argmax() {
+        let spec = simple_spec();
+        let obs = EmissionTable::new(vec![vec![-5.0, -0.2, -4.0]], vec![0]);
+        assert_eq!(viterbi(&spec, &obs).path, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the state count")]
+    fn mismatched_state_counts_panic() {
+        let spec = simple_spec();
+        let obs = EmissionTable::new(vec![vec![-1.0, -1.0]], vec![0]);
+        let _ = viterbi(&spec, &obs);
+    }
+}

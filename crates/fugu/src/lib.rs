@@ -1,0 +1,21 @@
+//! Fugu-style associational baseline.
+//!
+//! [`FuguModel`] is a from-scratch reproduction of the download-time
+//! predictor the paper compares against ("FuguNN"): an MLP trained on
+//! observational session logs to predict the next chunk's download time from
+//! the recent history and the candidate size. [`Mlp`] is the small,
+//! dependency-free network underneath it.
+//!
+//! The model is *meant* to be associational: its bias under interventional
+//! queries (forcing chunk sizes the deployed ABR would not have chosen) is
+//! the phenomenon the paper's Figure 2(b) and Figure 12 demonstrate, and the
+//! benchmark harness reproduces with this implementation.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod mlp;
+mod model;
+
+pub use mlp::{Mlp, TrainConfig};
+pub use model::{build_features, examples_from_log, Example, FuguConfig, FuguModel};

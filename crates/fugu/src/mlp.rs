@@ -1,0 +1,399 @@
+//! A small, dependency-free multi-layer perceptron with Adam training.
+//!
+//! This is the substrate for the Fugu-style associational baseline: the
+//! point of that comparison is the *bias of associational learning*, not a
+//! particular deep-learning framework, so a compact dense network with
+//! ReLU hidden layers, a linear output, Huber loss and Adam is sufficient
+//! (and keeps the workspace free of native ML dependencies).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `y = W x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    // Adam state.
+    m_w: Vec<f64>,
+    v_w: Vec<f64>,
+    m_b: Vec<f64>,
+    v_b: Vec<f64>,
+}
+
+impl Dense {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        // Xavier/He-style initialization for ReLU networks.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+            m_w: vec![0.0; inputs * outputs],
+            v_w: vec![0.0; inputs * outputs],
+            m_b: vec![0.0; outputs],
+            v_b: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = self.biases.clone();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            out[o] += row.iter().zip(x).map(|(&w, &xi)| w * xi).sum::<f64>();
+        }
+        out
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Huber loss transition point (in target units).
+    pub huber_delta: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            huber_delta: 1.0,
+        }
+    }
+}
+
+/// A feed-forward network with ReLU hidden layers and a linear scalar output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer sizes, e.g. `&[17, 64, 64, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = layer_sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers, adam_t: 0 }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").inputs
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs
+    }
+
+    /// Forward pass returning all layer activations (post-ReLU for hidden
+    /// layers, raw for the output layer). `activations[0]` is the input.
+    fn forward_trace(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(acts.last().expect("non-empty"));
+            if li + 1 < self.layers.len() {
+                for v in z.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Predicts the scalar output for a single input.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        *self
+            .forward_trace(x)
+            .last()
+            .expect("non-empty activations")
+            .first()
+            .expect("scalar output")
+    }
+
+    /// Trains on `(inputs, targets)` with mini-batch Adam and Huber loss,
+    /// returning the mean training loss of the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or shapes are inconsistent.
+    pub fn train(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        config: &TrainConfig,
+        seed: u64,
+    ) -> f64 {
+        assert!(!inputs.is_empty(), "training set is empty");
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert!(inputs.iter().all(|x| x.len() == self.input_dim()));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut last_epoch_loss = f64::INFINITY;
+
+        for _epoch in 0..config.epochs {
+            // Fisher–Yates shuffle with the seeded RNG.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut seen = 0usize;
+            for batch in order.chunks(config.batch_size) {
+                epoch_loss += self.train_batch(inputs, targets, batch, config);
+                seen += batch.len();
+            }
+            last_epoch_loss = epoch_loss / seen.max(1) as f64;
+        }
+        last_epoch_loss
+    }
+
+    /// One Adam step on a mini-batch; returns the summed Huber loss.
+    fn train_batch(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[f64],
+        batch: &[usize],
+        config: &TrainConfig,
+    ) -> f64 {
+        let num_layers = self.layers.len();
+        // Accumulated gradients per layer.
+        let mut grad_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+        let mut total_loss = 0.0;
+
+        for &idx in batch {
+            let acts = self.forward_trace(&inputs[idx]);
+            let prediction = acts[num_layers][0];
+            let error = prediction - targets[idx];
+            // Huber loss and its derivative w.r.t. the prediction.
+            let delta = config.huber_delta;
+            let (loss, mut dloss) = if error.abs() <= delta {
+                (0.5 * error * error, error)
+            } else {
+                (delta * (error.abs() - 0.5 * delta), delta * error.signum())
+            };
+            total_loss += loss;
+
+            // Backward pass.
+            let mut upstream = vec![dloss; 1];
+            for li in (0..num_layers).rev() {
+                let layer = &self.layers[li];
+                let input = &acts[li];
+                let output = &acts[li + 1];
+                // dL/dz for this layer (apply ReLU mask except on output layer).
+                let dz: Vec<f64> = if li + 1 == num_layers {
+                    upstream.clone()
+                } else {
+                    upstream
+                        .iter()
+                        .zip(output)
+                        .map(|(&u, &o)| if o > 0.0 { u } else { 0.0 })
+                        .collect()
+                };
+                for o in 0..layer.outputs {
+                    grad_b[li][o] += dz[o];
+                    for i in 0..layer.inputs {
+                        grad_w[li][o * layer.inputs + i] += dz[o] * input[i];
+                    }
+                }
+                // Propagate to the previous layer.
+                let mut next_upstream = vec![0.0; layer.inputs];
+                for (i, slot) in next_upstream.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for o in 0..layer.outputs {
+                        acc += layer.weights[o * layer.inputs + i] * dz[o];
+                    }
+                    *slot = acc;
+                }
+                upstream = next_upstream;
+                // dloss only used on the first iteration; silence the lint.
+                dloss = 0.0;
+                let _ = dloss;
+            }
+        }
+
+        // Adam update.
+        self.adam_t += 1;
+        let t = self.adam_t as f64;
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        let scale = 1.0 / batch.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (k, g) in grad_w[li].iter().enumerate() {
+                let g = g * scale;
+                layer.m_w[k] = beta1 * layer.m_w[k] + (1.0 - beta1) * g;
+                layer.v_w[k] = beta2 * layer.v_w[k] + (1.0 - beta2) * g * g;
+                let m_hat = layer.m_w[k] / (1.0 - beta1.powf(t));
+                let v_hat = layer.v_w[k] / (1.0 - beta2.powf(t));
+                layer.weights[k] -= config.learning_rate * m_hat / (v_hat.sqrt() + eps);
+            }
+            for (k, g) in grad_b[li].iter().enumerate() {
+                let g = g * scale;
+                layer.m_b[k] = beta1 * layer.m_b[k] + (1.0 - beta1) * g;
+                layer.v_b[k] = beta2 * layer.v_b[k] + (1.0 - beta2) * g * g;
+                let m_hat = layer.m_b[k] / (1.0 - beta1.powf(t));
+                let v_hat = layer.v_b[k] / (1.0 - beta2.powf(t));
+                layer.biases[k] -= config.learning_rate * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        total_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shapes() {
+        let mlp = Mlp::new(&[4, 8, 1], 0);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_layer_spec() {
+        let _ = Mlp::new(&[4], 0);
+    }
+
+    #[test]
+    fn initialization_is_deterministic_per_seed() {
+        assert_eq!(Mlp::new(&[3, 5, 1], 7), Mlp::new(&[3, 5, 1], 7));
+        assert_ne!(Mlp::new(&[3, 5, 1], 7), Mlp::new(&[3, 5, 1], 8));
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        // y = 2 x0 - x1 + 0.5
+        let mut rng = StdRng::seed_from_u64(1);
+        let inputs: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.gen::<f64>() * 2.0 - 1.0, rng.gen::<f64>() * 2.0 - 1.0])
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 2.0 * x[0] - x[1] + 0.5).collect();
+        let mut mlp = Mlp::new(&[2, 16, 1], 3);
+        let config = TrainConfig {
+            epochs: 200,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            huber_delta: 1.0,
+        };
+        mlp.train(&inputs, &targets, &config, 11);
+        let mut max_err: f64 = 0.0;
+        for (x, &y) in inputs.iter().zip(&targets).take(100) {
+            max_err = max_err.max((mlp.predict(x) - y).abs());
+        }
+        assert!(max_err < 0.15, "max error {max_err} too large for a linear target");
+    }
+
+    #[test]
+    fn learns_a_nonlinear_function() {
+        // y = |x0| (needs the ReLU nonlinearity).
+        let mut rng = StdRng::seed_from_u64(2);
+        let inputs: Vec<Vec<f64>> = (0..800)
+            .map(|_| vec![rng.gen::<f64>() * 4.0 - 2.0])
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| x[0].abs()).collect();
+        let mut mlp = Mlp::new(&[1, 32, 32, 1], 5);
+        let config = TrainConfig {
+            epochs: 200,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            huber_delta: 1.0,
+        };
+        mlp.train(&inputs, &targets, &config, 13);
+        let mean_err: f64 = inputs
+            .iter()
+            .zip(&targets)
+            .take(200)
+            .map(|(x, &y)| (mlp.predict(x) - y).abs())
+            .sum::<f64>()
+            / 200.0;
+        assert!(mean_err < 0.15, "mean error {mean_err} too large for |x|");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inputs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen::<f64>(); 3]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| x.iter().sum()).collect();
+        let mut mlp = Mlp::new(&[3, 8, 1], 1);
+        let short = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let long = TrainConfig {
+            epochs: 120,
+            ..TrainConfig::default()
+        };
+        let loss_short = mlp.clone().train(&inputs, &targets, &short, 5);
+        let loss_long = mlp.train(&inputs, &targets, &long, 5);
+        assert!(loss_long < loss_short, "{loss_long} !< {loss_short}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 3.0 * x[0]).collect();
+        let config = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        };
+        let mut a = Mlp::new(&[1, 8, 1], 9);
+        let mut b = Mlp::new(&[1, 8, 1], 9);
+        a.train(&inputs, &targets, &config, 2);
+        b.train(&inputs, &targets, &config, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn predict_checks_input_length() {
+        let mlp = Mlp::new(&[3, 4, 1], 0);
+        let _ = mlp.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn train_rejects_empty_dataset() {
+        let mut mlp = Mlp::new(&[2, 4, 1], 0);
+        let _ = mlp.train(&[], &[], &TrainConfig::default(), 0);
+    }
+}

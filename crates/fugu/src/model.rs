@@ -1,0 +1,343 @@
+//! The Fugu-style associational download-time predictor.
+//!
+//! Fugu (Yan et al., NSDI 2020) trains a neural network to predict the
+//! download (transmission) time of the next chunk from the sizes and
+//! download times of the previous `K` chunks and the size of the candidate
+//! chunk. Trained on logs of a deployed ABR, the model captures the
+//! *association* between sizes and download times under that ABR's policy —
+//! which is exactly why it is biased when asked the causal question "what if
+//! the next chunk were forced to a different size" (paper §2.2, Figure 2(b),
+//! Figure 12).
+
+use serde::{Deserialize, Serialize};
+
+use veritas_player::SessionLog;
+
+use crate::mlp::{Mlp, TrainConfig};
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuguConfig {
+    /// Number of past chunks in the input window.
+    pub history: usize,
+    /// Hidden layer width (two hidden layers are used).
+    pub hidden: usize,
+    /// Training parameters for the underlying MLP.
+    pub train: TrainConfig,
+    /// Seed for weight initialization and data shuffling.
+    pub seed: u64,
+}
+
+impl Default for FuguConfig {
+    fn default() -> Self {
+        Self {
+            history: 8,
+            hidden: 64,
+            train: TrainConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Feature scaling constants (fit on the training set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    fn fit(rows: &[Vec<f64>]) -> Self {
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for row in rows {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut std = vec![0.0; dim];
+        for row in rows {
+            for ((s, &v), &m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        Self { mean, std }
+    }
+
+    fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+}
+
+/// A trained Fugu-style transmission-time predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuguModel {
+    config: FuguConfig,
+    scaler: Scaler,
+    network: Mlp,
+    /// Mean absolute training residual, reported for diagnostics.
+    pub training_mae_s: f64,
+}
+
+/// One training example: past sizes/times, the candidate size, and the
+/// target download time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Input features in raw (unscaled) units.
+    pub features: Vec<f64>,
+    /// Target download time in seconds.
+    pub target_s: f64,
+}
+
+/// Builds the raw feature vector for predicting the download time of a chunk
+/// given `history` previous (size, download-time) pairs and the candidate
+/// size. Sizes are expressed in megabytes to keep features O(1).
+pub fn build_features(
+    past_sizes_bytes: &[f64],
+    past_download_times_s: &[f64],
+    candidate_size_bytes: f64,
+    history: usize,
+) -> Vec<f64> {
+    assert_eq!(past_sizes_bytes.len(), past_download_times_s.len());
+    let mut features = Vec::with_capacity(2 * history + 1);
+    // Pad on the left with zeros when fewer than `history` chunks exist.
+    let have = past_sizes_bytes.len();
+    for i in 0..history {
+        if i < history - have.min(history) {
+            features.push(0.0);
+            features.push(0.0);
+        } else {
+            let idx = have - (history - i);
+            features.push(past_sizes_bytes[idx] / 1e6);
+            features.push(past_download_times_s[idx]);
+        }
+    }
+    features.push(candidate_size_bytes / 1e6);
+    features
+}
+
+/// Extracts all training examples from a session log.
+pub fn examples_from_log(log: &SessionLog, history: usize) -> Vec<Example> {
+    let sizes = log.chunk_sizes();
+    let times = log.download_times();
+    let mut out = Vec::new();
+    for n in 1..sizes.len() {
+        let features = build_features(&sizes[..n], &times[..n], sizes[n], history);
+        out.push(Example {
+            features,
+            target_s: times[n],
+        });
+    }
+    out
+}
+
+impl FuguModel {
+    /// Trains a model on the given session logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logs contain no usable training examples.
+    pub fn train_on_logs(logs: &[SessionLog], config: FuguConfig) -> Self {
+        let mut examples = Vec::new();
+        for log in logs {
+            examples.extend(examples_from_log(log, config.history));
+        }
+        assert!(
+            !examples.is_empty(),
+            "no training examples could be extracted from the session logs"
+        );
+        let raw_inputs: Vec<Vec<f64>> = examples.iter().map(|e| e.features.clone()).collect();
+        let targets: Vec<f64> = examples.iter().map(|e| e.target_s).collect();
+        let scaler = Scaler::fit(&raw_inputs);
+        let inputs: Vec<Vec<f64>> = raw_inputs.iter().map(|r| scaler.apply(r)).collect();
+
+        let input_dim = inputs[0].len();
+        let mut network = Mlp::new(
+            &[input_dim, config.hidden, config.hidden, 1],
+            config.seed,
+        );
+        network.train(&inputs, &targets, &config.train, config.seed.wrapping_add(1));
+
+        let training_mae_s = inputs
+            .iter()
+            .zip(&targets)
+            .map(|(x, &y)| (network.predict(x) - y).abs())
+            .sum::<f64>()
+            / targets.len() as f64;
+
+        Self {
+            config,
+            scaler,
+            network,
+            training_mae_s,
+        }
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &FuguConfig {
+        &self.config
+    }
+
+    /// Predicts the download time (seconds) of a chunk of
+    /// `candidate_size_bytes` given the session history so far.
+    ///
+    /// Predictions are clamped to be non-negative.
+    pub fn predict_download_time(
+        &self,
+        past_sizes_bytes: &[f64],
+        past_download_times_s: &[f64],
+        candidate_size_bytes: f64,
+    ) -> f64 {
+        let features = build_features(
+            past_sizes_bytes,
+            past_download_times_s,
+            candidate_size_bytes,
+            self.config.history,
+        );
+        self.network.predict(&self.scaler.apply(&features)).max(0.0)
+    }
+
+    /// Predicts download times for every chunk of a logged session (chunk
+    /// `n` predicted from the logged history `1..n`), returning
+    /// `(predicted, actual)` pairs. Chunk 0 is skipped (no history).
+    pub fn predict_over_log(&self, log: &SessionLog) -> Vec<(f64, f64)> {
+        let sizes = log.chunk_sizes();
+        let times = log.download_times();
+        (1..sizes.len())
+            .map(|n| {
+                let predicted =
+                    self.predict_download_time(&sizes[..n], &times[..n], sizes[n]);
+                (predicted, times[n])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_abr::Mpc;
+    use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+    use veritas_player::{run_session, PlayerConfig};
+    use veritas_trace::generators::{FccLike, TraceGenerator};
+
+    fn training_logs(count: usize) -> (VideoAsset, Vec<SessionLog>) {
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            240.0,
+            2.0,
+            VbrParams::default(),
+            3,
+        );
+        let gen = FccLike::new(1.0, 8.0);
+        let logs = (0..count)
+            .map(|i| {
+                let trace = gen.generate(600.0, 100 + i as u64);
+                let mut abr = Mpc::new();
+                run_session(&asset, &mut abr, &trace, &PlayerConfig::paper_default())
+            })
+            .collect();
+        (asset, logs)
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_width_and_padding() {
+        let f = build_features(&[1e6, 2e6], &[0.5, 1.0], 3e6, 4);
+        assert_eq!(f.len(), 9);
+        // First two (oldest) slots are zero-padded.
+        assert_eq!(&f[..4], &[0.0, 0.0, 0.0, 0.0]);
+        assert!((f[4] - 1.0).abs() < 1e-12);
+        assert!((f[5] - 0.5).abs() < 1e-12);
+        assert!((f[8] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_vector_truncates_long_histories_to_the_most_recent() {
+        let sizes: Vec<f64> = (1..=10).map(|i| i as f64 * 1e6).collect();
+        let times: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
+        let f = build_features(&sizes, &times, 5e5, 3);
+        assert_eq!(f.len(), 7);
+        assert!((f[0] - 8.0).abs() < 1e-12, "oldest retained chunk is #8");
+        assert!((f[4] - 10.0).abs() < 1e-12, "newest chunk is #10");
+    }
+
+    #[test]
+    fn examples_are_extracted_per_chunk() {
+        let (_asset, logs) = training_logs(1);
+        let examples = examples_from_log(&logs[0], 8);
+        assert_eq!(examples.len(), logs[0].records.len() - 1);
+        assert!(examples.iter().all(|e| e.features.len() == 17));
+        assert!(examples.iter().all(|e| e.target_s > 0.0));
+    }
+
+    #[test]
+    fn trained_model_fits_in_distribution_download_times() {
+        let (_asset, logs) = training_logs(6);
+        let config = FuguConfig {
+            train: TrainConfig {
+                epochs: 40,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        };
+        let model = FuguModel::train_on_logs(&logs, config);
+        // In-distribution accuracy: the associational task Fugu is good at.
+        let preds = model.predict_over_log(&logs[0]);
+        let mae: f64 =
+            preds.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / preds.len() as f64;
+        assert!(
+            mae < 1.0,
+            "in-distribution MAE {mae} s is too large (training MAE {})",
+            model.training_mae_s
+        );
+    }
+
+    #[test]
+    fn predictions_are_non_negative_and_deterministic() {
+        let (_asset, logs) = training_logs(3);
+        let config = FuguConfig {
+            train: TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        };
+        let model = FuguModel::train_on_logs(&logs, config);
+        let p1 = model.predict_download_time(&[5e5, 6e5], &[1.0, 1.2], 2e6);
+        let p2 = model.predict_download_time(&[5e5, 6e5], &[1.0, 1.2], 2e6);
+        assert_eq!(p1, p2);
+        assert!(p1 >= 0.0);
+    }
+
+    #[test]
+    fn training_is_reproducible_given_the_seed() {
+        let (_asset, logs) = training_logs(2);
+        let config = FuguConfig {
+            train: TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        };
+        let a = FuguModel::train_on_logs(&logs, config);
+        let b = FuguModel::train_on_logs(&logs, config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training examples")]
+    fn training_requires_examples() {
+        let _ = FuguModel::train_on_logs(&[], FuguConfig::default());
+    }
+}

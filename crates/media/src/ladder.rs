@@ -1,0 +1,408 @@
+//! Quality ladders and variable-bitrate (VBR) video assets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ssim::SsimModel;
+
+/// One encoding (rung) of a quality ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Encoding {
+    /// Human-readable name, e.g. `"720p"`.
+    pub name: String,
+    /// Nominal (target) bitrate in Mbps.
+    pub nominal_bitrate_mbps: f64,
+}
+
+/// An ordered set of encodings, lowest quality first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityLadder {
+    encodings: Vec<Encoding>,
+}
+
+impl QualityLadder {
+    /// Builds a ladder from encodings; they are sorted by nominal bitrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encodings` is empty or contains a non-positive bitrate.
+    pub fn new(mut encodings: Vec<Encoding>) -> Self {
+        assert!(!encodings.is_empty(), "a quality ladder needs at least one encoding");
+        assert!(
+            encodings.iter().all(|e| e.nominal_bitrate_mbps > 0.0),
+            "bitrates must be positive"
+        );
+        encodings.sort_by(|a, b| {
+            a.nominal_bitrate_mbps
+                .partial_cmp(&b.nominal_bitrate_mbps)
+                .expect("finite bitrates")
+        });
+        Self { encodings }
+    }
+
+    /// Builds a ladder from bare bitrates with generated names.
+    pub fn from_bitrates(bitrates_mbps: &[f64]) -> Self {
+        Self::new(
+            bitrates_mbps
+                .iter()
+                .map(|&b| Encoding {
+                    name: format!("{b:.1}Mbps"),
+                    nominal_bitrate_mbps: b,
+                })
+                .collect(),
+        )
+    }
+
+    /// The paper's evaluation ladder: encodings spanning 0.1–4 Mbps.
+    pub fn paper_default() -> Self {
+        Self::from_bitrates(&[0.1, 0.4, 1.0, 2.5, 4.0])
+    }
+
+    /// The "higher set of qualities" ladder for the change-of-qualities
+    /// counterfactual (§4.3): the low rungs are dropped and higher rates are
+    /// offered instead.
+    pub fn paper_higher_qualities() -> Self {
+        Self::from_bitrates(&[1.0, 2.5, 4.0, 6.0, 8.0])
+    }
+
+    /// Encodings, lowest bitrate first.
+    pub fn encodings(&self) -> &[Encoding] {
+        &self.encodings
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.encodings.len()
+    }
+
+    /// Whether the ladder is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.encodings.is_empty()
+    }
+
+    /// Nominal bitrate of rung `quality`.
+    pub fn bitrate(&self, quality: usize) -> f64 {
+        self.encodings[quality].nominal_bitrate_mbps
+    }
+
+    /// All nominal bitrates, lowest first.
+    pub fn bitrates(&self) -> Vec<f64> {
+        self.encodings.iter().map(|e| e.nominal_bitrate_mbps).collect()
+    }
+}
+
+/// Per-chunk, per-quality sizes and SSIM values of a specific video.
+///
+/// The asset is generated once (seeded) and then shared by both the
+/// "deployed" setting and any counterfactual setting, so that what-if
+/// replays differ only in the decisions, never in the content.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoAsset {
+    ladder: QualityLadder,
+    chunk_duration_s: f64,
+    /// `sizes[chunk][quality]` in bytes.
+    sizes_bytes: Vec<Vec<f64>>,
+    /// `ssim[chunk][quality]` in `[0, 1]`.
+    ssims: Vec<Vec<f64>>,
+}
+
+/// Parameters controlling VBR generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VbrParams {
+    /// Standard deviation of the per-chunk scene-complexity multiplier
+    /// (log-normal, mean 1).
+    pub complexity_std: f64,
+    /// Standard deviation of the per-(chunk, quality) size jitter.
+    pub size_jitter_std: f64,
+}
+
+impl Default for VbrParams {
+    fn default() -> Self {
+        Self {
+            complexity_std: 0.25,
+            size_jitter_std: 0.05,
+        }
+    }
+}
+
+impl VideoAsset {
+    /// Generates a VBR asset of `duration_s` seconds cut into
+    /// `chunk_duration_s` chunks over `ladder`, seeded by `seed`.
+    pub fn generate(
+        ladder: QualityLadder,
+        duration_s: f64,
+        chunk_duration_s: f64,
+        params: VbrParams,
+        seed: u64,
+    ) -> Self {
+        assert!(duration_s > 0.0 && chunk_duration_s > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ssim_model = SsimModel::paper_calibrated();
+        let num_chunks = (duration_s / chunk_duration_s).round().max(1.0) as usize;
+        let mut sizes = Vec::with_capacity(num_chunks);
+        let mut ssims = Vec::with_capacity(num_chunks);
+        for _ in 0..num_chunks {
+            // Scene complexity is shared across qualities of the same chunk:
+            // a complex scene costs more bytes at every rung and still looks
+            // slightly worse.
+            let complexity = log_normal(&mut rng, params.complexity_std);
+            let mut chunk_sizes = Vec::with_capacity(ladder.len());
+            let mut chunk_ssims = Vec::with_capacity(ladder.len());
+            for enc in ladder.encodings() {
+                let jitter = log_normal(&mut rng, params.size_jitter_std);
+                let actual_bitrate = enc.nominal_bitrate_mbps * complexity * jitter;
+                let size_bytes = actual_bitrate * 1e6 / 8.0 * chunk_duration_s;
+                chunk_sizes.push(size_bytes.max(200.0));
+                chunk_ssims.push(
+                    ssim_model.ssim_with_complexity(enc.nominal_bitrate_mbps, complexity),
+                );
+            }
+            sizes.push(chunk_sizes);
+            ssims.push(chunk_ssims);
+        }
+        Self {
+            ladder,
+            chunk_duration_s,
+            sizes_bytes: sizes,
+            ssims,
+        }
+    }
+
+    /// The paper's default 10-minute clip with 2-second chunks on the
+    /// standard ladder.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::generate(
+            QualityLadder::paper_default(),
+            600.0,
+            2.0,
+            VbrParams::default(),
+            seed,
+        )
+    }
+
+    /// Re-encodes the *same content* onto a different ladder: scene
+    /// complexities are preserved (they are derived from the stored data) so
+    /// counterfactual "change the quality set" queries compare like with
+    /// like.
+    pub fn reencoded(&self, ladder: QualityLadder) -> Self {
+        let ssim_model = SsimModel::paper_calibrated();
+        let mut sizes = Vec::with_capacity(self.num_chunks());
+        let mut ssims = Vec::with_capacity(self.num_chunks());
+        for chunk in 0..self.num_chunks() {
+            // Recover this chunk's complexity from the stored lowest-rung
+            // size relative to its nominal bitrate.
+            let nominal = self.ladder.bitrate(0);
+            let actual = self.sizes_bytes[chunk][0] * 8.0 / 1e6 / self.chunk_duration_s;
+            let complexity = (actual / nominal).max(0.05);
+            let mut chunk_sizes = Vec::with_capacity(ladder.len());
+            let mut chunk_ssims = Vec::with_capacity(ladder.len());
+            for enc in ladder.encodings() {
+                let size_bytes =
+                    enc.nominal_bitrate_mbps * complexity * 1e6 / 8.0 * self.chunk_duration_s;
+                chunk_sizes.push(size_bytes.max(200.0));
+                chunk_ssims.push(
+                    ssim_model.ssim_with_complexity(enc.nominal_bitrate_mbps, complexity),
+                );
+            }
+            sizes.push(chunk_sizes);
+            ssims.push(chunk_ssims);
+        }
+        Self {
+            ladder,
+            chunk_duration_s: self.chunk_duration_s,
+            sizes_bytes: sizes,
+            ssims,
+        }
+    }
+
+    /// The quality ladder of this asset.
+    pub fn ladder(&self) -> &QualityLadder {
+        &self.ladder
+    }
+
+    /// Number of chunks in the video.
+    pub fn num_chunks(&self) -> usize {
+        self.sizes_bytes.len()
+    }
+
+    /// Number of quality rungs.
+    pub fn num_qualities(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// Playback duration of one chunk in seconds.
+    pub fn chunk_duration_s(&self) -> f64 {
+        self.chunk_duration_s
+    }
+
+    /// Total playback duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.chunk_duration_s * self.num_chunks() as f64
+    }
+
+    /// Encoded size in bytes of `(chunk, quality)`.
+    pub fn size_bytes(&self, chunk: usize, quality: usize) -> f64 {
+        self.sizes_bytes[chunk][quality]
+    }
+
+    /// SSIM of `(chunk, quality)`.
+    pub fn ssim(&self, chunk: usize, quality: usize) -> f64 {
+        self.ssims[chunk][quality]
+    }
+
+    /// Actual (VBR) bitrate in Mbps of `(chunk, quality)`.
+    pub fn bitrate_mbps(&self, chunk: usize, quality: usize) -> f64 {
+        self.size_bytes(chunk, quality) * 8.0 / 1e6 / self.chunk_duration_s
+    }
+
+    /// Mean SSIM of a quality rung across the whole video.
+    pub fn mean_ssim(&self, quality: usize) -> f64 {
+        self.ssims.iter().map(|c| c[quality]).sum::<f64>() / self.num_chunks() as f64
+    }
+}
+
+fn log_normal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box–Muller; mean of the underlying normal chosen so E[x] == 1.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (z * sigma - sigma * sigma / 2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_sorts_and_validates() {
+        let l = QualityLadder::from_bitrates(&[4.0, 0.1, 1.0]);
+        assert_eq!(l.bitrates(), vec![0.1, 1.0, 4.0]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one encoding")]
+    fn ladder_rejects_empty() {
+        let _ = QualityLadder::from_bitrates(&[]);
+    }
+
+    #[test]
+    fn paper_ladders_have_expected_span() {
+        let std = QualityLadder::paper_default();
+        assert_eq!(std.bitrate(0), 0.1);
+        assert_eq!(std.bitrate(std.len() - 1), 4.0);
+        let hi = QualityLadder::paper_higher_qualities();
+        assert!(hi.bitrate(0) > std.bitrate(0));
+        assert!(hi.bitrate(hi.len() - 1) > std.bitrate(std.len() - 1));
+    }
+
+    #[test]
+    fn asset_has_expected_shape() {
+        let a = VideoAsset::paper_default(1);
+        assert_eq!(a.num_chunks(), 300);
+        assert_eq!(a.num_qualities(), 5);
+        assert_eq!(a.chunk_duration_s(), 2.0);
+        assert!((a.duration_s() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asset_generation_is_deterministic() {
+        let a = VideoAsset::paper_default(7);
+        let b = VideoAsset::paper_default(7);
+        assert_eq!(a, b);
+        let c = VideoAsset::paper_default(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sizes_increase_with_quality_within_a_chunk() {
+        let a = VideoAsset::paper_default(3);
+        for chunk in 0..a.num_chunks() {
+            for q in 1..a.num_qualities() {
+                assert!(
+                    a.size_bytes(chunk, q) > a.size_bytes(chunk, q - 1),
+                    "chunk {chunk} quality {q} is smaller than the rung below"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ssim_increases_with_quality_within_a_chunk() {
+        let a = VideoAsset::paper_default(3);
+        for chunk in 0..a.num_chunks() {
+            for q in 1..a.num_qualities() {
+                assert!(a.ssim(chunk, q) >= a.ssim(chunk, q - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_ssim_matches_paper_endpoints_roughly() {
+        let a = VideoAsset::paper_default(11);
+        let low = a.mean_ssim(0);
+        let high = a.mean_ssim(a.num_qualities() - 1);
+        assert!((low - 0.908).abs() < 0.02, "low rung mean SSIM {low}");
+        assert!((high - 0.986).abs() < 0.01, "high rung mean SSIM {high}");
+    }
+
+    #[test]
+    fn vbr_sizes_vary_across_chunks() {
+        let a = VideoAsset::paper_default(5);
+        let q = a.num_qualities() - 1;
+        let sizes: Vec<f64> = (0..a.num_chunks()).map(|c| a.size_bytes(c, q)).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max > mean * 1.2, "VBR should produce chunks well above the mean");
+        assert!(min < mean * 0.8, "VBR should produce chunks well below the mean");
+    }
+
+    #[test]
+    fn vbr_mean_bitrate_tracks_nominal() {
+        let a = VideoAsset::paper_default(9);
+        for q in 0..a.num_qualities() {
+            let mean_rate = (0..a.num_chunks())
+                .map(|c| a.bitrate_mbps(c, q))
+                .sum::<f64>()
+                / a.num_chunks() as f64;
+            let nominal = a.ladder().bitrate(q);
+            assert!(
+                (mean_rate - nominal).abs() / nominal < 0.15,
+                "quality {q}: mean VBR rate {mean_rate} vs nominal {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn reencoding_preserves_complexity_ordering() {
+        let a = VideoAsset::paper_default(13);
+        let hi = a.reencoded(QualityLadder::paper_higher_qualities());
+        assert_eq!(hi.num_chunks(), a.num_chunks());
+        assert_eq!(hi.num_qualities(), 5);
+        // A chunk that is large (complex) in the original asset must also be
+        // large in the re-encoded one, at the corresponding rung.
+        let q_orig = a.num_qualities() - 1;
+        let q_new = hi.num_qualities() - 1;
+        let mut orig: Vec<(usize, f64)> = (0..a.num_chunks())
+            .map(|c| (c, a.size_bytes(c, q_orig)))
+            .collect();
+        orig.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
+        let biggest = orig.last().unwrap().0;
+        let smallest = orig.first().unwrap().0;
+        assert!(hi.size_bytes(biggest, q_new) > hi.size_bytes(smallest, q_new));
+    }
+
+    #[test]
+    fn log_normal_is_centred_near_one() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 20_000;
+        let mean = (0..n).map(|_| log_normal(&mut rng, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert_eq!(log_normal(&mut rng, 0.0), 1.0);
+    }
+}

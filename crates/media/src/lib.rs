@@ -1,0 +1,15 @@
+//! Video content model for the Veritas reproduction.
+//!
+//! Provides quality ladders, a variable-bitrate (VBR) chunked video asset
+//! with per-chunk sizes and SSIM values, and the calibrated bitrate→SSIM
+//! model standing in for the paper's pre-encoded 10-minute test clip (see
+//! `DESIGN.md` for the substitution rationale).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod ladder;
+pub mod ssim;
+
+pub use ladder::{Encoding, QualityLadder, VbrParams, VideoAsset};
+pub use ssim::{ssim_to_db, SsimModel};

@@ -1,0 +1,438 @@
+//! Round-level TCP connection model used as the emulation ground truth.
+//!
+//! This is the substrate standing in for "mahimahi + the Linux TCP stack" in
+//! the paper's testbed (see `DESIGN.md`). It is deliberately richer than the
+//! Veritas throughput estimator `f` in [`crate::estimator`]: it tracks the
+//! connection across chunk downloads, reacts to the *time-varying* GTBW
+//! during a download, models drop-tail queue overflow with multiplicative
+//! decrease, and applies RFC 2861 congestion-window validation during idle
+//! periods. That gap between the ground-truth model and `f` is what gives
+//! the estimator the realistic error distribution reproduced in Figure 5.
+
+use serde::{Deserialize, Serialize};
+
+use veritas_trace::BandwidthTrace;
+
+use crate::{default_rto, LinkModel, TcpInfo, INITIAL_CWND_SEGMENTS, INITIAL_SSTHRESH_SEGMENTS};
+
+/// Hard cap on simulation rounds per download, to bound runtime even on
+/// pathological inputs (e.g. a trace that is zero for its entire duration).
+const MAX_ROUNDS: usize = 200_000;
+
+/// Time step used to skip ahead when the link bandwidth is zero.
+const STALL_STEP_S: f64 = 0.1;
+
+/// Outcome of simulating one object download.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownloadResult {
+    /// Wall-clock download duration in seconds.
+    pub duration_s: f64,
+    /// Observed application-level throughput in Mbps (`size / duration`).
+    pub throughput_mbps: f64,
+    /// Number of RTT-scale transmission rounds the download took.
+    pub rounds: usize,
+    /// Number of loss (queue-overflow) events during the download.
+    pub losses: usize,
+    /// TCP state snapshot taken at the *start* of the download, after any
+    /// idle-period window validation was applied — the `W_{s_n}` the
+    /// application would read from `tcp_info` when issuing the request.
+    pub tcp_info_at_start: TcpInfo,
+}
+
+/// A persistent TCP connection carrying successive chunk downloads.
+///
+/// The connection keeps congestion state between downloads, which is exactly
+/// the mechanism that couples consecutive chunks in a video session and makes
+/// the observed throughput depend on chunk size and request spacing
+/// (paper Figure 2(c)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcpConnection {
+    link: LinkModel,
+    cwnd_segments: f64,
+    ssthresh_segments: f64,
+    /// Absolute time the connection last transmitted data, or `None` if it
+    /// has never sent.
+    last_send_time_s: Option<f64>,
+    total_losses: usize,
+    total_rounds: usize,
+}
+
+impl TcpConnection {
+    /// Opens a new connection over `link`.
+    pub fn new(link: LinkModel) -> Self {
+        Self {
+            link,
+            cwnd_segments: INITIAL_CWND_SEGMENTS,
+            ssthresh_segments: INITIAL_SSTHRESH_SEGMENTS,
+            last_send_time_s: None,
+            total_losses: 0,
+            total_rounds: 0,
+        }
+    }
+
+    /// The link this connection runs over.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Cumulative loss events since the connection was opened.
+    pub fn total_losses(&self) -> usize {
+        self.total_losses
+    }
+
+    /// Cumulative transmission rounds since the connection was opened.
+    pub fn total_rounds(&self) -> usize {
+        self.total_rounds
+    }
+
+    /// Current congestion window in segments.
+    pub fn cwnd_segments(&self) -> f64 {
+        self.cwnd_segments
+    }
+
+    /// Current slow-start threshold in segments.
+    pub fn ssthresh_segments(&self) -> f64 {
+        self.ssthresh_segments
+    }
+
+    /// Snapshot of the connection state as it would be observed at absolute
+    /// time `now_s`, *without* applying idle-window validation (i.e. the raw
+    /// `tcp_info` read).
+    pub fn info_at(&self, now_s: f64) -> TcpInfo {
+        let srtt = self.link.base_rtt_s();
+        TcpInfo {
+            cwnd_segments: self.cwnd_segments,
+            ssthresh_segments: self.ssthresh_segments,
+            rto_s: default_rto(srtt),
+            srtt_s: srtt,
+            min_rtt_s: self.link.base_rtt_s(),
+            last_send_gap_s: match self.last_send_time_s {
+                Some(t) => (now_s - t).max(0.0),
+                None => f64::INFINITY,
+            },
+        }
+    }
+
+    /// Applies RFC 2861 congestion-window validation for an idle period of
+    /// `idle_s` seconds: ssthresh is raised to remember the old window
+    /// (`max(ssthresh, 3/4 cwnd)`) and cwnd is halved once per RTO elapsed,
+    /// never dropping below the initial window.
+    fn apply_idle_decay(&mut self, idle_s: f64) {
+        let rto = default_rto(self.link.base_rtt_s());
+        if !idle_s.is_finite() {
+            // Never sent before: keep the initial window.
+            self.cwnd_segments = INITIAL_CWND_SEGMENTS;
+            return;
+        }
+        if idle_s <= rto || self.cwnd_segments <= INITIAL_CWND_SEGMENTS {
+            return;
+        }
+        self.ssthresh_segments = self
+            .ssthresh_segments
+            .max(0.75 * self.cwnd_segments)
+            .min(INITIAL_SSTHRESH_SEGMENTS);
+        let mut remaining = idle_s;
+        while remaining > rto && self.cwnd_segments > INITIAL_CWND_SEGMENTS {
+            self.cwnd_segments = (self.cwnd_segments / 2.0).max(INITIAL_CWND_SEGMENTS);
+            remaining -= rto;
+        }
+    }
+
+    /// Simulates downloading `size_bytes` starting at absolute time
+    /// `start_time_s`, with the bottleneck rate given by `trace`.
+    ///
+    /// Returns the download outcome and advances the connection state. The
+    /// TCP snapshot embedded in the result reflects the state *after* idle
+    /// decay but *before* any segment of this download is transmitted —
+    /// matching what an application reading `tcp_info` at request time sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not strictly positive or `start_time_s` is
+    /// negative/not finite.
+    pub fn download(
+        &mut self,
+        size_bytes: f64,
+        start_time_s: f64,
+        trace: &BandwidthTrace,
+    ) -> DownloadResult {
+        assert!(size_bytes > 0.0 && size_bytes.is_finite(), "size must be positive");
+        assert!(start_time_s >= 0.0 && start_time_s.is_finite());
+
+        // Idle-period window validation before the request goes out.
+        let idle_s = match self.last_send_time_s {
+            Some(t) => (start_time_s - t).max(0.0),
+            None => f64::INFINITY,
+        };
+        self.apply_idle_decay(idle_s);
+
+        let info_at_start = {
+            let mut info = self.info_at(start_time_s);
+            info.last_send_gap_s = idle_s;
+            info
+        };
+
+        let mss = self.link.mss_bytes;
+        let base_rtt = self.link.base_rtt_s();
+        let total_segments = (size_bytes / mss).ceil().max(1.0);
+
+        // The HTTP request/response handshake costs one RTT before payload
+        // bytes start arriving (request up + first byte down).
+        let mut now = start_time_s + base_rtt;
+        let mut delivered = 0.0_f64;
+        let mut rounds = 0usize;
+        let mut losses = 0usize;
+
+        while delivered < total_segments && rounds < MAX_ROUNDS {
+            let bw = trace.bandwidth_at(now);
+            if bw <= 1e-9 {
+                // Link is stalled; wait for capacity to come back.
+                now += STALL_STEP_S;
+                rounds += 1;
+                continue;
+            }
+            let bdp = self.link.bdp_segments(bw);
+            let capacity_this_round = bdp + self.link.queue_segments;
+            let want = self.cwnd_segments.min(total_segments - delivered);
+
+            let (sent, lost) = if want > capacity_this_round {
+                // Drop-tail overflow: only what fits is delivered, and the
+                // sender reacts with multiplicative decrease.
+                (capacity_this_round, true)
+            } else {
+                (want, false)
+            };
+
+            delivered += sent;
+
+            // Round duration: one RTT, plus the extra serialization delay of
+            // anything sent beyond one BDP (those segments sit in the queue).
+            let queued = (sent - bdp).max(0.0);
+            let queue_delay = queued * mss * 8.0 / (bw * 1e6);
+            now += base_rtt + queue_delay;
+            rounds += 1;
+
+            if lost {
+                losses += 1;
+                self.ssthresh_segments = (self.cwnd_segments / 2.0).max(2.0);
+                self.cwnd_segments = self.ssthresh_segments;
+            } else if self.cwnd_segments < self.ssthresh_segments {
+                // Slow start: double per round, capped at ssthresh.
+                self.cwnd_segments = (self.cwnd_segments * 2.0).min(self.ssthresh_segments.max(2.0));
+            } else {
+                // Congestion avoidance: one segment per round.
+                self.cwnd_segments += 1.0;
+            }
+        }
+
+        let duration = (now - start_time_s).max(base_rtt);
+        self.last_send_time_s = Some(now);
+        self.total_losses += losses;
+        self.total_rounds += rounds;
+
+        DownloadResult {
+            duration_s: duration,
+            throughput_mbps: size_bytes * 8.0 / 1e6 / duration,
+            rounds,
+            losses,
+            tcp_info_at_start: info_at_start,
+        }
+    }
+
+    /// Convenience: downloads against a constant-bandwidth link.
+    pub fn download_constant(
+        &mut self,
+        size_bytes: f64,
+        start_time_s: f64,
+        bandwidth_mbps: f64,
+    ) -> DownloadResult {
+        let trace = BandwidthTrace::constant(bandwidth_mbps, start_time_s + 3600.0);
+        self.download(size_bytes, start_time_s, &trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn() -> TcpConnection {
+        TcpConnection::new(LinkModel::paper_default())
+    }
+
+    #[test]
+    fn large_download_approaches_link_rate() {
+        let mut c = conn();
+        // Warm the connection up first so cwnd has grown past the BDP.
+        let _ = c.download_constant(4_000_000.0, 0.0, 10.0);
+        let r = c.download_constant(8_000_000.0, 10.0, 10.0);
+        assert!(
+            r.throughput_mbps > 7.0 && r.throughput_mbps <= 10.0 + 1e-9,
+            "throughput {} should be near the 10 Mbps link rate",
+            r.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn small_download_sees_much_lower_throughput() {
+        let mut c = conn();
+        let r = c.download_constant(4_000.0, 0.0, 18.0);
+        // 4 KB over >=1 RTT of 80 ms is at most ~0.4 Mbps.
+        assert!(
+            r.throughput_mbps < 1.0,
+            "small objects are latency-bound, got {} Mbps",
+            r.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn throughput_never_exceeds_capacity_materially() {
+        for &size in &[2e3, 2e4, 2e5, 2e6, 4e6] {
+            for &bw in &[0.5, 2.0, 6.0, 18.0] {
+                let mut c = conn();
+                let r = c.download_constant(size, 0.0, bw);
+                assert!(
+                    r.throughput_mbps <= bw * 1.05 + 1e-9,
+                    "size {size} bw {bw}: got {}",
+                    r.throughput_mbps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duration_is_at_least_one_rtt() {
+        let mut c = conn();
+        let r = c.download_constant(1_000.0, 0.0, 100.0);
+        assert!(r.duration_s >= 0.08);
+    }
+
+    #[test]
+    fn larger_chunks_never_download_faster_given_identical_state() {
+        for &bw in &[1.0, 4.0, 8.0] {
+            let mut prev = 0.0;
+            for &size in &[1e4, 1e5, 5e5, 1e6, 4e6] {
+                let mut c = conn();
+                let r = c.download_constant(size, 0.0, bw);
+                assert!(
+                    r.duration_s >= prev - 1e-9,
+                    "bw {bw}: size {size} downloaded faster than a smaller chunk"
+                );
+                prev = r.duration_s;
+            }
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_never_slows_a_download() {
+        for &size in &[1e5, 1e6, 4e6] {
+            let mut prev = f64::INFINITY;
+            for &bw in &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+                let mut c = conn();
+                let r = c.download_constant(size, 0.0, bw);
+                assert!(
+                    r.duration_s <= prev + 1e-9,
+                    "size {size}: bw {bw} slower than a lower bandwidth"
+                );
+                prev = r.duration_s;
+            }
+        }
+    }
+
+    #[test]
+    fn connection_state_persists_and_grows_across_downloads() {
+        let mut c = conn();
+        let first = c.download_constant(2_000_000.0, 0.0, 10.0);
+        let cwnd_after_first = c.cwnd_segments();
+        assert!(cwnd_after_first > INITIAL_CWND_SEGMENTS);
+        // Immediately issue another request (no idle gap): it starts from the
+        // grown window and finishes faster than the first.
+        let second = c.download_constant(2_000_000.0, first.duration_s, 10.0);
+        assert!(second.duration_s < first.duration_s);
+        assert!(second.tcp_info_at_start.cwnd_segments >= INITIAL_CWND_SEGMENTS);
+    }
+
+    #[test]
+    fn long_idle_gap_triggers_slow_start_restart() {
+        let mut c = conn();
+        let first = c.download_constant(4_000_000.0, 0.0, 10.0);
+        let grown = c.cwnd_segments();
+        assert!(grown > INITIAL_CWND_SEGMENTS);
+        // Wait far longer than the RTO before the next request.
+        let start = first.duration_s + 30.0;
+        let second = c.download_constant(100_000.0, start, 10.0);
+        assert!(
+            second.tcp_info_at_start.cwnd_segments < grown,
+            "idle decay should have shrunk cwnd ({} vs {})",
+            second.tcp_info_at_start.cwnd_segments,
+            grown
+        );
+        assert!(second.tcp_info_at_start.last_send_gap_s > 20.0);
+    }
+
+    #[test]
+    fn short_gap_does_not_trigger_restart() {
+        let mut c = conn();
+        let first = c.download_constant(4_000_000.0, 0.0, 10.0);
+        let grown = c.cwnd_segments();
+        let second = c.download_constant(100_000.0, first.duration_s + 0.05, 10.0);
+        assert!(
+            (second.tcp_info_at_start.cwnd_segments - grown).abs() < 1e-9,
+            "a 50 ms gap is below the RTO and must not decay the window"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_causes_losses_on_tiny_links() {
+        let mut c = TcpConnection::new(LinkModel::with_rtt(0.08).with_queue(5.0));
+        let r = c.download_constant(4_000_000.0, 0.0, 0.5);
+        assert!(r.losses > 0, "a 4 MB chunk over 0.5 Mbps with a 5-packet queue must lose");
+    }
+
+    #[test]
+    fn zero_bandwidth_portions_stall_but_terminate() {
+        // 2 s of dead air then 10 Mbps.
+        let trace = veritas_trace::BandwidthTrace::new(vec![
+            veritas_trace::TraceSegment { interval_s: 2.0, bandwidth_mbps: 0.0 },
+            veritas_trace::TraceSegment { interval_s: 600.0, bandwidth_mbps: 10.0 },
+        ])
+        .unwrap();
+        let mut c = conn();
+        let r = c.download(500_000.0, 0.0, &trace);
+        assert!(r.duration_s > 2.0, "download cannot finish while the link is dead");
+        assert!(r.duration_s < 10.0, "download must finish soon after the link recovers");
+    }
+
+    #[test]
+    fn download_time_reacts_to_mid_download_bandwidth_change() {
+        // First half of time at 8 Mbps, then drops to 1 Mbps.
+        let trace = veritas_trace::BandwidthTrace::new(vec![
+            veritas_trace::TraceSegment { interval_s: 1.0, bandwidth_mbps: 8.0 },
+            veritas_trace::TraceSegment { interval_s: 600.0, bandwidth_mbps: 1.0 },
+        ])
+        .unwrap();
+        let mut slow = conn();
+        let r_varying = slow.download(4_000_000.0, 0.0, &trace);
+        let mut fast = conn();
+        let r_fast = fast.download_constant(4_000_000.0, 0.0, 8.0);
+        assert!(
+            r_varying.duration_s > r_fast.duration_s * 1.5,
+            "a mid-download drop to 1 Mbps must slow the transfer substantially"
+        );
+    }
+
+    #[test]
+    fn result_snapshot_is_valid_tcp_info() {
+        let mut c = conn();
+        let r = c.download_constant(1_000_000.0, 5.0, 6.0);
+        assert!(r.tcp_info_at_start.is_valid() || r.tcp_info_at_start.last_send_gap_s.is_infinite());
+        let r2 = c.download_constant(1_000_000.0, 20.0, 6.0);
+        assert!(r2.tcp_info_at_start.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn rejects_zero_size() {
+        let mut c = conn();
+        let _ = c.download_constant(0.0, 0.0, 5.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The Veritas throughput estimator `f` (paper Algorithm 4) and the Gaussian
+//! emission density built on top of it (paper Equation 3).
+//!
+//! `f` answers: *if the intrinsic network bandwidth (GTBW) were `c`, what
+//! throughput would a chunk of size `S` observe, given the TCP state `W` at
+//! the start of its download?* The EHMM uses this to score candidate hidden
+//! states against the observed throughput, which is what lets Veritas invert
+//! observations into the latent bandwidth process.
+//!
+//! One deviation from the paper's pseudo-code: Algorithm 4 writes the idle
+//! decay step as `cwnd <- cwnd << 2`, which would *grow* the window during
+//! idle periods. RFC 2861 (and the Linux implementation the paper says it
+//! follows) halves the window once per RTO of idle time, so this
+//! implementation uses `cwnd <- cwnd >> 1`, floored at the initial window.
+
+use crate::{LinkModel, TcpInfo, INITIAL_CWND_SEGMENTS, MSS_BYTES};
+
+/// Applies slow-start-restart window validation to a *copy* of the TCP state:
+/// ssthresh remembers 3/4 of the pre-decay window, and cwnd halves once per
+/// RTO of idle time, never dropping below the initial window.
+pub fn apply_slow_start_restart(info: &TcpInfo) -> TcpInfo {
+    let mut w = *info;
+    if !w.idle_exceeds_rto() || w.cwnd_segments <= INITIAL_CWND_SEGMENTS {
+        return w;
+    }
+    w.ssthresh_segments = w.ssthresh_segments.max(0.75 * w.cwnd_segments);
+    if !w.last_send_gap_s.is_finite() {
+        w.cwnd_segments = INITIAL_CWND_SEGMENTS;
+        return w;
+    }
+    let mut remaining = w.last_send_gap_s;
+    while remaining > w.rto_s && w.cwnd_segments > INITIAL_CWND_SEGMENTS {
+        w.cwnd_segments = (w.cwnd_segments / 2.0).max(INITIAL_CWND_SEGMENTS);
+        remaining -= w.rto_s;
+    }
+    w
+}
+
+/// Estimates the throughput (Mbps) a download of `size_bytes` would observe
+/// if the intrinsic network bandwidth were `gtbw_mbps`, given the TCP state
+/// `info` at the start of the download. This is the paper's `f(c, W, S)`.
+pub fn estimate_throughput(gtbw_mbps: f64, info: &TcpInfo, size_bytes: f64) -> f64 {
+    assert!(size_bytes > 0.0 && size_bytes.is_finite());
+    assert!(gtbw_mbps >= 0.0 && gtbw_mbps.is_finite());
+    let mut w = apply_slow_start_restart(info);
+
+    let data_segments = (size_bytes / MSS_BYTES).ceil().max(1.0);
+    let bdp_segments = (gtbw_mbps * 1e6 / 8.0 * w.min_rtt_s / MSS_BYTES).ceil();
+
+    if w.cwnd_segments > bdp_segments {
+        if data_segments > bdp_segments {
+            // The pipe is already full: the transfer is capacity-bound.
+            return gtbw_mbps;
+        }
+        // Everything fits in one window and one round trip.
+        return (size_bytes * 8.0 / 1e6 / w.min_rtt_s).min_non_degenerate(gtbw_mbps, data_segments, bdp_segments);
+    }
+
+    // Window-bound: count transmission rounds until the chunk is delivered.
+    let mut rounds = 0u32;
+    let mut sent = 0.0_f64;
+    while sent < data_segments {
+        sent += w.cwnd_segments.min(bdp_segments).max(1.0);
+        if w.cwnd_segments < w.ssthresh_segments {
+            w.cwnd_segments *= 2.0;
+        } else {
+            w.cwnd_segments += 1.0;
+        }
+        rounds += 1;
+    }
+    let throughput = size_bytes * 8.0 / 1e6 / (rounds as f64 * w.min_rtt_s);
+    throughput.min(gtbw_mbps)
+}
+
+/// Helper trait so the single-round branch reads clearly; for small transfers
+/// (`data <= bdp`) the paper returns `S / min_rtt` *uncapped* by the
+/// capacity, because a sub-BDP burst genuinely can exceed the average rate.
+/// We still guard against the degenerate zero-capacity case.
+trait MinNonDegenerate {
+    fn min_non_degenerate(self, gtbw_mbps: f64, data_segments: f64, bdp_segments: f64) -> f64;
+}
+
+impl MinNonDegenerate for f64 {
+    fn min_non_degenerate(self, gtbw_mbps: f64, _data_segments: f64, bdp_segments: f64) -> f64 {
+        if bdp_segments <= 0.0 {
+            gtbw_mbps
+        } else {
+            self
+        }
+    }
+}
+
+/// Estimates the download *time* (seconds) implied by [`estimate_throughput`].
+///
+/// Returns `f64::INFINITY` when the estimated throughput is zero (e.g. a
+/// zero-capacity hypothesis for a capacity-bound transfer).
+pub fn estimate_download_time(gtbw_mbps: f64, info: &TcpInfo, size_bytes: f64) -> f64 {
+    let throughput = estimate_throughput(gtbw_mbps, info, size_bytes);
+    if throughput <= 0.0 {
+        f64::INFINITY
+    } else {
+        size_bytes * 8.0 / 1e6 / throughput
+    }
+}
+
+/// Log-density of the paper's emission model (Equation 3): the observed
+/// throughput is Gaussian around `f(c, W, S)` with standard deviation
+/// `sigma_mbps`.
+pub fn emission_log_density(
+    observed_throughput_mbps: f64,
+    gtbw_mbps: f64,
+    info: &TcpInfo,
+    size_bytes: f64,
+    sigma_mbps: f64,
+) -> f64 {
+    assert!(sigma_mbps > 0.0);
+    let predicted = estimate_throughput(gtbw_mbps, info, size_bytes);
+    gaussian_log_pdf(observed_throughput_mbps, predicted, sigma_mbps)
+}
+
+/// Log-density of a normal distribution.
+pub fn gaussian_log_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / std;
+    -0.5 * z * z - std.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+}
+
+/// Convenience wrapper bundling the link parameters with the estimator, for
+/// callers that want BDP-aware helpers alongside `f`.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputEstimator {
+    /// Emission noise standard deviation in Mbps (paper default: 0.5).
+    pub sigma_mbps: f64,
+    /// Link parameters used for BDP bookkeeping.
+    pub link: LinkModel,
+}
+
+impl ThroughputEstimator {
+    /// Creates an estimator with the paper's default σ = 0.5 Mbps.
+    pub fn new(link: LinkModel) -> Self {
+        Self {
+            sigma_mbps: 0.5,
+            link,
+        }
+    }
+
+    /// Overrides the emission noise.
+    pub fn with_sigma(mut self, sigma_mbps: f64) -> Self {
+        assert!(sigma_mbps > 0.0);
+        self.sigma_mbps = sigma_mbps;
+        self
+    }
+
+    /// Predicted throughput for a candidate capacity.
+    pub fn predict(&self, gtbw_mbps: f64, info: &TcpInfo, size_bytes: f64) -> f64 {
+        estimate_throughput(gtbw_mbps, info, size_bytes)
+    }
+
+    /// Emission log-density for a candidate capacity.
+    pub fn log_density(
+        &self,
+        observed_throughput_mbps: f64,
+        gtbw_mbps: f64,
+        info: &TcpInfo,
+        size_bytes: f64,
+    ) -> f64 {
+        emission_log_density(
+            observed_throughput_mbps,
+            gtbw_mbps,
+            info,
+            size_bytes,
+            self.sigma_mbps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steady_info() -> TcpInfo {
+        // A connection in steady state with a large window and no idle gap.
+        TcpInfo {
+            cwnd_segments: 200.0,
+            ssthresh_segments: 100.0,
+            rto_s: 0.3,
+            srtt_s: 0.08,
+            min_rtt_s: 0.08,
+            last_send_gap_s: 0.01,
+        }
+    }
+
+    fn cold_info() -> TcpInfo {
+        TcpInfo {
+            cwnd_segments: 10.0,
+            ssthresh_segments: 1000.0,
+            rto_s: 0.3,
+            srtt_s: 0.08,
+            min_rtt_s: 0.08,
+            last_send_gap_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn steady_state_large_chunk_sees_full_capacity() {
+        let est = estimate_throughput(6.0, &steady_info(), 4_000_000.0);
+        assert_eq!(est, 6.0);
+    }
+
+    #[test]
+    fn tiny_chunk_on_warm_connection_is_latency_bound() {
+        // 4 KB in one RTT of 80 ms = 0.4 Mbps regardless of an 18 Mbps link.
+        let est = estimate_throughput(18.0, &steady_info(), 4_000.0);
+        assert!((est - 0.4).abs() < 1e-9, "got {est}");
+    }
+
+    #[test]
+    fn cold_connection_medium_chunk_is_window_bound() {
+        // 300 KB = 200 segments starting from cwnd=10 in slow start takes
+        // multiple rounds, so throughput is well under the link capacity.
+        let est = estimate_throughput(18.0, &cold_info(), 300_000.0);
+        assert!(est < 18.0);
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_capacity_for_large_chunks() {
+        let mut prev = 0.0;
+        for &c in &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+            let est = estimate_throughput(c, &steady_info(), 4_000_000.0);
+            assert!(est >= prev - 1e-12, "capacity {c} broke monotonicity");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn estimate_never_exceeds_capacity_for_multi_round_transfers() {
+        for &c in &[0.5, 2.0, 5.0, 10.0] {
+            for &s in &[100_000.0, 500_000.0, 2_000_000.0] {
+                let est = estimate_throughput(c, &cold_info(), s);
+                assert!(est <= c + 1e-12, "capacity {c}, size {s}: got {est}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_predicts_zero_throughput_for_large_chunks() {
+        assert_eq!(estimate_throughput(0.0, &steady_info(), 1_000_000.0), 0.0);
+        assert_eq!(
+            estimate_download_time(0.0, &steady_info(), 1_000_000.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn slow_start_restart_decays_idle_windows() {
+        let mut info = steady_info();
+        info.last_send_gap_s = 5.0; // many RTOs idle
+        let decayed = apply_slow_start_restart(&info);
+        assert!(decayed.cwnd_segments < info.cwnd_segments);
+        assert!(decayed.cwnd_segments >= INITIAL_CWND_SEGMENTS);
+        assert!(decayed.ssthresh_segments >= 0.75 * info.cwnd_segments);
+    }
+
+    #[test]
+    fn slow_start_restart_is_a_noop_for_busy_connections() {
+        let info = steady_info();
+        assert_eq!(apply_slow_start_restart(&info), info);
+    }
+
+    #[test]
+    fn infinite_idle_gap_resets_to_initial_window() {
+        let mut info = steady_info();
+        info.last_send_gap_s = f64::INFINITY;
+        let decayed = apply_slow_start_restart(&info);
+        assert_eq!(decayed.cwnd_segments, INITIAL_CWND_SEGMENTS);
+    }
+
+    #[test]
+    fn idle_gap_matters_for_medium_chunks() {
+        // The same chunk size observed on a warm vs long-idle connection
+        // should produce different estimates — the Figure 2(c) effect.
+        let warm = estimate_throughput(18.0, &steady_info(), 300_000.0);
+        let mut idle = steady_info();
+        idle.last_send_gap_s = 8.0;
+        let cold = estimate_throughput(18.0, &idle, 300_000.0);
+        assert!(cold < warm, "idle restart must reduce throughput ({cold} vs {warm})");
+    }
+
+    #[test]
+    fn download_time_is_consistent_with_throughput() {
+        let info = cold_info();
+        let tput = estimate_throughput(6.0, &info, 1_000_000.0);
+        let time = estimate_download_time(6.0, &info, 1_000_000.0);
+        assert!((time - 1_000_000.0 * 8.0 / 1e6 / tput).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_log_pdf_peaks_at_mean() {
+        let at_mean = gaussian_log_pdf(3.0, 3.0, 0.5);
+        let off_mean = gaussian_log_pdf(4.0, 3.0, 0.5);
+        assert!(at_mean > off_mean);
+        // Integral sanity: density at mean for σ=0.5 is 1/(0.5*sqrt(2π)).
+        let expected = (1.0 / (0.5 * (2.0 * std::f64::consts::PI).sqrt())).ln();
+        assert!((at_mean - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emission_density_prefers_capacities_matching_observation() {
+        let info = steady_info();
+        let size = 4_000_000.0;
+        let observed = 5.0;
+        let good = emission_log_density(observed, 5.0, &info, size, 0.5);
+        let bad_low = emission_log_density(observed, 1.0, &info, size, 0.5);
+        let bad_high = emission_log_density(observed, 9.0, &info, size, 0.5);
+        assert!(good > bad_low);
+        assert!(good > bad_high);
+    }
+
+    #[test]
+    fn small_chunk_emission_is_ambiguous_across_high_capacities() {
+        // For a chunk far below the BDP, many capacities predict the same
+        // latency-bound throughput, so their densities should be (nearly)
+        // identical — the source of Veritas's uncertainty in Figure 7(b).
+        let info = steady_info();
+        let size = 20_000.0;
+        let observed = estimate_throughput(6.0, &info, size);
+        let d6 = emission_log_density(observed, 6.0, &info, size, 0.5);
+        let d9 = emission_log_density(observed, 9.0, &info, size, 0.5);
+        assert!((d6 - d9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_wrapper_delegates() {
+        let est = ThroughputEstimator::new(LinkModel::paper_default()).with_sigma(0.7);
+        assert_eq!(est.sigma_mbps, 0.7);
+        let info = steady_info();
+        assert_eq!(
+            est.predict(6.0, &info, 4_000_000.0),
+            estimate_throughput(6.0, &info, 4_000_000.0)
+        );
+        assert_eq!(
+            est.log_density(5.0, 6.0, &info, 4_000_000.0),
+            emission_log_density(5.0, 6.0, &info, 4_000_000.0, 0.7)
+        );
+    }
+}

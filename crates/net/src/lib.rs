@@ -1,0 +1,41 @@
+//! TCP substrate for the Veritas reproduction.
+//!
+//! Two models of TCP live here, and the difference between them is the point:
+//!
+//! * [`TcpConnection`] — the *ground-truth* round-level model used by the
+//!   emulation testbed (standing in for mahimahi + the Linux stack). It
+//!   tracks congestion state across chunk downloads, reacts to time-varying
+//!   bandwidth mid-download, models queue overflow losses and RFC 2861 idle
+//!   window validation.
+//! * [`estimate_throughput`] — the paper's estimator `f` (Algorithm 4): a
+//!   deliberately simple, constant-capacity, loss-free model used *inside*
+//!   the EHMM emission process to test whether a candidate GTBW value is
+//!   consistent with an observed chunk throughput.
+//!
+//! [`TcpInfo`] is the snapshot of control variables (`W_{s_n}`) the paper
+//! conditions on, and [`LinkModel`] holds the static link parameters.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod connection;
+mod estimator;
+mod link;
+mod tcp_info;
+
+pub use connection::{DownloadResult, TcpConnection};
+pub use estimator::{
+    apply_slow_start_restart, emission_log_density, estimate_download_time, estimate_throughput,
+    gaussian_log_pdf, ThroughputEstimator,
+};
+pub use link::LinkModel;
+pub use tcp_info::{default_rto, TcpInfo};
+
+/// Maximum segment size in bytes (one Ethernet MTU of payload).
+pub const MSS_BYTES: f64 = 1500.0;
+
+/// Initial congestion window in segments (Linux default, RFC 6928).
+pub const INITIAL_CWND_SEGMENTS: f64 = 10.0;
+
+/// Initial slow-start threshold in segments (effectively unbounded).
+pub const INITIAL_SSTHRESH_SEGMENTS: f64 = 1_000_000.0;

@@ -1,0 +1,99 @@
+//! Link parameters for the emulated bottleneck.
+
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the emulated access link.
+///
+/// Mirrors the paper's mahimahi setup: a single bottleneck with a fixed
+/// propagation delay, a drop-tail queue, and a time-varying rate supplied by
+/// the GTBW trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way propagation delay in seconds. The paper's default end-to-end
+    /// (round-trip) delay is 80 ms, i.e. 40 ms one way.
+    pub one_way_delay_s: f64,
+    /// Maximum segment size in bytes.
+    pub mss_bytes: f64,
+    /// Drop-tail queue capacity in segments. mahimahi's default of one BDP
+    /// worth of buffering at a few Mbps is on the order of tens of packets.
+    pub queue_segments: f64,
+}
+
+impl LinkModel {
+    /// A link with the given round-trip propagation delay (seconds).
+    pub fn with_rtt(rtt_s: f64) -> Self {
+        assert!(rtt_s > 0.0 && rtt_s.is_finite());
+        Self {
+            one_way_delay_s: rtt_s / 2.0,
+            mss_bytes: crate::MSS_BYTES,
+            queue_segments: 60.0,
+        }
+    }
+
+    /// The paper's default evaluation link: 80 ms end-to-end RTT.
+    pub fn paper_default() -> Self {
+        Self::with_rtt(0.08)
+    }
+
+    /// Round-trip propagation delay in seconds.
+    pub fn base_rtt_s(&self) -> f64 {
+        2.0 * self.one_way_delay_s
+    }
+
+    /// Bandwidth-delay product in segments at `bandwidth_mbps`.
+    pub fn bdp_segments(&self, bandwidth_mbps: f64) -> f64 {
+        (bandwidth_mbps.max(0.0) * 1e6 / 8.0) * self.base_rtt_s() / self.mss_bytes
+    }
+
+    /// Bandwidth-delay product in bytes at `bandwidth_mbps`.
+    pub fn bdp_bytes(&self, bandwidth_mbps: f64) -> f64 {
+        self.bdp_segments(bandwidth_mbps) * self.mss_bytes
+    }
+
+    /// Overrides the queue capacity (segments).
+    pub fn with_queue(mut self, queue_segments: f64) -> Self {
+        assert!(queue_segments >= 0.0);
+        self.queue_segments = queue_segments;
+        self
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_80ms_rtt() {
+        let link = LinkModel::paper_default();
+        assert!((link.base_rtt_s() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bdp_scales_linearly_with_bandwidth() {
+        let link = LinkModel::with_rtt(0.08);
+        let b1 = link.bdp_segments(5.0);
+        let b2 = link.bdp_segments(10.0);
+        assert!((b2 / b1 - 2.0).abs() < 1e-9);
+        // 10 Mbps * 80 ms = 100 KB = ~66.7 segments of 1500 B.
+        assert!((link.bdp_bytes(10.0) - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bdp_of_zero_bandwidth_is_zero() {
+        let link = LinkModel::default();
+        assert_eq!(link.bdp_segments(0.0), 0.0);
+        assert_eq!(link.bdp_segments(-5.0), 0.0);
+    }
+
+    #[test]
+    fn queue_override() {
+        let link = LinkModel::default().with_queue(100.0);
+        assert_eq!(link.queue_segments, 100.0);
+    }
+}

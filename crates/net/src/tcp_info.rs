@@ -1,0 +1,146 @@
+//! The TCP control variables Veritas conditions on (`W_{s_n}` in the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of TCP connection state at the start of a chunk download.
+///
+/// These are the control variables the paper reads from Linux's `tcp_info`
+/// / `ss` output: congestion window, slow-start threshold, retransmission
+/// timeout, smoothed RTT, minimum RTT, and the time since the connection
+/// last sent data. Conditioning the EHMM on this snapshot is what lets the
+/// observed chunk throughput be "inverted" back into the latent GTBW.
+///
+/// Window sizes are expressed in MSS-sized segments, times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpInfo {
+    /// Congestion window in segments.
+    pub cwnd_segments: f64,
+    /// Slow-start threshold in segments.
+    pub ssthresh_segments: f64,
+    /// Retransmission timeout in seconds.
+    pub rto_s: f64,
+    /// Smoothed round-trip time in seconds.
+    pub srtt_s: f64,
+    /// Minimum observed round-trip time in seconds.
+    pub min_rtt_s: f64,
+    /// Time since the connection last transmitted data, in seconds.
+    ///
+    /// This is the `last_send` gap that decides whether slow-start restart
+    /// (RFC 2861) has kicked in by the time the next chunk request arrives.
+    /// A connection that has never sent reports `f64::INFINITY`; the field
+    /// round-trips through JSON via a negative sentinel because JSON has no
+    /// infinity literal.
+    #[serde(with = "send_gap_serde")]
+    pub last_send_gap_s: f64,
+}
+
+/// JSON-safe encoding for the send gap: non-finite gaps (a connection that
+/// has never sent) are stored as `-1.0` and restored to `f64::INFINITY`.
+mod send_gap_serde {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(value: &f64, serializer: S) -> Result<S::Ok, S::Error> {
+        if value.is_finite() {
+            serializer.serialize_f64(*value)
+        } else {
+            serializer.serialize_f64(-1.0)
+        }
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<f64, D::Error> {
+        let raw = f64::deserialize(deserializer)?;
+        if raw < 0.0 {
+            Ok(f64::INFINITY)
+        } else {
+            Ok(raw)
+        }
+    }
+}
+
+impl TcpInfo {
+    /// A fresh connection snapshot: initial window, effectively-infinite
+    /// ssthresh, and no prior send.
+    pub fn fresh(min_rtt_s: f64) -> Self {
+        assert!(min_rtt_s > 0.0 && min_rtt_s.is_finite());
+        Self {
+            cwnd_segments: crate::INITIAL_CWND_SEGMENTS,
+            ssthresh_segments: crate::INITIAL_SSTHRESH_SEGMENTS,
+            rto_s: default_rto(min_rtt_s),
+            srtt_s: min_rtt_s,
+            min_rtt_s,
+            last_send_gap_s: f64::INFINITY,
+        }
+    }
+
+    /// Whether the idle gap exceeds the RTO, i.e. whether slow-start restart
+    /// applies to the next transmission.
+    pub fn idle_exceeds_rto(&self) -> bool {
+        self.last_send_gap_s > self.rto_s
+    }
+
+    /// Validates that all fields are finite (except the send gap, which may
+    /// legitimately be infinite for a fresh connection) and positive where
+    /// required. Returns `false` for malformed snapshots.
+    pub fn is_valid(&self) -> bool {
+        self.cwnd_segments.is_finite()
+            && self.cwnd_segments >= 1.0
+            && self.ssthresh_segments.is_finite()
+            && self.ssthresh_segments >= 1.0
+            && self.rto_s.is_finite()
+            && self.rto_s > 0.0
+            && self.srtt_s.is_finite()
+            && self.srtt_s > 0.0
+            && self.min_rtt_s.is_finite()
+            && self.min_rtt_s > 0.0
+            && self.min_rtt_s <= self.srtt_s + 1e-9
+            && self.last_send_gap_s >= 0.0
+    }
+}
+
+/// Linux-style RTO floor: `max(200 ms, srtt + 4 * rttvar)`, with rttvar
+/// approximated as `srtt / 2` for this model.
+pub fn default_rto(srtt_s: f64) -> f64 {
+    (srtt_s + 4.0 * (srtt_s / 2.0)).max(0.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_snapshot_is_valid() {
+        let info = TcpInfo::fresh(0.08);
+        assert!(info.is_valid());
+        assert_eq!(info.cwnd_segments, crate::INITIAL_CWND_SEGMENTS);
+        assert!(info.idle_exceeds_rto(), "fresh connection has infinite idle gap");
+    }
+
+    #[test]
+    fn rto_has_200ms_floor() {
+        assert_eq!(default_rto(0.001), 0.2);
+        assert!((default_rto(0.1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_detection_uses_rto() {
+        let mut info = TcpInfo::fresh(0.08);
+        info.last_send_gap_s = 0.05;
+        assert!(!info.idle_exceeds_rto());
+        info.last_send_gap_s = 10.0;
+        assert!(info.idle_exceeds_rto());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut info = TcpInfo::fresh(0.08);
+        info.cwnd_segments = 0.0;
+        assert!(!info.is_valid());
+        let mut info = TcpInfo::fresh(0.08);
+        info.min_rtt_s = 0.2;
+        info.srtt_s = 0.1;
+        assert!(!info.is_valid());
+        let mut info = TcpInfo::fresh(0.08);
+        info.rto_s = f64::NAN;
+        assert!(!info.is_valid());
+    }
+}

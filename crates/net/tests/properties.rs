@@ -1,0 +1,123 @@
+//! Property-based tests for the TCP substrate: the estimator `f`, the
+//! ground-truth connection model, and slow-start-restart window validation.
+
+use proptest::prelude::*;
+
+use veritas_net::{
+    apply_slow_start_restart, emission_log_density, estimate_download_time, estimate_throughput,
+    LinkModel, TcpConnection, TcpInfo, INITIAL_CWND_SEGMENTS,
+};
+use veritas_trace::BandwidthTrace;
+
+fn arb_info() -> impl Strategy<Value = TcpInfo> {
+    (
+        1.0f64..500.0,   // cwnd
+        2.0f64..2000.0,  // ssthresh
+        0.01f64..0.2,    // min_rtt
+        0.0f64..20.0,    // last send gap
+    )
+        .prop_map(|(cwnd, ssthresh, min_rtt, gap)| TcpInfo {
+            cwnd_segments: cwnd,
+            ssthresh_segments: ssthresh,
+            rto_s: (min_rtt * 3.0).max(0.2),
+            srtt_s: min_rtt,
+            min_rtt_s: min_rtt,
+            last_send_gap_s: gap,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimator_output_is_finite_nonnegative_and_monotone_in_size_time(
+        info in arb_info(),
+        capacity in 0.0f64..25.0,
+        size_kb in 2.0f64..4000.0,
+    ) {
+        let size = size_kb * 1000.0;
+        let tput = estimate_throughput(capacity, &info, size);
+        prop_assert!(tput.is_finite());
+        prop_assert!(tput >= 0.0);
+        // Download time is non-decreasing in size for the same state.
+        let t_small = estimate_download_time(capacity, &info, size);
+        let t_large = estimate_download_time(capacity, &info, size * 2.0);
+        prop_assert!(t_large >= t_small - 1e-9);
+    }
+
+    #[test]
+    fn slow_start_restart_never_increases_the_window(info in arb_info()) {
+        let decayed = apply_slow_start_restart(&info);
+        prop_assert!(decayed.cwnd_segments <= info.cwnd_segments + 1e-9);
+        prop_assert!(decayed.cwnd_segments >= INITIAL_CWND_SEGMENTS - 1e-9
+            || decayed.cwnd_segments >= info.cwnd_segments - 1e-9);
+        prop_assert!(decayed.ssthresh_segments >= info.ssthresh_segments.min(0.75 * info.cwnd_segments) - 1e-9);
+        // Idempotent for busy connections.
+        if !info.idle_exceeds_rto() {
+            prop_assert_eq!(decayed, info);
+        }
+    }
+
+    #[test]
+    fn emission_density_is_maximized_near_the_consistent_capacity(
+        info in arb_info(),
+        capacity in 1.0f64..10.0,
+    ) {
+        // Generate the observation from the estimator itself: then the true
+        // capacity must be at least as likely as any grid capacity far away.
+        let size = 2_000_000.0;
+        let observed = estimate_throughput(capacity, &info, size);
+        let at_truth = emission_log_density(observed, capacity, &info, size, 0.5);
+        let far_low = emission_log_density(observed, (capacity - 3.0).max(0.0), &info, size, 0.5);
+        prop_assert!(at_truth >= far_low - 1e-9);
+    }
+
+    #[test]
+    fn back_to_back_downloads_respect_physics_and_keep_a_warm_window(
+        capacity in 0.5f64..20.0,
+        size_kb in 10.0f64..3000.0,
+    ) {
+        let mut conn = TcpConnection::new(LinkModel::paper_default());
+        let size = size_kb * 1000.0;
+        let first = conn.download_constant(size, 0.0, capacity);
+        // A back-to-back request sees no idle decay, so it starts from a
+        // window at least as large as the initial one, and both transfers
+        // respect the physical floor (one RTT) and ceiling (link capacity).
+        let second = conn.download_constant(size, first.duration_s, capacity);
+        prop_assert!(second.tcp_info_at_start.cwnd_segments >= INITIAL_CWND_SEGMENTS - 1e-9);
+        prop_assert!(second.tcp_info_at_start.last_send_gap_s < second.tcp_info_at_start.rto_s);
+        for r in [first, second] {
+            prop_assert!(r.duration_s >= 0.08 - 1e-12);
+            prop_assert!(r.throughput_mbps <= capacity * 1.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimator_tracks_the_connection_model_for_steady_large_transfers(
+        capacity in 1.0f64..10.0,
+    ) {
+        // Warm connection, very large transfer: both models should land near
+        // the intrinsic capacity.
+        let mut conn = TcpConnection::new(LinkModel::paper_default());
+        let _ = conn.download_constant(6_000_000.0, 0.0, capacity);
+        let start = 20.0;
+        let info = conn.info_at(start);
+        let predicted = estimate_throughput(capacity, &info, 8_000_000.0);
+        let trace = BandwidthTrace::constant(capacity, 10_000.0);
+        let actual = conn.download(8_000_000.0, start, &trace).throughput_mbps;
+        prop_assert!((predicted - actual).abs() < 0.25 * capacity + 0.3,
+            "predicted {} vs simulated {} at capacity {}", predicted, actual, capacity);
+    }
+
+    #[test]
+    fn tcp_info_snapshots_from_the_connection_are_valid(
+        capacity in 0.5f64..20.0,
+        gap in 0.0f64..30.0,
+    ) {
+        let mut conn = TcpConnection::new(LinkModel::paper_default());
+        let first = conn.download_constant(500_000.0, 0.0, capacity);
+        let second = conn.download_constant(500_000.0, first.duration_s + gap, capacity);
+        prop_assert!(second.tcp_info_at_start.is_valid());
+        prop_assert!((second.tcp_info_at_start.last_send_gap_s - gap).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Player and session configuration.
+
+use serde::{Deserialize, Serialize};
+use veritas_net::LinkModel;
+
+/// Configuration of the emulated video player and its network path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlayerConfig {
+    /// Maximum playback buffer the client will hold, in seconds. The paper's
+    /// deployed setting (Setting A) uses 5 s; one counterfactual raises it
+    /// to 30 s.
+    pub buffer_capacity_s: f64,
+    /// Number of chunks that must be buffered before playback starts.
+    pub startup_chunks: usize,
+    /// Bottleneck link parameters (RTT, MSS, queue).
+    pub link: LinkModel,
+}
+
+impl PlayerConfig {
+    /// The paper's deployed configuration: 5 s buffer, playback after the
+    /// first chunk, 80 ms RTT link.
+    pub fn paper_default() -> Self {
+        Self {
+            buffer_capacity_s: 5.0,
+            startup_chunks: 1,
+            link: LinkModel::paper_default(),
+        }
+    }
+
+    /// Same player with a different buffer capacity (the buffer-size
+    /// counterfactual).
+    pub fn with_buffer_capacity(mut self, buffer_capacity_s: f64) -> Self {
+        assert!(buffer_capacity_s > 0.0);
+        self.buffer_capacity_s = buffer_capacity_s;
+        self
+    }
+
+    /// Overrides the link model.
+    pub fn with_link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.buffer_capacity_s.is_finite() && self.buffer_capacity_s > 0.0) {
+            return Err(format!(
+                "buffer capacity must be positive, got {}",
+                self.buffer_capacity_s
+            ));
+        }
+        if self.startup_chunks == 0 {
+            return Err("startup_chunks must be at least 1".to_string());
+        }
+        if self.link.base_rtt_s() <= 0.0 {
+            return Err("link RTT must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_setup() {
+        let c = PlayerConfig::paper_default();
+        assert_eq!(c.buffer_capacity_s, 5.0);
+        assert_eq!(c.startup_chunks, 1);
+        assert!((c.link.base_rtt_s() - 0.08).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn buffer_override() {
+        let c = PlayerConfig::paper_default().with_buffer_capacity(30.0);
+        assert_eq!(c.buffer_capacity_s, 30.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = PlayerConfig::paper_default();
+        c.buffer_capacity_s = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = PlayerConfig::paper_default();
+        c.startup_chunks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_buffer_capacity_rejects_zero() {
+        let _ = PlayerConfig::paper_default().with_buffer_capacity(0.0);
+    }
+}

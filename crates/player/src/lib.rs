@@ -1,0 +1,22 @@
+//! Trace-driven video streaming emulator and session logs.
+//!
+//! This crate is the stand-in for the paper's emulation testbed (Puffer
+//! player + mahimahi): [`run_session`] plays a [`veritas_media::VideoAsset`]
+//! over a [`veritas_trace::BandwidthTrace`] through the
+//! [`veritas_net::TcpConnection`] model, with a [`veritas_abr::Abr`] policy
+//! choosing qualities, and records a [`SessionLog`] with the paper's
+//! observed variables plus QoE summaries.
+//!
+//! The same entry point doubles as the replay engine for counterfactual
+//! queries (different ABR / buffer size / ladder over an inferred trace).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod config;
+mod log;
+mod session;
+
+pub use config::PlayerConfig;
+pub use log::{ChunkRecord, QoeSummary, SessionLog};
+pub use session::{run_batch, run_session};

@@ -1,0 +1,243 @@
+//! Trace serialization: JSON and the mahimahi packet-timestamp format.
+//!
+//! The paper replays bandwidth traces with mahimahi, whose trace format is a
+//! text file with one millisecond timestamp per line; each line grants one
+//! 1500-byte MTU of transmission opportunity at that millisecond. Supporting
+//! that format keeps the synthetic traces interoperable with real emulation
+//! tooling, and round-tripping through it is a useful fidelity check.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{BandwidthTrace, TraceSegment};
+
+/// Bytes per mahimahi transmission opportunity (one MTU).
+pub const MAHIMAHI_MTU_BYTES: f64 = 1500.0;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// The mahimahi file contained a line that is not a non-negative integer.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The file contained no usable data.
+    EmptyFile,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::MalformedLine { line } => write!(f, "malformed mahimahi line {line}"),
+            IoError::EmptyFile => write!(f, "trace file contained no data"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Serializes a trace to a JSON string.
+pub fn to_json(trace: &BandwidthTrace) -> String {
+    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+}
+
+/// Deserializes a trace from JSON, restoring internal indexes.
+pub fn from_json(json: &str) -> Result<BandwidthTrace, IoError> {
+    let mut trace: BandwidthTrace = serde_json::from_str(json)?;
+    trace.refresh();
+    Ok(trace)
+}
+
+/// Writes a trace to `path` as JSON.
+pub fn write_json(trace: &BandwidthTrace, path: &Path) -> Result<(), IoError> {
+    fs::write(path, to_json(trace))?;
+    Ok(())
+}
+
+/// Reads a JSON trace from `path`.
+pub fn read_json(path: &Path) -> Result<BandwidthTrace, IoError> {
+    let data = fs::read_to_string(path)?;
+    from_json(&data)
+}
+
+/// Renders a trace in mahimahi's packet-timestamp format.
+///
+/// Each line is an integer millisecond at which one MTU (1500 bytes) may be
+/// sent. The rendering accumulates fractional transmission opportunities so
+/// that long traces deliver the correct total byte count even at low rates.
+pub fn to_mahimahi(trace: &BandwidthTrace) -> String {
+    let mut out = String::new();
+    let mut carry_bytes = 0.0_f64;
+    let total_ms = (trace.duration() * 1000.0).round() as u64;
+    for ms in 0..total_ms {
+        let t = ms as f64 / 1000.0;
+        let rate_mbps = trace.bandwidth_at(t);
+        carry_bytes += rate_mbps * 1e6 / 8.0 / 1000.0; // bytes available this ms
+        while carry_bytes >= MAHIMAHI_MTU_BYTES {
+            let _ = writeln!(out, "{}", ms + 1); // mahimahi timestamps are 1-based ms
+            carry_bytes -= MAHIMAHI_MTU_BYTES;
+        }
+    }
+    out
+}
+
+/// Parses a mahimahi packet-timestamp file back into a piecewise-constant
+/// trace by binning transmission opportunities into `bin_s`-second windows.
+pub fn from_mahimahi(contents: &str, bin_s: f64) -> Result<BandwidthTrace, IoError> {
+    assert!(bin_s > 0.0);
+    let mut timestamps_ms = Vec::new();
+    for (i, line) in contents.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ts: u64 = line
+            .parse()
+            .map_err(|_| IoError::MalformedLine { line: i + 1 })?;
+        timestamps_ms.push(ts);
+    }
+    if timestamps_ms.is_empty() {
+        return Err(IoError::EmptyFile);
+    }
+    let end_ms = *timestamps_ms.iter().max().expect("non-empty");
+    let duration_s = (end_ms as f64 / 1000.0).max(bin_s);
+    let bins = (duration_s / bin_s).ceil() as usize;
+    let mut bytes_per_bin = vec![0.0_f64; bins];
+    for ts in timestamps_ms {
+        let bin = (((ts.saturating_sub(1)) as f64 / 1000.0) / bin_s).floor() as usize;
+        let bin = bin.min(bins - 1);
+        bytes_per_bin[bin] += MAHIMAHI_MTU_BYTES;
+    }
+    let values: Vec<f64> = bytes_per_bin
+        .iter()
+        .map(|&bytes| bytes * 8.0 / 1e6 / bin_s)
+        .collect();
+    BandwidthTrace::from_uniform(bin_s, &values).map_err(|_| IoError::EmptyFile)
+}
+
+/// Writes a trace to `path` in mahimahi format.
+pub fn write_mahimahi(trace: &BandwidthTrace, path: &Path) -> Result<(), IoError> {
+    fs::write(path, to_mahimahi(trace))?;
+    Ok(())
+}
+
+/// Reads a mahimahi-format trace from `path`, binning at `bin_s` seconds.
+pub fn read_mahimahi(path: &Path, bin_s: f64) -> Result<BandwidthTrace, IoError> {
+    let data = fs::read_to_string(path)?;
+    from_mahimahi(&data, bin_s)
+}
+
+/// Convenience: builds a trace directly from `(interval, bandwidth)` pairs.
+pub fn from_pairs(pairs: &[(f64, f64)]) -> Result<BandwidthTrace, crate::TraceError> {
+    BandwidthTrace::new(
+        pairs
+            .iter()
+            .map(|&(interval_s, bandwidth_mbps)| TraceSegment {
+                interval_s,
+                bandwidth_mbps,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_trace() {
+        let t = BandwidthTrace::from_uniform(5.0, &[1.0, 2.5, 4.0]).unwrap();
+        let json = to_json(&t);
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.values(), t.values());
+        assert!((back.duration() - t.duration()).abs() < 1e-12);
+        // refreshed index must work
+        assert_eq!(back.bandwidth_at(7.0), 2.5);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn mahimahi_rendering_rate_is_correct() {
+        // 12 Mbps = 1.5 MB/s = 1000 MTUs per second.
+        let t = BandwidthTrace::constant(12.0, 2.0);
+        let rendered = to_mahimahi(&t);
+        let lines = rendered.lines().count();
+        assert_eq!(lines, 2000);
+    }
+
+    #[test]
+    fn mahimahi_round_trip_recovers_rate() {
+        let t = BandwidthTrace::from_uniform(5.0, &[2.0, 6.0, 4.0]).unwrap();
+        let rendered = to_mahimahi(&t);
+        let back = from_mahimahi(&rendered, 5.0).unwrap();
+        for (orig, rec) in t.values().iter().zip(back.values().iter()) {
+            assert!(
+                (orig - rec).abs() < 0.05,
+                "orig {orig} Mbps vs recovered {rec} Mbps"
+            );
+        }
+    }
+
+    #[test]
+    fn mahimahi_parser_flags_bad_lines() {
+        let err = from_mahimahi("12\nbogus\n", 1.0).unwrap_err();
+        assert!(matches!(err, IoError::MalformedLine { line: 2 }));
+        assert!(matches!(from_mahimahi("", 1.0).unwrap_err(), IoError::EmptyFile));
+    }
+
+    #[test]
+    fn low_rate_traces_still_emit_packets() {
+        // 0.3 Mbps over 10 s = 375000 bytes = 250 MTUs.
+        let t = BandwidthTrace::constant(0.3, 10.0);
+        let rendered = to_mahimahi(&t);
+        assert_eq!(rendered.lines().count(), 250);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("veritas_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = BandwidthTrace::from_uniform(5.0, &[3.0, 5.0]).unwrap();
+        let jpath = dir.join("trace.json");
+        write_json(&t, &jpath).unwrap();
+        let back = read_json(&jpath).unwrap();
+        assert_eq!(back.values(), t.values());
+        let mpath = dir.join("trace.mahi");
+        write_mahimahi(&t, &mpath).unwrap();
+        let back = read_mahimahi(&mpath, 5.0).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn from_pairs_builds_segments() {
+        let t = from_pairs(&[(5.0, 1.0), (10.0, 2.0)]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!((t.duration() - 15.0).abs() < 1e-12);
+        assert!(from_pairs(&[]).is_err());
+    }
+}

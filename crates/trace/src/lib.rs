@@ -1,0 +1,51 @@
+//! Ground-truth bandwidth (GTBW) traces and synthetic trace generators.
+//!
+//! The Veritas paper models the network as a *latent, piecewise-constant
+//! bandwidth process*: the Ground Truth Bandwidth (GTBW) `C_t` is constant
+//! over each interval of width `δ` and evolves as a first-order Markov chain
+//! over a quantized capacity grid (multiples of `ε` Mbps).
+//!
+//! This crate provides:
+//!
+//! * [`BandwidthTrace`] — the piecewise-constant bandwidth process itself,
+//!   with lookup, resampling, clamping and summary statistics.
+//! * [`Quantizer`] — the ε-grid used both by trace generators and by the
+//!   EHMM state space.
+//! * [`generators`] — seeded synthetic generators standing in for the FCC
+//!   broadband traces used in the paper's evaluation (see `DESIGN.md`,
+//!   substitution table): Markov-modulated, bounded random walk, square
+//!   wave, regime-switching, constant, and an "FCC-like" composite.
+//! * [`io`] — JSON serialization and the mahimahi packet-timestamp format.
+//!
+//! All randomness is seeded; every generator is deterministic given its
+//! configuration and seed.
+//!
+//! # Units
+//!
+//! Bandwidth is expressed in **Mbps**, time in **seconds**, and sizes (where
+//! they appear elsewhere in the workspace) in **bytes**.
+//!
+//! # Example
+//!
+//! ```
+//! use veritas_trace::{BandwidthTrace, generators::{FccLike, TraceGenerator}};
+//!
+//! let gen = FccLike::new(3.0, 8.0);
+//! let trace: BandwidthTrace = gen.generate(600.0, 42);
+//! assert!(trace.duration() >= 600.0);
+//! let bw = trace.bandwidth_at(123.4);
+//! assert!(bw >= 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod generators;
+pub mod io;
+pub mod quantize;
+pub mod stats;
+mod trace;
+
+pub use quantize::Quantizer;
+pub use stats::TraceStats;
+pub use trace::{BandwidthTrace, TraceError, TraceSegment};

@@ -1,0 +1,153 @@
+//! Capacity quantization onto the ε-grid used by the EHMM state space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BandwidthTrace;
+
+/// Quantizes capacities to multiples of `epsilon` Mbps within `[0, max]`.
+///
+/// The paper (§3.2) quantizes the hidden GTBW values to a grid
+/// `{0, ε, 2ε, …}` so that the EHMM has a finite, discrete state space. The
+/// same grid is reused by trace generators so synthetic ground truth lands
+/// exactly on representable states when desired.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    epsilon_mbps: f64,
+    max_mbps: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with grid step `epsilon_mbps` and ceiling `max_mbps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon_mbps <= 0`, `max_mbps < epsilon_mbps`, or either is
+    /// not finite.
+    pub fn new(epsilon_mbps: f64, max_mbps: f64) -> Self {
+        assert!(
+            epsilon_mbps.is_finite() && epsilon_mbps > 0.0,
+            "epsilon must be positive and finite"
+        );
+        assert!(
+            max_mbps.is_finite() && max_mbps >= epsilon_mbps,
+            "max must be finite and at least epsilon"
+        );
+        Self {
+            epsilon_mbps,
+            max_mbps,
+        }
+    }
+
+    /// The grid step in Mbps.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon_mbps
+    }
+
+    /// The grid ceiling in Mbps.
+    pub fn max(&self) -> f64 {
+        self.max_mbps
+    }
+
+    /// Number of states on the grid (index `0` is 0 Mbps, the last index is
+    /// the largest multiple of ε not exceeding `max`).
+    pub fn num_states(&self) -> usize {
+        (self.max_mbps / self.epsilon_mbps).floor() as usize + 1
+    }
+
+    /// The capacity in Mbps represented by state `index`.
+    ///
+    /// Indices past the end of the grid clamp to the top state.
+    pub fn value(&self, index: usize) -> f64 {
+        let idx = index.min(self.num_states() - 1);
+        idx as f64 * self.epsilon_mbps
+    }
+
+    /// All representable capacities, lowest to highest.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.num_states()).map(|i| self.value(i)).collect()
+    }
+
+    /// The state index nearest to `bandwidth_mbps` (clamped to the grid).
+    pub fn index_of(&self, bandwidth_mbps: f64) -> usize {
+        if !bandwidth_mbps.is_finite() || bandwidth_mbps <= 0.0 {
+            return 0;
+        }
+        let raw = (bandwidth_mbps / self.epsilon_mbps).round() as usize;
+        raw.min(self.num_states() - 1)
+    }
+
+    /// Snaps `bandwidth_mbps` to the nearest representable capacity.
+    pub fn quantize(&self, bandwidth_mbps: f64) -> f64 {
+        self.value(self.index_of(bandwidth_mbps))
+    }
+
+    /// Quantizes every segment of a trace onto the grid.
+    pub fn quantize_trace(&self, trace: &BandwidthTrace) -> BandwidthTrace {
+        let segments = trace
+            .segments()
+            .iter()
+            .map(|seg| crate::TraceSegment {
+                interval_s: seg.interval_s,
+                bandwidth_mbps: self.quantize(seg.bandwidth_mbps),
+            })
+            .collect();
+        BandwidthTrace::new(segments).expect("quantized trace is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size_and_values() {
+        let q = Quantizer::new(0.5, 10.0);
+        assert_eq!(q.num_states(), 21);
+        assert_eq!(q.value(0), 0.0);
+        assert_eq!(q.value(1), 0.5);
+        assert_eq!(q.value(20), 10.0);
+        assert_eq!(q.value(999), 10.0, "out-of-range index clamps to top state");
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        let q = Quantizer::new(0.5, 10.0);
+        assert_eq!(q.quantize(0.2), 0.0);
+        assert_eq!(q.quantize(0.26), 0.5);
+        assert_eq!(q.quantize(3.74), 3.5);
+        assert_eq!(q.quantize(3.76), 4.0);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let q = Quantizer::new(0.5, 10.0);
+        assert_eq!(q.quantize(-1.0), 0.0);
+        assert_eq!(q.quantize(50.0), 10.0);
+        assert_eq!(q.index_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quantize_round_trips_grid_points() {
+        let q = Quantizer::new(0.25, 8.0);
+        for i in 0..q.num_states() {
+            let v = q.value(i);
+            assert_eq!(q.index_of(v), i);
+            assert_eq!(q.quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn quantizes_traces_segmentwise() {
+        let q = Quantizer::new(1.0, 5.0);
+        let t = BandwidthTrace::from_uniform(5.0, &[0.4, 1.6, 7.0]).unwrap();
+        let qt = q.quantize_trace(&t);
+        assert_eq!(qt.values(), vec![0.0, 2.0, 5.0]);
+        assert_eq!(qt.duration(), t.duration());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_zero_epsilon() {
+        let _ = Quantizer::new(0.0, 10.0);
+    }
+}

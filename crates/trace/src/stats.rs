@@ -1,0 +1,196 @@
+//! Summary statistics over bandwidth traces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BandwidthTrace;
+
+/// Time-weighted summary statistics of a [`BandwidthTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total duration in seconds.
+    pub duration_s: f64,
+    /// Time-weighted mean bandwidth (Mbps).
+    pub mean_mbps: f64,
+    /// Minimum segment bandwidth (Mbps).
+    pub min_mbps: f64,
+    /// Maximum segment bandwidth (Mbps).
+    pub max_mbps: f64,
+    /// Time-weighted standard deviation of bandwidth (Mbps).
+    pub std_mbps: f64,
+    /// Mean absolute change between consecutive segments (Mbps) — a measure
+    /// of how bursty the trace is.
+    pub mean_abs_step_mbps: f64,
+    /// Number of segments.
+    pub segments: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn of(trace: &BandwidthTrace) -> Self {
+        let duration = trace.duration();
+        let mean = trace.mean();
+        let mut var_acc = 0.0;
+        for seg in trace.segments() {
+            let d = seg.bandwidth_mbps - mean;
+            var_acc += d * d * seg.interval_s;
+        }
+        let std = if duration > 0.0 {
+            (var_acc / duration).sqrt()
+        } else {
+            0.0
+        };
+        let values = trace.values();
+        let mean_abs_step = if values.len() > 1 {
+            values
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .sum::<f64>()
+                / (values.len() - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            duration_s: duration,
+            mean_mbps: mean,
+            min_mbps: trace.min(),
+            max_mbps: trace.max(),
+            std_mbps: std,
+            mean_abs_step_mbps: mean_abs_step,
+            segments: trace.len(),
+        }
+    }
+}
+
+/// Mean absolute error between two traces, sampled on a uniform grid of
+/// width `step_s` over the duration of `reference`.
+///
+/// This is the metric used throughout the evaluation to compare an inferred
+/// GTBW time series (Veritas sample or Baseline reconstruction) against the
+/// true GTBW.
+pub fn trace_mae(reference: &BandwidthTrace, estimate: &BandwidthTrace, step_s: f64) -> f64 {
+    assert!(step_s > 0.0);
+    let duration = reference.duration();
+    let n = (duration / step_s).ceil().max(1.0) as usize;
+    let mut acc = 0.0;
+    for i in 0..n {
+        let t = (i as f64 + 0.5) * step_s;
+        acc += (reference.bandwidth_at(t) - estimate.bandwidth_at(t)).abs();
+    }
+    acc / n as f64
+}
+
+/// Root-mean-square error between two traces on a uniform grid.
+pub fn trace_rmse(reference: &BandwidthTrace, estimate: &BandwidthTrace, step_s: f64) -> f64 {
+    assert!(step_s > 0.0);
+    let duration = reference.duration();
+    let n = (duration / step_s).ceil().max(1.0) as usize;
+    let mut acc = 0.0;
+    for i in 0..n {
+        let t = (i as f64 + 0.5) * step_s;
+        let d = reference.bandwidth_at(t) - estimate.bandwidth_at(t);
+        acc += d * d;
+    }
+    (acc / n as f64).sqrt()
+}
+
+/// Fraction of grid points where `estimate` is below `reference` by more than
+/// `margin_mbps` — i.e. how often the estimate is *conservative*. The paper's
+/// Baseline is systematically conservative in off-periods and when chunks are
+/// smaller than the bandwidth-delay product.
+pub fn underestimation_fraction(
+    reference: &BandwidthTrace,
+    estimate: &BandwidthTrace,
+    step_s: f64,
+    margin_mbps: f64,
+) -> f64 {
+    assert!(step_s > 0.0);
+    let duration = reference.duration();
+    let n = (duration / step_s).ceil().max(1.0) as usize;
+    let mut under = 0usize;
+    for i in 0..n {
+        let t = (i as f64 + 0.5) * step_s;
+        if estimate.bandwidth_at(t) + margin_mbps < reference.bandwidth_at(t) {
+            under += 1;
+        }
+    }
+    under as f64 / n as f64
+}
+
+/// Simple percentile over a slice (linear interpolation between ranks).
+///
+/// `p` is in `[0, 100]`. Returns `NaN` for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_uniform_trace() {
+        let t = BandwidthTrace::from_uniform(5.0, &[2.0, 4.0, 6.0]).unwrap();
+        let s = TraceStats::of(&t);
+        assert!((s.mean_mbps - 4.0).abs() < 1e-12);
+        assert_eq!(s.min_mbps, 2.0);
+        assert_eq!(s.max_mbps, 6.0);
+        assert_eq!(s.segments, 3);
+        assert!((s.std_mbps - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((s.mean_abs_step_mbps - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_constant_trace_has_zero_spread() {
+        let t = BandwidthTrace::constant(5.0, 30.0);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.std_mbps, 0.0);
+        assert_eq!(s.mean_abs_step_mbps, 0.0);
+    }
+
+    #[test]
+    fn mae_of_identical_traces_is_zero() {
+        let t = BandwidthTrace::from_uniform(5.0, &[2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(trace_mae(&t, &t, 1.0), 0.0);
+        assert_eq!(trace_rmse(&t, &t, 1.0), 0.0);
+    }
+
+    #[test]
+    fn mae_of_offset_traces() {
+        let a = BandwidthTrace::constant(5.0, 10.0);
+        let b = BandwidthTrace::constant(3.0, 10.0);
+        assert!((trace_mae(&a, &b, 1.0) - 2.0).abs() < 1e-12);
+        assert!((trace_rmse(&a, &b, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underestimation_detects_conservative_estimates() {
+        let truth = BandwidthTrace::constant(5.0, 10.0);
+        let low = BandwidthTrace::constant(2.0, 10.0);
+        let high = BandwidthTrace::constant(8.0, 10.0);
+        assert_eq!(underestimation_fraction(&truth, &low, 1.0, 0.5), 1.0);
+        assert_eq!(underestimation_fraction(&truth, &high, 1.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+}

@@ -1,0 +1,499 @@
+//! The piecewise-constant bandwidth trace type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when constructing or manipulating a [`BandwidthTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace has no segments.
+    Empty,
+    /// A segment has a non-positive duration.
+    NonPositiveInterval {
+        /// Index of the offending segment.
+        index: usize,
+        /// The interval length that was supplied.
+        interval: f64,
+    },
+    /// A segment has a negative bandwidth.
+    NegativeBandwidth {
+        /// Index of the offending segment.
+        index: usize,
+        /// The bandwidth value that was supplied.
+        bandwidth_mbps: f64,
+    },
+    /// A value was not finite (NaN or infinite).
+    NotFinite {
+        /// Index of the offending segment.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "bandwidth trace must contain at least one segment"),
+            TraceError::NonPositiveInterval { index, interval } => write!(
+                f,
+                "segment {index} has non-positive interval length {interval}"
+            ),
+            TraceError::NegativeBandwidth {
+                index,
+                bandwidth_mbps,
+            } => write!(
+                f,
+                "segment {index} has negative bandwidth {bandwidth_mbps} Mbps"
+            ),
+            TraceError::NotFinite { index } => {
+                write!(f, "segment {index} contains a non-finite value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One piecewise-constant segment of a bandwidth trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Length of the segment in seconds.
+    pub interval_s: f64,
+    /// Average bandwidth over the segment, in Mbps.
+    pub bandwidth_mbps: f64,
+}
+
+/// A piecewise-constant ground-truth bandwidth (GTBW) process.
+///
+/// The trace is a sequence of `(interval, bandwidth)` segments. Queries past
+/// the end of the trace return the bandwidth of the last segment, matching
+/// the convention used by mahimahi-style replay (a trace loops/holds rather
+/// than dropping to zero); this keeps downstream emulation well-defined for
+/// sessions that outlast the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    segments: Vec<TraceSegment>,
+    /// Cumulative end time of every segment (same length as `segments`).
+    #[serde(skip)]
+    cumulative: Vec<f64>,
+}
+
+impl BandwidthTrace {
+    /// Builds a trace from raw segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the segment list is empty, any interval is
+    /// non-positive, any bandwidth is negative, or any value is not finite.
+    pub fn new(segments: Vec<TraceSegment>) -> Result<Self, TraceError> {
+        if segments.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        for (index, seg) in segments.iter().enumerate() {
+            if !seg.interval_s.is_finite() || !seg.bandwidth_mbps.is_finite() {
+                return Err(TraceError::NotFinite { index });
+            }
+            if seg.interval_s <= 0.0 {
+                return Err(TraceError::NonPositiveInterval {
+                    index,
+                    interval: seg.interval_s,
+                });
+            }
+            if seg.bandwidth_mbps < 0.0 {
+                return Err(TraceError::NegativeBandwidth {
+                    index,
+                    bandwidth_mbps: seg.bandwidth_mbps,
+                });
+            }
+        }
+        let mut trace = Self {
+            segments,
+            cumulative: Vec::new(),
+        };
+        trace.rebuild_cumulative();
+        Ok(trace)
+    }
+
+    /// Builds a trace with a uniform interval width `delta_s` from a list of
+    /// bandwidth values (the paper's `C_1..C_T` representation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BandwidthTrace::new`].
+    pub fn from_uniform(delta_s: f64, bandwidths_mbps: &[f64]) -> Result<Self, TraceError> {
+        let segments = bandwidths_mbps
+            .iter()
+            .map(|&bandwidth_mbps| TraceSegment {
+                interval_s: delta_s,
+                bandwidth_mbps,
+            })
+            .collect();
+        Self::new(segments)
+    }
+
+    /// A constant-bandwidth trace of the given duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` or `bandwidth_mbps` are invalid (this is a
+    /// convenience constructor intended for literal arguments).
+    pub fn constant(bandwidth_mbps: f64, duration_s: f64) -> Self {
+        Self::new(vec![TraceSegment {
+            interval_s: duration_s,
+            bandwidth_mbps,
+        }])
+        .expect("constant trace arguments must be valid")
+    }
+
+    fn rebuild_cumulative(&mut self) {
+        self.cumulative.clear();
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            acc += seg.interval_s;
+            self.cumulative.push(acc);
+        }
+    }
+
+    /// Re-establishes internal cumulative sums after deserialization.
+    ///
+    /// `serde` skips the cached cumulative vector; call this after
+    /// deserializing a trace by hand. [`crate::io`] does it for you.
+    pub fn refresh(&mut self) {
+        self.rebuild_cumulative();
+    }
+
+    /// The segments of this trace.
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the trace has no segments (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total duration covered by the trace in seconds.
+    pub fn duration(&self) -> f64 {
+        *self.cumulative.last().unwrap_or(&0.0)
+    }
+
+    /// Bandwidth (Mbps) at absolute time `t_s` seconds.
+    ///
+    /// Times before zero clamp to the first segment; times past the end clamp
+    /// to the last segment.
+    pub fn bandwidth_at(&self, t_s: f64) -> f64 {
+        let idx = self.segment_index_at(t_s);
+        self.segments[idx].bandwidth_mbps
+    }
+
+    /// Index of the segment covering time `t_s` (clamped to valid range).
+    pub fn segment_index_at(&self, t_s: f64) -> usize {
+        if t_s <= 0.0 {
+            return 0;
+        }
+        match self
+            .cumulative
+            .binary_search_by(|end| end.partial_cmp(&t_s).expect("finite times"))
+        {
+            // `t_s` equals a segment boundary: the time belongs to the *next*
+            // segment (intervals are half-open `[start, end)`).
+            Ok(i) => (i + 1).min(self.segments.len() - 1),
+            Err(i) => i.min(self.segments.len() - 1),
+        }
+    }
+
+    /// Average bandwidth (Mbps) over the window `[start_s, end_s]`, weighted
+    /// by time. Returns the point value at `start_s` if the window is empty.
+    pub fn mean_bandwidth_over(&self, start_s: f64, end_s: f64) -> f64 {
+        if end_s <= start_s {
+            return self.bandwidth_at(start_s);
+        }
+        let mut acc = 0.0;
+        let mut t = start_s.max(0.0);
+        let end = end_s;
+        // Walk segments that intersect the window.
+        let mut idx = self.segment_index_at(t);
+        loop {
+            let seg_start = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+            let seg_end = self.cumulative[idx];
+            let lo = t.max(seg_start);
+            let hi = end.min(seg_end);
+            if hi > lo {
+                acc += self.segments[idx].bandwidth_mbps * (hi - lo);
+            }
+            if seg_end >= end || idx + 1 >= self.segments.len() {
+                // Account for any residue beyond the trace end at the last
+                // segment's bandwidth (hold-last semantics).
+                if end > seg_end && idx + 1 >= self.segments.len() {
+                    acc += self.segments[idx].bandwidth_mbps * (end - seg_end.max(t));
+                }
+                break;
+            }
+            t = seg_end;
+            idx += 1;
+        }
+        acc / (end - start_s.max(0.0))
+    }
+
+    /// Bytes the link can intrinsically deliver over `[start_s, end_s]`.
+    pub fn deliverable_bytes(&self, start_s: f64, end_s: f64) -> f64 {
+        if end_s <= start_s {
+            return 0.0;
+        }
+        self.mean_bandwidth_over(start_s, end_s) * (end_s - start_s) * 1e6 / 8.0
+    }
+
+    /// Resamples the trace onto a uniform grid of width `delta_s`, averaging
+    /// bandwidth within each new interval. The result covers at least the
+    /// original duration.
+    pub fn resample(&self, delta_s: f64) -> BandwidthTrace {
+        assert!(delta_s > 0.0, "resample interval must be positive");
+        let duration = self.duration();
+        let n = (duration / delta_s).ceil().max(1.0) as usize;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let start = i as f64 * delta_s;
+                let end = ((i + 1) as f64 * delta_s).min(duration.max(start + delta_s));
+                self.mean_bandwidth_over(start, end)
+            })
+            .collect();
+        BandwidthTrace::from_uniform(delta_s, &values).expect("resampled trace is valid")
+    }
+
+    /// Returns a copy with every bandwidth clamped into `[lo, hi]` Mbps.
+    pub fn clamped(&self, lo: f64, hi: f64) -> BandwidthTrace {
+        let segments = self
+            .segments
+            .iter()
+            .map(|seg| TraceSegment {
+                interval_s: seg.interval_s,
+                bandwidth_mbps: seg.bandwidth_mbps.clamp(lo, hi),
+            })
+            .collect();
+        BandwidthTrace::new(segments).expect("clamped trace is valid")
+    }
+
+    /// Returns a copy scaled by `factor` (e.g. to convert Mbps ↔ other units
+    /// or to stress-test sensitivity to absolute bandwidth).
+    pub fn scaled(&self, factor: f64) -> BandwidthTrace {
+        assert!(factor >= 0.0 && factor.is_finite());
+        let segments = self
+            .segments
+            .iter()
+            .map(|seg| TraceSegment {
+                interval_s: seg.interval_s,
+                bandwidth_mbps: seg.bandwidth_mbps * factor,
+            })
+            .collect();
+        BandwidthTrace::new(segments).expect("scaled trace is valid")
+    }
+
+    /// Truncates (or extends, holding the final value) the trace to exactly
+    /// `duration_s` seconds.
+    pub fn with_duration(&self, duration_s: f64) -> BandwidthTrace {
+        assert!(duration_s > 0.0);
+        let mut segments = Vec::new();
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            if acc >= duration_s {
+                break;
+            }
+            let interval = seg.interval_s.min(duration_s - acc);
+            segments.push(TraceSegment {
+                interval_s: interval,
+                bandwidth_mbps: seg.bandwidth_mbps,
+            });
+            acc += interval;
+        }
+        if acc < duration_s {
+            let last_bw = self
+                .segments
+                .last()
+                .map(|s| s.bandwidth_mbps)
+                .unwrap_or(0.0);
+            segments.push(TraceSegment {
+                interval_s: duration_s - acc,
+                bandwidth_mbps: last_bw,
+            });
+        }
+        BandwidthTrace::new(segments).expect("duration-adjusted trace is valid")
+    }
+
+    /// Bandwidth values, one per segment (useful for uniform traces).
+    pub fn values(&self) -> Vec<f64> {
+        self.segments.iter().map(|s| s.bandwidth_mbps).collect()
+    }
+
+    /// Mean bandwidth over the whole trace, time-weighted.
+    pub fn mean(&self) -> f64 {
+        self.mean_bandwidth_over(0.0, self.duration())
+    }
+
+    /// Minimum segment bandwidth in Mbps.
+    pub fn min(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.bandwidth_mbps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum segment bandwidth in Mbps.
+    pub fn max(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.bandwidth_mbps)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> BandwidthTrace {
+        BandwidthTrace::from_uniform(5.0, &[1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(BandwidthTrace::new(vec![]), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn rejects_negative_bandwidth() {
+        let err = BandwidthTrace::from_uniform(5.0, &[1.0, -2.0]).unwrap_err();
+        assert!(matches!(err, TraceError::NegativeBandwidth { index: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_positive_interval() {
+        let err = BandwidthTrace::new(vec![TraceSegment {
+            interval_s: 0.0,
+            bandwidth_mbps: 1.0,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, TraceError::NonPositiveInterval { index: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = BandwidthTrace::new(vec![TraceSegment {
+            interval_s: f64::NAN,
+            bandwidth_mbps: 1.0,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, TraceError::NotFinite { index: 0 }));
+    }
+
+    #[test]
+    fn duration_sums_intervals() {
+        assert!((simple().duration() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_lookup_within_segments() {
+        let t = simple();
+        assert_eq!(t.bandwidth_at(0.0), 1.0);
+        assert_eq!(t.bandwidth_at(4.999), 1.0);
+        assert_eq!(t.bandwidth_at(5.0), 2.0, "boundaries belong to the next segment");
+        assert_eq!(t.bandwidth_at(12.0), 3.0);
+        assert_eq!(t.bandwidth_at(19.999), 4.0);
+    }
+
+    #[test]
+    fn bandwidth_lookup_clamps_out_of_range() {
+        let t = simple();
+        assert_eq!(t.bandwidth_at(-3.0), 1.0);
+        assert_eq!(t.bandwidth_at(1e9), 4.0);
+    }
+
+    #[test]
+    fn mean_over_full_trace() {
+        let t = simple();
+        assert!((t.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_partial_window_weights_by_time() {
+        let t = simple();
+        // window [2.5, 7.5]: half in segment 0 (1 Mbps), half in segment 1 (2 Mbps)
+        assert!((t.mean_bandwidth_over(2.5, 7.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_window_past_end_holds_last_value() {
+        let t = simple();
+        // [15, 25]: 5 s at 4 Mbps inside the trace, 5 s held at 4 Mbps after it.
+        assert!((t.mean_bandwidth_over(15.0, 25.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_returns_point_value() {
+        let t = simple();
+        assert_eq!(t.mean_bandwidth_over(6.0, 6.0), 2.0);
+        assert_eq!(t.mean_bandwidth_over(8.0, 6.0), 2.0);
+    }
+
+    #[test]
+    fn deliverable_bytes_matches_rate() {
+        let t = BandwidthTrace::constant(8.0, 100.0); // 8 Mbps = 1 MB/s
+        let bytes = t.deliverable_bytes(10.0, 20.0);
+        assert!((bytes - 10.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn resample_preserves_mean_on_uniform_grid() {
+        let t = simple();
+        let r = t.resample(2.5);
+        assert_eq!(r.len(), 8);
+        assert!((r.mean() - t.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_coarser_averages() {
+        let t = simple();
+        let r = t.resample(10.0);
+        assert_eq!(r.len(), 2);
+        assert!((r.values()[0] - 1.5).abs() < 1e-12);
+        assert!((r.values()[1] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_scale() {
+        let t = simple();
+        let c = t.clamped(1.5, 3.5);
+        assert_eq!(c.values(), vec![1.5, 2.0, 3.0, 3.5]);
+        let s = t.scaled(2.0);
+        assert_eq!(s.values(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn with_duration_truncates_and_extends() {
+        let t = simple();
+        let short = t.with_duration(7.0);
+        assert!((short.duration() - 7.0).abs() < 1e-12);
+        assert_eq!(short.bandwidth_at(6.0), 2.0);
+        let long = t.with_duration(30.0);
+        assert!((long.duration() - 30.0).abs() < 1e-12);
+        assert_eq!(long.bandwidth_at(29.0), 4.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let t = simple();
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 4.0);
+    }
+
+    #[test]
+    fn constant_trace_is_flat() {
+        let t = BandwidthTrace::constant(18.0, 60.0);
+        assert_eq!(t.bandwidth_at(0.0), 18.0);
+        assert_eq!(t.bandwidth_at(59.0), 18.0);
+        assert_eq!(t.mean(), 18.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for bandwidth traces, generators, quantization and
+//! the mahimahi round-trip.
+
+use proptest::prelude::*;
+
+use veritas_trace::generators::{FccLike, RandomWalk, RegimeSwitch, TraceGenerator};
+use veritas_trace::{io, BandwidthTrace, Quantizer, TraceStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_traces_report_exact_duration(
+        delta in 0.5f64..10.0,
+        values in prop::collection::vec(0.0f64..20.0, 1..60),
+    ) {
+        let trace = BandwidthTrace::from_uniform(delta, &values).unwrap();
+        prop_assert!((trace.duration() - delta * values.len() as f64).abs() < 1e-9);
+        prop_assert_eq!(trace.len(), values.len());
+    }
+
+    #[test]
+    fn point_lookups_return_a_segment_value(
+        delta in 0.5f64..10.0,
+        values in prop::collection::vec(0.0f64..20.0, 1..40),
+        t in -10.0f64..500.0,
+    ) {
+        let trace = BandwidthTrace::from_uniform(delta, &values).unwrap();
+        let v = trace.bandwidth_at(t);
+        prop_assert!(values.iter().any(|&x| (x - v).abs() < 1e-12));
+    }
+
+    #[test]
+    fn resampling_preserves_total_deliverable_bytes(
+        values in prop::collection::vec(0.0f64..20.0, 2..40),
+        delta in 0.5f64..6.0,
+    ) {
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let resampled = trace.resample(delta);
+        let original = trace.deliverable_bytes(0.0, trace.duration());
+        // Compare over the original horizon (the resampled trace may extend
+        // slightly past it, holding the last value).
+        let after = resampled.deliverable_bytes(0.0, trace.duration());
+        prop_assert!((original - after).abs() <= original.max(1.0) * 0.02 + 2e4);
+    }
+
+    #[test]
+    fn scaling_scales_the_mean(
+        values in prop::collection::vec(0.1f64..20.0, 1..40),
+        factor in 0.0f64..5.0,
+    ) {
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let scaled = trace.scaled(factor);
+        prop_assert!((scaled.mean() - trace.mean() * factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_duration_is_exact_and_idempotent(
+        values in prop::collection::vec(0.0f64..20.0, 1..40),
+        duration in 1.0f64..500.0,
+    ) {
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let cut = trace.with_duration(duration);
+        prop_assert!((cut.duration() - duration).abs() < 1e-9);
+        let cut_again = cut.with_duration(duration);
+        prop_assert!((cut_again.duration() - duration).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_traces_stay_on_grid_and_close(
+        values in prop::collection::vec(0.0f64..12.0, 1..40),
+        epsilon in 0.1f64..1.5,
+    ) {
+        let quantizer = Quantizer::new(epsilon, 12.0);
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let quantized = quantizer.quantize_trace(&trace);
+        let top_grid_value = quantizer.value(quantizer.num_states() - 1);
+        for (orig, q) in trace.values().iter().zip(quantized.values()) {
+            let snapped = (q / epsilon).round() * epsilon;
+            prop_assert!((q - snapped).abs() < 1e-9);
+            // Values within the representable grid move by at most ε/2;
+            // values above the top grid point clamp down to it.
+            if *orig <= top_grid_value {
+                prop_assert!((orig - q).abs() <= epsilon / 2.0 + 1e-9);
+            } else {
+                prop_assert!((q - top_grid_value).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_respect_duration_and_nonnegativity(seed in any::<u64>(), duration in 30.0f64..900.0) {
+        for trace in [
+            FccLike::new(3.0, 8.0).generate(duration, seed),
+            RandomWalk::new(0.5, 10.0, 0.8).generate(duration, seed),
+            RegimeSwitch::new(vec![1.0, 4.0, 8.0], 0.4, 90.0).generate(duration, seed),
+        ] {
+            prop_assert!(trace.duration() >= duration - 1e-9);
+            prop_assert!(trace.min() >= 0.0);
+            let stats = TraceStats::of(&trace);
+            prop_assert!(stats.mean_mbps.is_finite());
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless(values in prop::collection::vec(0.0f64..20.0, 1..30)) {
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let back = io::from_json(&io::to_json(&trace)).unwrap();
+        prop_assert_eq!(back.values(), trace.values());
+        prop_assert!((back.duration() - trace.duration()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mahimahi_round_trip_preserves_rate_within_one_mtu_per_bin(
+        values in prop::collection::vec(0.5f64..12.0, 1..12),
+    ) {
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let rendered = io::to_mahimahi(&trace);
+        let back = io::from_mahimahi(&rendered, 5.0).unwrap();
+        for (orig, rec) in trace.values().iter().zip(back.values()) {
+            // One MTU per 5 s bin is 0.0024 Mbps; allow a little slack for
+            // carry-over between bins.
+            prop_assert!((orig - rec).abs() < 0.01, "orig {} vs rec {}", orig, rec);
+        }
+    }
+}

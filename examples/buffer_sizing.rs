@@ -1,0 +1,60 @@
+//! Buffer-sizing what-if: a publisher deployed MPC with a 5-second client
+//! buffer and wants to know, from the logs alone, what raising the buffer to
+//! 30 seconds would have done (the paper's Figure 10).
+//!
+//! Run with: `cargo run --release --example buffer_sizing`
+
+use veritas::{CounterfactualEngine, Scenario, VeritasConfig};
+use veritas_abr::Mpc;
+use veritas_media::VideoAsset;
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+
+fn main() {
+    let traces = 8usize;
+    let asset = VideoAsset::paper_default(1);
+    let deployed_player = PlayerConfig::paper_default(); // 5 s buffer
+    let generator = FccLike::new(3.0, 8.0);
+    let engine = CounterfactualEngine::new(VeritasConfig::paper_default());
+
+    println!("What if the client buffer were 30 s instead of 5 s? (MPC, {traces} traces)");
+    for &buffer_s in &[10.0, 30.0, 60.0] {
+        let scenario = Scenario::new(
+            "mpc",
+            deployed_player.with_buffer_capacity(buffer_s),
+            asset.clone(),
+        );
+        let mut oracle_reb = 0.0;
+        let mut veritas_reb = 0.0;
+        let mut baseline_reb = 0.0;
+        let mut oracle_ssim = 0.0;
+        let mut veritas_ssim = 0.0;
+        let mut baseline_ssim = 0.0;
+        for seed in 0..traces as u64 {
+            let truth = generator.generate(700.0, 2000 + seed);
+            let mut abr = Mpc::new();
+            let log = run_session(&asset, &mut abr, &truth, &deployed_player);
+            let cmp = engine.compare(&log, &truth, &scenario);
+            oracle_reb += cmp.oracle.rebuffer_ratio_percent;
+            veritas_reb += cmp.veritas.median_of(|q| q.rebuffer_ratio_percent);
+            baseline_reb += cmp.baseline.rebuffer_ratio_percent;
+            oracle_ssim += cmp.oracle.mean_ssim;
+            veritas_ssim += cmp.veritas.median_of(|q| q.mean_ssim);
+            baseline_ssim += cmp.baseline.mean_ssim;
+        }
+        let n = traces as f64;
+        println!("\nbuffer = {buffer_s:>4.0} s:");
+        println!(
+            "  mean SSIM      oracle {:.4}  veritas {:.4}  baseline {:.4}",
+            oracle_ssim / n,
+            veritas_ssim / n,
+            baseline_ssim / n
+        );
+        println!(
+            "  rebuffer (%)   oracle {:.3}  veritas {:.3}  baseline {:.3}",
+            oracle_reb / n,
+            veritas_reb / n,
+            baseline_reb / n
+        );
+    }
+}

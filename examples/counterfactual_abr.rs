@@ -1,0 +1,54 @@
+//! Counterfactual ABR change across a small trace corpus: what would have
+//! happened to each recorded MPC session had BBA (or BOLA) been deployed?
+//!
+//! This is a scaled-down version of the paper's Figures 8, 9 and 13.
+//!
+//! Run with: `cargo run --release --example counterfactual_abr [bba|bola]`
+
+use veritas::{CounterfactualEngine, Scenario, VeritasConfig};
+use veritas_abr::Mpc;
+use veritas_media::VideoAsset;
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+
+fn main() {
+    let target_abr = std::env::args().nth(1).unwrap_or_else(|| "bba".to_string());
+    let traces = 10usize;
+
+    let asset = VideoAsset::paper_default(1);
+    let player = PlayerConfig::paper_default();
+    let generator = FccLike::new(3.0, 8.0);
+    let engine = CounterfactualEngine::new(VeritasConfig::paper_default());
+    let scenario = Scenario::new(&target_abr, player, asset.clone());
+
+    println!("Counterfactual: MPC -> {target_abr} over {traces} FCC-like traces");
+    println!("trace  oracle_ssim  veritas_ssim(lo..hi)  baseline_ssim  |  oracle_reb%  veritas_reb%(lo..hi)  baseline_reb%");
+    let mut baseline_ssim_err = 0.0;
+    let mut veritas_ssim_err = 0.0;
+    for seed in 0..traces as u64 {
+        let truth = generator.generate(700.0, 1000 + seed);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset, &mut abr, &truth, &player);
+        let cmp = engine.compare(&log, &truth, &scenario);
+        let (slo, shi) = cmp.veritas.ssim_range();
+        let (rlo, rhi) = cmp.veritas.rebuffer_range();
+        println!(
+            "{seed:>5}  {:>11.4}  {:>9.4}..{:<9.4}  {:>13.4}  |  {:>11.2}  {:>8.2}..{:<8.2}  {:>13.2}",
+            cmp.oracle.mean_ssim,
+            slo,
+            shi,
+            cmp.baseline.mean_ssim,
+            cmp.oracle.rebuffer_ratio_percent,
+            rlo,
+            rhi,
+            cmp.baseline.rebuffer_ratio_percent,
+        );
+        veritas_ssim_err += (cmp.veritas.median_of(|q| q.mean_ssim) - cmp.oracle.mean_ssim).abs();
+        baseline_ssim_err += (cmp.baseline.mean_ssim - cmp.oracle.mean_ssim).abs();
+    }
+    println!(
+        "\nmean |SSIM error| vs oracle:  veritas {:.4}   baseline {:.4}",
+        veritas_ssim_err / traces as f64,
+        baseline_ssim_err / traces as f64
+    );
+}

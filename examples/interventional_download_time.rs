@@ -1,0 +1,81 @@
+//! Interventional query: in an ongoing session, predict the download time of
+//! the next chunk for *every* candidate size — the query an ABR needs
+//! answered before it can pick a quality — and compare Veritas against the
+//! associational Fugu-style predictor (the paper's Figure 2(b)/Figure 12
+//! setting, scaled down).
+//!
+//! Run with: `cargo run --release --example interventional_download_time`
+
+use veritas::{InterventionalPredictor, VeritasConfig};
+use veritas_abr::{Mpc, RandomAbr};
+use veritas_fugu::{FuguConfig, FuguModel, TrainConfig};
+use veritas_media::VideoAsset;
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+
+fn main() {
+    let asset = VideoAsset::paper_default(1);
+    let player = PlayerConfig::paper_default();
+    let generator = FccLike::new(0.5, 10.0);
+
+    // Train Fugu on logs from the deployed MPC algorithm.
+    println!("Training the Fugu-style predictor on 12 MPC sessions...");
+    let training_logs: Vec<_> = (0..12u64)
+        .map(|seed| {
+            let truth = generator.generate(700.0, 3000 + seed);
+            let mut abr = Mpc::new();
+            run_session(&asset, &mut abr, &truth, &player)
+        })
+        .collect();
+    let fugu = FuguModel::train_on_logs(
+        &training_logs,
+        FuguConfig {
+            train: TrainConfig {
+                epochs: 30,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        },
+    );
+    println!("  training MAE: {:.3} s", fugu.training_mae_s);
+
+    // Test on sessions whose chunk sizes were chosen at random — sequences
+    // the deployed ABR would never have produced.
+    let veritas = InterventionalPredictor::new(VeritasConfig::paper_default());
+    let mut fugu_abs_err = Vec::new();
+    let mut veritas_abs_err = Vec::new();
+    let mut fugu_signed = 0.0;
+    let mut veritas_signed = 0.0;
+    let test_traces = 4u64;
+    for seed in 0..test_traces {
+        let truth = generator.generate(700.0, 4000 + seed);
+        let mut abr = RandomAbr::new(seed);
+        let log = run_session(&asset, &mut abr, &truth, &player);
+        for (pred, actual) in fugu.predict_over_log(&log) {
+            fugu_abs_err.push((pred - actual).abs());
+            fugu_signed += pred - actual;
+        }
+        for (pred, actual) in veritas.predict_over_log(&log) {
+            veritas_abs_err.push((pred - actual).abs());
+            veritas_signed += pred - actual;
+        }
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    let p90 = |v: &Vec<f64>| veritas_trace::stats::percentile(v, 90.0);
+    println!("\nDownload-time prediction on randomized (interventional) chunk sequences:");
+    println!("  predictor   MAE (s)   p90 |err| (s)   mean signed error (s)");
+    println!(
+        "  Fugu        {:>7.3}   {:>13.3}   {:>+20.3}",
+        mean(&fugu_abs_err),
+        p90(&fugu_abs_err),
+        fugu_signed / fugu_abs_err.len() as f64
+    );
+    println!(
+        "  Veritas     {:>7.3}   {:>13.3}   {:>+20.3}",
+        mean(&veritas_abs_err),
+        p90(&veritas_abs_err),
+        veritas_signed / veritas_abs_err.len() as f64
+    );
+    println!("\nA negative signed error means the predictor under-estimates download");
+    println!("times — the bias that makes an ABR overshoot the network (paper §2.2).");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: record a streaming session, abduce the hidden bandwidth, and
+//! answer one counterfactual question.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use veritas::{Abduction, CounterfactualEngine, Scenario, VeritasConfig};
+use veritas_abr::Mpc;
+use veritas_media::VideoAsset;
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+use veritas_trace::stats::trace_mae;
+
+fn main() {
+    // ----------------------------------------------------------------- 1 --
+    // A "deployed" video session (Setting A): the MPC algorithm streams a
+    // 10-minute VBR clip over a hidden ground-truth bandwidth (GTBW) trace.
+    let asset = VideoAsset::paper_default(1);
+    let ground_truth = FccLike::new(3.0, 8.0).generate(700.0, 42);
+    let mut deployed_abr = Mpc::new();
+    let player = PlayerConfig::paper_default();
+    let log = run_session(&asset, &mut deployed_abr, &ground_truth, &player);
+    println!("Deployed session ({} chunks) with {}:", log.records.len(), log.abr_name);
+    let qoe = log.qoe();
+    println!(
+        "  mean SSIM {:.4}, rebuffering {:.2}%, avg bitrate {:.2} Mbps",
+        qoe.mean_ssim, qoe.rebuffer_ratio_percent, qoe.avg_bitrate_mbps
+    );
+
+    // ----------------------------------------------------------------- 2 --
+    // Veritas abduction: infer the latent GTBW from the observed log only.
+    let config = VeritasConfig::paper_default();
+    let abduction = Abduction::infer(&log, &config);
+    let inferred = abduction.viterbi_trace();
+    let baseline = veritas::baseline_trace(&log, config.delta_s);
+    let horizon = log.session_duration_s.min(ground_truth.duration());
+    let truth_cut = ground_truth.with_duration(horizon);
+    println!("\nGTBW reconstruction error (MAE, Mbps):");
+    println!("  Veritas  {:.3}", trace_mae(&truth_cut, &inferred, config.delta_s));
+    println!("  Baseline {:.3}", trace_mae(&truth_cut, &baseline, config.delta_s));
+
+    // ----------------------------------------------------------------- 3 --
+    // Counterfactual: what if BBA had been deployed instead of MPC?
+    let engine = CounterfactualEngine::new(config);
+    let scenario = Scenario::new("bba", player, asset.clone());
+    let veritas_pred = engine.veritas_predict_from_abduction(&abduction, &scenario);
+    let baseline_pred = engine.baseline_predict(&log, &scenario);
+    let oracle = engine.oracle_predict(&ground_truth, &log, &scenario);
+
+    let (ssim_lo, ssim_hi) = veritas_pred.ssim_range();
+    let (reb_lo, reb_hi) = veritas_pred.rebuffer_range();
+    println!("\nCounterfactual: MPC -> BBA on the same (latent) network");
+    println!("  metric         oracle    veritas(low..high)   baseline");
+    println!(
+        "  mean SSIM      {:.4}    {:.4}..{:.4}      {:.4}",
+        oracle.mean_ssim, ssim_lo, ssim_hi, baseline_pred.mean_ssim
+    );
+    println!(
+        "  rebuffer (%)   {:.2}      {:.2}..{:.2}          {:.2}",
+        oracle.rebuffer_ratio_percent, reb_lo, reb_hi, baseline_pred.rebuffer_ratio_percent
+    );
+    println!(
+        "  bitrate (Mbps) {:.2}      {:.2}..{:.2}          {:.2}",
+        oracle.avg_bitrate_mbps,
+        veritas_pred.bitrate_range().0,
+        veritas_pred.bitrate_range().1,
+        baseline_pred.avg_bitrate_mbps
+    );
+}

@@ -1,0 +1,56 @@
+//! Trace inference close-up: for one session, print the ground-truth GTBW,
+//! the Baseline reconstruction, and several Veritas posterior samples side
+//! by side (the paper's Figure 7), plus reconstruction error statistics.
+//!
+//! Run with: `cargo run --release --example trace_inference`
+
+use veritas::{baseline_trace, Abduction, VeritasConfig};
+use veritas_abr::Mpc;
+use veritas_media::VideoAsset;
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+use veritas_trace::stats::{trace_mae, underestimation_fraction};
+
+fn main() {
+    let asset = VideoAsset::paper_default(1);
+    let truth = FccLike::new(3.0, 8.0).generate(700.0, 7);
+    let player = PlayerConfig::paper_default();
+    let mut abr = Mpc::new();
+    let log = run_session(&asset, &mut abr, &truth, &player);
+
+    let config = VeritasConfig::paper_default();
+    let abduction = Abduction::infer(&log, &config);
+    let samples = abduction.sample_traces(5);
+    let baseline = baseline_trace(&log, config.delta_s);
+    let horizon = log.session_duration_s.min(truth.duration());
+    let truth_cut = truth.with_duration(horizon);
+
+    println!("time(s)   GTBW   Baseline   Veritas samples (5)");
+    let mut t = 2.5;
+    while t < horizon {
+        print!("{t:>7.0}  {:>5.2}  {:>9.2}  ", truth.bandwidth_at(t), baseline.bandwidth_at(t));
+        for s in &samples {
+            print!("{:>5.2} ", s.bandwidth_at(t));
+        }
+        println!();
+        t += 25.0;
+    }
+
+    println!("\nReconstruction quality over the session:");
+    println!(
+        "  Baseline: MAE {:.3} Mbps, underestimates by >1 Mbps at {:.0}% of time points",
+        trace_mae(&truth_cut, &baseline, config.delta_s),
+        100.0 * underestimation_fraction(&truth_cut, &baseline, config.delta_s, 1.0)
+    );
+    for (i, s) in samples.iter().enumerate() {
+        println!(
+            "  Veritas sample {i}: MAE {:.3} Mbps, underestimates at {:.0}% of time points",
+            trace_mae(&truth_cut, s, config.delta_s),
+            100.0 * underestimation_fraction(&truth_cut, s, config.delta_s, 1.0)
+        );
+    }
+    println!(
+        "  Veritas Viterbi (most likely): MAE {:.3} Mbps",
+        trace_mae(&truth_cut, &abduction.viterbi_trace(), config.delta_s)
+    );
+}

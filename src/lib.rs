@@ -1,0 +1,15 @@
+//! Workspace umbrella crate for the Veritas reproduction.
+//!
+//! This crate exists to host the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`. It re-exports the member
+//! crates so examples and downstream experiments can depend on a single
+//! package.
+
+pub use veritas;
+pub use veritas_abr as abr;
+pub use veritas_ehmm as ehmm;
+pub use veritas_fugu as fugu;
+pub use veritas_media as media;
+pub use veritas_net as net;
+pub use veritas_player as player;
+pub use veritas_trace as trace;

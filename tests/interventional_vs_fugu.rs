@@ -1,0 +1,108 @@
+//! Cross-crate interventional test: Veritas's causal download-time
+//! prediction versus the associational Fugu baseline on chunk sequences the
+//! deployed ABR would never have generated (the paper's §4.4 setting).
+
+use veritas::{InterventionalPredictor, VeritasConfig};
+use veritas_abr::{Mpc, RandomAbr};
+use veritas_fugu::{FuguConfig, FuguModel, TrainConfig};
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+
+fn asset() -> VideoAsset {
+    VideoAsset::generate(
+        QualityLadder::paper_default(),
+        180.0,
+        2.0,
+        VbrParams::default(),
+        13,
+    )
+}
+
+#[test]
+fn veritas_is_less_biased_than_fugu_on_randomized_sequences() {
+    let player = PlayerConfig::paper_default();
+    let generator = FccLike::new(1.0, 9.0);
+
+    // Train Fugu on deployed-MPC logs (the associational training data).
+    let training_logs: Vec<_> = (0..4u64)
+        .map(|seed| {
+            let truth = generator.generate(400.0, 100 + seed);
+            let mut abr = Mpc::new();
+            run_session(&asset(), &mut abr, &truth, &player)
+        })
+        .collect();
+    let fugu = FuguModel::train_on_logs(
+        &training_logs,
+        FuguConfig {
+            train: TrainConfig {
+                epochs: 8,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        },
+    );
+
+    // Test on random-bitrate sessions: sizes uncorrelated with conditions.
+    let veritas = InterventionalPredictor::new(VeritasConfig::paper_default());
+    let mut fugu_abs = 0.0;
+    let mut veritas_abs = 0.0;
+    let mut count = 0.0;
+    for seed in 0..2u64 {
+        let truth = generator.generate(400.0, 300 + seed);
+        let mut abr = RandomAbr::new(seed);
+        let log = run_session(&asset(), &mut abr, &truth, &player);
+        for ((fp, fa), (vp, va)) in fugu
+            .predict_over_log(&log)
+            .into_iter()
+            .zip(veritas.predict_over_log(&log))
+        {
+            assert!((fa - va).abs() < 1e-12, "both predictors see the same ground truth");
+            fugu_abs += (fp - fa).abs();
+            veritas_abs += (vp - va).abs();
+            count += 1.0;
+        }
+    }
+    let fugu_mae = fugu_abs / count;
+    let veritas_mae = veritas_abs / count;
+    assert!(
+        veritas_mae < fugu_mae,
+        "Veritas MAE {veritas_mae:.3} s should beat Fugu MAE {fugu_mae:.3} s on interventional sequences"
+    );
+}
+
+#[test]
+fn fugu_remains_competitive_on_its_own_training_distribution() {
+    // Sanity check that the comparison above is not won by crippling Fugu:
+    // on in-distribution (MPC-generated) sequences the associational model
+    // is a reasonable predictor.
+    let player = PlayerConfig::paper_default();
+    let generator = FccLike::new(1.0, 9.0);
+    let training_logs: Vec<_> = (0..4u64)
+        .map(|seed| {
+            let truth = generator.generate(400.0, 100 + seed);
+            let mut abr = Mpc::new();
+            run_session(&asset(), &mut abr, &truth, &player)
+        })
+        .collect();
+    let fugu = FuguModel::train_on_logs(
+        &training_logs,
+        FuguConfig {
+            train: TrainConfig {
+                epochs: 8,
+                ..TrainConfig::default()
+            },
+            ..FuguConfig::default()
+        },
+    );
+    let truth = generator.generate(400.0, 150);
+    let mut abr = Mpc::new();
+    let in_dist_log = run_session(&asset(), &mut abr, &truth, &player);
+    let preds = fugu.predict_over_log(&in_dist_log);
+    let mae: f64 = preds.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / preds.len() as f64;
+    assert!(
+        mae < 1.5,
+        "Fugu in-distribution MAE {mae:.3} s is unexpectedly poor (training MAE {:.3})",
+        fugu.training_mae_s
+    );
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) on cross-crate invariants: the emulator,
+//! the TCP models, the quantizer, and the EHMM posterior machinery.
+
+use proptest::prelude::*;
+
+use veritas_ehmm::{forward_backward, viterbi, EhmmSpec, EmissionTable, TransitionMatrix};
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_net::{estimate_throughput, LinkModel, TcpConnection, TcpInfo};
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, MarkovModulated, TraceGenerator};
+use veritas_trace::{BandwidthTrace, Quantizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The quantizer is idempotent and never moves a value by more than ε/2
+    /// (within the grid) or outside the grid bounds.
+    #[test]
+    fn quantizer_is_idempotent_and_bounded(
+        epsilon in 0.1f64..2.0,
+        max in 2.0f64..20.0,
+        value in -5.0f64..50.0,
+    ) {
+        let q = Quantizer::new(epsilon, max);
+        let snapped = q.quantize(value);
+        prop_assert_eq!(q.quantize(snapped), snapped);
+        prop_assert!(snapped >= 0.0 && snapped <= q.max() + 1e-9);
+        if value >= 0.0 && value <= q.value(q.num_states() - 1) {
+            prop_assert!((snapped - value).abs() <= epsilon / 2.0 + 1e-9);
+        }
+    }
+
+    /// Estimator f never predicts more than the intrinsic capacity for
+    /// transfers larger than one BDP, and is monotone in capacity for large
+    /// transfers.
+    #[test]
+    fn estimator_respects_capacity_bound(
+        capacity in 0.25f64..20.0,
+        cwnd in 4.0f64..400.0,
+        gap in 0.0f64..10.0,
+        size_kb in 200.0f64..4000.0,
+    ) {
+        let info = TcpInfo {
+            cwnd_segments: cwnd,
+            ssthresh_segments: cwnd.max(20.0),
+            rto_s: 0.3,
+            srtt_s: 0.08,
+            min_rtt_s: 0.08,
+            last_send_gap_s: gap,
+        };
+        let size = size_kb * 1000.0;
+        let est = estimate_throughput(capacity, &info, size);
+        prop_assert!(est.is_finite() && est >= 0.0);
+        // 200 KB at 20 Mbps/80 ms is at least one BDP, so the cap applies.
+        prop_assert!(est <= capacity + 1e-9);
+        let est_higher = estimate_throughput(capacity * 1.5, &info, size);
+        prop_assert!(est_higher >= est - 1e-9);
+    }
+
+    /// The ground-truth TCP connection model never beats the link capacity
+    /// and always takes at least one RTT.
+    #[test]
+    fn tcp_connection_obeys_physics(
+        capacity in 0.3f64..20.0,
+        size_kb in 2.0f64..4000.0,
+        start in 0.0f64..50.0,
+    ) {
+        let mut conn = TcpConnection::new(LinkModel::paper_default());
+        let r = conn.download_constant(size_kb * 1000.0, start, capacity);
+        prop_assert!(r.duration_s >= 0.08 - 1e-12);
+        prop_assert!(r.throughput_mbps <= capacity * 1.05 + 1e-9);
+        prop_assert!(r.rounds >= 1);
+    }
+
+    /// Session emulation invariants hold for arbitrary FCC-like traces and
+    /// buffer sizes: logs are consistent, buffers bounded, rebuffering
+    /// non-negative, and all chunks downloaded.
+    #[test]
+    fn session_emulation_invariants(
+        seed in 0u64..500,
+        buffer in 4.0f64..40.0,
+        mean_low in 1.0f64..4.0,
+    ) {
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            60.0,
+            2.0,
+            VbrParams::default(),
+            seed,
+        );
+        let truth = FccLike::new(mean_low, mean_low + 4.0).generate(300.0, seed);
+        let config = PlayerConfig::paper_default().with_buffer_capacity(buffer);
+        let mut abr = veritas_abr::Mpc::new();
+        let log = run_session(&asset, &mut abr, &truth, &config);
+        prop_assert_eq!(log.records.len(), asset.num_chunks());
+        prop_assert!(log.check_invariants().is_ok());
+        prop_assert!(log.total_rebuffer_s >= 0.0);
+        for r in &log.records {
+            prop_assert!(r.buffer_at_request_s <= buffer + 1e-9);
+            prop_assert!(r.quality < asset.num_qualities());
+        }
+    }
+
+    /// Markov-modulated traces quantize onto their own grid and stay within
+    /// bounds after resampling.
+    #[test]
+    fn generated_traces_survive_resampling(
+        seed in 0u64..500,
+        delta in 1.0f64..10.0,
+    ) {
+        let gen = MarkovModulated::new(0.5, 10.0, 0.5, 0.8);
+        let trace = gen.generate(300.0, seed);
+        let resampled = trace.resample(delta);
+        prop_assert!(resampled.duration() >= trace.duration() - 1e-9);
+        prop_assert!(resampled.min() >= 0.5 - 1e-9);
+        prop_assert!(resampled.max() <= 10.0 + 1e-9);
+        prop_assert!((resampled.mean() - trace.mean()).abs() < 0.75);
+    }
+
+    /// EHMM posterior marginals always normalize and the Viterbi path's score
+    /// is at least the score of the marginal-MAP path.
+    #[test]
+    fn ehmm_posteriors_are_well_formed(
+        seed in 0u64..1000,
+        num_obs in 2usize..12,
+        stay in 0.3f64..0.95,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let num_states = 5;
+        let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(num_states, stay));
+        let rows: Vec<Vec<f64>> = (0..num_obs)
+            .map(|_| (0..num_states).map(|_| -rng.gen_range(0.0..6.0)).collect())
+            .collect();
+        let gaps: Vec<u32> = (0..num_obs).map(|n| if n == 0 { 0 } else { rng.gen_range(0..4) }).collect();
+        let obs = EmissionTable::new(rows, gaps);
+        let posteriors = forward_backward(&spec, &obs);
+        for row in &posteriors.gamma {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6);
+        }
+        let vit = viterbi(&spec, &obs);
+        let map_path = posteriors.marginal_map_path();
+        let vit_score = veritas_ehmm::path_log_score(&spec, &obs, &vit.path);
+        let map_score = veritas_ehmm::path_log_score(&spec, &obs, &map_path);
+        prop_assert!(vit_score >= map_score - 1e-9);
+    }
+
+    /// Baseline reconstruction never produces negative bandwidth and covers
+    /// the session horizon.
+    #[test]
+    fn baseline_trace_is_well_formed(seed in 0u64..300) {
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            60.0,
+            2.0,
+            VbrParams::default(),
+            seed,
+        );
+        let truth = FccLike::new(2.0, 8.0).generate(300.0, seed);
+        let mut abr = veritas_abr::Bba::new();
+        let log = run_session(&asset, &mut abr, &truth, &PlayerConfig::paper_default());
+        let baseline = veritas::baseline_trace(&log, 5.0);
+        prop_assert!(baseline.min() >= 0.0);
+        prop_assert!(baseline.duration() >= log.records.last().unwrap().end_time_s - 5.0);
+    }
+
+    /// Mean bandwidth over a window is always between the min and max of the
+    /// trace (a sanity property of the piecewise-constant integrator).
+    #[test]
+    fn windowed_mean_is_bounded(
+        seed in 0u64..500,
+        start in 0.0f64..200.0,
+        len in 0.5f64..100.0,
+    ) {
+        let trace: BandwidthTrace = FccLike::new(1.0, 9.0).generate(300.0, seed);
+        let mean = trace.mean_bandwidth_over(start, start + len);
+        prop_assert!(mean >= trace.min() - 1e-9);
+        prop_assert!(mean <= trace.max() + 1e-9);
+    }
+}
