@@ -127,7 +127,10 @@ mod tests {
         for i in 0..=20 {
             let buffer = i as f64 * 0.25;
             let q = bba.choose(&ctx(&asset, buffer, 5.0));
-            assert!(q >= prev, "buffer {buffer}: quality dropped from {prev} to {q}");
+            assert!(
+                q >= prev,
+                "buffer {buffer}: quality dropped from {prev} to {q}"
+            );
             prev = q;
         }
     }

@@ -148,7 +148,10 @@ mod tests {
         for i in 0..=25 {
             let buffer = i as f64 * 0.2;
             let q = bola.choose(&ctx(&asset, buffer, 5.0));
-            assert!(q >= prev, "buffer {buffer}: quality dropped from {prev} to {q}");
+            assert!(
+                q >= prev,
+                "buffer {buffer}: quality dropped from {prev} to {q}"
+            );
             prev = q;
         }
     }
@@ -163,7 +166,10 @@ mod tests {
             "well below the min threshold the lowest rung must win"
         );
         let q = bola.choose(&ctx(&asset, 4.5, 5.0));
-        assert!(q >= asset.num_qualities() - 2, "well above max threshold: rung {q}");
+        assert!(
+            q >= asset.num_qualities() - 2,
+            "well above max threshold: rung {q}"
+        );
         // Tighter thresholds make the policy more aggressive at the same
         // buffer level than looser ones.
         let mut loose = BolaBasic::with_thresholds(2.0, 14.0);

@@ -58,7 +58,9 @@ pub fn abr_by_name(name: &str) -> Option<Box<dyn Abr>> {
         "throughput" | "rate" => Some(Box::new(ThroughputRule::new())),
         _ => {
             if let Some(seed) = lower.strip_prefix("random:") {
-                seed.parse().ok().map(|s| Box::new(RandomAbr::new(s)) as Box<dyn Abr>)
+                seed.parse()
+                    .ok()
+                    .map(|s| Box::new(RandomAbr::new(s)) as Box<dyn Abr>)
             } else if let Some(rung) = lower.strip_prefix("fixed:") {
                 rung.parse()
                     .ok()

@@ -98,19 +98,12 @@ impl Mpc {
     /// total QoE. Buffer evolution: each chunk takes `size / throughput` to
     /// download, during which the buffer drains; on completion it gains one
     /// chunk duration, capped at capacity.
-    fn score_plan(
-        &self,
-        ctx: &AbrContext,
-        plan: &[usize],
-        predicted_throughput_mbps: f64,
-    ) -> f64 {
+    fn score_plan(&self, ctx: &AbrContext, plan: &[usize], predicted_throughput_mbps: f64) -> f64 {
         let asset = ctx.asset;
         let chunk_dur = asset.chunk_duration_s();
         let mut buffer = ctx.buffer_s;
         let mut qoe = 0.0;
-        let mut prev_rate = ctx
-            .last_quality
-            .map(|q| asset.ladder().bitrate(q));
+        let mut prev_rate = ctx.last_quality.map(|q| asset.ladder().bitrate(q));
         for (step, &q) in plan.iter().enumerate() {
             let chunk = ctx.next_chunk + step;
             if chunk >= asset.num_chunks() {

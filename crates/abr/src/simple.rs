@@ -127,7 +127,10 @@ mod tests {
         assert_eq!(rule.choose(&ctx(&asset, &low)), 0);
         let mid = [1.5, 1.5, 1.5];
         let q_mid = rule.choose(&ctx(&asset, &mid));
-        assert!(q_mid >= 1 && q_mid <= 2, "1.5 Mbps fits the 1.0 rung: got {q_mid}");
+        assert!(
+            (1..=2).contains(&q_mid),
+            "1.5 Mbps fits the 1.0 rung: got {q_mid}"
+        );
         let high = [9.0, 9.0, 9.0];
         assert_eq!(rule.choose(&ctx(&asset, &high)), asset.num_qualities() - 1);
     }
@@ -148,7 +151,10 @@ mod tests {
         let picks_b: Vec<usize> = (0..50).map(|_| b.choose(&ctx(&asset, &[]))).collect();
         assert_eq!(picks_a, picks_b);
         let distinct: std::collections::BTreeSet<usize> = picks_a.iter().copied().collect();
-        assert!(distinct.len() >= 3, "50 random picks should cover several rungs");
+        assert!(
+            distinct.len() >= 3,
+            "50 random picks should cover several rungs"
+        );
         for &q in &picks_a {
             assert!(q < asset.num_qualities());
         }
@@ -170,6 +176,9 @@ mod tests {
         let mut f = FixedQuality(2);
         assert_eq!(f.choose(&ctx(&asset, &[])), 2);
         let mut too_high = FixedQuality(99);
-        assert_eq!(too_high.choose(&ctx(&asset, &[])), asset.num_qualities() - 1);
+        assert_eq!(
+            too_high.choose(&ctx(&asset, &[])),
+            asset.num_qualities() - 1
+        );
     }
 }

@@ -21,7 +21,9 @@ fn emission_table(num_obs: usize, num_states: usize) -> EmissionTable {
                 .collect()
         })
         .collect();
-    let gaps: Vec<u32> = (0..num_obs).map(|n| if n == 0 { 0 } else { 1 + (n % 3) as u32 }).collect();
+    let gaps: Vec<u32> = (0..num_obs)
+        .map(|n| if n == 0 { 0 } else { 1 + (n % 3) as u32 })
+        .collect();
     EmissionTable::new(rows, gaps)
 }
 
@@ -41,11 +43,15 @@ fn bench_ehmm(c: &mut Criterion) {
         );
         let vit = viterbi(&spec, &obs);
         let post = forward_backward(&spec, &obs);
-        group.bench_with_input(BenchmarkId::new("sample_path", num_obs), &num_obs, |b, _| {
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-            b.iter(|| sample_path(black_box(&post), black_box(&vit), &mut rng))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sample_path", num_obs),
+            &num_obs,
+            |b, _| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                b.iter(|| sample_path(black_box(&post), black_box(&vit), &mut rng))
+            },
+        );
     }
     group.finish();
 }

@@ -27,7 +27,12 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("emulate_session_120_chunks", |b| {
         b.iter(|| {
             let mut abr = Mpc::new();
-            run_session(black_box(&asset), &mut abr, black_box(&truth), black_box(&player))
+            run_session(
+                black_box(&asset),
+                &mut abr,
+                black_box(&truth),
+                black_box(&player),
+            )
         })
     });
 

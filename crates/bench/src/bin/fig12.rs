@@ -17,8 +17,13 @@ fn main() {
     let scatter = fig12_scatter_table(&result, 2000);
     let summary = fig12_summary_table(&result);
     println!("{}", summary.render());
-    println!("Expected shape: Fugu underestimates long download times; Veritas stays near the diagonal.");
+    println!(
+        "Expected shape: Fugu underestimates long download times; Veritas stays near the diagonal."
+    );
     let _ = scatter.write_csv(&results_dir().join("fig12_scatter.csv"));
     let _ = summary.write_csv(&results_dir().join("fig12_summary.csv"));
-    println!("wrote fig12_scatter.csv and fig12_summary.csv under {}", results_dir().display());
+    println!(
+        "wrote fig12_scatter.csv and fig12_summary.csv under {}",
+        results_dir().display()
+    );
 }

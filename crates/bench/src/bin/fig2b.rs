@@ -7,7 +7,9 @@ use veritas_bench::workload::traces_from_env;
 
 fn main() {
     let training_traces = traces_from_env(10);
-    println!("Figure 2(b): Fugu trained on {training_traces} poor + {training_traces} good MPC traces\n");
+    println!(
+        "Figure 2(b): Fugu trained on {training_traces} poor + {training_traces} good MPC traces\n"
+    );
     let table = fig2b(training_traces);
     println!("{}", table.render());
     println!("Expected shape: accurate for the low-quality chunk, a large under-estimate for the high-quality chunk.");

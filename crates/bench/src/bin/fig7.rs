@@ -15,5 +15,8 @@ fn main() {
     println!("{}", errors.render());
     let _ = series.write_csv(&results_dir().join("fig7_series.csv"));
     let _ = errors.write_csv(&results_dir().join("fig7_errors.csv"));
-    println!("wrote fig7_series.csv and fig7_errors.csv under {}", results_dir().display());
+    println!(
+        "wrote fig7_series.csv and fig7_errors.csv under {}",
+        results_dir().display()
+    );
 }

@@ -71,7 +71,13 @@ pub fn naive_emission_trace(log: &SessionLog, config: &VeritasConfig) -> Bandwid
     let gaps: Vec<u32> = start_intervals
         .iter()
         .enumerate()
-        .map(|(n, &t)| if n == 0 { 0 } else { (t - start_intervals[n - 1]) as u32 })
+        .map(|(n, &t)| {
+            if n == 0 {
+                0
+            } else {
+                (t - start_intervals[n - 1]) as u32
+            }
+        })
         .collect();
     let obs = EmissionTable::new(rows, gaps);
     let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(
@@ -148,7 +154,13 @@ pub fn ffbs_reconstruction_mae(corpus: &Corpus, config: &VeritasConfig, k: usize
         let gaps: Vec<u32> = start_intervals
             .iter()
             .enumerate()
-            .map(|(n, &t)| if n == 0 { 0 } else { (t - start_intervals[n - 1]) as u32 })
+            .map(|(n, &t)| {
+                if n == 0 {
+                    0
+                } else {
+                    (t - start_intervals[n - 1]) as u32
+                }
+            })
             .collect();
         let obs = EmissionTable::new(rows, gaps);
         let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(
@@ -182,18 +194,27 @@ pub fn ffbs_reconstruction_mae(corpus: &Corpus, config: &VeritasConfig, k: usize
 pub fn ablation_table(corpus: &Corpus) -> Table {
     let base = VeritasConfig::paper_default();
     let mut table = Table::new(vec!["variant", "gtbw_reconstruction_mae_mbps"]);
-    table.push_row(vec!["paper_default".to_string(), f3(reconstruction_mae(corpus, &base))]);
+    table.push_row(vec![
+        "paper_default".to_string(),
+        f3(reconstruction_mae(corpus, &base)),
+    ]);
     table.push_row(vec![
         "no_tcp_state_conditioning".to_string(),
         f3(naive_emission_mae(corpus, &base)),
     ]);
     table.push_row(vec![
         "uniform_prior(stay=1/n_eff)".to_string(),
-        f3(reconstruction_mae(corpus, &base.with_stay_probability(0.05))),
+        f3(reconstruction_mae(
+            corpus,
+            &base.with_stay_probability(0.05),
+        )),
     ]);
     table.push_row(vec![
         "very_sticky_prior(stay=0.99)".to_string(),
-        f3(reconstruction_mae(corpus, &base.with_stay_probability(0.99))),
+        f3(reconstruction_mae(
+            corpus,
+            &base.with_stay_probability(0.99),
+        )),
     ]);
     for sigma in [0.1, 1.0] {
         table.push_row(vec![
@@ -205,9 +226,18 @@ pub fn ablation_table(corpus: &Corpus) -> Table {
         epsilon_mbps: 1.0,
         ..base
     };
-    table.push_row(vec!["epsilon=1.0".to_string(), f3(reconstruction_mae(corpus, &coarse))]);
-    let fine_delta = VeritasConfig { delta_s: 2.0, ..base };
-    table.push_row(vec!["delta=2s".to_string(), f3(reconstruction_mae(corpus, &fine_delta))]);
+    table.push_row(vec![
+        "epsilon=1.0".to_string(),
+        f3(reconstruction_mae(corpus, &coarse)),
+    ]);
+    let fine_delta = VeritasConfig {
+        delta_s: 2.0,
+        ..base
+    };
+    table.push_row(vec![
+        "delta=2s".to_string(),
+        f3(reconstruction_mae(corpus, &fine_delta)),
+    ]);
     table.push_row(vec![
         "posterior_samples(K=5)".to_string(),
         f3(sampled_reconstruction_mae(corpus, &base, 5)),

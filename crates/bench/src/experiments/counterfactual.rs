@@ -125,8 +125,16 @@ pub fn summary_table(outcomes: &[TraceOutcome]) -> Table {
         .iter()
         .map(|o| (o.baseline.avg_bitrate_mbps - o.oracle.avg_bitrate_mbps).abs())
         .collect();
-    let mut table = Table::new(vec!["metric", "veritas_median_abs_err", "baseline_median_abs_err"]);
-    table.push_row(vec!["mean_ssim".to_string(), f4(median(&ssim_err_v)), f4(median(&ssim_err_b))]);
+    let mut table = Table::new(vec![
+        "metric",
+        "veritas_median_abs_err",
+        "baseline_median_abs_err",
+    ]);
+    table.push_row(vec![
+        "mean_ssim".to_string(),
+        f4(median(&ssim_err_v)),
+        f4(median(&ssim_err_b)),
+    ]);
     table.push_row(vec![
         "rebuffer_ratio_pct".to_string(),
         f3(median(&reb_err_v)),
@@ -154,9 +162,13 @@ pub fn fig8_true_impact(corpus: &Corpus, alternative_abr: &str) -> Table {
     let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
     let rows = parallel_map(jobs, default_threads(), |i| {
         let qoe_a = corpus.logs[i].qoe();
-        let horizon = corpus.logs[i]
-            .session_duration_s
-            .max(corpus.logs[i].records.last().map(|r| r.end_time_s).unwrap_or(1.0));
+        let horizon = corpus.logs[i].session_duration_s.max(
+            corpus.logs[i]
+                .records
+                .last()
+                .map(|r| r.end_time_s)
+                .unwrap_or(1.0),
+        );
         let qoe_b = scenario_b.replay(&corpus.truths[i].with_duration(horizon));
         (i, qoe_a, qoe_b)
     });
@@ -182,14 +194,22 @@ pub fn fig7_example(corpus: &Corpus, trace_index: usize, config: &VeritasConfig)
     let baseline = baseline_trace(log, config.delta_s);
     let horizon = log.session_duration_s.min(truth.duration());
 
-    let mut header = vec!["time_s".to_string(), "gtbw_mbps".to_string(), "baseline_mbps".to_string()];
+    let mut header = vec![
+        "time_s".to_string(),
+        "gtbw_mbps".to_string(),
+        "baseline_mbps".to_string(),
+    ];
     for i in 0..samples.len() {
         header.push(format!("veritas_sample_{i}"));
     }
     let mut series = Table::new(header);
     let mut t = config.delta_s / 2.0;
     while t < horizon {
-        let mut row = vec![format!("{t:.0}"), f3(truth.bandwidth_at(t)), f3(baseline.bandwidth_at(t))];
+        let mut row = vec![
+            format!("{t:.0}"),
+            f3(truth.bandwidth_at(t)),
+            f3(baseline.bandwidth_at(t)),
+        ];
         for s in &samples {
             row.push(f3(s.bandwidth_at(t)));
         }
@@ -199,13 +219,23 @@ pub fn fig7_example(corpus: &Corpus, trace_index: usize, config: &VeritasConfig)
 
     let truth_cut = truth.with_duration(horizon);
     let mut errors = Table::new(vec!["series", "mae_mbps"]);
-    errors.push_row(vec!["baseline".to_string(), f3(trace_mae(&truth_cut, &baseline, config.delta_s))]);
+    errors.push_row(vec![
+        "baseline".to_string(),
+        f3(trace_mae(&truth_cut, &baseline, config.delta_s)),
+    ]);
     for (i, s) in samples.iter().enumerate() {
-        errors.push_row(vec![format!("veritas_sample_{i}"), f3(trace_mae(&truth_cut, s, config.delta_s))]);
+        errors.push_row(vec![
+            format!("veritas_sample_{i}"),
+            f3(trace_mae(&truth_cut, s, config.delta_s)),
+        ]);
     }
     errors.push_row(vec![
         "veritas_viterbi".to_string(),
-        f3(trace_mae(&truth_cut, &abduction.viterbi_trace(), config.delta_s)),
+        f3(trace_mae(
+            &truth_cut,
+            &abduction.viterbi_trace(),
+            config.delta_s,
+        )),
     ]);
     (series, errors)
 }
@@ -226,12 +256,8 @@ impl PaperScenario {
     /// Builds the concrete [`Scenario`] for a corpus.
     pub fn scenario(&self, corpus: &Corpus) -> Scenario {
         match self {
-            PaperScenario::AbrToBba => {
-                Scenario::new("bba", corpus.player, corpus.asset.clone())
-            }
-            PaperScenario::AbrToBola => {
-                Scenario::new("bola", corpus.player, corpus.asset.clone())
-            }
+            PaperScenario::AbrToBba => Scenario::new("bba", corpus.player, corpus.asset.clone()),
+            PaperScenario::AbrToBola => Scenario::new("bola", corpus.player, corpus.asset.clone()),
             PaperScenario::Buffer30s => Scenario::new(
                 &corpus.deployed_abr,
                 corpus.player.with_buffer_capacity(30.0),
@@ -276,7 +302,10 @@ pub fn fig14_bitrates(corpus: &Corpus, config: &VeritasConfig) -> Table {
         let outcomes = run_counterfactual(corpus, &scenario, config);
         let oracle: Vec<f64> = outcomes.iter().map(|o| o.oracle.avg_bitrate_mbps).collect();
         let veritas: Vec<f64> = outcomes.iter().map(|o| o.veritas_median_bitrate).collect();
-        let baseline: Vec<f64> = outcomes.iter().map(|o| o.baseline.avg_bitrate_mbps).collect();
+        let baseline: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.baseline.avg_bitrate_mbps)
+            .collect();
         table.push_row(vec![
             scenario_kind.figure().to_string(),
             f3(median(&oracle)),

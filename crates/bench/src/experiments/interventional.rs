@@ -84,7 +84,10 @@ pub fn fig12(
 }
 
 fn summarize(triples: Vec<PredictionTriple>) -> Fig12Result {
-    let fugu_abs: Vec<f64> = triples.iter().map(|t| (t.fugu_s - t.actual_s).abs()).collect();
+    let fugu_abs: Vec<f64> = triples
+        .iter()
+        .map(|t| (t.fugu_s - t.actual_s).abs())
+        .collect();
     let veritas_abs: Vec<f64> = triples
         .iter()
         .map(|t| (t.veritas_s - t.actual_s).abs())

@@ -119,8 +119,15 @@ pub fn fig2b(training_traces: usize) -> Table {
     let sizes = log.chunk_sizes();
     let times = log.download_times();
 
-    let mut table = Table::new(vec!["forced_next_chunk", "actual_download_s", "fugu_predicted_s"]);
-    for (label, quality) in [("low_quality", 0usize), ("high_quality", asset.num_qualities() - 1)] {
+    let mut table = Table::new(vec![
+        "forced_next_chunk",
+        "actual_download_s",
+        "fugu_predicted_s",
+    ]);
+    for (label, quality) in [
+        ("low_quality", 0usize),
+        ("high_quality", asset.num_qualities() - 1),
+    ] {
         let candidate_size = asset.size_bytes(n, quality);
         let predicted = fugu.predict_download_time(&sizes[..n], &times[..n], candidate_size);
         // Ground truth: actually download that size at that point in the

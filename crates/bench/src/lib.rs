@@ -28,9 +28,9 @@ where
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = Mutex::new(work);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let next = queue.lock().pop();
                 match next {
                     Some((idx, item)) => {
@@ -41,8 +41,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
     let mut collected = results.into_inner();
     collected.sort_by_key(|(idx, _)| *idx);
     collected.into_iter().map(|(_, r)| r).collect()

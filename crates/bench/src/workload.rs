@@ -176,7 +176,8 @@ mod tests {
         for log in &corpus.logs {
             assert_eq!(log.abr_name, "MPC");
             assert_eq!(log.records.len(), corpus.asset.num_chunks());
-            log.check_invariants().expect("corpus logs must be consistent");
+            log.check_invariants()
+                .expect("corpus logs must be consistent");
         }
     }
 

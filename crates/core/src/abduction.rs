@@ -45,7 +45,10 @@ impl Abduction {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid Veritas config: {e}"));
-        assert!(!log.records.is_empty(), "cannot run abduction on an empty session");
+        assert!(
+            !log.records.is_empty(),
+            "cannot run abduction on an empty session"
+        );
 
         let quantizer = Quantizer::new(config.epsilon_mbps, config.max_capacity_mbps);
         let capacities = quantizer.values();
@@ -220,9 +223,12 @@ mod tests {
         let log = logged_session(&truth);
         let ab = Abduction::infer(&log, &VeritasConfig::paper_default());
         assert_eq!(ab.viterbi_states().len(), log.records.len());
-        assert_eq!(ab.posterior_mean_chunk_capacities().len(), log.records.len());
+        assert_eq!(
+            ab.posterior_mean_chunk_capacities().len(),
+            log.records.len()
+        );
         assert_eq!(ab.start_intervals().len(), log.records.len());
-        assert!(ab.total_intervals() >= *ab.start_intervals().last().unwrap() + 1);
+        assert!(ab.total_intervals() > *ab.start_intervals().last().unwrap());
         let trace = ab.viterbi_trace();
         assert!(trace.duration() >= log.records.last().unwrap().start_time_s);
     }
@@ -294,11 +300,17 @@ mod tests {
         let ab = Abduction::infer(&log, &config);
         let a = ab.sample_traces(3);
         let b = ab.sample_traces(3);
-        assert_eq!(a, b, "sampling must be reproducible from the configured seed");
+        assert_eq!(
+            a, b,
+            "sampling must be reproducible from the configured seed"
+        );
         for trace in &a {
             for v in trace.values() {
                 let snapped = (v / config.epsilon_mbps).round() * config.epsilon_mbps;
-                assert!((v - snapped).abs() < 1e-9, "sampled value {v} is off the ε grid");
+                assert!(
+                    (v - snapped).abs() < 1e-9,
+                    "sampled value {v} is off the ε grid"
+                );
                 assert!(v <= config.max_capacity_mbps + 1e-9);
             }
         }

@@ -19,7 +19,10 @@ use veritas_trace::BandwidthTrace;
 /// corrects.
 pub fn baseline_trace(log: &SessionLog, delta_s: f64) -> BandwidthTrace {
     assert!(delta_s > 0.0, "delta must be positive");
-    assert!(!log.records.is_empty(), "cannot build a baseline trace from an empty log");
+    assert!(
+        !log.records.is_empty(),
+        "cannot build a baseline trace from an empty log"
+    );
 
     let horizon_s = log
         .session_duration_s
@@ -186,7 +189,10 @@ mod tests {
         let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
         let baseline = baseline_trace(&log, 5.0);
         let mae = trace_mae(&truth.with_duration(baseline.duration()), &baseline, 5.0);
-        assert!(mae < 0.5, "saturating chunks should make Baseline accurate (MAE {mae})");
+        assert!(
+            mae < 0.5,
+            "saturating chunks should make Baseline accurate (MAE {mae})"
+        );
     }
 
     #[test]
@@ -195,7 +201,14 @@ mod tests {
         let mut abr = Mpc::new();
         let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
         let oracle = oracle_trace(&truth, &log);
-        assert!((oracle.duration() - log.session_duration_s.max(log.records.last().unwrap().end_time_s)).abs() < 1e-6);
+        assert!(
+            (oracle.duration()
+                - log
+                    .session_duration_s
+                    .max(log.records.last().unwrap().end_time_s))
+            .abs()
+                < 1e-6
+        );
         for t in [1.0, 50.0, 200.0] {
             assert_eq!(oracle.bandwidth_at(t), truth.bandwidth_at(t));
         }
@@ -218,8 +231,14 @@ mod tests {
         let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
         let first = &log.records[0];
         let last = log.records.last().unwrap();
-        assert_eq!(baseline_value_at(&log, first.start_time_s - 1.0), first.throughput_mbps);
-        assert_eq!(baseline_value_at(&log, last.end_time_s + 100.0), last.throughput_mbps);
+        assert_eq!(
+            baseline_value_at(&log, first.start_time_s - 1.0),
+            first.throughput_mbps
+        );
+        assert_eq!(
+            baseline_value_at(&log, last.end_time_s + 100.0),
+            last.throughput_mbps
+        );
     }
 
     #[test]

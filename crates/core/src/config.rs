@@ -82,13 +82,19 @@ impl VeritasConfig {
             return Err(format!("delta_s must be positive, got {}", self.delta_s));
         }
         if !(self.epsilon_mbps.is_finite() && self.epsilon_mbps > 0.0) {
-            return Err(format!("epsilon_mbps must be positive, got {}", self.epsilon_mbps));
+            return Err(format!(
+                "epsilon_mbps must be positive, got {}",
+                self.epsilon_mbps
+            ));
         }
         if self.max_capacity_mbps < self.epsilon_mbps {
             return Err("max_capacity_mbps must be at least epsilon_mbps".to_string());
         }
         if !(self.sigma_mbps.is_finite() && self.sigma_mbps > 0.0) {
-            return Err(format!("sigma_mbps must be positive, got {}", self.sigma_mbps));
+            return Err(format!(
+                "sigma_mbps must be positive, got {}",
+                self.sigma_mbps
+            ));
         }
         if !(0.0..=1.0).contains(&self.stay_probability) {
             return Err(format!(

@@ -250,7 +250,9 @@ mod tests {
             samples: vec![mk(0.5), mk(0.7)],
         };
         assert_eq!(two.ssim_range(), (0.5, 0.7));
-        let one = RangePrediction { samples: vec![mk(0.6)] };
+        let one = RangePrediction {
+            samples: vec![mk(0.6)],
+        };
         assert_eq!(one.ssim_range(), (0.6, 0.6));
     }
 
@@ -261,9 +263,12 @@ mod tests {
         let scenario = Scenario::new("bba", PlayerConfig::paper_default(), asset());
         let oracle = engine().oracle_predict(&truth, &log, &scenario);
         // Direct emulation of Setting B on the same truth.
-        let direct = scenario.replay(&truth.with_duration(
-            log.session_duration_s.max(log.records.last().unwrap().end_time_s),
-        ));
+        let direct = scenario.replay(
+            &truth.with_duration(
+                log.session_duration_s
+                    .max(log.records.last().unwrap().end_time_s),
+            ),
+        );
         assert_eq!(oracle, direct);
     }
 
@@ -298,8 +303,7 @@ mod tests {
             let log = deployed_log(&truth);
             let cmp = e.compare(&log, &truth, &scenario);
             let oracle_bitrate = cmp.oracle.avg_bitrate_mbps;
-            veritas_err +=
-                (cmp.veritas.median_of(|q| q.avg_bitrate_mbps) - oracle_bitrate).abs();
+            veritas_err += (cmp.veritas.median_of(|q| q.avg_bitrate_mbps) - oracle_bitrate).abs();
             baseline_err += (cmp.baseline.avg_bitrate_mbps - oracle_bitrate).abs();
         }
         assert!(

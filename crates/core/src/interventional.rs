@@ -150,9 +150,15 @@ mod tests {
         let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
         let p = predictor();
         let preds = p.predict_over_log(&log);
-        let mae: f64 = preds.iter().map(|(pred, act)| (pred - act).abs()).sum::<f64>()
+        let mae: f64 = preds
+            .iter()
+            .map(|(pred, act)| (pred - act).abs())
+            .sum::<f64>()
             / preds.len() as f64;
-        assert!(mae < 0.6, "MAE {mae} s on a constant 4 Mbps link is too large");
+        assert!(
+            mae < 0.6,
+            "MAE {mae} s on a constant 4 Mbps link is too large"
+        );
     }
 
     #[test]
@@ -192,11 +198,8 @@ mod tests {
         let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
         let p = predictor();
         let preds = p.predict_over_log(&log);
-        let mean_signed_error: f64 = preds
-            .iter()
-            .map(|(pred, act)| pred - act)
-            .sum::<f64>()
-            / preds.len() as f64;
+        let mean_signed_error: f64 =
+            preds.iter().map(|(pred, act)| pred - act).sum::<f64>() / preds.len() as f64;
         // Allow a modest absolute bias but catch the gross underestimation
         // an associational model exhibits (several seconds).
         assert!(

@@ -44,11 +44,7 @@ impl Posteriors {
     /// Posterior mean of an arbitrary state-indexed value (e.g. the capacity
     /// grid) at observation `n`.
     pub fn posterior_mean(&self, n: usize, values: &[f64]) -> f64 {
-        self.gamma[n]
-            .iter()
-            .zip(values)
-            .map(|(&p, &v)| p * v)
-            .sum()
+        self.gamma[n].iter().zip(values).map(|(&p, &v)| p * v).sum()
     }
 }
 
@@ -333,13 +329,13 @@ mod tests {
     #[test]
     fn posterior_mean_interpolates_between_states() {
         let spec = spec3();
-        let obs = EmissionTable::new(
-            vec![vec![-0.5, -0.5, -30.0]],
-            vec![0],
-        );
+        let obs = EmissionTable::new(vec![vec![-0.5, -0.5, -30.0]], vec![0]);
         let p = forward_backward(&spec, &obs);
         let mean = p.posterior_mean(0, &[0.0, 1.0, 2.0]);
-        assert!((mean - 0.5).abs() < 1e-6, "two equally likely states average to 0.5, got {mean}");
+        assert!(
+            (mean - 0.5).abs() < 1e-6,
+            "two equally likely states average to 0.5, got {mean}"
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn states_to_values_maps_through_the_grid() {
         let grid = [0.0, 0.5, 1.0, 1.5];
-        assert_eq!(states_to_values(&[0, 2, 3, 9], &grid), vec![0.0, 1.0, 1.5, 1.5]);
+        assert_eq!(
+            states_to_values(&[0, 2, 3, 9], &grid),
+            vec![0.0, 1.0, 1.5, 1.5]
+        );
     }
 
     #[test]

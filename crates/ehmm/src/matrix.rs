@@ -32,7 +32,10 @@ impl TransitionMatrix {
             assert_eq!(row.len(), n, "row {i} has wrong length");
             let mut sum = 0.0;
             for &p in row {
-                assert!(p.is_finite() && p >= 0.0, "row {i} has invalid probability {p}");
+                assert!(
+                    p.is_finite() && p >= 0.0,
+                    "row {i} has invalid probability {p}"
+                );
                 sum += p;
             }
             assert!(
@@ -233,7 +236,10 @@ mod tests {
     fn powers_remain_row_stochastic() {
         let m = TransitionMatrix::tridiagonal(10, 0.85);
         for k in [0u32, 1, 2, 7, 33, 128] {
-            assert!(m.power(k).is_row_stochastic(1e-9), "A^{k} lost stochasticity");
+            assert!(
+                m.power(k).is_row_stochastic(1e-9),
+                "A^{k} lost stochasticity"
+            );
         }
     }
 
@@ -251,7 +257,10 @@ mod tests {
 
     #[test]
     fn tridiagonal_single_state_is_identity() {
-        assert_eq!(TransitionMatrix::tridiagonal(1, 0.5), TransitionMatrix::identity(1));
+        assert_eq!(
+            TransitionMatrix::tridiagonal(1, 0.5),
+            TransitionMatrix::identity(1)
+        );
     }
 
     #[test]

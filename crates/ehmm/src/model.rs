@@ -32,7 +32,10 @@ impl EhmmSpec {
             assert!(p.is_finite() && p >= 0.0, "invalid initial probability {p}");
             sum += p;
         }
-        assert!((sum - 1.0).abs() < 1e-6, "initial distribution sums to {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "initial distribution sums to {sum}"
+        );
         Self {
             transition,
             initial,
@@ -198,10 +201,7 @@ mod tests {
 
     #[test]
     fn scaled_linear_row_handles_all_impossible_states() {
-        let table = EmissionTable::new(
-            vec![vec![f64::NEG_INFINITY, f64::NEG_INFINITY]],
-            vec![0],
-        );
+        let table = EmissionTable::new(vec![vec![f64::NEG_INFINITY, f64::NEG_INFINITY]], vec![0]);
         let row = table.scaled_linear_row(0);
         assert_eq!(row, vec![1.0, 1.0]);
     }

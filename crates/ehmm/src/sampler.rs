@@ -40,7 +40,9 @@ pub fn sample_paths<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<Vec<usize>> {
-    (0..k).map(|_| sample_path(posteriors, viterbi, rng)).collect()
+    (0..k)
+        .map(|_| sample_path(posteriors, viterbi, rng))
+        .collect()
 }
 
 /// Exact forward-filtering backward-sampling: draws the final state from its

@@ -63,16 +63,17 @@ pub fn viterbi(spec: &EhmmSpec, obs: &EmissionTable) -> ViterbiResult {
     }
 
     // Backtrack from the best final state.
-    let (mut best_state, best_score) = delta
-        .iter()
-        .enumerate()
-        .fold((0usize, f64::NEG_INFINITY), |(bi, bs), (i, &s)| {
-            if s > bs {
-                (i, s)
-            } else {
-                (bi, bs)
-            }
-        });
+    let (mut best_state, best_score) =
+        delta
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bs), (i, &s)| {
+                if s > bs {
+                    (i, s)
+                } else {
+                    (bi, bs)
+                }
+            });
     let mut path = vec![0usize; num_obs];
     path[num_obs - 1] = best_state;
     for n in (1..num_obs).rev() {
@@ -196,7 +197,11 @@ mod tests {
         let tight_path = viterbi(&spec, &tight).path;
         let loose_path = viterbi(&spec, &loose).path;
         assert_eq!(loose_path, vec![0, 2]);
-        assert_ne!(tight_path, vec![0, 2], "a one-step tridiagonal chain cannot jump 0 -> 2");
+        assert_ne!(
+            tight_path,
+            vec![0, 2],
+            "a one-step tridiagonal chain cannot jump 0 -> 2"
+        );
     }
 
     #[test]

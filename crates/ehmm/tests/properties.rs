@@ -2,6 +2,11 @@
 //! agreement between the scaled forward–backward smoother and brute-force
 //! enumeration on small random models, Viterbi optimality, and sampler
 //! support.
+//!
+//! Determinism: the vendored proptest harness (shims/proptest) derives every
+//! case's RNG seed from (module path, test name, case index), and all direct
+//! `StdRng` uses below seed from literals, so CI runs are fully reproducible
+//! with no persisted shrink state.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -92,8 +92,14 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given or any size is zero.
     pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = layer_sizes
             .windows(2)
@@ -154,7 +160,11 @@ impl Mlp {
         seed: u64,
     ) -> f64 {
         assert!(!inputs.is_empty(), "training set is empty");
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         assert!(inputs.iter().all(|x| x.len() == self.input_dim()));
         let mut rng = StdRng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..inputs.len()).collect();
@@ -320,7 +330,10 @@ mod tests {
         for (x, &y) in inputs.iter().zip(&targets).take(100) {
             max_err = max_err.max((mlp.predict(x) - y).abs());
         }
-        assert!(max_err < 0.15, "max error {max_err} too large for a linear target");
+        assert!(
+            max_err < 0.15,
+            "max error {max_err} too large for a linear target"
+        );
     }
 
     #[test]

@@ -163,11 +163,13 @@ impl FuguModel {
         let inputs: Vec<Vec<f64>> = raw_inputs.iter().map(|r| scaler.apply(r)).collect();
 
         let input_dim = inputs[0].len();
-        let mut network = Mlp::new(
-            &[input_dim, config.hidden, config.hidden, 1],
-            config.seed,
+        let mut network = Mlp::new(&[input_dim, config.hidden, config.hidden, 1], config.seed);
+        network.train(
+            &inputs,
+            &targets,
+            &config.train,
+            config.seed.wrapping_add(1),
         );
-        network.train(&inputs, &targets, &config.train, config.seed.wrapping_add(1));
 
         let training_mae_s = inputs
             .iter()
@@ -216,8 +218,7 @@ impl FuguModel {
         let times = log.download_times();
         (1..sizes.len())
             .map(|n| {
-                let predicted =
-                    self.predict_download_time(&sizes[..n], &times[..n], sizes[n]);
+                let predicted = self.predict_download_time(&sizes[..n], &times[..n], sizes[n]);
                 (predicted, times[n])
             })
             .collect()
@@ -294,8 +295,7 @@ mod tests {
         let model = FuguModel::train_on_logs(&logs, config);
         // In-distribution accuracy: the associational task Fugu is good at.
         let preds = model.predict_over_log(&logs[0]);
-        let mae: f64 =
-            preds.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / preds.len() as f64;
+        let mae: f64 = preds.iter().map(|(p, a)| (p - a).abs()).sum::<f64>() / preds.len() as f64;
         assert!(
             mae < 1.0,
             "in-distribution MAE {mae} s is too large (training MAE {})",

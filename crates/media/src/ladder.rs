@@ -28,7 +28,10 @@ impl QualityLadder {
     ///
     /// Panics if `encodings` is empty or contains a non-positive bitrate.
     pub fn new(mut encodings: Vec<Encoding>) -> Self {
-        assert!(!encodings.is_empty(), "a quality ladder needs at least one encoding");
+        assert!(
+            !encodings.is_empty(),
+            "a quality ladder needs at least one encoding"
+        );
         assert!(
             encodings.iter().all(|e| e.nominal_bitrate_mbps > 0.0),
             "bitrates must be positive"
@@ -88,7 +91,10 @@ impl QualityLadder {
 
     /// All nominal bitrates, lowest first.
     pub fn bitrates(&self) -> Vec<f64> {
-        self.encodings.iter().map(|e| e.nominal_bitrate_mbps).collect()
+        self.encodings
+            .iter()
+            .map(|e| e.nominal_bitrate_mbps)
+            .collect()
     }
 }
 
@@ -154,9 +160,8 @@ impl VideoAsset {
                 let actual_bitrate = enc.nominal_bitrate_mbps * complexity * jitter;
                 let size_bytes = actual_bitrate * 1e6 / 8.0 * chunk_duration_s;
                 chunk_sizes.push(size_bytes.max(200.0));
-                chunk_ssims.push(
-                    ssim_model.ssim_with_complexity(enc.nominal_bitrate_mbps, complexity),
-                );
+                chunk_ssims
+                    .push(ssim_model.ssim_with_complexity(enc.nominal_bitrate_mbps, complexity));
             }
             sizes.push(chunk_sizes);
             ssims.push(chunk_ssims);
@@ -201,9 +206,8 @@ impl VideoAsset {
                 let size_bytes =
                     enc.nominal_bitrate_mbps * complexity * 1e6 / 8.0 * self.chunk_duration_s;
                 chunk_sizes.push(size_bytes.max(200.0));
-                chunk_ssims.push(
-                    ssim_model.ssim_with_complexity(enc.nominal_bitrate_mbps, complexity),
-                );
+                chunk_ssims
+                    .push(ssim_model.ssim_with_complexity(enc.nominal_bitrate_mbps, complexity));
             }
             sizes.push(chunk_sizes);
             ssims.push(chunk_ssims);
@@ -358,8 +362,14 @@ mod tests {
         let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
         let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = sizes.iter().cloned().fold(0.0, f64::max);
-        assert!(max > mean * 1.2, "VBR should produce chunks well above the mean");
-        assert!(min < mean * 0.8, "VBR should produce chunks well below the mean");
+        assert!(
+            max > mean * 1.2,
+            "VBR should produce chunks well above the mean"
+        );
+        assert!(
+            min < mean * 0.8,
+            "VBR should produce chunks well below the mean"
+        );
     }
 
     #[test]

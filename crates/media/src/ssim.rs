@@ -69,8 +69,16 @@ mod tests {
     #[test]
     fn calibration_matches_paper_endpoints() {
         let m = SsimModel::paper_calibrated();
-        assert!((m.ssim(0.1) - 0.908).abs() < 0.005, "low quality: {}", m.ssim(0.1));
-        assert!((m.ssim(4.0) - 0.986).abs() < 0.005, "high quality: {}", m.ssim(4.0));
+        assert!(
+            (m.ssim(0.1) - 0.908).abs() < 0.005,
+            "low quality: {}",
+            m.ssim(0.1)
+        );
+        assert!(
+            (m.ssim(4.0) - 0.986).abs() < 0.005,
+            "high quality: {}",
+            m.ssim(4.0)
+        );
     }
 
     #[test]

@@ -156,7 +156,10 @@ impl TcpConnection {
         start_time_s: f64,
         trace: &BandwidthTrace,
     ) -> DownloadResult {
-        assert!(size_bytes > 0.0 && size_bytes.is_finite(), "size must be positive");
+        assert!(
+            size_bytes > 0.0 && size_bytes.is_finite(),
+            "size must be positive"
+        );
         assert!(start_time_s >= 0.0 && start_time_s.is_finite());
 
         // Idle-period window validation before the request goes out.
@@ -218,7 +221,8 @@ impl TcpConnection {
                 self.cwnd_segments = self.ssthresh_segments;
             } else if self.cwnd_segments < self.ssthresh_segments {
                 // Slow start: double per round, capped at ssthresh.
-                self.cwnd_segments = (self.cwnd_segments * 2.0).min(self.ssthresh_segments.max(2.0));
+                self.cwnd_segments =
+                    (self.cwnd_segments * 2.0).min(self.ssthresh_segments.max(2.0));
             } else {
                 // Congestion avoidance: one segment per round.
                 self.cwnd_segments += 1.0;
@@ -385,29 +389,50 @@ mod tests {
     fn queue_overflow_causes_losses_on_tiny_links() {
         let mut c = TcpConnection::new(LinkModel::with_rtt(0.08).with_queue(5.0));
         let r = c.download_constant(4_000_000.0, 0.0, 0.5);
-        assert!(r.losses > 0, "a 4 MB chunk over 0.5 Mbps with a 5-packet queue must lose");
+        assert!(
+            r.losses > 0,
+            "a 4 MB chunk over 0.5 Mbps with a 5-packet queue must lose"
+        );
     }
 
     #[test]
     fn zero_bandwidth_portions_stall_but_terminate() {
         // 2 s of dead air then 10 Mbps.
         let trace = veritas_trace::BandwidthTrace::new(vec![
-            veritas_trace::TraceSegment { interval_s: 2.0, bandwidth_mbps: 0.0 },
-            veritas_trace::TraceSegment { interval_s: 600.0, bandwidth_mbps: 10.0 },
+            veritas_trace::TraceSegment {
+                interval_s: 2.0,
+                bandwidth_mbps: 0.0,
+            },
+            veritas_trace::TraceSegment {
+                interval_s: 600.0,
+                bandwidth_mbps: 10.0,
+            },
         ])
         .unwrap();
         let mut c = conn();
         let r = c.download(500_000.0, 0.0, &trace);
-        assert!(r.duration_s > 2.0, "download cannot finish while the link is dead");
-        assert!(r.duration_s < 10.0, "download must finish soon after the link recovers");
+        assert!(
+            r.duration_s > 2.0,
+            "download cannot finish while the link is dead"
+        );
+        assert!(
+            r.duration_s < 10.0,
+            "download must finish soon after the link recovers"
+        );
     }
 
     #[test]
     fn download_time_reacts_to_mid_download_bandwidth_change() {
         // First half of time at 8 Mbps, then drops to 1 Mbps.
         let trace = veritas_trace::BandwidthTrace::new(vec![
-            veritas_trace::TraceSegment { interval_s: 1.0, bandwidth_mbps: 8.0 },
-            veritas_trace::TraceSegment { interval_s: 600.0, bandwidth_mbps: 1.0 },
+            veritas_trace::TraceSegment {
+                interval_s: 1.0,
+                bandwidth_mbps: 8.0,
+            },
+            veritas_trace::TraceSegment {
+                interval_s: 600.0,
+                bandwidth_mbps: 1.0,
+            },
         ])
         .unwrap();
         let mut slow = conn();
@@ -424,7 +449,9 @@ mod tests {
     fn result_snapshot_is_valid_tcp_info() {
         let mut c = conn();
         let r = c.download_constant(1_000_000.0, 5.0, 6.0);
-        assert!(r.tcp_info_at_start.is_valid() || r.tcp_info_at_start.last_send_gap_s.is_infinite());
+        assert!(
+            r.tcp_info_at_start.is_valid() || r.tcp_info_at_start.last_send_gap_s.is_infinite()
+        );
         let r2 = c.download_constant(1_000_000.0, 20.0, 6.0);
         assert!(r2.tcp_info_at_start.is_valid());
     }

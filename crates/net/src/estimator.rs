@@ -53,7 +53,11 @@ pub fn estimate_throughput(gtbw_mbps: f64, info: &TcpInfo, size_bytes: f64) -> f
             return gtbw_mbps;
         }
         // Everything fits in one window and one round trip.
-        return (size_bytes * 8.0 / 1e6 / w.min_rtt_s).min_non_degenerate(gtbw_mbps, data_segments, bdp_segments);
+        return (size_bytes * 8.0 / 1e6 / w.min_rtt_s).min_non_degenerate(
+            gtbw_mbps,
+            data_segments,
+            bdp_segments,
+        );
     }
 
     // Window-bound: count transmission rounds until the chunk is delivered.
@@ -283,7 +287,10 @@ mod tests {
         let mut idle = steady_info();
         idle.last_send_gap_s = 8.0;
         let cold = estimate_throughput(18.0, &idle, 300_000.0);
-        assert!(cold < warm, "idle restart must reduce throughput ({cold} vs {warm})");
+        assert!(
+            cold < warm,
+            "idle restart must reduce throughput ({cold} vs {warm})"
+        );
     }
 
     #[test]

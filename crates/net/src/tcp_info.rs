@@ -112,7 +112,10 @@ mod tests {
         let info = TcpInfo::fresh(0.08);
         assert!(info.is_valid());
         assert_eq!(info.cwnd_segments, crate::INITIAL_CWND_SEGMENTS);
-        assert!(info.idle_exceeds_rto(), "fresh connection has infinite idle gap");
+        assert!(
+            info.idle_exceeds_rto(),
+            "fresh connection has infinite idle gap"
+        );
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Property-based tests for the TCP substrate: the estimator `f`, the
 //! ground-truth connection model, and slow-start-restart window validation.
+//!
+//! Determinism: the vendored proptest harness (shims/proptest) derives every
+//! case's RNG seed from (module path, test name, case index), and all direct
+//! `StdRng` uses below seed from literals, so CI runs are fully reproducible
+//! with no persisted shrink state.
 
 use proptest::prelude::*;
 
@@ -11,10 +16,10 @@ use veritas_trace::BandwidthTrace;
 
 fn arb_info() -> impl Strategy<Value = TcpInfo> {
     (
-        1.0f64..500.0,   // cwnd
-        2.0f64..2000.0,  // ssthresh
-        0.01f64..0.2,    // min_rtt
-        0.0f64..20.0,    // last send gap
+        1.0f64..500.0,  // cwnd
+        2.0f64..2000.0, // ssthresh
+        0.01f64..0.2,   // min_rtt
+        0.0f64..20.0,   // last send gap
     )
         .prop_map(|(cwnd, ssthresh, min_rtt, gap)| TcpInfo {
             cwnd_segments: cwnd,

@@ -126,7 +126,10 @@ impl SessionLog {
 
     /// The ground-truth bandwidth at each request instant (oracle use only).
     pub fn ground_truth_bandwidths(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.gtbw_at_request_mbps).collect()
+        self.records
+            .iter()
+            .map(|r| r.gtbw_at_request_mbps)
+            .collect()
     }
 
     /// A copy of the log with the ground-truth field zeroed out — the
@@ -158,7 +161,9 @@ impl SessionLog {
                 return Err(format!("chunk {i}: end before start"));
             }
             if (r.end_time_s - r.start_time_s - r.download_time_s).abs() > 1e-6 {
-                return Err(format!("chunk {i}: download time inconsistent with timestamps"));
+                return Err(format!(
+                    "chunk {i}: download time inconsistent with timestamps"
+                ));
             }
             if r.start_time_s + 1e-9 < prev_end {
                 return Err(format!("chunk {i}: downloads overlap"));
@@ -209,7 +214,11 @@ mod tests {
             abr_name: "MPC".to_string(),
             buffer_capacity_s: 5.0,
             chunk_duration_s: 2.0,
-            records: vec![record(0, 0.0, 1.0), record(1, 1.0, 2.0), record(2, 3.5, 0.5)],
+            records: vec![
+                record(0, 0.0, 1.0),
+                record(1, 1.0, 2.0),
+                record(2, 3.5, 0.5),
+            ],
             startup_delay_s: 1.0,
             total_rebuffer_s: 0.5,
             session_duration_s: 10.0,
@@ -245,7 +254,10 @@ mod tests {
     #[test]
     fn ground_truth_can_be_stripped() {
         let stripped = log().without_ground_truth();
-        assert!(stripped.records.iter().all(|r| r.gtbw_at_request_mbps.is_nan()));
+        assert!(stripped
+            .records
+            .iter()
+            .all(|r| r.gtbw_at_request_mbps.is_nan()));
         // Observations are untouched.
         assert_eq!(stripped.download_times(), log().download_times());
     }

@@ -180,7 +180,8 @@ mod tests {
         let mut abr = Mpc::new();
         let log = run_session(&asset, &mut abr, &trace, &PlayerConfig::paper_default());
         assert_eq!(log.records.len(), asset.num_chunks());
-        log.check_invariants().expect("session log must be internally consistent");
+        log.check_invariants()
+            .expect("session log must be internally consistent");
         assert_eq!(log.abr_name, "MPC");
     }
 
@@ -204,7 +205,11 @@ mod tests {
         let log = run_session(&asset, &mut abr, &trace, &PlayerConfig::paper_default());
         let qoe = log.qoe();
         assert_eq!(qoe.rebuffer_ratio_percent, 0.0);
-        assert!(qoe.mean_ssim > 0.97, "mean SSIM {} too low for a 10 Mbps link", qoe.mean_ssim);
+        assert!(
+            qoe.mean_ssim > 0.97,
+            "mean SSIM {} too low for a 10 Mbps link",
+            qoe.mean_ssim
+        );
         // The top rung is 4 Mbps, comfortably under 10 Mbps.
         assert!(qoe.avg_bitrate_mbps > 2.5);
     }
@@ -218,7 +223,11 @@ mod tests {
         let mut abr = Mpc::new();
         let log = run_session(&asset, &mut abr, &trace, &PlayerConfig::paper_default());
         let qoe = log.qoe();
-        assert!(qoe.avg_bitrate_mbps < 0.5, "avg bitrate {}", qoe.avg_bitrate_mbps);
+        assert!(
+            qoe.avg_bitrate_mbps < 0.5,
+            "avg bitrate {}",
+            qoe.avg_bitrate_mbps
+        );
         assert!(
             qoe.rebuffer_ratio_percent > 10.0,
             "a 0.05 Mbps link cannot sustain even the lowest rung without stalling (got {}%)",
@@ -233,7 +242,11 @@ mod tests {
         let mut abr = Mpc::new();
         let log = run_session(&asset, &mut abr, &trace, &PlayerConfig::paper_default());
         let qoe = log.qoe();
-        assert!(qoe.avg_bitrate_mbps < 0.6, "avg bitrate {}", qoe.avg_bitrate_mbps);
+        assert!(
+            qoe.avg_bitrate_mbps < 0.6,
+            "avg bitrate {}",
+            qoe.avg_bitrate_mbps
+        );
         assert!(
             qoe.rebuffer_ratio_percent < 20.0,
             "0.3 Mbps comfortably sustains the 0.1 Mbps rung (got {}%)",
@@ -293,19 +306,18 @@ mod tests {
             .iter()
             .filter(|r| r.wait_before_request_s > 1e-6)
             .count();
-        assert_eq!(waits, 0, "a starved player never has to wait on a full buffer");
+        assert_eq!(
+            waits, 0,
+            "a starved player never has to wait on a full buffer"
+        );
     }
 
     #[test]
     fn larger_buffer_reduces_rebuffering_on_bursty_traces() {
         let asset = short_asset(8);
         // 60 s of good network, then a 40 s outage-ish dip, then recovery.
-        let trace = veritas_trace::io::from_pairs(&[
-            (60.0, 6.0),
-            (40.0, 0.3),
-            (1200.0, 6.0),
-        ])
-        .unwrap();
+        let trace =
+            veritas_trace::io::from_pairs(&[(60.0, 6.0), (40.0, 0.3), (1200.0, 6.0)]).unwrap();
         let mut abr_small = Mpc::new();
         let small = run_session(
             &asset,
@@ -348,8 +360,16 @@ mod tests {
         let log_mpc = run_session(&asset, &mut mpc, &trace, &config);
         let log_bba = run_session(&asset, &mut bba, &trace, &config);
         assert_ne!(
-            log_mpc.records.iter().map(|r| r.quality).collect::<Vec<_>>(),
-            log_bba.records.iter().map(|r| r.quality).collect::<Vec<_>>()
+            log_mpc
+                .records
+                .iter()
+                .map(|r| r.quality)
+                .collect::<Vec<_>>(),
+            log_bba
+                .records
+                .iter()
+                .map(|r| r.quality)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -359,7 +379,10 @@ mod tests {
         let trace = BandwidthTrace::constant(7.5, 1200.0);
         let mut abr = Mpc::new();
         let log = run_session(&asset, &mut abr, &trace, &PlayerConfig::paper_default());
-        assert!(log.ground_truth_bandwidths().iter().all(|&g| (g - 7.5).abs() < 1e-9));
+        assert!(log
+            .ground_truth_bandwidths()
+            .iter()
+            .all(|&g| (g - 7.5).abs() < 1e-9));
     }
 
     #[test]
@@ -383,7 +406,12 @@ mod tests {
         // Running the first trace again from a fresh ABR must reproduce the
         // first batch entry exactly (reset works).
         let mut fresh = veritas_abr::RandomAbr::new(5);
-        let single = run_session(&asset, &mut fresh, &traces[0], &PlayerConfig::paper_default());
+        let single = run_session(
+            &asset,
+            &mut fresh,
+            &traces[0],
+            &PlayerConfig::paper_default(),
+        );
         assert_eq!(logs_batch[0], single);
         assert_eq!(logs_batch.len(), 2);
     }

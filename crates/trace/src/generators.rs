@@ -190,9 +190,17 @@ impl TraceGenerator for MarkovModulated {
                 // Move up or down one grid step, reflecting at the bounds.
                 let up = rng.gen_bool(0.5);
                 if up {
-                    idx = if idx >= hi_idx { hi_idx.saturating_sub(1).max(lo_idx) } else { idx + 1 };
+                    idx = if idx >= hi_idx {
+                        hi_idx.saturating_sub(1).max(lo_idx)
+                    } else {
+                        idx + 1
+                    };
                 } else {
-                    idx = if idx <= lo_idx { (lo_idx + 1).min(hi_idx) } else { idx - 1 };
+                    idx = if idx <= lo_idx {
+                        (lo_idx + 1).min(hi_idx)
+                    } else {
+                        idx - 1
+                    };
                 }
             }
         }
@@ -427,7 +435,11 @@ mod tests {
             let s = TraceStats::of(&t);
             // The realized mean can wander somewhat outside the drawn mean
             // because of the slow component, but must stay in a loose band.
-            assert!(s.mean_mbps > 1.5 && s.mean_mbps < 10.5, "mean {}", s.mean_mbps);
+            assert!(
+                s.mean_mbps > 1.5 && s.mean_mbps < 10.5,
+                "mean {}",
+                s.mean_mbps
+            );
             assert!(s.min_mbps >= 0.1);
         }
     }

@@ -207,7 +207,10 @@ mod tests {
     fn mahimahi_parser_flags_bad_lines() {
         let err = from_mahimahi("12\nbogus\n", 1.0).unwrap_err();
         assert!(matches!(err, IoError::MalformedLine { line: 2 }));
-        assert!(matches!(from_mahimahi("", 1.0).unwrap_err(), IoError::EmptyFile));
+        assert!(matches!(
+            from_mahimahi("", 1.0).unwrap_err(),
+            IoError::EmptyFile
+        ));
     }
 
     #[test]

@@ -41,11 +41,7 @@ impl TraceStats {
         };
         let values = trace.values();
         let mean_abs_step = if values.len() > 1 {
-            values
-                .windows(2)
-                .map(|w| (w[1] - w[0]).abs())
-                .sum::<f64>()
-                / (values.len() - 1) as f64
+            values.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (values.len() - 1) as f64
         } else {
             0.0
         };

@@ -218,7 +218,11 @@ impl BandwidthTrace {
         // Walk segments that intersect the window.
         let mut idx = self.segment_index_at(t);
         loop {
-            let seg_start = if idx == 0 { 0.0 } else { self.cumulative[idx - 1] };
+            let seg_start = if idx == 0 {
+                0.0
+            } else {
+                self.cumulative[idx - 1]
+            };
             let seg_end = self.cumulative[idx];
             let lo = t.max(seg_start);
             let hi = end.min(seg_end);
@@ -366,7 +370,10 @@ mod tests {
     #[test]
     fn rejects_negative_bandwidth() {
         let err = BandwidthTrace::from_uniform(5.0, &[1.0, -2.0]).unwrap_err();
-        assert!(matches!(err, TraceError::NegativeBandwidth { index: 1, .. }));
+        assert!(matches!(
+            err,
+            TraceError::NegativeBandwidth { index: 1, .. }
+        ));
     }
 
     #[test]
@@ -376,7 +383,10 @@ mod tests {
             bandwidth_mbps: 1.0,
         }])
         .unwrap_err();
-        assert!(matches!(err, TraceError::NonPositiveInterval { index: 0, .. }));
+        assert!(matches!(
+            err,
+            TraceError::NonPositiveInterval { index: 0, .. }
+        ));
     }
 
     #[test]
@@ -399,7 +409,11 @@ mod tests {
         let t = simple();
         assert_eq!(t.bandwidth_at(0.0), 1.0);
         assert_eq!(t.bandwidth_at(4.999), 1.0);
-        assert_eq!(t.bandwidth_at(5.0), 2.0, "boundaries belong to the next segment");
+        assert_eq!(
+            t.bandwidth_at(5.0),
+            2.0,
+            "boundaries belong to the next segment"
+        );
         assert_eq!(t.bandwidth_at(12.0), 3.0);
         assert_eq!(t.bandwidth_at(19.999), 4.0);
     }

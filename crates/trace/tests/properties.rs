@@ -1,5 +1,10 @@
 //! Property-based tests for bandwidth traces, generators, quantization and
 //! the mahimahi round-trip.
+//!
+//! Determinism: the vendored proptest harness (shims/proptest) derives every
+//! case's RNG seed from (module path, test name, case index), and all direct
+//! `StdRng` uses below seed from literals, so CI runs are fully reproducible
+//! with no persisted shrink state.
 
 use proptest::prelude::*;
 

@@ -19,7 +19,11 @@ fn main() {
     let mut deployed_abr = Mpc::new();
     let player = PlayerConfig::paper_default();
     let log = run_session(&asset, &mut deployed_abr, &ground_truth, &player);
-    println!("Deployed session ({} chunks) with {}:", log.records.len(), log.abr_name);
+    println!(
+        "Deployed session ({} chunks) with {}:",
+        log.records.len(),
+        log.abr_name
+    );
     let qoe = log.qoe();
     println!(
         "  mean SSIM {:.4}, rebuffering {:.2}%, avg bitrate {:.2} Mbps",
@@ -35,8 +39,14 @@ fn main() {
     let horizon = log.session_duration_s.min(ground_truth.duration());
     let truth_cut = ground_truth.with_duration(horizon);
     println!("\nGTBW reconstruction error (MAE, Mbps):");
-    println!("  Veritas  {:.3}", trace_mae(&truth_cut, &inferred, config.delta_s));
-    println!("  Baseline {:.3}", trace_mae(&truth_cut, &baseline, config.delta_s));
+    println!(
+        "  Veritas  {:.3}",
+        trace_mae(&truth_cut, &inferred, config.delta_s)
+    );
+    println!(
+        "  Baseline {:.3}",
+        trace_mae(&truth_cut, &baseline, config.delta_s)
+    );
 
     // ----------------------------------------------------------------- 3 --
     // Counterfactual: what if BBA had been deployed instead of MPC?

@@ -28,7 +28,11 @@ fn main() {
     println!("time(s)   GTBW   Baseline   Veritas samples (5)");
     let mut t = 2.5;
     while t < horizon {
-        print!("{t:>7.0}  {:>5.2}  {:>9.2}  ", truth.bandwidth_at(t), baseline.bandwidth_at(t));
+        print!(
+            "{t:>7.0}  {:>5.2}  {:>9.2}  ",
+            truth.bandwidth_at(t),
+            baseline.bandwidth_at(t)
+        );
         for s in &samples {
             print!("{:>5.2} ", s.bandwidth_at(t));
         }

@@ -1,0 +1,267 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! A deterministic property-testing harness exposing the slice of the
+//! proptest API the workspace uses: the [`Strategy`] trait with
+//! [`Strategy::prop_map`], range and tuple strategies, [`any`],
+//! [`collection::vec`], the [`proptest!`] macro with
+//! `#![proptest_config(...)]` support, and panic-based `prop_assert*`
+//! macros.
+//!
+//! Unlike real proptest there is **no shrinking** and **no persisted
+//! failure file**: every test case is generated from a seed derived
+//! deterministically from the test's module path, name, and case index, so
+//! a CI failure reproduces identically on any machine with no extra state.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod test_runner;
+
+/// Everything a property test file needs.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(...)` works as in real proptest.
+    pub use crate as prop;
+    pub use crate::test_runner::{Config, ProptestConfig};
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// A recipe for generating values of some type.
+///
+/// Strategies here are simple samplers: given an RNG they produce one value.
+/// (Real proptest strategies also carry shrinking machinery; the shim's
+/// deterministic seeds make failures reproducible without it.)
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value of this type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy over all values of `T` (see [`any`]).
+#[derive(Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Derives the per-case RNG seed from the test identity and case index.
+/// FNV-1a over the test path, mixed with the case number — stable across
+/// runs, platforms, and test orderings.
+#[doc(hidden)]
+pub fn __seed_for(test_path: &str, case: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Asserts a property within a [`proptest!`] body.
+///
+/// Panics (failing the test) when the condition is false. Deterministic
+/// seeding makes the failing case reproducible without shrink state.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality within a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => { assert_eq!($lhs, $rhs); };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => { assert_eq!($lhs, $rhs, $($fmt)+); };
+}
+
+/// Asserts inequality within a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => { assert_ne!($lhs, $rhs); };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => { assert_ne!($lhs, $rhs, $($fmt)+); };
+}
+
+/// Declares property tests.
+///
+/// Supports the two forms the workspace uses: an optional leading
+/// `#![proptest_config(expr)]`, then any number of
+/// `#[test] fn name(bindings in strategies) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategy = ($($strategy,)+);
+                for __case in 0..__config.cases {
+                    let __seed = $crate::__seed_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case as u64,
+                    );
+                    let mut __rng = <$crate::__rand::rngs::StdRng as
+                        $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                    let ($($pat,)+) = $crate::Strategy::sample(&__strategy, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Re-export for the [`proptest!`] expansion. Not public API.
+#[doc(hidden)]
+pub use rand as __rand;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds((a, b) in (0usize..10, -1.0f64..=1.0)) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..=1.0).contains(&b));
+        }
+
+        #[test]
+        fn mapped_strategies_apply_the_function(doubled in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size((xs, probe) in (prop::collection::vec(0.0f64..5.0, 1..30), any::<u64>())) {
+            prop_assert!(!xs.is_empty() && xs.len() < 30);
+            prop_assert!(xs.iter().all(|x| (0.0..5.0).contains(x)));
+            let _ = probe;
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(super::__seed_for("a::b", 0), super::__seed_for("a::b", 0));
+        assert_ne!(super::__seed_for("a::b", 0), super::__seed_for("a::b", 1));
+        assert_ne!(super::__seed_for("a::b", 0), super::__seed_for("a::c", 0));
+    }
+}

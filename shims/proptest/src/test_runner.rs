@@ -1,0 +1,25 @@
+//! Test-runner configuration.
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim keeps the same bar.
+        Self { cases: 256 }
+    }
+}
+
+/// Proptest's historical name for [`Config`].
+pub type ProptestConfig = Config;

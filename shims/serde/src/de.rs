@@ -1,0 +1,9 @@
+//! Deserialization-side helper traits.
+
+use std::fmt::Display;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}

@@ -1,0 +1,289 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small serde-compatible core: the [`Serialize`] / [`Deserialize`] traits,
+//! a [`Serializer`] / [`Deserializer`] pair narrowed to the operations the
+//! Veritas code uses, and `#[derive(Serialize, Deserialize)]` proc-macros
+//! (from the sibling `serde_derive` shim) for structs with named fields,
+//! supporting the `#[serde(skip)]` and `#[serde(with = "module")]` field
+//! attributes.
+//!
+//! Unlike real serde's visitor-driven data model, this shim is **value
+//! based**: serialization lowers everything to the JSON-like [`Value`] tree
+//! and deserialization lifts from it. That is a deliberate simplification —
+//! the only wire format the workspace uses is JSON (via the `serde_json`
+//! shim), and a value tree keeps the derive macro and the format crate tiny
+//! while preserving serde's public trait signatures, so swapping the real
+//! crates back in later is a manifest change, not a source change.
+
+#![deny(missing_docs)]
+
+use std::marker::PhantomData;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+/// A JSON-like tree: the common data model this shim serializes into and
+/// deserializes out of.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number. JSON does not distinguish integers from floats; 53-bit
+    /// integer precision is sufficient for every quantity in this workspace.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered, no duplicate keys expected.
+    Object(Vec<(String, Value)>),
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serializer: the sink side of the data model.
+///
+/// Narrowed to the forms the workspace emits: scalars, strings, options,
+/// sequences, and named-field structs.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Sub-serializer for sequences.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for structs.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value (`null`).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a struct with named fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserializer: the source side of the data model.
+///
+/// In this value-based shim, a deserializer is anything that can yield one
+/// [`Value`] tree; typed deserialization then lifts from the tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Consumes the deserializer, yielding its value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A [`Serializer`] that lowers any `Serialize` type into a [`Value`] tree,
+/// parameterized over the caller's error type.
+pub struct ValueSerializer<E> {
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueSerializer<E> {
+    /// Creates a value serializer.
+    pub fn new() -> Self {
+        Self {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<E> Default for ValueSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: ser::Error> Serializer for ValueSerializer<E> {
+    type Ok = Value;
+    type Error = E;
+    type SerializeSeq = SeqBuilder<E>;
+    type SerializeStruct = StructBuilder<E>;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, E> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, E> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, E> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, E> {
+        Ok(Value::Number(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, E> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, E> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, E> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, E> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder<E>, E> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            _marker: PhantomData,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructBuilder<E>, E> {
+        Ok(StructBuilder {
+            fields: Vec::with_capacity(len),
+            _marker: PhantomData,
+        })
+    }
+}
+
+/// Accumulates sequence elements into a [`Value::Array`].
+pub struct SeqBuilder<E> {
+    items: Vec<Value>,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E: ser::Error> ser::SerializeSeq for SeqBuilder<E> {
+    type Ok = Value;
+    type Error = E;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        self.items.push(value.serialize(ValueSerializer::new())?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, E> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+/// Accumulates struct fields into a [`Value::Object`].
+pub struct StructBuilder<E> {
+    fields: Vec<(String, Value)>,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E: ser::Error> ser::SerializeStruct for StructBuilder<E> {
+    type Ok = Value;
+    type Error = E;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        self.fields
+            .push((name.to_owned(), value.serialize(ValueSerializer::new())?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, E> {
+        Ok(Value::Object(self.fields))
+    }
+}
+
+/// A [`Deserializer`] over an in-memory [`Value`], parameterized over the
+/// caller's error type so derive-generated code can thread `D::Error`
+/// through nested field deserialization.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value tree.
+    pub fn new(value: Value) -> Self {
+        Self {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Lowers any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Value, E> {
+    value.serialize(ValueSerializer::new())
+}
+
+/// Lifts a typed value out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// Support code for derive-generated implementations. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::Value;
+
+    /// Removes and returns the named field from a struct's decoded field
+    /// list, or `None` if absent.
+    pub fn take_struct_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+        let idx = fields.iter().position(|(k, _)| k == name)?;
+        Some(fields.swap_remove(idx).1)
+    }
+
+    /// Error text for a struct decoded from a non-object value.
+    pub fn expected_object(struct_name: &str, got: &Value) -> String {
+        format!("expected a JSON object for struct `{struct_name}`, got {got:?}")
+    }
+
+    /// Error text for a missing struct field.
+    pub fn missing_field(struct_name: &str, field: &str) -> String {
+        format!("missing field `{field}` in struct `{struct_name}`")
+    }
+}

@@ -1,0 +1,43 @@
+//! Serialization-side helper traits.
+
+use std::fmt::Display;
+
+use crate::Serialize;
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Sub-serializer returned by [`crate::Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Serializes one sequence element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`crate::Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Serializes one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

@@ -1,0 +1,336 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the serde shim.
+//!
+//! Hand-rolled over `proc_macro` (the build environment has no `syn` /
+//! `quote`), these derives support exactly what the workspace needs:
+//! non-generic structs with named fields, plus the `#[serde(skip)]` and
+//! `#[serde(with = "module")]` field attributes. Anything else is a
+//! compile error with a pointed message, not a silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed struct field.
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+/// Parsed derive input: a struct name plus its named fields.
+struct Input {
+    name: String,
+    fields: Vec<Field>,
+}
+
+/// Derives the serde shim's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &input.name;
+    let active: Vec<&Field> = input.fields.iter().filter(|f| !f.skip).collect();
+    let mut body = String::new();
+    for field in &active {
+        let fname = &field.name;
+        match &field.with {
+            None => {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \
+                     \"{fname}\", &self.{fname})?;\n"
+                ));
+            }
+            Some(path) => {
+                let fty = &field.ty;
+                body.push_str(&format!(
+                    "{{
+                        struct __SerdeWith<'__a>(&'__a {fty});
+                        impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{
+                            fn serialize<__S: ::serde::Serializer>(
+                                &self,
+                                __serializer: __S,
+                            ) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                                {path}::serialize(self.0, __serializer)
+                            }}
+                        }}
+                        ::serde::ser::SerializeStruct::serialize_field(
+                            &mut __state, \"{fname}\", &__SerdeWith(&self.{fname}))?;
+                    }}\n"
+                ));
+            }
+        }
+    }
+    let len = active.len();
+    let out = format!(
+        "#[automatically_derived]
+        impl ::serde::Serialize for {name} {{
+            fn serialize<__S: ::serde::Serializer>(
+                &self,
+                __serializer: __S,
+            ) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                let mut __state =
+                    ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {len})?;
+                {body}
+                ::serde::ser::SerializeStruct::end(__state)
+            }}
+        }}"
+    );
+    out.parse().expect("derived Serialize impl must parse")
+}
+
+/// Derives the serde shim's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &input.name;
+    let mut body = String::new();
+    for field in &input.fields {
+        let fname = &field.name;
+        if field.skip {
+            body.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+            continue;
+        }
+        let lift = match &field.with {
+            None => "::serde::Deserialize::deserialize".to_owned(),
+            Some(path) => format!("{path}::deserialize"),
+        };
+        body.push_str(&format!(
+            "{fname}: match ::serde::__private::take_struct_field(&mut __fields, \"{fname}\") {{
+                ::core::option::Option::Some(__v) => {lift}(
+                    ::serde::ValueDeserializer::<__D::Error>::new(__v))?,
+                ::core::option::Option::None => return ::core::result::Result::Err(
+                    <__D::Error as ::serde::de::Error>::custom(
+                        ::serde::__private::missing_field(\"{name}\", \"{fname}\"))),
+            }},\n"
+        ));
+    }
+    let out = format!(
+        "#[automatically_derived]
+        impl<'de> ::serde::Deserialize<'de> for {name} {{
+            fn deserialize<__D: ::serde::Deserializer<'de>>(
+                __deserializer: __D,
+            ) -> ::core::result::Result<Self, __D::Error> {{
+                let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;
+                let mut __fields = match __value {{
+                    ::serde::Value::Object(__f) => __f,
+                    __other => return ::core::result::Result::Err(
+                        <__D::Error as ::serde::de::Error>::custom(
+                            ::serde::__private::expected_object(\"{name}\", &__other))),
+                }};
+                ::core::result::Result::Ok({name} {{
+                    {body}
+                }})
+            }}
+        }}"
+    );
+    out.parse().expect("derived Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses the derive input down to struct name + named fields, collecting
+/// `#[serde(...)]` field attributes along the way.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Outer attributes and visibility before `struct`.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "serde shim derives support only structs, found {other:?}"
+            ))
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde shim derives do not support generic struct `{name}`"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "serde shim derives support only named-field structs, \
+                 found {other:?} after `struct {name}`"
+            ))
+        }
+    };
+
+    let fields = parse_fields(body)?;
+    Ok(Input { name, fields })
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Field attributes.
+        let mut skip = false;
+        let mut with = None;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    let group = match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                        other => return Err(format!("malformed attribute: {other:?}")),
+                    };
+                    parse_field_attr(group.stream(), &mut skip, &mut with)?;
+                }
+                _ => break,
+            }
+        }
+
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+
+        // Field name (or end of input).
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derives support only named fields \
+                     (field `{name}`, found {other:?})"
+                ))
+            }
+        }
+
+        // Type: everything up to a comma at angle-bracket depth zero.
+        let mut ty = String::new();
+        let mut angle_depth: i32 = 0;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(tt) => {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&tt.to_string());
+                    tokens.next();
+                }
+            }
+        }
+        if ty.is_empty() {
+            return Err(format!("field `{name}` has an empty type"));
+        }
+        fields.push(Field {
+            name,
+            ty,
+            skip,
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+/// Interprets one `[...]` attribute body; only `serde(...)` matters.
+fn parse_field_attr(
+    stream: TokenStream,
+    skip: &mut bool,
+    with: &mut Option<String>,
+) -> Result<(), String> {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // doc comments and other attributes
+    }
+    let args = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => return Err(format!("malformed #[serde] attribute: {other:?}")),
+    };
+    let mut tokens = args.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" => *skip = true,
+                "with" => {
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+                        other => {
+                            return Err(format!("expected `=` after serde(with), got {other:?}"))
+                        }
+                    }
+                    match tokens.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let raw = lit.to_string();
+                            let path = raw.trim_matches('"').to_owned();
+                            if path.is_empty() {
+                                return Err("empty serde(with = ...) path".to_owned());
+                            }
+                            *with = Some(path);
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected string literal in serde(with = ...), got {other:?}"
+                            ))
+                        }
+                    }
+                }
+                unknown => {
+                    return Err(format!(
+                        "serde shim does not support the `{unknown}` attribute \
+                         (only `skip` and `with = \"module\"`)"
+                    ))
+                }
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => return Err(format!("malformed #[serde] attribute token: {other:?}")),
+        }
+    }
+    Ok(())
+}

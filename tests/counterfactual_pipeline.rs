@@ -41,9 +41,8 @@ fn abr_change_counterfactual_tracks_the_oracle_better_than_baseline() {
         let truth = generator.generate(600.0, 500 + seed);
         let log = deployed(&truth);
         let cmp = e.compare(&log, &truth, &scenario);
-        veritas_err += (cmp.veritas.median_of(|q| q.avg_bitrate_mbps)
-            - cmp.oracle.avg_bitrate_mbps)
-            .abs();
+        veritas_err +=
+            (cmp.veritas.median_of(|q| q.avg_bitrate_mbps) - cmp.oracle.avg_bitrate_mbps).abs();
         baseline_err += (cmp.baseline.avg_bitrate_mbps - cmp.oracle.avg_bitrate_mbps).abs();
     }
     assert!(

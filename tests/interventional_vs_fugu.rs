@@ -57,7 +57,10 @@ fn veritas_is_less_biased_than_fugu_on_randomized_sequences() {
             .into_iter()
             .zip(veritas.predict_over_log(&log))
         {
-            assert!((fa - va).abs() < 1e-12, "both predictors see the same ground truth");
+            assert!(
+                (fa - va).abs() < 1e-12,
+                "both predictors see the same ground truth"
+            );
             fugu_abs += (fp - fa).abs();
             veritas_abs += (vp - va).abs();
             count += 1.0;
