@@ -1,11 +1,13 @@
 //! Criterion benchmarks of the end-to-end pipelines: session emulation,
-//! full abduction on a recorded session, and a complete counterfactual
-//! comparison (abduction + K replays + baseline + oracle).
+//! full abduction on a recorded session, a complete counterfactual
+//! comparison (abduction + K replays + baseline + oracle), and the query
+//! engine (cached vs uncached execution of a shared-session query set).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use veritas::{Abduction, CounterfactualEngine, Scenario, VeritasConfig};
 use veritas_abr::Mpc;
+use veritas_engine::{Engine, QuerySet, SyntheticSpec};
 use veritas_media::{QualityLadder, VbrParams, VideoAsset};
 use veritas_player::{run_session, PlayerConfig};
 use veritas_trace::generators::{FccLike, TraceGenerator};
@@ -47,9 +49,56 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+fn bench_engine(c: &mut Criterion) {
+    // The acceptance workload: a 10-query set over a 4-session corpus
+    // where every query touches every session. Cached execution abduces
+    // once per session; uncached once per (query, session) unit — the
+    // ratio of these two benches is the cache's speedup (>= 2x expected).
+    let corpus = SyntheticSpec {
+        sessions: 4,
+        video_duration_s: 120.0,
+        ..SyntheticSpec::default()
+    }
+    .build();
+    let set = QuerySet::cache_stress(10);
+
+    c.bench_function("engine/queryset_10q4s_uncached", |b| {
+        b.iter(|| {
+            let engine = Engine::new().with_threads(1).without_cache();
+            engine.run(black_box(&corpus), black_box(&set)).unwrap()
+        })
+    });
+    c.bench_function("engine/queryset_10q4s_cached", |b| {
+        b.iter(|| {
+            let engine = Engine::new().with_threads(1);
+            let report = engine.run(black_box(&corpus), black_box(&set)).unwrap();
+            assert_eq!(report.summary.cache_misses, 4);
+            report
+        })
+    });
+
+    // The CI smoke workload: the 3-query example set over a 5-session
+    // corpus (tracked in BENCH_baseline.json as engine_queryset_small).
+    let small_corpus = SyntheticSpec {
+        sessions: 5,
+        video_duration_s: 120.0,
+        ..SyntheticSpec::default()
+    }
+    .build();
+    let small_set = QuerySet::example();
+    c.bench_function("engine_queryset_small", |b| {
+        b.iter(|| {
+            let engine = Engine::new().with_threads(1);
+            engine
+                .run(black_box(&small_corpus), black_box(&small_set))
+                .unwrap()
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
+    targets = bench_pipeline, bench_engine
 }
 criterion_main!(benches);

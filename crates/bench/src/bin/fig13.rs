@@ -3,7 +3,7 @@
 
 use veritas::VeritasConfig;
 use veritas_bench::experiments::counterfactual::{
-    outcomes_table, run_counterfactual, summary_table, PaperScenario,
+    outcomes_table, run_paper_scenario_via_engine, summary_table, PaperScenario,
 };
 use veritas_bench::report::results_dir;
 use veritas_bench::workload::{traces_from_env, CorpusSpec};
@@ -12,9 +12,8 @@ fn main() {
     let traces = traces_from_env(40);
     let corpus = CorpusSpec::counterfactual(traces).build();
     let config = VeritasConfig::paper_default();
-    let scenario = PaperScenario::AbrToBola.scenario(&corpus);
     println!("Figure 13: predicted impact of MPC -> BOLA over {traces} traces\n");
-    let outcomes = run_counterfactual(&corpus, &scenario, &config);
+    let outcomes = run_paper_scenario_via_engine(&corpus, PaperScenario::AbrToBola, &config);
     let table = outcomes_table(&outcomes);
     println!("{}", table.render());
     println!("{}", summary_table(&outcomes).render());

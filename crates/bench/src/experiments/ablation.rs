@@ -1,7 +1,9 @@
-//! Ablations of the Veritas design choices called out in `DESIGN.md` §5:
+//! Ablations of the Veritas design choices (paper §4.5 and appendix):
 //! the transition prior, emission noise, quantization, sample count, and —
 //! most importantly — conditioning the emission on TCP state through the
 //! estimator `f` versus a naive "throughput equals capacity" emission.
+//! The `ablations` binary in `src/bin/` runs them all (see the README's
+//! figure-to-binary map).
 
 use veritas::{Abduction, VeritasConfig};
 use veritas_ehmm::{
@@ -13,15 +15,15 @@ use veritas_player::SessionLog;
 use veritas_trace::stats::trace_mae;
 use veritas_trace::{BandwidthTrace, Quantizer};
 
+use crate::default_threads;
 use crate::report::{f3, mean, Table};
 use crate::workload::Corpus;
-use crate::{default_threads, parallel_map};
+use veritas_engine::executor::execute_indexed;
 
 /// GTBW reconstruction error (MAE in Mbps, averaged over traces) of the
 /// standard Veritas abduction under a given configuration.
 pub fn reconstruction_mae(corpus: &Corpus, config: &VeritasConfig) -> f64 {
-    let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
-    let errors = parallel_map(jobs, default_threads(), |i| {
+    let errors = execute_indexed(corpus.logs.len(), default_threads(), |i| {
         let log = &corpus.logs[i];
         let truth = &corpus.truths[i];
         let abduction = Abduction::infer(log, config);
@@ -37,8 +39,7 @@ pub fn reconstruction_mae(corpus: &Corpus, config: &VeritasConfig) -> f64 {
 /// around the capacity (`Y ~ N(c, σ)`). This is the "no control variables"
 /// ablation: it collapses Veritas back to a smoothed version of the Baseline.
 pub fn naive_emission_mae(corpus: &Corpus, config: &VeritasConfig) -> f64 {
-    let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
-    let errors = parallel_map(jobs, default_threads(), |i| {
+    let errors = execute_indexed(corpus.logs.len(), default_threads(), |i| {
         let log = &corpus.logs[i];
         let truth = &corpus.truths[i];
         let estimate = naive_emission_trace(log, config);
@@ -96,8 +97,7 @@ pub fn naive_emission_trace(log: &SessionLog, config: &VeritasConfig) -> Bandwid
 /// Viterbi point estimate), averaged over `k` samples — quantifies how much
 /// the sample spread costs relative to the MAP solution.
 pub fn sampled_reconstruction_mae(corpus: &Corpus, config: &VeritasConfig, k: usize) -> f64 {
-    let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
-    let errors = parallel_map(jobs, default_threads(), |i| {
+    let errors = execute_indexed(corpus.logs.len(), default_threads(), |i| {
         let log = &corpus.logs[i];
         let truth = &corpus.truths[i];
         let abduction = Abduction::infer(log, config);
@@ -118,8 +118,7 @@ pub fn sampled_reconstruction_mae(corpus: &Corpus, config: &VeritasConfig, k: us
 pub fn ffbs_reconstruction_mae(corpus: &Corpus, config: &VeritasConfig, k: usize) -> f64 {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
-    let errors = parallel_map(jobs, default_threads(), |i| {
+    let errors = execute_indexed(corpus.logs.len(), default_threads(), |i| {
         let log = &corpus.logs[i];
         let truth = &corpus.truths[i];
         let horizon = log.session_duration_s.min(truth.duration());

@@ -2,16 +2,18 @@
 //! in-text summary statistics of §4.3.
 
 use veritas::{baseline_trace, Abduction, CounterfactualEngine, Scenario, VeritasConfig};
+use veritas_engine::executor::execute_indexed;
+use veritas_engine::{Engine, Query, QueryRecord, QuerySet, ScenarioSpec};
 use veritas_media::QualityLadder;
 use veritas_player::QoeSummary;
 use veritas_trace::stats::trace_mae;
 
+use crate::default_threads;
 use crate::report::{f3, f4, median, Table};
 use crate::workload::Corpus;
-use crate::{default_threads, parallel_map};
 
 /// Per-trace outcome of one counterfactual query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceOutcome {
     /// Trace index within the corpus.
     pub trace: usize,
@@ -35,14 +37,18 @@ pub struct TraceOutcome {
 
 /// Runs one counterfactual scenario over every trace of a corpus, in
 /// parallel, producing the per-trace comparison the paper's figures plot.
+///
+/// This is the direct path (one ad-hoc abduction per trace). The figure
+/// binaries use [`run_paper_scenario_via_engine`] instead, which routes
+/// the same computation through the query engine and its abduction cache;
+/// the two produce identical outcomes.
 pub fn run_counterfactual(
     corpus: &Corpus,
     scenario: &Scenario,
     config: &VeritasConfig,
 ) -> Vec<TraceOutcome> {
     let engine = CounterfactualEngine::new(*config);
-    let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
-    parallel_map(jobs, default_threads(), |i| {
+    execute_indexed(corpus.logs.len(), default_threads(), |i| {
         let log = &corpus.logs[i];
         let truth = &corpus.truths[i];
         let cmp = engine.compare(log, truth, scenario);
@@ -58,6 +64,70 @@ pub fn run_counterfactual(
             veritas_median_bitrate: cmp.veritas.median_of(|q| q.avg_bitrate_mbps),
         }
     })
+}
+
+/// Converts one engine counterfactual record back into the tabular
+/// [`TraceOutcome`] the figure renderers consume.
+fn outcome_from_record(trace: usize, record: &QueryRecord) -> TraceOutcome {
+    let output = record
+        .output
+        .as_ref()
+        .unwrap_or_else(|| panic!("engine unit failed: {:?}", record.error));
+    let veritas = output.veritas.expect("counterfactual output has ranges");
+    TraceOutcome {
+        trace,
+        oracle: output.oracle.expect("corpus carries ground truth"),
+        baseline: output.baseline.expect("counterfactual output has baseline"),
+        veritas_ssim: (veritas.ssim_low, veritas.ssim_high),
+        veritas_rebuffer: (veritas.rebuffer_low, veritas.rebuffer_high),
+        veritas_bitrate: (veritas.bitrate_low, veritas.bitrate_high),
+        veritas_median_ssim: veritas.ssim_median,
+        veritas_median_rebuffer: veritas.rebuffer_median,
+        veritas_median_bitrate: veritas.bitrate_median,
+    }
+}
+
+/// Runs a batch of paper scenarios through the query engine as one
+/// [`QuerySet`] — one counterfactual query per scenario, every query over
+/// every trace — so all scenarios share a single cached abduction per
+/// session. Returns one outcome vector per scenario, in input order.
+pub fn run_paper_scenarios_via_engine(
+    corpus: &Corpus,
+    kinds: &[PaperScenario],
+    config: &VeritasConfig,
+) -> Vec<Vec<TraceOutcome>> {
+    let engine_corpus = corpus.to_engine();
+    let mut set = QuerySet::new("paper-counterfactuals", *config);
+    for kind in kinds {
+        set = set.with_query(Query::counterfactual(kind.figure(), kind.spec()));
+    }
+    let engine = Engine::new().with_threads(default_threads());
+    let report = engine
+        .run(&engine_corpus, &set)
+        .expect("paper query set is valid");
+    kinds
+        .iter()
+        .map(|kind| {
+            report
+                .records_for(kind.figure())
+                .into_iter()
+                .enumerate()
+                .map(|(trace, record)| outcome_from_record(trace, record))
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one paper scenario through the query engine (see
+/// [`run_paper_scenarios_via_engine`]).
+pub fn run_paper_scenario_via_engine(
+    corpus: &Corpus,
+    kind: PaperScenario,
+    config: &VeritasConfig,
+) -> Vec<TraceOutcome> {
+    run_paper_scenarios_via_engine(corpus, &[kind], config)
+        .pop()
+        .expect("one scenario in, one outcome vector out")
 }
 
 /// Renders outcomes as the per-trace table the prediction figures plot
@@ -159,8 +229,7 @@ pub fn fig8_true_impact(corpus: &Corpus, alternative_abr: &str) -> Table {
         "settingA_rebuf_pct",
         "settingB_rebuf_pct",
     ]);
-    let jobs: Vec<usize> = (0..corpus.logs.len()).collect();
-    let rows = parallel_map(jobs, default_threads(), |i| {
+    let rows = execute_indexed(corpus.logs.len(), default_threads(), |i| {
         let qoe_a = corpus.logs[i].qoe();
         let horizon = corpus.logs[i].session_duration_s.max(
             corpus.logs[i]
@@ -273,6 +342,18 @@ impl PaperScenario {
         }
     }
 
+    /// The declarative engine spec of this scenario — what
+    /// [`Self::scenario`] builds, expressed as intervention parameters on
+    /// top of the corpus's deployed setting.
+    pub fn spec(&self) -> ScenarioSpec {
+        match self {
+            PaperScenario::AbrToBba => ScenarioSpec::abr("bba"),
+            PaperScenario::AbrToBola => ScenarioSpec::abr("bola"),
+            PaperScenario::Buffer30s => ScenarioSpec::buffer(30.0),
+            PaperScenario::HigherQualities => ScenarioSpec::ladder("higher"),
+        }
+    }
+
     /// The figure this scenario reproduces.
     pub fn figure(&self) -> &'static str {
         match self {
@@ -285,21 +366,25 @@ impl PaperScenario {
 }
 
 /// Figure 14: average bitrate comparison for every counterfactual query.
+///
+/// All four scenarios run as one engine [`QuerySet`], so the corpus is
+/// abduced once per trace instead of once per (trace, scenario) — a 4×
+/// reduction in inference work for this figure.
 pub fn fig14_bitrates(corpus: &Corpus, config: &VeritasConfig) -> Table {
+    let kinds = [
+        PaperScenario::AbrToBba,
+        PaperScenario::AbrToBola,
+        PaperScenario::Buffer30s,
+        PaperScenario::HigherQualities,
+    ];
+    let per_scenario = run_paper_scenarios_via_engine(corpus, &kinds, config);
     let mut table = Table::new(vec![
         "query",
         "oracle_bitrate_mbps",
         "veritas_median_bitrate",
         "baseline_bitrate_mbps",
     ]);
-    for scenario_kind in [
-        PaperScenario::AbrToBba,
-        PaperScenario::AbrToBola,
-        PaperScenario::Buffer30s,
-        PaperScenario::HigherQualities,
-    ] {
-        let scenario = scenario_kind.scenario(corpus);
-        let outcomes = run_counterfactual(corpus, &scenario, config);
+    for (scenario_kind, outcomes) in kinds.iter().zip(per_scenario) {
         let oracle: Vec<f64> = outcomes.iter().map(|o| o.oracle.avg_bitrate_mbps).collect();
         let veritas: Vec<f64> = outcomes.iter().map(|o| o.veritas_median_bitrate).collect();
         let baseline: Vec<f64> = outcomes
@@ -321,8 +406,7 @@ pub fn fig14_bitrates(corpus: &Corpus, config: &VeritasConfig) -> Table {
 /// predict (near) zero. Returns `(oracle, veritas, baseline)` median
 /// rebuffering percentages.
 pub fn qualities_rebuffer_medians(corpus: &Corpus, config: &VeritasConfig) -> (f64, f64, f64) {
-    let scenario = PaperScenario::HigherQualities.scenario(corpus);
-    let outcomes = run_counterfactual(corpus, &scenario, config);
+    let outcomes = run_paper_scenario_via_engine(corpus, PaperScenario::HigherQualities, config);
     let oracle: Vec<f64> = outcomes
         .iter()
         .map(|o| o.oracle.rebuffer_ratio_percent)
@@ -363,6 +447,23 @@ mod tests {
         let table = outcomes_table(&outcomes);
         assert_eq!(table.len(), 2);
         assert_eq!(summary_table(&outcomes).len(), 3);
+    }
+
+    #[test]
+    fn engine_path_matches_the_direct_path_exactly() {
+        let corpus = tiny_corpus();
+        let config = VeritasConfig::paper_default().with_samples(2);
+        let kinds = [PaperScenario::AbrToBba, PaperScenario::Buffer30s];
+        let via_engine = run_paper_scenarios_via_engine(&corpus, &kinds, &config);
+        for (kind, engine_outcomes) in kinds.iter().zip(via_engine) {
+            let direct = run_counterfactual(&corpus, &kind.scenario(&corpus), &config);
+            assert_eq!(
+                engine_outcomes,
+                direct,
+                "{} must be identical through the engine",
+                kind.figure()
+            );
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@ use veritas::{InterventionalPredictor, VeritasConfig};
 use veritas_fugu::{FuguConfig, FuguModel, TrainConfig};
 use veritas_trace::stats::percentile;
 
+use crate::default_threads;
 use crate::report::{f3, mean, Table};
 use crate::workload::{randomized_test_corpus, Corpus, CorpusSpec};
-use crate::{default_threads, parallel_map};
+use veritas_engine::executor::execute_indexed;
 
 /// One (actual, Fugu-predicted, Veritas-predicted) download-time triple.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,21 +65,21 @@ pub fn fig12(
     let test = randomized_test_corpus(test_traces, 777);
     let predictor = InterventionalPredictor::new(*config);
 
-    let jobs: Vec<usize> = (0..test.logs.len()).collect();
-    let per_trace: Vec<Vec<PredictionTriple>> = parallel_map(jobs, default_threads(), |i| {
-        let log = &test.logs[i];
-        let fugu_preds = fugu.predict_over_log(log);
-        let veritas_preds = predictor.predict_over_log(log);
-        fugu_preds
-            .into_iter()
-            .zip(veritas_preds)
-            .map(|((fp, actual), (vp, _))| PredictionTriple {
-                actual_s: actual,
-                fugu_s: fp,
-                veritas_s: vp,
-            })
-            .collect()
-    });
+    let per_trace: Vec<Vec<PredictionTriple>> =
+        execute_indexed(test.logs.len(), default_threads(), |i| {
+            let log = &test.logs[i];
+            let fugu_preds = fugu.predict_over_log(log);
+            let veritas_preds = predictor.predict_over_log(log);
+            fugu_preds
+                .into_iter()
+                .zip(veritas_preds)
+                .map(|((fp, actual), (vp, _))| PredictionTriple {
+                    actual_s: actual,
+                    fugu_s: fp,
+                    veritas_s: vp,
+                })
+                .collect()
+        });
     let triples: Vec<PredictionTriple> = per_trace.into_iter().flatten().collect();
     summarize(triples)
 }

@@ -2,7 +2,8 @@
 //!
 //! Every public function here corresponds to a figure (or in-text statistic)
 //! of the paper; the binaries in `src/bin/` are thin wrappers around them.
-//! See `DESIGN.md` §4 for the complete index.
+//! The README's "Reproducing paper figures" section is the complete
+//! figure-to-binary index.
 
 pub mod ablation;
 pub mod counterfactual;

@@ -1,10 +1,15 @@
 //! Experiment harness for reproducing every figure in the Veritas paper.
 //!
-//! The library half holds reusable workload builders, a small parallel map,
-//! and the per-figure experiment functions; the binaries under `src/bin/`
-//! are thin wrappers that run one experiment each and print the series the
-//! corresponding paper figure plots (see `DESIGN.md` §4 for the
-//! figure-to-binary index and `EXPERIMENTS.md` for recorded results).
+//! The library half holds reusable workload builders and the per-figure
+//! experiment functions; the binaries under `src/bin/` are thin wrappers
+//! that run one experiment each and print the series the corresponding
+//! paper figure plots. The README's "Reproducing paper figures" section is
+//! the figure-to-binary index.
+//!
+//! Parallelism comes from [`veritas_engine::executor`] (an atomic-cursor
+//! worker pool); the counterfactual figure experiments additionally route
+//! their work through the [`veritas_engine::Engine`] so that every
+//! scenario over a given session shares one cached abduction.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -15,44 +20,33 @@ pub mod workload;
 
 use parking_lot::Mutex;
 
+pub use veritas_engine::executor::default_threads;
+
 /// Maps `f` over `items` using up to `threads` worker threads, preserving
-/// input order in the output. Used to spread independent per-trace
-/// experiments across cores.
+/// input order in the output.
+///
+/// Kept as a convenience wrapper over
+/// [`veritas_engine::executor::execute`]: jobs are claimed through the
+/// executor's lock-free atomic cursor rather than a shared locked queue,
+/// so wide corpora no longer contend on a single `Mutex<Vec>`. The
+/// per-item mutex below only exists to move each owned item out of the
+/// shared slice; it is touched exactly once per item, by the worker that
+/// claimed it, and is never contended. Call sites that already work with
+/// indices should prefer [`veritas_engine::executor::execute_indexed`].
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = threads.max(1);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = Mutex::new(work);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let next = queue.lock().pop();
-                match next {
-                    Some((idx, item)) => {
-                        let out = f(item);
-                        results.lock().push((idx, out));
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(idx, _)| *idx);
-    collected.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Number of worker threads to use by default: the available parallelism
-/// minus one, at least one.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().saturating_sub(1).max(1))
-        .unwrap_or(1)
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    veritas_engine::executor::execute(&slots, threads, |slot| {
+        let item = slot
+            .lock()
+            .take()
+            .expect("each job slot is claimed exactly once");
+        f(item)
+    })
 }
 
 #[cfg(test)]

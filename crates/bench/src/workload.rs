@@ -1,6 +1,5 @@
 //! Standard workloads used across the figure reproductions.
 
-use veritas_abr::{abr_by_name, Abr};
 use veritas_media::{QualityLadder, VbrParams, VideoAsset};
 use veritas_player::{run_session, PlayerConfig, SessionLog};
 use veritas_trace::generators::{FccLike, TraceGenerator};
@@ -73,40 +72,55 @@ impl CorpusSpec {
     }
 
     /// Builds the corpus: generates traces, runs the deployed setting over
-    /// each, and records the logs.
+    /// each, and records the logs. The synthesis recipe itself lives in
+    /// [`veritas_engine::SyntheticSpec`]; this just maps the result into
+    /// the bench harness's parallel-arrays shape.
     pub fn build(&self) -> Corpus {
-        let asset = VideoAsset::generate(
-            QualityLadder::paper_default(),
-            self.video_duration_s,
-            2.0,
-            VbrParams::default(),
-            self.seed,
-        );
-        let generator = FccLike::new(self.bandwidth_range_mbps.0, self.bandwidth_range_mbps.1);
-        // Traces must outlast the session even under poor conditions.
-        let trace_duration = self.video_duration_s * 6.0;
-        let truths: Vec<BandwidthTrace> = (0..self.traces as u64)
-            .map(|i| generator.generate(trace_duration, self.seed ^ (0x9E37 + i)))
-            .collect();
-        let logs = truths
-            .iter()
-            .map(|truth| {
-                let mut abr = self.deployed_abr_instance();
-                run_session(&asset, abr.as_mut(), truth, &self.player)
-            })
-            .collect();
-        Corpus {
-            asset,
-            player: self.player,
+        let engine_corpus = veritas_engine::SyntheticSpec {
+            sessions: self.traces,
+            bandwidth_range_mbps: self.bandwidth_range_mbps,
             deployed_abr: self.deployed_abr.clone(),
+            player: self.player,
+            video_duration_s: self.video_duration_s,
+            seed: self.seed,
+        }
+        .build();
+        let (truths, logs) = engine_corpus
+            .sessions
+            .into_iter()
+            .map(|s| (s.truth.expect("synthetic sessions carry truth"), s.log))
+            .unzip();
+        Corpus {
+            asset: engine_corpus.asset,
+            player: engine_corpus.player,
+            deployed_abr: engine_corpus.deployed_abr,
             truths,
             logs,
         }
     }
+}
 
-    fn deployed_abr_instance(&self) -> Box<dyn Abr> {
-        abr_by_name(&self.deployed_abr)
-            .unwrap_or_else(|| panic!("unknown deployed ABR {}", self.deployed_abr))
+impl Corpus {
+    /// Converts this corpus into the query engine's representation, keeping
+    /// the ground-truth traces so counterfactual queries report oracle
+    /// outcomes. Session ids are `trace-N`, matching the corpus index.
+    pub fn to_engine(&self) -> veritas_engine::SessionCorpus {
+        veritas_engine::SessionCorpus {
+            asset: self.asset.clone(),
+            player: self.player,
+            deployed_abr: self.deployed_abr.clone(),
+            sessions: self
+                .truths
+                .iter()
+                .zip(&self.logs)
+                .enumerate()
+                .map(|(i, (truth, log))| veritas_engine::CorpusSession {
+                    id: format!("trace-{i}"),
+                    log: log.clone(),
+                    truth: Some(truth.clone()),
+                })
+                .collect(),
+        }
     }
 }
 

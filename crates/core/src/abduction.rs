@@ -12,7 +12,7 @@ use veritas_net::emission_log_density;
 use veritas_player::SessionLog;
 use veritas_trace::{BandwidthTrace, Quantizer};
 
-use crate::VeritasConfig;
+use crate::{AbductionError, VeritasConfig};
 
 /// The outcome of running Veritas abduction on one session log: the fitted
 /// EHMM posterior, the Viterbi decode, and everything needed to materialize
@@ -41,14 +41,21 @@ impl Abduction {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or the log has no chunks.
+    /// Batch callers that must not abort (e.g. the query engine) should use
+    /// [`Self::try_infer`] instead.
     pub fn infer(log: &SessionLog, config: &VeritasConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid Veritas config: {e}"));
-        assert!(
-            !log.records.is_empty(),
-            "cannot run abduction on an empty session"
-        );
+        Self::try_infer(log, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::infer`]: returns a typed
+    /// [`AbductionError`] instead of panicking on an invalid configuration
+    /// or an empty log. This is the cache-friendly entry point batch
+    /// executors build on.
+    pub fn try_infer(log: &SessionLog, config: &VeritasConfig) -> Result<Self, AbductionError> {
+        config.validate().map_err(AbductionError::InvalidConfig)?;
+        if log.records.is_empty() {
+            return Err(AbductionError::EmptySession);
+        }
 
         let quantizer = Quantizer::new(config.epsilon_mbps, config.max_capacity_mbps);
         let capacities = quantizer.values();
@@ -98,7 +105,7 @@ impl Abduction {
         let viterbi = viterbi(&spec, &emissions);
         let posteriors = forward_backward(&spec, &emissions);
 
-        Self {
+        Ok(Self {
             config: *config,
             quantizer,
             spec,
@@ -107,7 +114,7 @@ impl Abduction {
             total_intervals,
             viterbi,
             posteriors,
-        }
+        })
     }
 
     /// The configuration used for this abduction.
@@ -169,7 +176,15 @@ impl Abduction {
     /// off-period interpolation), deterministically derived from the
     /// configured seed.
     pub fn sample_traces(&self, k: usize) -> Vec<BandwidthTrace> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.sample_traces_with_seed(k, self.config.seed)
+    }
+
+    /// Samples `k` GTBW traces from the posterior with an explicit seed,
+    /// leaving the configured seed untouched. Because sampling is decoupled
+    /// from inference, a cached abduction can serve queries that only differ
+    /// in their sampling seed without re-running forward–backward.
+    pub fn sample_traces_with_seed(&self, k: usize, seed: u64) -> Vec<BandwidthTrace> {
+        let mut rng = StdRng::seed_from_u64(seed);
         (0..k)
             .map(|_| {
                 let states = sample_path(&self.posteriors, &self.viterbi, &mut rng);
@@ -356,6 +371,51 @@ mod tests {
         let without_gt = Abduction::infer(&stripped, &config);
         assert_eq!(with_gt.viterbi_states(), without_gt.viterbi_states());
         assert_eq!(with_gt.sample_traces(2), without_gt.sample_traces(2));
+    }
+
+    #[test]
+    fn try_infer_returns_typed_errors() {
+        let empty = SessionLog {
+            abr_name: "MPC".into(),
+            buffer_capacity_s: 5.0,
+            chunk_duration_s: 2.0,
+            records: vec![],
+            startup_delay_s: 0.0,
+            total_rebuffer_s: 0.0,
+            session_duration_s: 0.0,
+        };
+        assert_eq!(
+            Abduction::try_infer(&empty, &VeritasConfig::paper_default()).unwrap_err(),
+            crate::AbductionError::EmptySession
+        );
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 21);
+        let log = logged_session(&truth);
+        let mut bad = VeritasConfig::paper_default();
+        bad.delta_s = -1.0;
+        match Abduction::try_infer(&log, &bad) {
+            Err(crate::AbductionError::InvalidConfig(reason)) => {
+                assert!(reason.contains("delta_s"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert!(Abduction::try_infer(&log, &VeritasConfig::paper_default()).is_ok());
+    }
+
+    #[test]
+    fn seeded_sampling_matches_configured_seed_and_diverges_otherwise() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 44);
+        let log = logged_session(&truth);
+        let config = VeritasConfig::paper_default();
+        let ab = Abduction::infer(&log, &config);
+        assert_eq!(
+            ab.sample_traces(3),
+            ab.sample_traces_with_seed(3, config.seed)
+        );
+        assert_ne!(
+            ab.sample_traces_with_seed(3, config.seed),
+            ab.sample_traces_with_seed(3, config.seed + 1),
+            "different seeds should explore different posterior paths"
+        );
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Typed errors for the Veritas inference entry points.
+
+use std::fmt;
+
+/// Why an abduction could not be run.
+///
+/// Returned by [`crate::Abduction::try_infer`]; the panicking
+/// [`crate::Abduction::infer`] wrapper formats these into its panic message,
+/// so existing callers observe unchanged behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbductionError {
+    /// The [`crate::VeritasConfig`] failed validation; the payload is the
+    /// validator's description of the first problem found.
+    InvalidConfig(String),
+    /// The session log contains no chunk records, so there is nothing to
+    /// condition the posterior on.
+    EmptySession,
+}
+
+impl fmt::Display for AbductionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbductionError::InvalidConfig(reason) => {
+                write!(f, "invalid Veritas config: {reason}")
+            }
+            AbductionError::EmptySession => {
+                write!(f, "cannot run abduction on an empty session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbductionError {}

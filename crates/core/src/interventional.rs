@@ -61,7 +61,35 @@ impl InterventionalPredictor {
             ..log.clone()
         };
         let abduction = Abduction::infer(&prefix, &self.config);
-        let expected_capacity = self.expected_next_capacity(&abduction, log, next_index);
+        self.predict_from_abduction(&abduction, log, next_index, candidate_size_bytes, tcp_info)
+    }
+
+    /// Same as [`Self::predict`] but reusing an existing abduction over the
+    /// observation prefix `log.records[..next_index]` — the cache-friendly
+    /// path: a batch executor answering many candidate sizes (or repeated
+    /// queries) at the same decision point abduces once and predicts many
+    /// times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_index` is 0, out of range, or does not match the
+    /// number of chunks the abduction was inferred over.
+    pub fn predict_from_abduction(
+        &self,
+        abduction: &Abduction,
+        log: &SessionLog,
+        next_index: usize,
+        candidate_size_bytes: f64,
+        tcp_info: &TcpInfo,
+    ) -> DownloadTimePrediction {
+        assert!(next_index >= 1, "need at least one observed chunk");
+        assert!(next_index <= log.records.len(), "next_index out of range");
+        assert_eq!(
+            abduction.viterbi_states().len(),
+            next_index,
+            "abduction must cover exactly the observation prefix"
+        );
+        let expected_capacity = self.expected_next_capacity(abduction, log, next_index);
         DownloadTimePrediction {
             expected_capacity_mbps: expected_capacity,
             download_time_s: estimate_download_time(
@@ -205,6 +233,40 @@ mod tests {
         assert!(
             mean_signed_error.abs() < 1.0,
             "mean signed error {mean_signed_error} s indicates bias"
+        );
+    }
+
+    #[test]
+    fn predict_from_abduction_matches_predict() {
+        let truth = BandwidthTrace::constant(4.0, 1200.0);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let p = predictor();
+        let n = 15;
+        let prefix = SessionLog {
+            records: log.records[..n].to_vec(),
+            ..log.clone()
+        };
+        let abduction = Abduction::infer(&prefix, &VeritasConfig::paper_default());
+        let via_cache =
+            p.predict_from_abduction(&abduction, &log, n, 1_000_000.0, &log.records[n].tcp_info);
+        let direct = p.predict(&log, n, 1_000_000.0, &log.records[n].tcp_info);
+        assert_eq!(via_cache, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the observation prefix")]
+    fn predict_from_abduction_rejects_mismatched_prefix() {
+        let truth = BandwidthTrace::constant(4.0, 1200.0);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset(), &mut abr, &truth, &PlayerConfig::paper_default());
+        let abduction = Abduction::infer(&log, &VeritasConfig::paper_default());
+        let _ = predictor().predict_from_abduction(
+            &abduction,
+            &log,
+            5,
+            1_000_000.0,
+            &log.records[5].tcp_info,
         );
     }
 

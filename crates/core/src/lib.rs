@@ -48,6 +48,7 @@ mod abduction;
 mod baseline;
 mod config;
 mod counterfactual;
+mod error;
 mod interventional;
 
 pub use abduction::Abduction;
@@ -56,4 +57,5 @@ pub use config::VeritasConfig;
 pub use counterfactual::{
     CounterfactualComparison, CounterfactualEngine, RangePrediction, Scenario,
 };
+pub use error::AbductionError;
 pub use interventional::{DownloadTimePrediction, InterventionalPredictor};

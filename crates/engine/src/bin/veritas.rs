@@ -1,0 +1,297 @@
+//! The `veritas` CLI: run declarative query sets through the engine.
+//!
+//! ```text
+//! veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]
+//!             [--threads N] [--out FILE] [--summary FILE] [--no-cache]
+//!             [--min-cache-hits N]
+//! veritas bench [--sessions N] [--queries N] [--threads N]
+//! veritas example-queries
+//! veritas validate <report.jsonl>
+//! ```
+//!
+//! `run` executes a query file over a corpus (loaded from a directory of
+//! session-log JSON files, or synthesized) and writes one JSON line per
+//! (query, session) unit plus a summary. `bench` times the same synthetic
+//! query set with and without the abduction cache and reports the speedup.
+//! `example-queries` prints a starter query file. `validate` checks that a
+//! report is well-formed JSONL.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use veritas_engine::{
+    Engine, EngineReport, QueryKind, QueryRecord, QuerySet, SessionCorpus, SyntheticSpec,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("example-queries") => {
+            println!("{}", QuerySet::example().to_json());
+            Ok(())
+        }
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("veritas: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "veritas — batched causal queries over video streaming traces\n\n\
+         USAGE:\n\
+         \x20 veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]\n\
+         \x20                            [--threads N] [--out FILE] [--summary FILE]\n\
+         \x20                            [--no-cache] [--min-cache-hits N]\n\
+         \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
+         \x20 veritas example-queries\n\
+         \x20 veritas validate <report.jsonl>"
+    );
+}
+
+/// One parsed `--flag value` option set.
+struct Options {
+    positional: Vec<String>,
+    corpus: Option<PathBuf>,
+    synthetic: Option<usize>,
+    seed: u64,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    summary: Option<PathBuf>,
+    no_cache: bool,
+    min_cache_hits: Option<u64>,
+    sessions: usize,
+    queries: usize,
+}
+
+/// Parses `args`, accepting only the flags in `allowed` — a flag another
+/// subcommand understands is rejected here, not silently ignored.
+fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
+    let mut options = Options {
+        positional: Vec::new(),
+        corpus: None,
+        synthetic: None,
+        seed: 7,
+        threads: None,
+        out: None,
+        summary: None,
+        no_cache: false,
+        min_cache_hits: None,
+        sessions: 4,
+        queries: 10,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg.starts_with("--") && !allowed.contains(&arg.as_str()) {
+            return Err(format!(
+                "unknown flag `{arg}` for this subcommand (accepted: {})",
+                if allowed.is_empty() {
+                    "none".to_string()
+                } else {
+                    allowed.join(", ")
+                }
+            ));
+        }
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--corpus" => options.corpus = Some(PathBuf::from(value_for("--corpus")?)),
+            "--synthetic" => options.synthetic = Some(parse_num(&value_for("--synthetic")?)?),
+            "--seed" => options.seed = parse_num(&value_for("--seed")?)?,
+            "--threads" => options.threads = Some(parse_num(&value_for("--threads")?)?),
+            "--out" => options.out = Some(PathBuf::from(value_for("--out")?)),
+            "--summary" => options.summary = Some(PathBuf::from(value_for("--summary")?)),
+            "--no-cache" => options.no_cache = true,
+            "--min-cache-hits" => {
+                options.min_cache_hits = Some(parse_num(&value_for("--min-cache-hits")?)?)
+            }
+            "--sessions" => options.sessions = parse_num(&value_for("--sessions")?)?,
+            "--queries" => options.queries = parse_num(&value_for("--queries")?)?,
+            positional => options.positional.push(positional.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("invalid numeric value `{text}`"))
+}
+
+fn load_corpus(options: &Options) -> Result<SessionCorpus, String> {
+    match (&options.corpus, options.synthetic) {
+        (Some(_), Some(_)) => Err("--corpus and --synthetic are mutually exclusive".to_string()),
+        (Some(dir), None) => SessionCorpus::from_dir(dir).map_err(|e| e.to_string()),
+        (None, n) => {
+            let spec = SyntheticSpec {
+                sessions: n.unwrap_or(4),
+                seed: options.seed,
+                ..SyntheticSpec::default()
+            };
+            eprintln!(
+                "synthesizing corpus: {} sessions, seed {}",
+                spec.sessions, spec.seed
+            );
+            Ok(spec.build())
+        }
+    }
+}
+
+fn build_engine(options: &Options) -> Engine {
+    let mut engine = Engine::new();
+    if let Some(threads) = options.threads {
+        engine = engine.with_threads(threads);
+    }
+    if options.no_cache {
+        engine = engine.without_cache();
+    }
+    engine
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let options = parse_options(
+        args,
+        &[
+            "--corpus",
+            "--synthetic",
+            "--seed",
+            "--threads",
+            "--out",
+            "--summary",
+            "--no-cache",
+            "--min-cache-hits",
+        ],
+    )?;
+    let [query_path] = options.positional.as_slice() else {
+        return Err("run expects exactly one <queries.json> argument".to_string());
+    };
+    if options.no_cache && options.min_cache_hits.is_some() {
+        return Err("--min-cache-hits cannot be satisfied with --no-cache".to_string());
+    }
+    let json = std::fs::read_to_string(query_path)
+        .map_err(|e| format!("cannot read {query_path}: {e}"))?;
+    let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
+    let corpus = load_corpus(&options)?;
+    let engine = build_engine(&options);
+    let report = engine.run(&corpus, &set).map_err(|e| e.to_string())?;
+
+    match &options.out {
+        Some(path) => std::fs::write(path, report.to_jsonl())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{}", report.to_jsonl()),
+    }
+    if let Some(path) = &options.summary {
+        std::fs::write(path, report.summary_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let s = &report.summary;
+    eprintln!(
+        "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} threads={} elapsed_ms={:.1}",
+        s.queryset, s.units, s.ok, s.errors, s.cache_hits, s.cache_misses, s.threads, s.elapsed_ms
+    );
+    if s.errors > 0 {
+        return Err(format!("{} of {} units failed", s.errors, s.units));
+    }
+    if let Some(min) = options.min_cache_hits {
+        if s.cache_hits < min {
+            return Err(format!(
+                "expected at least {min} cache hits, observed {}",
+                s.cache_hits
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args, &["--sessions", "--queries", "--threads", "--seed"])?;
+    let spec = SyntheticSpec {
+        sessions: options.sessions,
+        video_duration_s: 120.0,
+        seed: options.seed,
+        ..SyntheticSpec::default()
+    };
+    eprintln!(
+        "benchmarking: {} sessions x {} queries",
+        spec.sessions, options.queries
+    );
+    let corpus = spec.build();
+    let set = QuerySet::cache_stress(options.queries);
+    let threads = options.threads.unwrap_or(1);
+
+    let run = |engine: Engine| -> Result<(EngineReport, f64), String> {
+        let started = Instant::now();
+        let report = engine.run(&corpus, &set).map_err(|e| e.to_string())?;
+        Ok((report, started.elapsed().as_secs_f64() * 1e3))
+    };
+    // Warm once to stabilize, then time uncached vs cached (fresh cache).
+    let _ = run(Engine::new().with_threads(threads))?;
+    let (uncached_report, uncached_ms) = run(Engine::new().with_threads(threads).without_cache())?;
+    let (cached_report, cached_ms) = run(Engine::new().with_threads(threads))?;
+    assert_eq!(uncached_report.summary.ok, cached_report.summary.ok);
+
+    println!(
+        "uncached: {uncached_ms:.1} ms   cached: {cached_ms:.1} ms   speedup: {:.2}x",
+        uncached_ms / cached_ms.max(1e-9)
+    );
+    println!(
+        "cached run: {} misses, {} hits over {} units",
+        cached_report.summary.cache_misses,
+        cached_report.summary.cache_hits,
+        cached_report.summary.units
+    );
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args, &[])?;
+    let [path] = options.positional.as_slice() else {
+        return Err("validate expects exactly one <report.jsonl> argument".to_string());
+    };
+    let data =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    let mut kinds = [0usize; 3];
+    for (number, line) in data.lines().enumerate() {
+        let record: QueryRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: invalid record: {e}", number + 1))?;
+        if record.is_ok() {
+            ok += 1;
+        } else {
+            errors += 1;
+        }
+        kinds[match record.kind {
+            QueryKind::Abduction => 0,
+            QueryKind::Interventional => 1,
+            QueryKind::Counterfactual => 2,
+        }] += 1;
+    }
+    if ok + errors == 0 {
+        return Err(format!("{path} contains no records"));
+    }
+    println!(
+        "{path}: {} records ({ok} ok, {errors} error) — {} abduction, {} interventional, {} counterfactual",
+        ok + errors,
+        kinds[0],
+        kinds[1],
+        kinds[2]
+    );
+    Ok(())
+}

@@ -1,0 +1,362 @@
+//! The abduction cache: one EHMM posterior per (session, config, horizon).
+//!
+//! Abduction — building the emission table and running forward–backward and
+//! Viterbi — is the expensive step of every causal query. Interventional
+//! and counterfactual queries over the same session under the same
+//! configuration need the *same* posterior, so the engine computes it once
+//! and shares it. Entries are keyed by the session id, fingerprints of the
+//! posterior-relevant [`VeritasConfig`] fields and of the log's observed
+//! variables (so a reused id never aliases a different corpus's session),
+//! and the observation horizon (number of chunk records conditioned on;
+//! interventional queries at an explicit decision point condition on a
+//! prefix).
+//!
+//! Concurrency: the map itself is only locked long enough to find or insert
+//! an entry slot; inference runs under the slot's own lock, so two workers
+//! asking for the same key never compute it twice, and workers on different
+//! keys never wait on each other's inference.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use veritas::{Abduction, AbductionError, VeritasConfig};
+use veritas_player::SessionLog;
+
+/// Fingerprints the configuration fields the abduction posterior depends
+/// on: δ, ε, the grid ceiling, σ, and the stay probability. `num_samples`
+/// and `seed` are deliberately excluded — they only steer post-hoc
+/// posterior *sampling* (see [`Abduction::sample_traces_with_seed`]), so
+/// queries that differ only in sampling still share one cache entry.
+pub fn config_fingerprint(config: &VeritasConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(config.delta_s.to_bits());
+    mix(config.epsilon_mbps.to_bits());
+    mix(config.max_capacity_mbps.to_bits());
+    mix(config.sigma_mbps.to_bits());
+    mix(config.stay_probability.to_bits());
+    hash
+}
+
+/// Fingerprints every observed variable of a log that abduction conditions
+/// on: the session duration (sizes the δ-interval grid), and each record's
+/// start time, size, throughput, and TCP snapshot (the emission's control
+/// variables). Mixed into the cache key so that a session id reused by a
+/// *different* log — e.g. two synthetic corpora both naming sessions
+/// `session-0` — can never alias another corpus's posterior.
+pub fn log_fingerprint(log: &SessionLog) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(log.records.len() as u64);
+    mix(log.session_duration_s.to_bits());
+    for record in &log.records {
+        mix(record.start_time_s.to_bits());
+        mix(record.size_bytes.to_bits());
+        mix(record.throughput_mbps.to_bits());
+        mix(record.tcp_info.cwnd_segments.to_bits());
+        mix(record.tcp_info.ssthresh_segments.to_bits());
+        mix(record.tcp_info.rto_s.to_bits());
+        mix(record.tcp_info.srtt_s.to_bits());
+        mix(record.tcp_info.min_rtt_s.to_bits());
+        mix(record.tcp_info.last_send_gap_s.to_bits());
+    }
+    hash
+}
+
+/// Infers an abduction over the first `horizon` records of `log` —
+/// the one shared implementation behind both the cached and uncached
+/// execution paths.
+///
+/// # Panics
+///
+/// Panics if `horizon` exceeds the log's record count; callers validate
+/// query-supplied horizons first (see `Engine::answer_interventional`).
+pub fn infer_prefix(
+    log: &SessionLog,
+    horizon: usize,
+    config: &VeritasConfig,
+) -> Result<Abduction, AbductionError> {
+    assert!(
+        horizon <= log.records.len(),
+        "horizon {horizon} exceeds the log's {} records",
+        log.records.len()
+    );
+    if horizon == log.records.len() {
+        Abduction::try_infer(log, config)
+    } else {
+        let prefix = SessionLog {
+            records: log.records[..horizon].to_vec(),
+            ..log.clone()
+        };
+        Abduction::try_infer(&prefix, config)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    session: String,
+    fingerprint: u64,
+    log: u64,
+    horizon: usize,
+}
+
+type Slot = Arc<Mutex<Option<Arc<Abduction>>>>;
+
+/// Counters describing how a cache has been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from an existing posterior.
+    pub hits: u64,
+    /// Lookups that had to run inference.
+    pub misses: u64,
+    /// Posteriors currently held.
+    pub entries: u64,
+}
+
+/// A concurrent, compute-once cache of [`Abduction`] results.
+#[derive(Debug, Default)]
+pub struct AbductionCache {
+    slots: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl AbductionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached full-session abduction for `(session_id, config)`,
+    /// inferring (and caching) it on first use. The boolean is `true` on a
+    /// cache hit.
+    pub fn get_or_infer(
+        &self,
+        session_id: &str,
+        log: &SessionLog,
+        config: &VeritasConfig,
+    ) -> Result<(Arc<Abduction>, bool), AbductionError> {
+        self.get_or_infer_prefix(session_id, log, log.records.len(), config)
+    }
+
+    /// Like [`Self::get_or_infer`] but conditioning only on the first
+    /// `horizon` chunk records — the decision-point view interventional
+    /// queries need. `horizon == log.records.len()` is the full-session
+    /// entry and shares its key with [`Self::get_or_infer`].
+    ///
+    /// Inference failures are returned (and counted as misses) but not
+    /// cached, so a transiently bad query does not poison the slot.
+    pub fn get_or_infer_prefix(
+        &self,
+        session_id: &str,
+        log: &SessionLog,
+        horizon: usize,
+        config: &VeritasConfig,
+    ) -> Result<(Arc<Abduction>, bool), AbductionError> {
+        let key = CacheKey {
+            session: session_id.to_string(),
+            fingerprint: config_fingerprint(config),
+            log: log_fingerprint(log),
+            horizon,
+        };
+        let slot: Slot = {
+            let mut slots = self.slots.lock();
+            slots.entry(key).or_default().clone()
+        };
+        let mut guard = slot.lock();
+        if let Some(abduction) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((abduction.clone(), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let abduction = Arc::new(infer_prefix(log, horizon, config)?);
+        *guard = Some(abduction.clone());
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        Ok((abduction.clone(), false))
+    }
+
+    /// Lookups served without inference so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran inference so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached posteriors. Maintained as a counter so reading it
+    /// never waits on an in-flight inference's slot lock.
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.entries(),
+        }
+    }
+
+    /// Drops every cached posterior, keeping the hit/miss counters. Not
+    /// meant to race in-flight inferences: a posterior stored into an
+    /// already-evicted slot survives only with its holder and is not
+    /// reflected in [`Self::entries`].
+    pub fn clear(&self) {
+        self.slots.lock().clear();
+        self.entries.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veritas_abr::Mpc;
+    use veritas_media::VideoAsset;
+    use veritas_player::{run_session, PlayerConfig};
+    use veritas_trace::generators::{FccLike, TraceGenerator};
+
+    fn log() -> SessionLog {
+        let asset = VideoAsset::paper_default(3);
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 17);
+        let mut abr = Mpc::new();
+        run_session(&asset, &mut abr, &truth, &PlayerConfig::paper_default())
+    }
+
+    #[test]
+    fn fingerprint_ignores_sampling_fields_only() {
+        let base = VeritasConfig::paper_default();
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_samples(9).with_seed(123))
+        );
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_sigma(1.0))
+        );
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_stay_probability(0.9))
+        );
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_posterior() {
+        let cache = AbductionCache::new();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+        let (first, hit1) = cache.get_or_infer("s0", &log, &config).unwrap();
+        let (second, hit2) = cache.get_or_infer("s0", &log, &config).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_sessions_horizons_and_configs_get_distinct_entries() {
+        let cache = AbductionCache::new();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+        cache.get_or_infer("a", &log, &config).unwrap();
+        cache.get_or_infer("b", &log, &config).unwrap();
+        cache.get_or_infer_prefix("a", &log, 10, &config).unwrap();
+        cache
+            .get_or_infer("a", &log, &config.with_sigma(1.0))
+            .unwrap();
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.entries(), 4);
+        cache.clear();
+        assert_eq!(cache.entries(), 0);
+    }
+
+    #[test]
+    fn sampling_overrides_share_one_entry() {
+        let cache = AbductionCache::new();
+        let log = log();
+        let base = VeritasConfig::paper_default();
+        cache.get_or_infer("s", &log, &base).unwrap();
+        let (_, hit) = cache
+            .get_or_infer("s", &log, &base.with_samples(2).with_seed(99))
+            .unwrap();
+        assert!(hit, "seed/sample overrides must not force re-inference");
+    }
+
+    #[test]
+    fn colliding_session_ids_from_different_logs_do_not_alias() {
+        // Two corpora can both name a session `session-0`; the log
+        // fingerprint in the key must keep their posteriors apart.
+        let cache = AbductionCache::new();
+        let log_a = log();
+        let mut log_b = log_a.clone();
+        log_b.records.truncate(log_b.records.len() - 1);
+        let config = VeritasConfig::paper_default();
+        let (a, hit_a) = cache.get_or_infer("session-0", &log_a, &config).unwrap();
+        let (b, hit_b) = cache.get_or_infer("session-0", &log_b, &config).unwrap();
+        assert!(!hit_a);
+        assert!(!hit_b, "a different log must not hit the first log's entry");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(log_fingerprint(&log_a), log_fingerprint(&log_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the log's")]
+    fn out_of_range_horizons_are_rejected() {
+        let log = log();
+        let _ = infer_prefix(&log, log.records.len() + 1, &VeritasConfig::paper_default());
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let cache = AbductionCache::new();
+        let empty = SessionLog {
+            records: vec![],
+            ..log()
+        };
+        let config = VeritasConfig::paper_default();
+        assert!(cache.get_or_infer("e", &empty, &config).is_err());
+        assert!(cache.get_or_infer("e", &empty, &config).is_err());
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.entries(), 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_infer_exactly_once() {
+        let cache = AbductionCache::new();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_infer("shared", &log, &config).unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "posterior must be computed exactly once");
+        assert_eq!(cache.hits(), 7);
+    }
+}

@@ -1,0 +1,284 @@
+//! Corpora: the sessions a query set runs over.
+//!
+//! A [`SessionCorpus`] pairs recorded [`SessionLog`]s with the deployed
+//! setting they were recorded under (asset, player, ABR) — the raw material
+//! every causal query conditions on. Corpora come from two places: loaded
+//! from a directory of session-log JSON files (`veritas run --corpus DIR`),
+//! or synthesized end to end (hidden GTBW trace → player emulation) for
+//! benchmarks, CI smoke runs, and examples. Ground-truth traces are kept
+//! alongside synthetic sessions so counterfactual queries can report the
+//! oracle outcome; loaded real logs have no truth and simply omit it.
+
+use std::path::Path;
+
+use veritas_abr::abr_by_name;
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_player::{run_session, PlayerConfig, SessionLog};
+use veritas_trace::generators::{FccLike, TraceGenerator};
+use veritas_trace::BandwidthTrace;
+
+use crate::error::EngineError;
+
+/// One session of a corpus: an id (stable across runs, used as the cache
+/// key), the recorded log, and — when known — the hidden ground truth.
+#[derive(Debug, Clone)]
+pub struct CorpusSession {
+    /// Stable identifier (file stem for loaded corpora, `session-N` for
+    /// synthetic ones).
+    pub id: String,
+    /// The recorded session log.
+    pub log: SessionLog,
+    /// The ground-truth bandwidth trace, if available (synthetic corpora
+    /// only); enables oracle outcomes in counterfactual results.
+    pub truth: Option<BandwidthTrace>,
+}
+
+/// A corpus of sessions plus the deployed setting they share.
+#[derive(Debug, Clone)]
+pub struct SessionCorpus {
+    /// The video asset streamed in every session (counterfactual replays
+    /// re-encode it when a ladder change is queried).
+    pub asset: VideoAsset,
+    /// The deployed player configuration.
+    pub player: PlayerConfig,
+    /// Name of the deployed ABR.
+    pub deployed_abr: String,
+    /// The sessions.
+    pub sessions: Vec<CorpusSession>,
+}
+
+/// Parameters for synthesizing a corpus.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// FCC-like per-trace mean bandwidth range in Mbps.
+    pub bandwidth_range_mbps: (f64, f64),
+    /// Deployed ABR name.
+    pub deployed_abr: String,
+    /// Deployed player configuration.
+    pub player: PlayerConfig,
+    /// Video duration in seconds.
+    pub video_duration_s: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        Self {
+            sessions: 4,
+            bandwidth_range_mbps: (3.0, 8.0),
+            deployed_abr: "mpc".to_string(),
+            player: PlayerConfig::paper_default(),
+            video_duration_s: 240.0,
+            seed: 20_260_001,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// Builds the corpus: generates hidden traces, runs the deployed
+    /// setting over each, and records the logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployed_abr` is not a recognized algorithm name.
+    pub fn build(&self) -> SessionCorpus {
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            self.video_duration_s,
+            2.0,
+            VbrParams::default(),
+            self.seed,
+        );
+        let player = self.player;
+        let generator = FccLike::new(self.bandwidth_range_mbps.0, self.bandwidth_range_mbps.1);
+        // Traces must outlast the session even under poor conditions.
+        let trace_duration = self.video_duration_s * 6.0;
+        let sessions = (0..self.sessions as u64)
+            .map(|i| {
+                let truth = generator.generate(trace_duration, self.seed ^ (0x9E37 + i));
+                let mut abr = abr_by_name(&self.deployed_abr)
+                    .unwrap_or_else(|| panic!("unknown deployed ABR {}", self.deployed_abr));
+                let log = run_session(&asset, abr.as_mut(), &truth, &player);
+                CorpusSession {
+                    id: format!("session-{i}"),
+                    log,
+                    truth: Some(truth),
+                }
+            })
+            .collect();
+        SessionCorpus {
+            asset,
+            player,
+            deployed_abr: self.deployed_abr.clone(),
+            sessions,
+        }
+    }
+}
+
+impl SessionCorpus {
+    /// Synthesizes a corpus of `sessions` sessions from `seed` with the
+    /// default deployed setting (MPC, 5 s buffer, 4-minute video).
+    pub fn synthetic(sessions: usize, seed: u64) -> Self {
+        SyntheticSpec {
+            sessions,
+            seed,
+            ..SyntheticSpec::default()
+        }
+        .build()
+    }
+
+    /// Loads every `*.json` session log in `dir` (sorted by file name; the
+    /// file stem becomes the session id).
+    ///
+    /// Counterfactual replays need a deployed setting to start from. The
+    /// player's buffer capacity and the asset's chunk duration are restored
+    /// from the first loaded log (logs record both); the video asset itself
+    /// — encoding ladder, content seed, duration — is *not* recoverable
+    /// from a log, so the paper's default asset regenerated at the logged
+    /// chunk duration stands in for it. Ground truth is unknown for loaded
+    /// logs, so oracle outcomes are omitted.
+    pub fn from_dir(dir: &Path) -> Result<Self, EngineError> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut sessions = Vec::with_capacity(paths.len());
+        for path in paths {
+            let data = std::fs::read_to_string(&path)?;
+            let log = SessionLog::from_json(&data)?;
+            let id = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| format!("session-{}", sessions.len()));
+            sessions.push(CorpusSession {
+                id,
+                log,
+                truth: None,
+            });
+        }
+        if sessions.is_empty() {
+            return Err(EngineError::EmptyCorpus);
+        }
+        let first = &sessions[0].log;
+        let spec = SyntheticSpec::default();
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            first.records.len() as f64 * first.chunk_duration_s,
+            first.chunk_duration_s,
+            VbrParams::default(),
+            spec.seed,
+        );
+        Ok(SessionCorpus {
+            asset,
+            player: PlayerConfig::paper_default().with_buffer_capacity(first.buffer_capacity_s),
+            deployed_abr: spec.deployed_abr,
+            sessions,
+        })
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the corpus has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Resolves a query's session selector against this corpus: `None`
+    /// selects every session, `Some(indices)` is validated to be in range.
+    pub fn select(&self, sessions: &Option<Vec<usize>>) -> Result<Vec<usize>, String> {
+        match sessions {
+            None => Ok((0..self.sessions.len()).collect()),
+            Some(indices) => {
+                for &index in indices {
+                    if index >= self.sessions.len() {
+                        return Err(format!(
+                            "session index {index} out of range (corpus has {} sessions)",
+                            self.sessions.len()
+                        ));
+                    }
+                }
+                Ok(indices.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_corpus_is_consistent_and_deterministic() {
+        let spec = SyntheticSpec {
+            sessions: 2,
+            video_duration_s: 60.0,
+            ..SyntheticSpec::default()
+        };
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.len(), 2);
+        for session in &a.sessions {
+            assert!(session.truth.is_some());
+            session
+                .log
+                .check_invariants()
+                .expect("synthetic logs must be consistent");
+        }
+        assert_eq!(a.sessions[0].log, b.sessions[0].log);
+        assert_eq!(a.sessions[0].id, "session-0");
+    }
+
+    #[test]
+    fn selectors_resolve_and_validate() {
+        let corpus = SyntheticSpec {
+            sessions: 3,
+            video_duration_s: 60.0,
+            ..SyntheticSpec::default()
+        }
+        .build();
+        assert_eq!(corpus.select(&None).unwrap(), vec![0, 1, 2]);
+        assert_eq!(corpus.select(&Some(vec![2, 0])).unwrap(), vec![2, 0]);
+        assert!(corpus.select(&Some(vec![3])).is_err());
+    }
+
+    #[test]
+    fn corpus_round_trips_through_a_directory() {
+        let corpus = SyntheticSpec {
+            sessions: 2,
+            video_duration_s: 60.0,
+            ..SyntheticSpec::default()
+        }
+        .build();
+        let dir = std::env::temp_dir().join("veritas_engine_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for session in &corpus.sessions {
+            std::fs::write(
+                dir.join(format!("{}.json", session.id)),
+                session.log.to_json(),
+            )
+            .unwrap();
+        }
+        let loaded = SessionCorpus::from_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.sessions[0].id, "session-0");
+        assert_eq!(loaded.sessions[0].log, corpus.sessions[0].log);
+        assert!(loaded.sessions[0].truth.is_none());
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = std::env::temp_dir().join("veritas_engine_empty_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            SessionCorpus::from_dir(&dir),
+            Err(EngineError::EmptyCorpus)
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! Engine-level errors.
+
+use std::fmt;
+use std::io;
+
+use veritas::AbductionError;
+
+/// Why an engine operation failed as a whole. Per-query failures do not
+/// abort a run — they are reported in the per-query records — so these
+/// cover corpus loading and query-file problems.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Filesystem error while loading a corpus or writing a report.
+    Io(io::Error),
+    /// A query file or session log failed to parse.
+    Json(serde_json::Error),
+    /// The query set is inconsistent (duplicate ids, bad selectors, ...).
+    Query(String),
+    /// The corpus has no sessions to run over.
+    EmptyCorpus,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "i/o error: {e}"),
+            EngineError::Json(e) => write!(f, "json error: {e}"),
+            EngineError::Query(reason) => write!(f, "invalid query set: {reason}"),
+            EngineError::EmptyCorpus => write!(f, "corpus contains no sessions"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<io::Error> for EngineError {
+    fn from(e: io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for EngineError {
+    fn from(e: serde_json::Error) -> Self {
+        EngineError::Json(e)
+    }
+}
+
+impl From<AbductionError> for EngineError {
+    fn from(e: AbductionError) -> Self {
+        EngineError::Query(e.to_string())
+    }
+}

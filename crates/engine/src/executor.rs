@@ -1,0 +1,112 @@
+//! The batch executor: a work-stealing worker pool over an atomic cursor.
+//!
+//! Workers claim job indices from a shared [`AtomicUsize`] with
+//! `fetch_add`, so idle workers "steal" whatever work remains the instant
+//! they finish — no job queue, no lock, no contention beyond one atomic
+//! increment per job. Results are collected per worker and merged in input
+//! order at the end, so the output is deterministic regardless of which
+//! worker ran which job.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the available parallelism
+/// minus one (leaving a core for the coordinating thread), at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..count)` across up to `threads` workers, returning the results
+/// in index order.
+///
+/// This is the primitive the engine fans query batches out with; it is also
+/// what `veritas_bench::parallel_map` delegates to. Jobs are claimed with a
+/// single relaxed `fetch_add` on a shared cursor, so scheduling is
+/// lock-free and naturally load-balanced: a worker that lands a cheap job
+/// immediately claims the next one.
+///
+/// # Panics
+///
+/// Propagates the panic of any job closure after all workers have stopped.
+pub fn execute_indexed<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= count {
+                            break;
+                        }
+                        local.push((index, f(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // Re-raise a job closure's panic with its original payload
+                // so the caller sees the real diagnostic, not a generic
+                // join failure.
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut merged: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(|(index, _)| *index);
+    merged.into_iter().map(|(_, result)| result).collect()
+}
+
+/// Maps `f` over a shared slice with the atomic-cursor worker pool,
+/// preserving input order in the output.
+pub fn execute<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    execute_indexed(items.len(), threads, |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = execute_indexed(100, 4, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let _ = execute_indexed(64, 8, |i| counters[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn handles_empty_and_single_thread() {
+        let empty: Vec<usize> = execute_indexed(0, 4, |i| i);
+        assert!(empty.is_empty());
+        let out = execute(&["a", "bb", "ccc"], 1, |s| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! `veritas_engine`: a batched, cached causal-query engine over session
+//! corpora.
+//!
+//! The figure binaries in `veritas_bench` originally re-ran abduction
+//! inline for every experiment; this crate turns the reproduction into a
+//! reusable engine with four layers:
+//!
+//! * [`query`] — a declarative, JSON-serializable query spec:
+//!   [`QuerySet`]/[`Query`] express abduction, interventional, and
+//!   counterfactual questions over a corpus (session selectors,
+//!   intervention parameters, sample counts, seeds).
+//! * [`cache`] — the [`AbductionCache`]: one EHMM posterior per
+//!   (session, config fingerprint, horizon), computed once and shared by
+//!   every query that touches it.
+//! * [`executor`] — a work-stealing worker pool over an atomic cursor that
+//!   fans (query, session) units out across cores.
+//! * [`runner`] — the [`Engine`] that ties them together and streams
+//!   per-unit [`QueryRecord`]s as JSONL with timing, cache, and error
+//!   status.
+//!
+//! The `veritas` CLI binary (`src/bin/veritas.rs`) exposes the engine end
+//! to end: `veritas run queries.json --corpus DIR` (or `--synthetic N`),
+//! `veritas bench`, `veritas example-queries`, `veritas validate`.
+//!
+//! # Example
+//!
+//! ```
+//! use veritas::VeritasConfig;
+//! use veritas_engine::{Engine, Query, QuerySet, ScenarioSpec, SessionCorpus};
+//!
+//! let corpus = SessionCorpus::synthetic(2, 7);
+//! let set = QuerySet::new("demo", VeritasConfig::paper_default().with_samples(2))
+//!     .with_query(Query::abduction("posterior"))
+//!     .with_query(Query::counterfactual("what-if-bba", ScenarioSpec::abr("bba")));
+//! let engine = Engine::new();
+//! let report = engine.run(&corpus, &set).unwrap();
+//! assert_eq!(report.summary.errors, 0);
+//! // Both queries touched both sessions, but each session was abduced once.
+//! assert_eq!(report.summary.cache_misses, 2);
+//! assert_eq!(report.summary.cache_hits, 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod corpus;
+mod error;
+pub mod executor;
+pub mod query;
+pub mod runner;
+
+pub use cache::{config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheStats};
+pub use corpus::{CorpusSession, SessionCorpus, SyntheticSpec};
+pub use error::EngineError;
+pub use query::{Query, QueryKind, QuerySet, ScenarioSpec};
+pub use runner::{
+    materialize_scenario, Engine, EngineReport, QueryOutput, QueryRecord, RangeSummary, RunSummary,
+};

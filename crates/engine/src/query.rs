@@ -1,0 +1,545 @@
+//! The declarative query spec: what to ask, over which sessions.
+//!
+//! A [`QuerySet`] is a JSON-serializable batch of causal queries over one
+//! corpus: *abduction* queries (infer the latent GTBW posterior),
+//! *interventional* queries (predict the download time of a candidate chunk
+//! size at a decision point), and *counterfactual* queries (replay the
+//! session under a changed design). The engine executes a query set with
+//! [`crate::Engine::run`], reusing one abduction per (session, config)
+//! through the [`crate::AbductionCache`].
+//!
+//! Serialization note: [`Query`], [`ScenarioSpec`], and [`QuerySet`]
+//! implement `Deserialize` by hand so that hand-authored query files may
+//! omit optional fields entirely (the derive shim requires every field to
+//! be present) and so that unknown fields are rejected with a pointed
+//! error instead of being silently ignored.
+
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer, Value, ValueDeserializer};
+use veritas::VeritasConfig;
+
+/// The three causal query families of the paper (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Infer the GTBW posterior for each selected session and report a
+    /// reconstruction summary.
+    Abduction,
+    /// Predict the download time of a candidate chunk size at a decision
+    /// point of the session (paper §4.4).
+    Interventional,
+    /// Replay the session under a changed design — ABR, buffer size, or
+    /// quality ladder (paper §4.3).
+    Counterfactual,
+}
+
+impl QueryKind {
+    /// The wire name of this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QueryKind::Abduction => "abduction",
+            QueryKind::Interventional => "interventional",
+            QueryKind::Counterfactual => "counterfactual",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "abduction" => Some(QueryKind::Abduction),
+            "interventional" => Some(QueryKind::Interventional),
+            "counterfactual" => Some(QueryKind::Counterfactual),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for QueryKind {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for QueryKind {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::String(s) => QueryKind::parse(&s).ok_or_else(|| {
+                de::Error::custom(format!(
+                    "unknown query kind `{s}` (expected abduction | interventional | counterfactual)"
+                ))
+            }),
+            other => Err(de::Error::custom(format!(
+                "query kind must be a string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Declarative intervention parameters for a counterfactual query, applied
+/// on top of the corpus's deployed setting. Fields left unset keep the
+/// deployed value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct ScenarioSpec {
+    /// ABR algorithm to swap in (resolved via [`veritas_abr::abr_by_name`]).
+    pub abr: Option<String>,
+    /// New playback buffer capacity in seconds.
+    pub buffer_capacity_s: Option<f64>,
+    /// Named quality ladder to re-encode onto: `"paper_default"` or
+    /// `"higher"` (the paper's change-of-qualities ladder).
+    pub ladder: Option<String>,
+}
+
+impl ScenarioSpec {
+    /// A scenario that swaps the ABR algorithm.
+    pub fn abr(name: &str) -> Self {
+        Self {
+            abr: Some(name.to_string()),
+            ..Self::default()
+        }
+    }
+
+    /// A scenario that changes the buffer capacity.
+    pub fn buffer(buffer_capacity_s: f64) -> Self {
+        Self {
+            buffer_capacity_s: Some(buffer_capacity_s),
+            ..Self::default()
+        }
+    }
+
+    /// A scenario that re-encodes onto a named quality ladder.
+    pub fn ladder(name: &str) -> Self {
+        Self {
+            ladder: Some(name.to_string()),
+            ..Self::default()
+        }
+    }
+}
+
+/// One causal query over a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Query {
+    /// Caller-chosen identifier, echoed in every result record.
+    pub id: String,
+    /// Which query family this is.
+    pub kind: QueryKind,
+    /// Corpus session indices to run over; `None` selects every session.
+    pub sessions: Option<Vec<usize>>,
+    /// Counterfactual intervention parameters (counterfactual queries only;
+    /// an unset scenario replays the deployed setting unchanged).
+    pub scenario: Option<ScenarioSpec>,
+    /// Interventional decision point: predict chunk `chunk_index` from the
+    /// observations before it. `None` predicts the next chunk after the
+    /// full log, which shares the full-session abduction with abduction
+    /// and counterfactual queries.
+    pub chunk_index: Option<usize>,
+    /// Interventional candidate chunk size in bytes (`None` uses the
+    /// logged size at the decision point).
+    pub candidate_size_bytes: Option<f64>,
+    /// Override of the configured number of posterior samples.
+    pub samples: Option<usize>,
+    /// Override of the configured posterior-sampling seed. Sampling is
+    /// decoupled from inference, so a seed override still hits the
+    /// abduction cache.
+    pub seed: Option<u64>,
+}
+
+impl Query {
+    /// A query of `kind` with the given id and every option unset.
+    pub fn new(id: &str, kind: QueryKind) -> Self {
+        Self {
+            id: id.to_string(),
+            kind,
+            sessions: None,
+            scenario: None,
+            chunk_index: None,
+            candidate_size_bytes: None,
+            samples: None,
+            seed: None,
+        }
+    }
+
+    /// An abduction query over all sessions.
+    pub fn abduction(id: &str) -> Self {
+        Self::new(id, QueryKind::Abduction)
+    }
+
+    /// An interventional query over all sessions.
+    pub fn interventional(id: &str) -> Self {
+        Self::new(id, QueryKind::Interventional)
+    }
+
+    /// A counterfactual query over all sessions.
+    pub fn counterfactual(id: &str, scenario: ScenarioSpec) -> Self {
+        Self {
+            scenario: Some(scenario),
+            ..Self::new(id, QueryKind::Counterfactual)
+        }
+    }
+
+    /// Restricts the query to specific corpus session indices.
+    pub fn with_sessions(mut self, sessions: Vec<usize>) -> Self {
+        self.sessions = Some(sessions);
+        self
+    }
+
+    /// Overrides the number of posterior samples for this query.
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = Some(samples);
+        self
+    }
+
+    /// Overrides the posterior-sampling seed for this query.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the interventional decision point.
+    pub fn with_chunk_index(mut self, chunk_index: usize) -> Self {
+        self.chunk_index = Some(chunk_index);
+        self
+    }
+
+    /// Sets the interventional candidate chunk size.
+    pub fn with_candidate_size(mut self, candidate_size_bytes: f64) -> Self {
+        self.candidate_size_bytes = Some(candidate_size_bytes);
+        self
+    }
+}
+
+/// A named batch of queries sharing one Veritas configuration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QuerySet {
+    /// Name of the batch, echoed in reports.
+    pub name: String,
+    /// The abduction hyper-parameters every query runs under.
+    pub config: VeritasConfig,
+    /// The queries, executed fanned out over (query, session) pairs.
+    pub queries: Vec<Query>,
+}
+
+impl QuerySet {
+    /// An empty query set with the given name and configuration.
+    pub fn new(name: &str, config: VeritasConfig) -> Self {
+        Self {
+            name: name.to_string(),
+            config,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Appends a query, builder style.
+    pub fn with_query(mut self, query: Query) -> Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("query set serialization cannot fail")
+    }
+
+    /// Parses a query set from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Checks internal consistency: non-empty, unique ids, per-kind
+    /// parameter sanity. Corpus-dependent checks (session indices in
+    /// range) happen in [`crate::Engine::run`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queries.is_empty() {
+            return Err("query set contains no queries".to_string());
+        }
+        self.config.validate()?;
+        let mut ids: Vec<&str> = self.queries.iter().map(|q| q.id.as_str()).collect();
+        ids.sort_unstable();
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate query id `{}`", dup[0]));
+        }
+        for query in &self.queries {
+            if query.id.is_empty() {
+                return Err("query id must not be empty".to_string());
+            }
+            if query.samples == Some(0) {
+                return Err(format!("query `{}`: samples must be at least 1", query.id));
+            }
+            if let Some(size) = query.candidate_size_bytes {
+                if !(size.is_finite() && size > 0.0) {
+                    return Err(format!(
+                        "query `{}`: candidate_size_bytes must be positive, got {size}",
+                        query.id
+                    ));
+                }
+            }
+            if query.kind == QueryKind::Interventional && query.chunk_index == Some(0) {
+                return Err(format!(
+                    "query `{}`: chunk_index 0 has no observation history",
+                    query.id
+                ));
+            }
+            // Fields on a kind that ignores them are almost certainly a
+            // misread of the spec; reject them rather than silently doing
+            // the default thing.
+            if query.kind != QueryKind::Counterfactual {
+                if query.scenario.is_some() {
+                    return Err(format!(
+                        "query `{}`: scenario is only meaningful for counterfactual queries",
+                        query.id
+                    ));
+                }
+                if query.samples.is_some() || query.seed.is_some() {
+                    return Err(format!(
+                        "query `{}`: samples/seed only steer counterfactual posterior sampling",
+                        query.id
+                    ));
+                }
+            }
+            if query.kind != QueryKind::Interventional
+                && (query.chunk_index.is_some() || query.candidate_size_bytes.is_some())
+            {
+                return Err(format!(
+                    "query `{}`: chunk_index/candidate_size_bytes are only meaningful \
+                     for interventional queries",
+                    query.id
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The example query set the `veritas example-queries` subcommand
+    /// prints: one abduction sweep, one ABR-swap counterfactual, and one
+    /// buffer-size counterfactual, all over every corpus session — three
+    /// queries that share a single abduction per session through the cache.
+    pub fn example() -> Self {
+        Self::new("example", VeritasConfig::paper_default().with_samples(3))
+            .with_query(Query::abduction("posterior-sweep"))
+            .with_query(Query::counterfactual(
+                "what-if-bba",
+                ScenarioSpec::abr("bba"),
+            ))
+            .with_query(Query::counterfactual(
+                "what-if-30s-buffer",
+                ScenarioSpec::buffer(30.0),
+            ))
+    }
+
+    /// A `queries`-query cache-stress set: a rotation of abduction,
+    /// counterfactual, and next-chunk interventional queries, every one
+    /// over every session, so that cached execution performs exactly one
+    /// abduction per session while uncached execution performs one per
+    /// (query, session) unit. Used by `veritas bench` and the
+    /// `engine_queryset` criterion benchmarks. Scenarios are replay-light
+    /// (no MPC lookahead) so the comparison isolates the abduction cost
+    /// the cache saves.
+    pub fn cache_stress(queries: usize) -> Self {
+        let scenarios = [
+            ScenarioSpec::abr("bba"),
+            ScenarioSpec::abr("bola"),
+            ScenarioSpec {
+                abr: Some("throughput".to_string()),
+                buffer_capacity_s: Some(30.0),
+                ladder: Some("higher".to_string()),
+            },
+        ];
+        let mut set = Self::new(
+            "cache-stress",
+            VeritasConfig::paper_default().with_samples(2),
+        );
+        for i in 0..queries {
+            let query = match i % 5 {
+                0 => Query::abduction(&format!("q{i}-abduction")),
+                1 | 3 => Query::counterfactual(
+                    &format!("q{i}-counterfactual"),
+                    scenarios[(i / 2) % scenarios.len()].clone(),
+                ),
+                2 => Query::interventional(&format!("q{i}-interventional")),
+                _ => Query::counterfactual(
+                    &format!("q{i}-counterfactual-reseeded"),
+                    ScenarioSpec::abr("bba"),
+                )
+                .with_seed(i as u64),
+            };
+            set = set.with_query(query);
+        }
+        set
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written deserialization (optional-field-friendly, strict on typos)
+// ---------------------------------------------------------------------------
+
+/// Removes `name` from a decoded object's field list, treating JSON `null`
+/// the same as an absent field.
+fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+    let index = fields.iter().position(|(key, _)| key == name)?;
+    match fields.remove(index).1 {
+        Value::Null => None,
+        value => Some(value),
+    }
+}
+
+/// Lifts an optional typed field out of a decoded object.
+fn opt<'de, T: Deserialize<'de>, E: de::Error>(
+    fields: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<Option<T>, E> {
+    match take_field(fields, name) {
+        None => Ok(None),
+        Some(value) => Ok(Some(T::deserialize(ValueDeserializer::<E>::new(value))?)),
+    }
+}
+
+/// Lifts a required typed field out of a decoded object.
+fn req<'de, T: Deserialize<'de>, E: de::Error>(
+    fields: &mut Vec<(String, Value)>,
+    context: &str,
+    name: &str,
+) -> Result<T, E> {
+    match take_field(fields, name) {
+        None => Err(de::Error::custom(format!(
+            "{context}: missing required field `{name}`"
+        ))),
+        Some(value) => T::deserialize(ValueDeserializer::<E>::new(value)),
+    }
+}
+
+/// Errors on any fields left over after the known ones were consumed.
+fn reject_unknown<E: de::Error>(fields: &[(String, Value)], context: &str) -> Result<(), E> {
+    if let Some((name, _)) = fields.first() {
+        return Err(de::Error::custom(format!(
+            "{context}: unknown field `{name}`"
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes an object's field list out of a deserializer.
+fn object_fields<'de, D: Deserializer<'de>>(
+    deserializer: D,
+    context: &str,
+) -> Result<Vec<(String, Value)>, D::Error> {
+    match deserializer.deserialize_value()? {
+        Value::Object(fields) => Ok(fields),
+        other => Err(de::Error::custom(format!(
+            "{context}: expected a JSON object, got {other:?}"
+        ))),
+    }
+}
+
+impl<'de> Deserialize<'de> for ScenarioSpec {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "scenario")?;
+        let spec = ScenarioSpec {
+            abr: opt(&mut fields, "abr")?,
+            buffer_capacity_s: opt(&mut fields, "buffer_capacity_s")?,
+            ladder: opt(&mut fields, "ladder")?,
+        };
+        reject_unknown(&fields, "scenario")?;
+        Ok(spec)
+    }
+}
+
+impl<'de> Deserialize<'de> for Query {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "query")?;
+        let query = Query {
+            id: req(&mut fields, "query", "id")?,
+            kind: req(&mut fields, "query", "kind")?,
+            sessions: opt(&mut fields, "sessions")?,
+            scenario: opt(&mut fields, "scenario")?,
+            chunk_index: opt(&mut fields, "chunk_index")?,
+            candidate_size_bytes: opt(&mut fields, "candidate_size_bytes")?,
+            samples: opt(&mut fields, "samples")?,
+            seed: opt(&mut fields, "seed")?,
+        };
+        reject_unknown(&fields, &format!("query `{}`", query.id))?;
+        Ok(query)
+    }
+}
+
+impl<'de> Deserialize<'de> for QuerySet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "query set")?;
+        let set = QuerySet {
+            name: opt(&mut fields, "name")?.unwrap_or_else(|| "queryset".to_string()),
+            config: opt(&mut fields, "config")?.unwrap_or_else(VeritasConfig::paper_default),
+            queries: req(&mut fields, "query set", "queries")?,
+        };
+        reject_unknown(&fields, "query set")?;
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_set_round_trips_through_json() {
+        let set = QuerySet::example();
+        assert!(set.validate().is_ok());
+        let back = QuerySet::from_json(&set.to_json()).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn omitted_optional_fields_default() {
+        let set =
+            QuerySet::from_json(r#"{"queries": [{"id": "a", "kind": "abduction"}]}"#).unwrap();
+        assert_eq!(set.name, "queryset");
+        assert_eq!(set.config, VeritasConfig::paper_default());
+        assert_eq!(set.queries[0], Query::abduction("a"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = QuerySet::from_json(
+            r#"{"queries": [{"id": "a", "kind": "abduction", "sesions": [1]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sesions"), "{err}");
+        let err =
+            QuerySet::from_json(r#"{"queries": [{"id": "a", "kind": "telepathy"}]}"#).unwrap_err();
+        assert!(err.to_string().contains("telepathy"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_bad_sets() {
+        let dup = QuerySet::new("d", VeritasConfig::paper_default())
+            .with_query(Query::abduction("a"))
+            .with_query(Query::abduction("a"));
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+        let empty = QuerySet::new("e", VeritasConfig::paper_default());
+        assert!(empty.validate().is_err());
+        let zero_chunk = QuerySet::new("z", VeritasConfig::paper_default())
+            .with_query(Query::interventional("i").with_chunk_index(0));
+        assert!(zero_chunk.validate().is_err());
+        let stray_scenario = QuerySet::new("s", VeritasConfig::paper_default()).with_query(Query {
+            scenario: Some(ScenarioSpec::abr("bba")),
+            ..Query::abduction("a")
+        });
+        assert!(stray_scenario.validate().is_err());
+        let stray_seed = QuerySet::new("s", VeritasConfig::paper_default())
+            .with_query(Query::new("a", QueryKind::Abduction).with_seed(1));
+        assert!(stray_seed.validate().unwrap_err().contains("samples/seed"));
+        let stray_chunk = QuerySet::new("s", VeritasConfig::paper_default())
+            .with_query(Query::counterfactual("c", ScenarioSpec::abr("bba")).with_chunk_index(3));
+        assert!(stray_chunk
+            .validate()
+            .unwrap_err()
+            .contains("chunk_index/candidate_size_bytes"));
+    }
+
+    #[test]
+    fn kind_wire_names_are_stable() {
+        for kind in [
+            QueryKind::Abduction,
+            QueryKind::Interventional,
+            QueryKind::Counterfactual,
+        ] {
+            assert_eq!(QueryKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(QueryKind::parse("associational"), None);
+    }
+}

@@ -1,0 +1,721 @@
+//! The engine proper: fans a [`QuerySet`] out over a corpus and streams
+//! per-query results.
+//!
+//! Execution model: every (query, session) pair is one independent work
+//! unit. Units are distributed across cores by the atomic-cursor executor
+//! ([`crate::executor`]), and each unit resolves its abduction through the
+//! shared [`AbductionCache`], so a batch of N queries touching the same
+//! session runs forward–backward once, not N times. Results come back as
+//! [`QueryRecord`]s — one JSON line each, with timing, cache, and error
+//! status — in deterministic (query-major, session-minor) order.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use veritas::{
+    baseline_trace, oracle_trace, Abduction, InterventionalPredictor, RangePrediction, Scenario,
+    VeritasConfig,
+};
+use veritas_abr::abr_by_name;
+use veritas_media::QualityLadder;
+use veritas_player::QoeSummary;
+use veritas_trace::stats::trace_mae;
+
+use crate::cache::AbductionCache;
+use crate::corpus::{CorpusSession, SessionCorpus};
+use crate::error::EngineError;
+use crate::executor;
+use crate::query::{Query, QueryKind, QuerySet, ScenarioSpec};
+
+/// Veritas(Low)/(High) and median summaries of a counterfactual range
+/// prediction, one triple per QoE metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeSummary {
+    /// Number of posterior samples behind the ranges.
+    pub samples: usize,
+    /// Veritas(Low) mean SSIM.
+    pub ssim_low: f64,
+    /// Veritas(High) mean SSIM.
+    pub ssim_high: f64,
+    /// Median mean SSIM across samples.
+    pub ssim_median: f64,
+    /// Veritas(Low) rebuffering ratio (percent).
+    pub rebuffer_low: f64,
+    /// Veritas(High) rebuffering ratio (percent).
+    pub rebuffer_high: f64,
+    /// Median rebuffering ratio across samples.
+    pub rebuffer_median: f64,
+    /// Veritas(Low) average bitrate (Mbps).
+    pub bitrate_low: f64,
+    /// Veritas(High) average bitrate (Mbps).
+    pub bitrate_high: f64,
+    /// Median average bitrate across samples.
+    pub bitrate_median: f64,
+}
+
+impl RangeSummary {
+    /// Summarizes a range prediction.
+    pub fn of(prediction: &RangePrediction) -> Self {
+        let (ssim_low, ssim_high) = prediction.ssim_range();
+        let (rebuffer_low, rebuffer_high) = prediction.rebuffer_range();
+        let (bitrate_low, bitrate_high) = prediction.bitrate_range();
+        Self {
+            samples: prediction.samples.len(),
+            ssim_low,
+            ssim_high,
+            ssim_median: prediction.median_of(|q| q.mean_ssim),
+            rebuffer_low,
+            rebuffer_high,
+            rebuffer_median: prediction.median_of(|q| q.rebuffer_ratio_percent),
+            bitrate_low,
+            bitrate_high,
+            bitrate_median: prediction.median_of(|q| q.avg_bitrate_mbps),
+        }
+    }
+}
+
+/// The kind-specific payload of a successful query; fields irrelevant to
+/// the query's kind are `null` in the JSONL output.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryOutput {
+    /// Abduction: number of chunks conditioned on.
+    pub chunks: Option<usize>,
+    /// Abduction: mean of the Viterbi GTBW trace in Mbps.
+    pub mean_capacity_mbps: Option<f64>,
+    /// Abduction: MAE of the Viterbi trace against the ground truth, when
+    /// the corpus carries one.
+    pub viterbi_mae_vs_truth_mbps: Option<f64>,
+    /// Interventional: expected GTBW for the candidate chunk in Mbps.
+    pub expected_capacity_mbps: Option<f64>,
+    /// Interventional: predicted download time in seconds.
+    pub predicted_download_time_s: Option<f64>,
+    /// Interventional: the logged download time at the decision point, when
+    /// the predicted chunk exists in the log.
+    pub actual_download_time_s: Option<f64>,
+    /// Counterfactual: the Veritas range prediction.
+    pub veritas: Option<RangeSummary>,
+    /// Counterfactual: the Baseline (observed-throughput replay) outcome.
+    pub baseline: Option<QoeSummary>,
+    /// Counterfactual: the Oracle (ground-truth replay) outcome, when the
+    /// corpus carries the truth.
+    pub oracle: Option<QoeSummary>,
+}
+
+/// One line of the engine's JSONL result stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Id of the query this record answers.
+    pub query_id: String,
+    /// The query's kind.
+    pub kind: QueryKind,
+    /// Id of the corpus session the unit ran over.
+    pub session: String,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// Error description when `status == "error"`.
+    pub error: Option<String>,
+    /// `"hit"` / `"miss"` when the unit consulted the abduction cache,
+    /// `"off"` when caching was disabled, `null` when the unit failed
+    /// before inference.
+    pub cache: Option<String>,
+    /// Wall-clock time this unit took, in microseconds.
+    pub elapsed_us: u64,
+    /// The payload, present when `status == "ok"`.
+    pub output: Option<QueryOutput>,
+}
+
+impl QueryRecord {
+    /// Whether the unit succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+}
+
+/// Aggregate summary of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Name of the query set.
+    pub queryset: String,
+    /// Number of queries in the set.
+    pub queries: usize,
+    /// Number of sessions in the corpus.
+    pub sessions: usize,
+    /// Number of (query, session) work units executed.
+    pub units: usize,
+    /// Units that succeeded.
+    pub ok: usize,
+    /// Units that failed.
+    pub errors: usize,
+    /// Abduction-cache hits during this run.
+    pub cache_hits: u64,
+    /// Abduction-cache misses during this run.
+    pub cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Everything an engine run produced.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-unit records in (query-major, session-minor) order.
+    pub records: Vec<QueryRecord>,
+    /// The run summary.
+    pub summary: RunSummary,
+}
+
+impl EngineReport {
+    /// Renders the records as JSON Lines (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&serde_json::to_string(record).expect("record serialization cannot fail"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The summary as a JSON object.
+    pub fn summary_json(&self) -> String {
+        serde_json::to_string_pretty(&self.summary).expect("summary serialization cannot fail")
+    }
+
+    /// The records answering one query, in session order.
+    pub fn records_for(&self, query_id: &str) -> Vec<&QueryRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.query_id == query_id)
+            .collect()
+    }
+}
+
+/// The batched, cached causal-query engine.
+#[derive(Debug)]
+pub struct Engine {
+    threads: Option<usize>,
+    cache_enabled: bool,
+    cache: AbductionCache,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with caching enabled and the default thread count.
+    pub fn new() -> Self {
+        Self {
+            threads: None,
+            cache_enabled: true,
+            cache: AbductionCache::new(),
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Disables the abduction cache — every unit re-infers. Exists for the
+    /// `veritas bench` comparison and for measuring cache effectiveness.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// The engine's abduction cache (shared across runs).
+    pub fn cache(&self) -> &AbductionCache {
+        &self.cache
+    }
+
+    /// Executes a query set over a corpus.
+    ///
+    /// Fails fast on structural problems (empty corpus, invalid query set,
+    /// out-of-range session selectors); per-unit inference or replay
+    /// failures are reported in the returned records instead of aborting
+    /// the batch.
+    pub fn run(&self, corpus: &SessionCorpus, set: &QuerySet) -> Result<EngineReport, EngineError> {
+        if corpus.is_empty() {
+            return Err(EngineError::EmptyCorpus);
+        }
+        set.validate().map_err(EngineError::Query)?;
+        let mut units: Vec<(usize, usize)> = Vec::new();
+        for (qi, query) in set.queries.iter().enumerate() {
+            let selected = corpus
+                .select(&query.sessions)
+                .map_err(|e| EngineError::Query(format!("query `{}`: {e}", query.id)))?;
+            units.extend(selected.into_iter().map(|si| (qi, si)));
+        }
+        // Materialize counterfactual scenarios once per *distinct spec*,
+        // not once per (query, session) unit — a ladder change re-encodes
+        // the corpus asset, which must not happen again for every session
+        // (or for every query repeating the same intervention). A bad spec
+        // (unknown ABR/ladder) is replicated as a per-unit error below so
+        // one broken query still doesn't abort the batch.
+        let default_spec = ScenarioSpec::default();
+        let mut scenarios: Vec<Option<Result<Scenario, String>>> =
+            Vec::with_capacity(set.queries.len());
+        for query in &set.queries {
+            if query.kind != QueryKind::Counterfactual {
+                scenarios.push(None);
+                continue;
+            }
+            let spec = query.scenario.as_ref().unwrap_or(&default_spec);
+            let reused = set.queries[..scenarios.len()]
+                .iter()
+                .zip(&scenarios)
+                .find_map(|(earlier, materialized)| {
+                    (earlier.kind == QueryKind::Counterfactual
+                        && earlier.scenario.as_ref().unwrap_or(&default_spec) == spec)
+                        .then(|| materialized.clone())
+                })
+                .flatten();
+            scenarios.push(Some(
+                reused.unwrap_or_else(|| materialize_scenario(corpus, spec)),
+            ));
+        }
+        let threads = self.threads.unwrap_or_else(executor::default_threads);
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let started = Instant::now();
+        let records = executor::execute(&units, threads, |&(qi, si)| {
+            self.run_unit(corpus, set, &scenarios, qi, si)
+        });
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let ok = records.iter().filter(|r| r.is_ok()).count();
+        let summary = RunSummary {
+            queryset: set.name.clone(),
+            queries: set.queries.len(),
+            sessions: corpus.len(),
+            units: records.len(),
+            ok,
+            errors: records.len() - ok,
+            cache_hits: self.cache.hits() - hits_before,
+            cache_misses: self.cache.misses() - misses_before,
+            threads,
+            elapsed_ms,
+        };
+        Ok(EngineReport { records, summary })
+    }
+
+    fn run_unit(
+        &self,
+        corpus: &SessionCorpus,
+        set: &QuerySet,
+        scenarios: &[Option<Result<Scenario, String>>],
+        qi: usize,
+        si: usize,
+    ) -> QueryRecord {
+        let query = &set.queries[qi];
+        let session = &corpus.sessions[si];
+        let started = Instant::now();
+        let answered = match (query.kind, &scenarios[qi]) {
+            (QueryKind::Abduction, _) => self.answer_abduction(&set.config, session),
+            (QueryKind::Interventional, _) => {
+                self.answer_interventional(&set.config, query, session)
+            }
+            (QueryKind::Counterfactual, Some(Ok(scenario))) => {
+                self.answer_counterfactual(&set.config, query, session, scenario)
+            }
+            (QueryKind::Counterfactual, Some(Err(error))) => Err(error.clone()),
+            (QueryKind::Counterfactual, None) => {
+                unreachable!("scenarios are materialized for every counterfactual query")
+            }
+        };
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        match answered {
+            Ok((output, cache)) => QueryRecord {
+                query_id: query.id.clone(),
+                kind: query.kind,
+                session: session.id.clone(),
+                status: "ok".to_string(),
+                error: None,
+                cache,
+                elapsed_us,
+                output: Some(output),
+            },
+            Err(error) => QueryRecord {
+                query_id: query.id.clone(),
+                kind: query.kind,
+                session: session.id.clone(),
+                status: "error".to_string(),
+                error: Some(error),
+                cache: None,
+                elapsed_us,
+                output: None,
+            },
+        }
+    }
+
+    /// Resolves the unit's abduction — through the cache when enabled —
+    /// returning the posterior and the cache status string.
+    fn abduce(
+        &self,
+        session: &CorpusSession,
+        horizon: usize,
+        config: &VeritasConfig,
+    ) -> Result<(Arc<Abduction>, Option<String>), String> {
+        if self.cache_enabled {
+            let (abduction, hit) = self
+                .cache
+                .get_or_infer_prefix(&session.id, &session.log, horizon, config)
+                .map_err(|e| e.to_string())?;
+            Ok((
+                abduction,
+                Some(if hit { "hit" } else { "miss" }.to_string()),
+            ))
+        } else {
+            let abduction = crate::cache::infer_prefix(&session.log, horizon, config)
+                .map_err(|e| e.to_string())?;
+            Ok((Arc::new(abduction), Some("off".to_string())))
+        }
+    }
+
+    fn answer_abduction(
+        &self,
+        config: &VeritasConfig,
+        session: &CorpusSession,
+    ) -> Result<(QueryOutput, Option<String>), String> {
+        let (abduction, cache) = self.abduce(session, session.log.records.len(), config)?;
+        let viterbi = abduction.viterbi_trace();
+        let mae = session.truth.as_ref().map(|truth| {
+            let horizon = session.log.session_duration_s.min(truth.duration());
+            trace_mae(&truth.with_duration(horizon), &viterbi, config.delta_s)
+        });
+        Ok((
+            QueryOutput {
+                chunks: Some(session.log.records.len()),
+                mean_capacity_mbps: Some(viterbi.mean()),
+                viterbi_mae_vs_truth_mbps: mae,
+                ..QueryOutput::default()
+            },
+            cache,
+        ))
+    }
+
+    fn answer_interventional(
+        &self,
+        config: &VeritasConfig,
+        query: &Query,
+        session: &CorpusSession,
+    ) -> Result<(QueryOutput, Option<String>), String> {
+        let log = &session.log;
+        let next_index = query.chunk_index.unwrap_or(log.records.len());
+        if next_index == 0 || next_index > log.records.len() {
+            return Err(format!(
+                "chunk_index {next_index} out of range 1..={}",
+                log.records.len()
+            ));
+        }
+        let (abduction, cache) = self.abduce(session, next_index, config)?;
+        // At decision time the TCP state and (for replayed decisions) the
+        // logged size of the next chunk are observable.
+        let (tcp_info, logged) = if next_index < log.records.len() {
+            let next = &log.records[next_index];
+            (next.tcp_info, Some(next))
+        } else {
+            let last = log.records.last().expect("non-empty log");
+            (last.tcp_info, None)
+        };
+        let candidate_size = query
+            .candidate_size_bytes
+            .or(logged.map(|r| r.size_bytes))
+            .or(log.records.last().map(|r| r.size_bytes))
+            .expect("non-empty log");
+        let prediction = InterventionalPredictor::new(*config).predict_from_abduction(
+            &abduction,
+            log,
+            next_index,
+            candidate_size,
+            &tcp_info,
+        );
+        Ok((
+            QueryOutput {
+                expected_capacity_mbps: Some(prediction.expected_capacity_mbps),
+                predicted_download_time_s: Some(prediction.download_time_s),
+                actual_download_time_s: logged.map(|r| r.download_time_s),
+                ..QueryOutput::default()
+            },
+            cache,
+        ))
+    }
+
+    fn answer_counterfactual(
+        &self,
+        config: &VeritasConfig,
+        query: &Query,
+        session: &CorpusSession,
+        scenario: &Scenario,
+    ) -> Result<(QueryOutput, Option<String>), String> {
+        let (abduction, cache) = self.abduce(session, session.log.records.len(), config)?;
+        let samples = query.samples.unwrap_or(config.num_samples).max(1);
+        let seed = query.seed.unwrap_or(config.seed);
+        let prediction = RangePrediction {
+            samples: abduction
+                .sample_traces_with_seed(samples, seed)
+                .iter()
+                .map(|trace| scenario.replay(trace))
+                .collect(),
+        };
+        let baseline = scenario.replay(&baseline_trace(&session.log, config.delta_s));
+        let oracle = session
+            .truth
+            .as_ref()
+            .map(|truth| scenario.replay(&oracle_trace(truth, &session.log)));
+        Ok((
+            QueryOutput {
+                veritas: Some(RangeSummary::of(&prediction)),
+                baseline: Some(baseline),
+                oracle,
+                ..QueryOutput::default()
+            },
+            cache,
+        ))
+    }
+}
+
+/// Builds the concrete replay [`Scenario`] a [`ScenarioSpec`] describes,
+/// starting from a corpus's deployed setting. Fails (instead of panicking)
+/// on unknown ABR or ladder names and invalid buffer sizes, so bad query
+/// files surface as per-query errors.
+pub fn materialize_scenario(
+    corpus: &SessionCorpus,
+    spec: &ScenarioSpec,
+) -> Result<Scenario, String> {
+    let abr = spec
+        .abr
+        .clone()
+        .unwrap_or_else(|| corpus.deployed_abr.clone());
+    if abr_by_name(&abr).is_none() {
+        return Err(format!("unknown ABR algorithm name: {abr}"));
+    }
+    let mut player = corpus.player;
+    if let Some(buffer) = spec.buffer_capacity_s {
+        if !(buffer.is_finite() && buffer > 0.0) {
+            return Err(format!("buffer_capacity_s must be positive, got {buffer}"));
+        }
+        player = player.with_buffer_capacity(buffer);
+    }
+    let asset = match spec.ladder.as_deref() {
+        None => corpus.asset.clone(),
+        Some("paper_default" | "default") => corpus.asset.reencoded(QualityLadder::paper_default()),
+        Some("higher" | "paper_higher" | "paper_higher_qualities") => corpus
+            .asset
+            .reencoded(QualityLadder::paper_higher_qualities()),
+        Some(other) => {
+            return Err(format!(
+                "unknown ladder `{other}` (expected paper_default | higher)"
+            ))
+        }
+    };
+    Ok(Scenario::new(&abr, player, asset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::SyntheticSpec;
+    use crate::query::QuerySet;
+    use veritas::CounterfactualEngine;
+
+    fn tiny_corpus() -> SessionCorpus {
+        SyntheticSpec {
+            sessions: 2,
+            video_duration_s: 120.0,
+            ..SyntheticSpec::default()
+        }
+        .build()
+    }
+
+    fn config() -> VeritasConfig {
+        VeritasConfig::paper_default().with_samples(2)
+    }
+
+    #[test]
+    fn scenario_materialization_validates_names() {
+        let corpus = tiny_corpus();
+        assert!(materialize_scenario(&corpus, &ScenarioSpec::abr("bba")).is_ok());
+        assert!(
+            materialize_scenario(&corpus, &ScenarioSpec::abr("pensieve"))
+                .unwrap_err()
+                .contains("unknown ABR")
+        );
+        assert!(materialize_scenario(&corpus, &ScenarioSpec::ladder("8k"))
+            .unwrap_err()
+            .contains("unknown ladder"));
+        assert!(materialize_scenario(&corpus, &ScenarioSpec::buffer(-1.0)).is_err());
+    }
+
+    #[test]
+    fn run_fans_out_and_orders_records() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::abduction("ab"))
+            .with_query(
+                Query::counterfactual("cf", ScenarioSpec::abr("bba")).with_sessions(vec![1]),
+            );
+        let engine = Engine::new();
+        let report = engine.run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.units, 3);
+        assert_eq!(report.summary.ok, 3);
+        assert_eq!(report.summary.errors, 0);
+        let ids: Vec<(&str, &str)> = report
+            .records
+            .iter()
+            .map(|r| (r.query_id.as_str(), r.session.as_str()))
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                ("ab", "session-0"),
+                ("ab", "session-1"),
+                ("cf", "session-1")
+            ]
+        );
+        // The counterfactual on session-1 reuses the abduction query's
+        // posterior for that session.
+        assert_eq!(report.summary.cache_misses, 2);
+        assert_eq!(report.summary.cache_hits, 1);
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+    }
+
+    #[test]
+    fn per_unit_errors_do_not_abort_the_batch() {
+        let corpus = tiny_corpus();
+        let chunks = corpus.sessions[0].log.records.len();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::interventional("bad").with_chunk_index(chunks + 5))
+            .with_query(Query::counterfactual(
+                "bad-abr",
+                ScenarioSpec::abr("pensieve"),
+            ))
+            .with_query(Query::abduction("good"));
+        let report = Engine::new().run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.errors, 4);
+        assert_eq!(report.summary.ok, 2);
+        for record in report.records_for("bad") {
+            assert!(record.error.as_ref().unwrap().contains("out of range"));
+        }
+    }
+
+    #[test]
+    fn structural_problems_fail_fast() {
+        let corpus = tiny_corpus();
+        let out_of_range =
+            QuerySet::new("t", config()).with_query(Query::abduction("a").with_sessions(vec![9]));
+        assert!(matches!(
+            Engine::new().run(&corpus, &out_of_range),
+            Err(EngineError::Query(_))
+        ));
+        let empty = QuerySet::new("t", config());
+        assert!(Engine::new().run(&corpus, &empty).is_err());
+    }
+
+    #[test]
+    fn counterfactual_matches_the_core_engine_exactly() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::counterfactual("cf", ScenarioSpec::abr("bba")));
+        let report = Engine::new().run(&corpus, &set).unwrap();
+        let core = CounterfactualEngine::new(config());
+        for (record, session) in report.records.iter().zip(&corpus.sessions) {
+            let scenario = materialize_scenario(&corpus, &ScenarioSpec::abr("bba")).unwrap();
+            let expected = core.veritas_predict(&session.log, &scenario);
+            let output = record.output.as_ref().unwrap();
+            let veritas = output.veritas.unwrap();
+            assert_eq!(veritas.samples, 2);
+            let (lo, hi) = expected.ssim_range();
+            assert_eq!((veritas.ssim_low, veritas.ssim_high), (lo, hi));
+            assert_eq!(
+                output.baseline.unwrap(),
+                core.baseline_predict(&session.log, &scenario)
+            );
+            assert_eq!(
+                output.oracle.unwrap(),
+                core.oracle_predict(session.truth.as_ref().unwrap(), &session.log, &scenario)
+            );
+        }
+    }
+
+    #[test]
+    fn queryset_shares_one_abduction_per_session_and_config() {
+        // The acceptance scenario: N interventional + counterfactual
+        // queries over one session must run exactly one abduction.
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(
+                Query::counterfactual("cf-bba", ScenarioSpec::abr("bba")).with_sessions(vec![0]),
+            )
+            .with_query(
+                Query::counterfactual("cf-buffer", ScenarioSpec::buffer(30.0))
+                    .with_sessions(vec![0]),
+            )
+            .with_query(
+                Query::counterfactual("cf-seeded", ScenarioSpec::abr("bola"))
+                    .with_sessions(vec![0])
+                    .with_seed(99)
+                    .with_samples(1),
+            )
+            .with_query(Query::interventional("iv-next").with_sessions(vec![0]))
+            .with_query(Query::abduction("ab").with_sessions(vec![0]));
+        let engine = Engine::new();
+        let report = engine.run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.errors, 0);
+        assert_eq!(
+            report.summary.cache_misses, 1,
+            "exactly one abduction per (session, config) pair"
+        );
+        assert_eq!(report.summary.cache_hits, 4);
+        assert_eq!(engine.cache().entries(), 1);
+        // Running the same set again is fully served from cache.
+        let again = engine.run(&corpus, &set).unwrap();
+        assert_eq!(again.summary.cache_misses, 0);
+        assert_eq!(again.summary.cache_hits, 5);
+    }
+
+    #[test]
+    fn disabling_the_cache_re_infers_every_unit() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::abduction("a"))
+            .with_query(Query::counterfactual("b", ScenarioSpec::abr("bba")));
+        let engine = Engine::new().without_cache();
+        let report = engine.run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.cache_hits, 0);
+        assert_eq!(report.summary.cache_misses, 0);
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.cache.as_deref() == Some("off")));
+        // Identical results either way.
+        let cached = Engine::new().run(&corpus, &set).unwrap();
+        for (a, b) in report.records.iter().zip(&cached.records) {
+            assert_eq!(a.output, b.output);
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::abduction("a").with_sessions(vec![0]))
+            .with_query(
+                Query::interventional("i")
+                    .with_sessions(vec![0])
+                    .with_chunk_index(10),
+            );
+        let report = Engine::new().run(&corpus, &set).unwrap();
+        for line in report.to_jsonl().lines() {
+            let back: QueryRecord = serde_json::from_str(line).unwrap();
+            assert!(report.records.contains(&back));
+        }
+        let summary: RunSummary = serde_json::from_str(&report.summary_json()).unwrap();
+        assert_eq!(summary, report.summary);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the declarative query spec: arbitrary
+//! `QuerySet`s must survive the JSON round trip bit-for-bit.
+//!
+//! Numeric caveat encoded in the strategies: the vendored serde shim's
+//! data model carries every number as an `f64`, so integers round-trip
+//! exactly only within 53 bits — all real query fields (indices, sample
+//! counts, seeds) fit comfortably.
+
+use proptest::prelude::*;
+
+use veritas::VeritasConfig;
+use veritas_engine::{Query, QueryKind, QuerySet, ScenarioSpec};
+
+/// Deterministically expands one sampled u64 into a query, exercising
+/// every field and every kind.
+fn build_query(index: usize, bits: u64) -> Query {
+    let kind = match bits % 3 {
+        0 => QueryKind::Abduction,
+        1 => QueryKind::Interventional,
+        _ => QueryKind::Counterfactual,
+    };
+    let mut query = Query::new(&format!("q{index}"), kind);
+    if bits & 0x08 != 0 {
+        query.sessions = Some(vec![(bits >> 8) as usize % 64, (bits >> 16) as usize % 64]);
+    }
+    if bits & 0x10 != 0 {
+        query.scenario = Some(ScenarioSpec {
+            abr: (bits & 0x20 != 0).then(|| "bba".to_string()),
+            buffer_capacity_s: (bits & 0x40 != 0).then_some(((bits >> 24) & 0xFF) as f64 + 0.5),
+            ladder: (bits & 0x80 != 0).then(|| "higher".to_string()),
+        });
+    }
+    if bits & 0x100 != 0 {
+        query.chunk_index = Some((bits >> 32) as usize % 1000 + 1);
+    }
+    if bits & 0x200 != 0 {
+        query.candidate_size_bytes = Some(((bits >> 40) as f64 + 1.0) * 1e3);
+    }
+    if bits & 0x400 != 0 {
+        query.samples = Some((bits >> 48) as usize % 16 + 1);
+    }
+    if bits & 0x800 != 0 {
+        query.seed = Some(bits >> 11); // stays within 53 bits
+    }
+    query
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_sets_round_trip_through_json(
+        (query_bits, sigma, samples, stay) in (
+            prop::collection::vec(0u64..u64::MAX, 1..12),
+            0.1f64..2.0,
+            1usize..8,
+            0.05f64..0.99,
+        ),
+    ) {
+        let config = VeritasConfig::paper_default()
+            .with_sigma((sigma * 1e6).round() / 1e6)
+            .with_samples(samples)
+            .with_stay_probability((stay * 1e6).round() / 1e6);
+        let mut set = QuerySet::new("prop", config);
+        for (i, &bits) in query_bits.iter().enumerate() {
+            set = set.with_query(build_query(i, bits));
+        }
+        let json = set.to_json();
+        let back = QuerySet::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &set, "round trip changed the set; json was:\n{}", json);
+        // A second trip is a fixed point.
+        prop_assert_eq!(QuerySet::from_json(&back.to_json()).unwrap(), back);
+    }
+
+    #[test]
+    fn compact_and_pretty_json_agree(bits in 0u64..u64::MAX) {
+        let set = QuerySet::new("one", VeritasConfig::paper_default())
+            .with_query(build_query(0, bits));
+        let compact: QuerySet =
+            serde_json::from_str(&serde_json::to_string(&set).unwrap()).unwrap();
+        prop_assert_eq!(compact, set);
+    }
+}

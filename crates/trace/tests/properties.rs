@@ -128,4 +128,52 @@ proptest! {
             prop_assert!((orig - rec).abs() < 0.01, "orig {} vs rec {}", orig, rec);
         }
     }
+
+    #[test]
+    fn mahimahi_rendering_conserves_total_bytes(
+        values in prop::collection::vec(0.0f64..12.0, 1..20),
+        delta in 0.5f64..8.0,
+    ) {
+        // The carry accumulator must neither create nor destroy capacity:
+        // the number of transmission opportunities equals the deliverable
+        // byte total divided by the MTU, to within one packet.
+        let trace = BandwidthTrace::from_uniform(delta, &values).unwrap();
+        let rendered = io::to_mahimahi(&trace);
+        let packets = rendered.lines().count() as f64;
+        // Integrate at the renderer's own millisecond granularity (the
+        // closed-form integral can differ when δ is not a whole number of
+        // milliseconds).
+        let total_ms = (trace.duration() * 1000.0).round() as u64;
+        let total_bytes: f64 = (0..total_ms)
+            .map(|ms| trace.bandwidth_at(ms as f64 / 1000.0) * 1e6 / 8.0 / 1000.0)
+            .sum();
+        let expected = (total_bytes / io::MAHIMAHI_MTU_BYTES).floor();
+        prop_assert!(
+            (packets - expected).abs() <= 1.0,
+            "rendered {} packets, capacity admits {}",
+            packets,
+            expected
+        );
+    }
+
+    #[test]
+    fn mahimahi_parse_render_parse_is_a_fixed_point(
+        values in prop::collection::vec(0.5f64..12.0, 1..10),
+    ) {
+        // After one render→parse trip the trace sits on mahimahi's
+        // MTU-per-bin grid; a second trip must (nearly) fix it there.
+        let trace = BandwidthTrace::from_uniform(5.0, &values).unwrap();
+        let once = io::from_mahimahi(&io::to_mahimahi(&trace), 5.0).unwrap();
+        let twice = io::from_mahimahi(&io::to_mahimahi(&once), 5.0).unwrap();
+        prop_assert_eq!(once.len(), twice.len());
+        for (a, b) in once.values().iter().zip(twice.values()) {
+            // At most one MTU may migrate across a bin boundary per trip.
+            prop_assert!(
+                (a - b).abs() <= 2.0 * io::MAHIMAHI_MTU_BYTES * 8.0 / 1e6 / 5.0 + 1e-12,
+                "second trip moved a bin from {} to {}",
+                a,
+                b
+            );
+        }
+    }
 }

@@ -1,0 +1,76 @@
+//! Example: the declarative query engine end to end.
+//!
+//! Builds a [`QuerySet`] programmatically (the same structure `veritas run
+//! queries.json` reads from disk), prints its JSON form, executes it over
+//! a small synthetic corpus through the cached engine, and shows the JSONL
+//! result stream plus the cache's effect.
+//!
+//! ```sh
+//! cargo run --release --example queries
+//! ```
+
+use veritas::VeritasConfig;
+use veritas_engine::{Engine, Query, QueryKind, QuerySet, ScenarioSpec, SessionCorpus};
+
+fn main() {
+    // 1. A declarative query set: every paper query family at once.
+    //    Serialized, this is exactly the file format the `veritas` CLI
+    //    executes (`veritas example-queries` prints a starter).
+    let set = QuerySet::new("demo", VeritasConfig::paper_default().with_samples(3))
+        .with_query(Query::abduction("posterior"))
+        .with_query(Query::counterfactual(
+            "what-if-bba",
+            ScenarioSpec::abr("bba"),
+        ))
+        .with_query(Query::counterfactual(
+            "what-if-30s-buffer",
+            ScenarioSpec::buffer(30.0),
+        ))
+        .with_query(Query::interventional("next-chunk").with_candidate_size(2e6));
+    println!("--- query file (queries.json) ---");
+    println!("{}", set.to_json());
+
+    // Query files round-trip losslessly.
+    assert_eq!(QuerySet::from_json(&set.to_json()).unwrap(), set);
+
+    // 2. A corpus: three deployed MPC sessions over hidden synthetic
+    //    GTBW traces (use SessionCorpus::from_dir for recorded logs).
+    let corpus = SessionCorpus::synthetic(3, 42);
+
+    // 3. Execute. Every (query, session) pair is one work unit; the four
+    //    queries share a single cached abduction per session.
+    let engine = Engine::new();
+    let report = engine.run(&corpus, &set).expect("valid query set");
+
+    println!("--- results (JSONL, one line per unit) ---");
+    print!("{}", report.to_jsonl());
+    println!("--- summary ---");
+    println!("{}", report.summary_json());
+
+    let s = &report.summary;
+    assert_eq!(s.errors, 0, "all units must succeed");
+    assert_eq!(
+        s.cache_misses as usize,
+        corpus.len(),
+        "one abduction per session"
+    );
+    assert_eq!(s.cache_hits, 3 * corpus.len() as u64);
+    println!(
+        "\n{} units over {} sessions: {} abductions computed, {} served from cache",
+        s.units, s.sessions, s.cache_misses, s.cache_hits
+    );
+
+    // 4. Pull one structured answer back out: the BBA counterfactual
+    //    ranges for the first session.
+    let record = report.records_for("what-if-bba")[0];
+    assert_eq!(record.kind, QueryKind::Counterfactual);
+    let veritas = record.output.as_ref().unwrap().veritas.unwrap();
+    println!(
+        "what-if-bba on {}: SSIM in [{:.4}, {:.4}], rebuffer in [{:.2}%, {:.2}%]",
+        record.session,
+        veritas.ssim_low,
+        veritas.ssim_high,
+        veritas.rebuffer_low,
+        veritas.rebuffer_high
+    );
+}

@@ -8,6 +8,7 @@
 pub use veritas;
 pub use veritas_abr as abr;
 pub use veritas_ehmm as ehmm;
+pub use veritas_engine as engine;
 pub use veritas_fugu as fugu;
 pub use veritas_media as media;
 pub use veritas_net as net;
