@@ -4,12 +4,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use veritas::{Abduction, VeritasConfig};
 use veritas_abr::{Abr, AbrContext, Mpc};
 use veritas_ehmm::{
     forward_backward, sample_path, viterbi, EhmmSpec, EmissionTable, TransitionMatrix,
 };
-use veritas_media::VideoAsset;
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
 use veritas_net::{estimate_throughput, LinkModel, TcpConnection, TcpInfo};
+use veritas_player::{run_session, PlayerConfig};
+use veritas_trace::generators::{FccLike, TraceGenerator};
 use veritas_trace::BandwidthTrace;
 
 fn emission_table(num_obs: usize, num_states: usize) -> EmissionTable {
@@ -53,7 +56,48 @@ fn bench_ehmm(c: &mut Criterion) {
             },
         );
     }
+    // The xi-heavy shape: a fine capacity grid (large K) makes the pairwise
+    // posterior Γ the dominant cost of forward–backward (N·K² writes).
+    {
+        let num_states = 63;
+        let spec = EhmmSpec::with_uniform_initial(TransitionMatrix::tridiagonal(num_states, 0.8));
+        let obs = emission_table(120, num_states);
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward_largek", 120),
+            &120usize,
+            |b, _| b.iter(|| forward_backward(black_box(&spec), black_box(&obs))),
+        );
+    }
     group.finish();
+}
+
+/// Full-abduction scaling cases: 600- and 1200-chunk session logs (the
+/// serving-scale shapes the engine sees), complementing the 120-chunk case
+/// tracked by the pipeline bench.
+fn bench_abduction_scaling(c: &mut Criterion) {
+    let config = VeritasConfig::paper_default();
+    for &chunks in &[600usize, 1200] {
+        // chunk_duration_s = 2.0, so the video (and trace) must span 2·N s.
+        let duration = 2.0 * chunks as f64;
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            duration,
+            2.0,
+            VbrParams::default(),
+            1,
+        );
+        let truth = FccLike::new(3.0, 8.0).generate(duration, 9);
+        let mut abr = Mpc::new();
+        let log = run_session(&asset, &mut abr, &truth, &PlayerConfig::paper_default());
+        assert!(
+            log.records.len() >= chunks * 9 / 10,
+            "expected ~{chunks} chunks, got {}",
+            log.records.len()
+        );
+        c.bench_function(&format!("abduction_{chunks}_chunks"), |b| {
+            b.iter(|| Abduction::infer(black_box(&log), black_box(&config)))
+        });
+    }
 }
 
 fn bench_tcp(c: &mut Criterion) {
@@ -98,5 +142,11 @@ fn bench_abr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ehmm, bench_tcp, bench_abr);
+criterion_group!(
+    benches,
+    bench_ehmm,
+    bench_abduction_scaling,
+    bench_tcp,
+    bench_abr
+);
 criterion_main!(benches);

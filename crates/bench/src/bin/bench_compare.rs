@@ -1,0 +1,144 @@
+//! Compares two benchmark JSONL files (the `VERITAS_BENCH_JSON` format:
+//! one `{"id": ..., "median_ns": ..., "samples": [...]}` line per
+//! benchmark) and fails when any shared benchmark regressed beyond a
+//! ratio threshold.
+//!
+//! ```text
+//! bench_compare <baseline.json> <candidate.json> [--max-ratio R]
+//! ```
+//!
+//! Used by the CI `perf-smoke` job as a noise-tolerant guardrail (default
+//! threshold 3×): cross-machine medians are too noisy for a strict gate,
+//! but an order-of-magnitude regression in a kernel should stop a merge.
+//! Benchmarks present in only one file are reported but never fail the
+//! comparison, so adding or retiring benches does not break CI.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_compare: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut max_ratio = 3.0_f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-ratio" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--max-ratio requires a value".to_string())?;
+                max_ratio = value
+                    .parse()
+                    .map_err(|_| format!("invalid --max-ratio value `{value}`"))?;
+                if !(max_ratio.is_finite() && max_ratio > 0.0) {
+                    return Err(format!("--max-ratio must be positive, got {max_ratio}"));
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_compare <baseline.json> <candidate.json> [--max-ratio R]");
+                return Ok(());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err(
+            "expected exactly two positional arguments: <baseline.json> <candidate.json>"
+                .to_string(),
+        );
+    };
+    let baseline = load_medians(baseline_path)?;
+    let candidate = load_medians(candidate_path)?;
+
+    let mut regressions = Vec::new();
+    println!(
+        "{:<45} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "candidate", "ratio"
+    );
+    for (id, &base_ns) in &baseline {
+        let Some(&cand_ns) = candidate.get(id) else {
+            println!("{id:<45} {:>12} {:>12} {:>8}", format_ns(base_ns), "-", "-");
+            continue;
+        };
+        let ratio = cand_ns / base_ns;
+        let marker = if ratio > max_ratio {
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{id:<45} {:>12} {:>12} {ratio:>7.2}x{marker}",
+            format_ns(base_ns),
+            format_ns(cand_ns)
+        );
+        if ratio > max_ratio {
+            regressions.push(format!("{id}: {ratio:.2}x (limit {max_ratio:.2}x)"));
+        }
+    }
+    for id in candidate.keys().filter(|id| !baseline.contains_key(*id)) {
+        println!(
+            "{id:<45} {:>12} {:>12} {:>8}",
+            "-",
+            format_ns(candidate[id]),
+            "new"
+        );
+    }
+    if regressions.is_empty() {
+        println!("ok: no benchmark regressed beyond {max_ratio:.2}x");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} benchmark(s) regressed beyond {max_ratio:.2}x:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+/// One line of the `VERITAS_BENCH_JSON` format.
+#[derive(serde::Deserialize)]
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    #[allow(dead_code)]
+    samples: Vec<f64>,
+}
+
+/// Parses a bench JSONL file into `id -> median_ns`. Later lines win on
+/// duplicate ids (the JSON file is appended to across runs).
+fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut medians = BTreeMap::new();
+    for (number, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: BenchRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: invalid record: {e}", number + 1))?;
+        medians.insert(record.id, record.median_ns);
+    }
+    if medians.is_empty() {
+        return Err(format!("{path} contains no benchmark records"));
+    }
+    Ok(medians)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}

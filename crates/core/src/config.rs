@@ -112,6 +112,17 @@ impl VeritasConfig {
     pub fn num_states(&self) -> usize {
         (self.max_capacity_mbps / self.epsilon_mbps).floor() as usize + 1
     }
+
+    /// The capacity grid (Mbps value of each hidden state) implied by ε and
+    /// the ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid grid configuration; call [`Self::validate`]
+    /// first when the config is untrusted.
+    pub fn capacity_grid(&self) -> Vec<f64> {
+        veritas_trace::Quantizer::new(self.epsilon_mbps, self.max_capacity_mbps).values()
+    }
 }
 
 impl Default for VeritasConfig {

@@ -15,6 +15,14 @@ pub enum AbductionError {
     /// The session log contains no chunk records, so there is nothing to
     /// condition the posterior on.
     EmptySession,
+    /// Chunk `chunk` starts before its predecessor's δ-interval. The EHMM's
+    /// embedded gaps `Δ_n` are defined as non-negative interval differences;
+    /// a log whose start times go backwards would otherwise underflow the
+    /// gap computation and silently produce a garbage transition power.
+    NonMonotonicLog {
+        /// Index of the first out-of-order chunk record.
+        chunk: usize,
+    },
 }
 
 impl fmt::Display for AbductionError {
@@ -25,6 +33,14 @@ impl fmt::Display for AbductionError {
             }
             AbductionError::EmptySession => {
                 write!(f, "cannot run abduction on an empty session")
+            }
+            AbductionError::NonMonotonicLog { chunk } => {
+                write!(
+                    f,
+                    "chunk {chunk} starts in an earlier δ-interval than chunk {}: \
+                     session logs must be sorted by start time",
+                    chunk - 1
+                )
             }
         }
     }

@@ -127,10 +127,13 @@ impl InterventionalPredictor {
             last_interval
         };
         let gap = next_interval.saturating_sub(last_interval) as u32;
-        let step = abduction.spec().transition().power(gap);
+        // Resolve A^Δ through the abduction's workspace: decision points
+        // mostly reuse a gap the inference pass already materialized, and
+        // repeated predictions share whatever this call adds to the cache.
+        let step = abduction.workspace().kernel(gap);
         grid.iter()
             .enumerate()
-            .map(|(j, &c)| step.get(last_state, j) * c)
+            .map(|(j, &c)| step.matrix().get(last_state, j) * c)
             .sum()
     }
 

@@ -7,18 +7,27 @@
 //! returns both the per-observation marginals `γ` and the pairwise
 //! posteriors `Γ` (called `ξ` in HMM literature) that the capacity sampler
 //! consumes.
+//!
+//! The computation itself lives in [`EhmmWorkspace::forward_backward`] —
+//! flat buffers, banded matvecs, shared per-gap kernels. This module keeps
+//! the public [`Posteriors`] type and the classic free-function entry point.
 
-use crate::matrix::TransitionPowers;
+use crate::dense::StateMatrix;
 use crate::model::{EhmmSpec, EmissionTable};
+use crate::workspace::EhmmWorkspace;
 
 /// Posterior quantities produced by the forward–backward pass.
+///
+/// Both fields are flat row-major buffers that index like the nested
+/// `Vec`s they replaced: `gamma[n][i]` and `xi[n][i][j]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Posteriors {
     /// `gamma[n][i] = P(C_{s_n} = i | Y_{1:N}, W, S)`.
-    pub gamma: Vec<Vec<f64>>,
+    pub gamma: StateMatrix,
     /// `xi[n][i][j] = P(C_{s_n} = i, C_{s_{n+1}} = j | Y_{1:N}, W, S)`,
-    /// defined for `n = 0..N−2` (the paper's `Γ_{i,j,n}`).
-    pub xi: Vec<Vec<Vec<f64>>>,
+    /// defined for `n = 0..N−2` (the paper's `Γ_{i,j,n}`); each step is one
+    /// flat K×K matrix.
+    pub xi: Vec<StateMatrix>,
     /// Log-likelihood of the observations under the model, up to the
     /// per-observation emission scaling constants (comparable across
     /// candidate hidden-state priors for the same observations).
@@ -49,122 +58,12 @@ impl Posteriors {
 }
 
 /// Runs the scaled forward–backward algorithm with embedded transition gaps.
+///
+/// Convenience wrapper building a single-use [`EhmmWorkspace`]; callers with
+/// many passes over the same spec should create one workspace and call
+/// [`EhmmWorkspace::forward_backward`] to share the per-gap kernels.
 pub fn forward_backward(spec: &EhmmSpec, obs: &EmissionTable) -> Posteriors {
-    assert_eq!(
-        spec.num_states(),
-        obs.num_states(),
-        "spec and emission table disagree on the state count"
-    );
-    let num_states = spec.num_states();
-    let num_obs = obs.num_obs();
-    let mut powers = TransitionPowers::new(spec.transition().clone());
-
-    // Pre-compute scaled linear emissions and the A^Δ for every step.
-    let emissions: Vec<Vec<f64>> = (0..num_obs).map(|n| obs.scaled_linear_row(n)).collect();
-    let step_matrices: Vec<usize> = (0..num_obs).map(|n| obs.gap(n) as usize).collect();
-
-    // Forward pass with per-step normalization.
-    let mut alpha = vec![vec![0.0_f64; num_states]; num_obs];
-    let mut log_likelihood = 0.0_f64;
-    for i in 0..num_states {
-        alpha[0][i] = spec.initial()[i] * emissions[0][i];
-    }
-    log_likelihood += normalize(&mut alpha[0]);
-    for n in 1..num_obs {
-        let a = powers.power(step_matrices[n] as u32).clone();
-        let (prev, rest) = alpha.split_at_mut(n);
-        let prev = &prev[n - 1];
-        let cur = &mut rest[0];
-        for j in 0..num_states {
-            let mut acc = 0.0;
-            for i in 0..num_states {
-                acc += prev[i] * a.get(i, j);
-            }
-            cur[j] = acc * emissions[n][j];
-        }
-        log_likelihood += normalize(cur);
-    }
-
-    // Backward pass, scaled by the same per-step constants implicitly via
-    // normalization.
-    let mut beta = vec![vec![1.0_f64; num_states]; num_obs];
-    for n in (0..num_obs - 1).rev() {
-        let a = powers.power(step_matrices[n + 1] as u32).clone();
-        let mut row = vec![0.0_f64; num_states];
-        for i in 0..num_states {
-            let mut acc = 0.0;
-            for j in 0..num_states {
-                acc += a.get(i, j) * emissions[n + 1][j] * beta[n + 1][j];
-            }
-            row[i] = acc;
-        }
-        normalize(&mut row);
-        beta[n] = row;
-    }
-
-    // Marginals.
-    let mut gamma = vec![vec![0.0_f64; num_states]; num_obs];
-    for n in 0..num_obs {
-        for i in 0..num_states {
-            gamma[n][i] = alpha[n][i] * beta[n][i];
-        }
-        normalize(&mut gamma[n]);
-    }
-
-    // Pairwise posteriors.
-    let mut xi = Vec::with_capacity(num_obs.saturating_sub(1));
-    for n in 0..num_obs.saturating_sub(1) {
-        let a = powers.power(step_matrices[n + 1] as u32).clone();
-        let mut pair = vec![vec![0.0_f64; num_states]; num_states];
-        let mut total = 0.0;
-        for i in 0..num_states {
-            for j in 0..num_states {
-                let v = alpha[n][i] * a.get(i, j) * emissions[n + 1][j] * beta[n + 1][j];
-                pair[i][j] = v;
-                total += v;
-            }
-        }
-        if total > 0.0 {
-            for row in &mut pair {
-                for v in row.iter_mut() {
-                    *v /= total;
-                }
-            }
-        } else {
-            // Degenerate step: fall back to an uninformative pair posterior.
-            let flat = 1.0 / (num_states * num_states) as f64;
-            for row in &mut pair {
-                for v in row.iter_mut() {
-                    *v = flat;
-                }
-            }
-        }
-        xi.push(pair);
-    }
-
-    Posteriors {
-        gamma,
-        xi,
-        log_likelihood,
-    }
-}
-
-/// Normalizes a vector in place and returns the log of its pre-normalization
-/// sum (0 contribution if the sum was zero).
-fn normalize(v: &mut [f64]) -> f64 {
-    let sum: f64 = v.iter().sum();
-    if sum > 0.0 {
-        for x in v.iter_mut() {
-            *x /= sum;
-        }
-        sum.ln()
-    } else {
-        let flat = 1.0 / v.len() as f64;
-        for x in v.iter_mut() {
-            *x = flat;
-        }
-        0.0
-    }
+    EhmmWorkspace::new(spec.clone()).forward_backward(obs)
 }
 
 #[cfg(test)]

@@ -25,20 +25,33 @@
 //! paper Algorithm 1) plus an exact FFBS alternative
 //! ([`sample_path_ffbs`]), and the off-period interpolation
 //! ([`interpolate_full_path`]).
+//!
+//! All inference kernels are implemented over an [`EhmmWorkspace`]: a
+//! shareable, thread-safe cache of per-gap transition kernels (`A^Δ`, its
+//! element-wise log, and its bandwidth) plus flat row-major buffers
+//! ([`StateMatrix`]) for every intermediate. The free functions above are
+//! thin single-use wrappers; batch callers should build one workspace per
+//! model and reuse it so every decode shares the same memoized kernels.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod dense;
 mod forward_backward;
 mod interpolate;
 mod matrix;
 mod model;
+#[cfg(test)]
+mod reference;
 mod sampler;
 mod viterbi;
+mod workspace;
 
+pub use dense::StateMatrix;
 pub use forward_backward::{forward_backward, Posteriors};
 pub use interpolate::{interpolate_full_path, states_to_values};
 pub use matrix::{TransitionMatrix, TransitionPowers};
 pub use model::{EhmmSpec, EmissionTable};
 pub use sampler::{sample_path, sample_path_ffbs, sample_paths};
 pub use viterbi::{path_log_score, viterbi, ViterbiResult};
+pub use workspace::{EhmmWorkspace, GapKernel};

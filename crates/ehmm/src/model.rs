@@ -132,14 +132,31 @@ impl EmissionTable {
     /// so the largest entry is 1 (the per-observation constant cancels in
     /// every posterior quantity, and rescaling avoids underflow).
     pub fn scaled_linear_row(&self, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_states()];
+        self.scaled_linear_row_into(n, &mut out);
+        out
+    }
+
+    /// Writes [`Self::scaled_linear_row`] for observation `n` into `out`
+    /// without allocating — the hot-path variant the inference workspace
+    /// uses to fill one flat emission buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the state count.
+    pub fn scaled_linear_row_into(&self, n: usize, out: &mut [f64]) {
         let row = self.log_row(n);
+        assert_eq!(out.len(), row.len(), "output row has the wrong length");
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         if !max.is_finite() {
             // Every state is impossible; return a flat row so the algorithms
             // degrade to prior-driven inference instead of emitting NaNs.
-            return vec![1.0; row.len()];
+            out.fill(1.0);
+            return;
         }
-        row.iter().map(|&v| (v - max).exp()).collect()
+        for (slot, &v) in out.iter_mut().zip(row) {
+            *slot = (v - max).exp();
+        }
     }
 }
 

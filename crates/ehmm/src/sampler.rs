@@ -4,9 +4,9 @@
 use rand::Rng;
 
 use crate::forward_backward::Posteriors;
-use crate::matrix::TransitionPowers;
 use crate::model::{EhmmSpec, EmissionTable};
 use crate::viterbi::ViterbiResult;
+use crate::workspace::EhmmWorkspace;
 
 /// Samples one hidden-state path using the paper's capacity sampler
 /// (Algorithm 1): the last state is anchored at the Viterbi solution, then
@@ -19,15 +19,17 @@ pub fn sample_path<R: Rng + ?Sized>(
 ) -> Vec<usize> {
     let num_obs = posteriors.gamma.len();
     assert_eq!(viterbi.path.len(), num_obs, "viterbi path length mismatch");
-    let num_states = posteriors.gamma[0].len();
+    let num_states = posteriors.gamma.cols();
     let mut path = vec![0usize; num_obs];
     path[num_obs - 1] = viterbi.path[num_obs - 1];
+    let mut weights = vec![0.0_f64; num_states];
     for n in (0..num_obs - 1).rev() {
         let next_state = path[n + 1];
         // ξ_{n,i} = Γ[n][i][next_state]
-        let weights: Vec<f64> = (0..num_states)
-            .map(|i| posteriors.xi[n][i][next_state])
-            .collect();
+        let pair = &posteriors.xi[n];
+        for (i, w) in weights.iter_mut().enumerate() {
+            *w = pair[i][next_state];
+        }
         path[n] = sample_categorical(&weights, rng);
     }
     path
@@ -53,67 +55,19 @@ pub fn sample_paths<R: Rng + ?Sized>(
 /// an approximation that anchors the final state at the Viterbi solution and
 /// reuses the smoothed pair posteriors. Keeping both lets the benchmark
 /// suite quantify the difference (`DESIGN.md`, ablations).
+///
+/// Convenience wrapper building a single-use [`EhmmWorkspace`]; repeated
+/// draws over one spec should go through
+/// [`EhmmWorkspace::sample_path_ffbs`].
 pub fn sample_path_ffbs<R: Rng + ?Sized>(
     spec: &EhmmSpec,
     obs: &EmissionTable,
     rng: &mut R,
 ) -> Vec<usize> {
-    assert_eq!(spec.num_states(), obs.num_states());
-    let num_states = spec.num_states();
-    let num_obs = obs.num_obs();
-    let mut powers = TransitionPowers::new(spec.transition().clone());
-    let emissions: Vec<Vec<f64>> = (0..num_obs).map(|n| obs.scaled_linear_row(n)).collect();
-
-    // Forward filter (scaled).
-    let mut alpha = vec![vec![0.0_f64; num_states]; num_obs];
-    for i in 0..num_states {
-        alpha[0][i] = spec.initial()[i] * emissions[0][i];
-    }
-    normalize(&mut alpha[0]);
-    for n in 1..num_obs {
-        let a = powers.power(obs.gap(n)).clone();
-        let (prev, rest) = alpha.split_at_mut(n);
-        let prev = &prev[n - 1];
-        let cur = &mut rest[0];
-        for j in 0..num_states {
-            let mut acc = 0.0;
-            for i in 0..num_states {
-                acc += prev[i] * a.get(i, j);
-            }
-            cur[j] = acc * emissions[n][j];
-        }
-        normalize(cur);
-    }
-
-    // Backward sample.
-    let mut path = vec![0usize; num_obs];
-    path[num_obs - 1] = sample_categorical(&alpha[num_obs - 1], rng);
-    for n in (0..num_obs - 1).rev() {
-        let a = powers.power(obs.gap(n + 1)).clone();
-        let next_state = path[n + 1];
-        let weights: Vec<f64> = (0..num_states)
-            .map(|i| alpha[n][i] * a.get(i, next_state))
-            .collect();
-        path[n] = sample_categorical(&weights, rng);
-    }
-    path
+    EhmmWorkspace::new(spec.clone()).sample_path_ffbs(obs, rng)
 }
 
-fn normalize(v: &mut [f64]) {
-    let sum: f64 = v.iter().sum();
-    if sum > 0.0 {
-        for x in v.iter_mut() {
-            *x /= sum;
-        }
-    } else {
-        let flat = 1.0 / v.len() as f64;
-        for x in v.iter_mut() {
-            *x = flat;
-        }
-    }
-}
-
-fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+pub(crate) fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
     let total: f64 = weights.iter().sum();
     if total <= 0.0 || !total.is_finite() {
         // Degenerate weights: fall back to a uniform draw.

@@ -3,9 +3,15 @@
 //! Identical to the textbook Viterbi decoder except that the transition
 //! between consecutive observations `n−1 → n` uses `A^{Δ_n}` (the one-step
 //! matrix raised to the embedded gap) instead of a constant `A`.
+//!
+//! The computation lives in [`EhmmWorkspace::viterbi`], which scores steps
+//! against memoized `ln A^Δ` tables (no per-step `ln`, no matrix clones)
+//! and restricts the maximization to the kernel's band. This module keeps
+//! the public [`ViterbiResult`] type and the classic free-function entry
+//! points.
 
-use crate::matrix::TransitionPowers;
 use crate::model::{EhmmSpec, EmissionTable};
+use crate::workspace::EhmmWorkspace;
 
 /// Result of Viterbi decoding.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,88 +25,22 @@ pub struct ViterbiResult {
 
 /// Runs the embedded-gap Viterbi decoder and returns the most likely state
 /// sequence for the observations.
+///
+/// Convenience wrapper building a single-use [`EhmmWorkspace`]; callers with
+/// many decodes over the same spec should create one workspace and call
+/// [`EhmmWorkspace::viterbi`] to share the per-gap log-power tables.
 pub fn viterbi(spec: &EhmmSpec, obs: &EmissionTable) -> ViterbiResult {
-    assert_eq!(
-        spec.num_states(),
-        obs.num_states(),
-        "spec and emission table disagree on the state count"
-    );
-    let num_states = spec.num_states();
-    let num_obs = obs.num_obs();
-    let mut powers = TransitionPowers::new(spec.transition().clone());
-
-    // delta[i]: best log-score of any path ending in state i at the current
-    // observation. psi[n][i]: argmax predecessor.
-    let mut delta: Vec<f64> = spec
-        .initial()
-        .iter()
-        .zip(obs.log_row(0))
-        .map(|(&p, &e)| safe_ln(p) + e)
-        .collect();
-    let mut psi: Vec<Vec<usize>> = Vec::with_capacity(num_obs);
-    psi.push(vec![0; num_states]);
-
-    for n in 1..num_obs {
-        let a = powers.power(obs.gap(n)).clone();
-        let emissions = obs.log_row(n);
-        let mut next = vec![f64::NEG_INFINITY; num_states];
-        let mut back = vec![0usize; num_states];
-        for j in 0..num_states {
-            let mut best = f64::NEG_INFINITY;
-            let mut best_i = 0usize;
-            for i in 0..num_states {
-                let score = delta[i] + safe_ln(a.get(i, j));
-                if score > best {
-                    best = score;
-                    best_i = i;
-                }
-            }
-            next[j] = best + emissions[j];
-            back[j] = best_i;
-        }
-        delta = next;
-        psi.push(back);
-    }
-
-    // Backtrack from the best final state.
-    let (mut best_state, best_score) =
-        delta
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::NEG_INFINITY), |(bi, bs), (i, &s)| {
-                if s > bs {
-                    (i, s)
-                } else {
-                    (bi, bs)
-                }
-            });
-    let mut path = vec![0usize; num_obs];
-    path[num_obs - 1] = best_state;
-    for n in (1..num_obs).rev() {
-        best_state = psi[n][best_state];
-        path[n - 1] = best_state;
-    }
-    ViterbiResult {
-        path,
-        log_likelihood: best_score,
-    }
+    EhmmWorkspace::new(spec.clone()).viterbi(obs)
 }
 
 /// Log-score of an arbitrary state path under the model — used by tests and
 /// by property checks asserting that Viterbi's path is at least as likely as
 /// any other candidate.
 pub fn path_log_score(spec: &EhmmSpec, obs: &EmissionTable, path: &[usize]) -> f64 {
-    assert_eq!(path.len(), obs.num_obs());
-    let mut powers = TransitionPowers::new(spec.transition().clone());
-    let mut score = safe_ln(spec.initial()[path[0]]) + obs.log_row(0)[path[0]];
-    for n in 1..path.len() {
-        let a = powers.power(obs.gap(n));
-        score += safe_ln(a.get(path[n - 1], path[n])) + obs.log_row(n)[path[n]];
-    }
-    score
+    EhmmWorkspace::new(spec.clone()).path_log_score(obs, path)
 }
 
-fn safe_ln(p: f64) -> f64 {
+pub(crate) fn safe_ln(p: f64) -> f64 {
     if p <= 0.0 {
         f64::NEG_INFINITY
     } else {

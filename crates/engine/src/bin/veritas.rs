@@ -4,7 +4,7 @@
 //! veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]
 //!             [--threads N] [--out FILE] [--summary FILE] [--no-cache]
 //!             [--min-cache-hits N]
-//! veritas bench [--sessions N] [--queries N] [--threads N]
+//! veritas bench [--sessions N] [--queries N] [--threads N] [--json FILE]
 //! veritas example-queries
 //! veritas validate <report.jsonl>
 //! ```
@@ -56,7 +56,7 @@ fn print_usage() {
          \x20 veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]\n\
          \x20                            [--threads N] [--out FILE] [--summary FILE]\n\
          \x20                            [--no-cache] [--min-cache-hits N]\n\
-         \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
+         \x20 veritas bench [--sessions N] [--queries N] [--threads N] [--json FILE]\n\
          \x20 veritas example-queries\n\
          \x20 veritas validate <report.jsonl>"
     );
@@ -75,6 +75,7 @@ struct Options {
     min_cache_hits: Option<u64>,
     sessions: usize,
     queries: usize,
+    json: Option<PathBuf>,
 }
 
 /// Parses `args`, accepting only the flags in `allowed` — a flag another
@@ -92,6 +93,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         min_cache_hits: None,
         sessions: 4,
         queries: 10,
+        json: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -123,6 +125,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             }
             "--sessions" => options.sessions = parse_num(&value_for("--sessions")?)?,
             "--queries" => options.queries = parse_num(&value_for("--queries")?)?,
+            "--json" => options.json = Some(PathBuf::from(value_for("--json")?)),
             positional => options.positional.push(positional.to_string()),
         }
     }
@@ -219,8 +222,28 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Machine-readable summary of one `veritas bench` invocation — written
+/// with `--json PATH` so engine-level wall-times land next to the
+/// criterion medians (`BENCH_*.json`) and future PRs can track the perf
+/// trajectory beyond kernel microbenchmarks.
+#[derive(serde::Serialize)]
+struct BenchJson {
+    sessions: usize,
+    queries: usize,
+    threads: usize,
+    units: usize,
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let options = parse_options(args, &["--sessions", "--queries", "--threads", "--seed"])?;
+    let options = parse_options(
+        args,
+        &["--sessions", "--queries", "--threads", "--seed", "--json"],
+    )?;
     let spec = SyntheticSpec {
         sessions: options.sessions,
         video_duration_s: 120.0,
@@ -256,6 +279,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         cached_report.summary.cache_hits,
         cached_report.summary.units
     );
+    if let Some(path) = &options.json {
+        let report = BenchJson {
+            sessions: options.sessions,
+            queries: options.queries,
+            threads,
+            units: cached_report.summary.units,
+            uncached_ms,
+            cached_ms,
+            speedup: uncached_ms / cached_ms.max(1e-9),
+            cache_hits: cached_report.summary.cache_hits,
+            cache_misses: cached_report.summary.cache_misses,
+        };
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialization: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote bench summary to {}", path.display());
+    }
     Ok(())
 }
 

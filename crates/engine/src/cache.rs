@@ -23,7 +23,17 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use veritas::{Abduction, AbductionError, VeritasConfig};
+use veritas_ehmm::EhmmWorkspace;
 use veritas_player::SessionLog;
+
+use crate::executor;
+
+/// Logs with at least this many chunk records get their emission table
+/// built through the batch executor — the rows are embarrassingly parallel
+/// and, for long sessions, dominate the non-kernel part of inference.
+/// Shorter logs are built inline: thread-scope setup would cost more than
+/// it saves.
+const PARALLEL_EMISSION_THRESHOLD: usize = 512;
 
 /// Fingerprints the configuration fields the abduction posterior depends
 /// on: δ, ε, the grid ceiling, σ, and the stay probability. `num_samples`
@@ -78,7 +88,10 @@ pub fn log_fingerprint(log: &SessionLog) -> u64 {
 
 /// Infers an abduction over the first `horizon` records of `log` —
 /// the one shared implementation behind both the cached and uncached
-/// execution paths.
+/// execution paths. Emission rows for large logs are computed through the
+/// batch executor; the caller may supply a shared [`EhmmWorkspace`] (see
+/// [`AbductionCache::workspace_for`]) so sessions inferred under one
+/// configuration reuse the same transition/log-power kernels.
 ///
 /// # Panics
 ///
@@ -89,19 +102,61 @@ pub fn infer_prefix(
     horizon: usize,
     config: &VeritasConfig,
 ) -> Result<Abduction, AbductionError> {
+    infer_prefix_with(log, horizon, config, |spec| {
+        Arc::new(EhmmWorkspace::new(spec))
+    })
+}
+
+/// [`infer_prefix`] with an explicit workspace provider. The provider is
+/// only invoked after the config validates, so it may build the spec-derived
+/// workspace without re-checking.
+fn infer_prefix_with(
+    log: &SessionLog,
+    horizon: usize,
+    config: &VeritasConfig,
+    workspace: impl FnOnce(veritas_ehmm::EhmmSpec) -> Arc<EhmmWorkspace>,
+) -> Result<Abduction, AbductionError> {
     assert!(
         horizon <= log.records.len(),
         "horizon {horizon} exceeds the log's {} records",
         log.records.len()
     );
-    if horizon == log.records.len() {
-        Abduction::try_infer(log, config)
+    config.validate().map_err(AbductionError::InvalidConfig)?;
+    let prefix;
+    let view = if horizon == log.records.len() {
+        log
     } else {
-        let prefix = SessionLog {
+        prefix = SessionLog {
             records: log.records[..horizon].to_vec(),
             ..log.clone()
         };
-        Abduction::try_infer(&prefix, config)
+        &prefix
+    };
+    if view.records.is_empty() {
+        return Err(AbductionError::EmptySession);
+    }
+    let rows = emission_rows(view, config);
+    Abduction::try_infer_prepared(view, config, rows, workspace(Abduction::spec_for(config)))
+}
+
+/// Builds the per-(chunk, capacity) emission log-density table for a log,
+/// fanning the rows out across the batch executor once the log is large
+/// enough for the parallelism to pay for itself. Inferences already running
+/// on an executor worker (the engine's normal batch path) stay serial —
+/// the cores are busy with other sessions, and nesting pools would spawn
+/// up to `threads²` threads.
+fn emission_rows(log: &SessionLog, config: &VeritasConfig) -> Vec<Vec<f64>> {
+    let capacities = config.capacity_grid();
+    let records = &log.records;
+    if records.len() >= PARALLEL_EMISSION_THRESHOLD && !executor::on_worker_thread() {
+        executor::execute_indexed(records.len(), executor::default_threads(), |n| {
+            Abduction::emission_row(&records[n], &capacities, config.sigma_mbps)
+        })
+    } else {
+        records
+            .iter()
+            .map(|r| Abduction::emission_row(r, &capacities, config.sigma_mbps))
+            .collect()
     }
 }
 
@@ -127,9 +182,15 @@ pub struct CacheStats {
 }
 
 /// A concurrent, compute-once cache of [`Abduction`] results.
+///
+/// Besides the posterior slots, the cache keeps one shared
+/// [`EhmmWorkspace`] per configuration fingerprint: every session inferred
+/// under the same config reuses the same memoized `A^Δ` / `ln A^Δ`
+/// transition kernels, across the whole batch executor.
 #[derive(Debug, Default)]
 pub struct AbductionCache {
     slots: Mutex<HashMap<CacheKey, Slot>>,
+    workspaces: Mutex<HashMap<u64, Arc<EhmmWorkspace>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     entries: AtomicU64,
@@ -173,6 +234,7 @@ impl AbductionCache {
             log: log_fingerprint(log),
             horizon,
         };
+        let fingerprint = key.fingerprint;
         let slot: Slot = {
             let mut slots = self.slots.lock();
             slots.entry(key).or_default().clone()
@@ -183,10 +245,36 @@ impl AbductionCache {
             return Ok((abduction.clone(), true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let abduction = Arc::new(infer_prefix(log, horizon, config)?);
+        let abduction = Arc::new(infer_prefix_with(log, horizon, config, |spec| {
+            self.workspace_for_spec(fingerprint, spec)
+        })?);
         *guard = Some(abduction.clone());
         self.entries.fetch_add(1, Ordering::Relaxed);
         Ok((abduction.clone(), false))
+    }
+
+    /// The shared inference workspace for `config`, created on first use
+    /// and keyed by the config fingerprint. All abductions the cache runs
+    /// for this configuration resolve their transition kernels through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid grid configuration; the inference entry points
+    /// validate before calling this.
+    pub fn workspace_for(&self, config: &VeritasConfig) -> Arc<EhmmWorkspace> {
+        self.workspace_for_spec(config_fingerprint(config), Abduction::spec_for(config))
+    }
+
+    fn workspace_for_spec(
+        &self,
+        fingerprint: u64,
+        spec: veritas_ehmm::EhmmSpec,
+    ) -> Arc<EhmmWorkspace> {
+        self.workspaces
+            .lock()
+            .entry(fingerprint)
+            .or_insert_with(|| Arc::new(EhmmWorkspace::new(spec)))
+            .clone()
     }
 
     /// Lookups served without inference so far.
@@ -342,6 +430,69 @@ mod tests {
         assert!(cache.get_or_infer("e", &empty, &config).is_err());
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.entries(), 0);
+    }
+
+    #[test]
+    fn sessions_under_one_config_share_an_inference_workspace() {
+        let cache = AbductionCache::new();
+        let log_a = log();
+        let mut log_b = log_a.clone();
+        log_b.records.truncate(log_b.records.len() / 2);
+        let config = VeritasConfig::paper_default();
+        let (a, _) = cache.get_or_infer("a", &log_a, &config).unwrap();
+        let (b, _) = cache.get_or_infer("b", &log_b, &config).unwrap();
+        assert!(
+            Arc::ptr_eq(a.workspace(), b.workspace()),
+            "same config must resolve to one shared kernel workspace"
+        );
+        assert!(Arc::ptr_eq(a.workspace(), &cache.workspace_for(&config)));
+        // A posterior-relevant config change gets its own workspace; a
+        // sampling-only change does not.
+        let (c, _) = cache
+            .get_or_infer("a", &log_a, &config.with_stay_probability(0.9))
+            .unwrap();
+        assert!(!Arc::ptr_eq(a.workspace(), c.workspace()));
+        let (d, _) = cache
+            .get_or_infer("a", &log_a, &config.with_seed(999).with_samples(2))
+            .unwrap();
+        assert!(Arc::ptr_eq(a.workspace(), d.workspace()));
+    }
+
+    #[test]
+    fn prefix_inference_matches_direct_inference() {
+        // The executor-built emission path and the workspace plumbing must
+        // not change results relative to plain `Abduction::try_infer`.
+        let log = log();
+        let config = VeritasConfig::paper_default();
+        let via_engine = infer_prefix(&log, log.records.len(), &config).unwrap();
+        let direct = veritas::Abduction::try_infer(&log, &config).unwrap();
+        assert_eq!(via_engine.viterbi_states(), direct.viterbi_states());
+        assert_eq!(via_engine.posteriors(), direct.posteriors());
+        let half = log.records.len() / 2;
+        let prefix_engine = infer_prefix(&log, half, &config).unwrap();
+        let prefix_log = SessionLog {
+            records: log.records[..half].to_vec(),
+            ..log.clone()
+        };
+        let prefix_direct = veritas::Abduction::try_infer(&prefix_log, &config).unwrap();
+        assert_eq!(
+            prefix_engine.viterbi_states(),
+            prefix_direct.viterbi_states()
+        );
+    }
+
+    #[test]
+    fn non_monotonic_logs_surface_as_typed_errors_not_panics() {
+        let cache = AbductionCache::new();
+        let mut bad = log();
+        let n = bad.records.len() - 1;
+        bad.records[n].start_time_s = 0.0;
+        let config = VeritasConfig::paper_default();
+        match cache.get_or_infer("bad", &bad, &config) {
+            Err(AbductionError::NonMonotonicLog { chunk }) => assert_eq!(chunk, n),
+            other => panic!("expected NonMonotonicLog, got {other:?}"),
+        }
+        assert_eq!(cache.entries(), 0, "failures must not be cached");
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! order at the end, so the output is deterministic regardless of which
 //! worker ran which job.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+std::thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Number of worker threads to use by default: the available parallelism
 /// minus one (leaving a core for the coordinating thread), at least one.
@@ -15,6 +20,15 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(1).max(1))
         .unwrap_or(1)
+}
+
+/// Whether the current thread is an executor worker. Nested parallelism
+/// guards check this: a job that would itself fan out (e.g. building a
+/// large emission table) must fall back to serial execution when it is
+/// already running inside the pool, or a batch of such jobs would spawn
+/// up to `threads²` threads.
+pub fn on_worker_thread() -> bool {
+    IN_WORKER.with(Cell::get)
 }
 
 /// Runs `f(0..count)` across up to `threads` workers, returning the results
@@ -40,6 +54,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    IN_WORKER.with(|flag| flag.set(true));
                     let mut local = Vec::new();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -108,5 +123,22 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_threads_are_marked_for_nested_parallelism_guards() {
+        assert!(
+            !on_worker_thread(),
+            "the coordinating thread is not a worker"
+        );
+        let flags = execute_indexed(16, 4, |_| on_worker_thread());
+        assert!(
+            flags.iter().all(|&in_worker| in_worker),
+            "every job must observe that it runs on a pool worker"
+        );
+        assert!(
+            !on_worker_thread(),
+            "the marker must not leak to the caller"
+        );
     }
 }
