@@ -3,7 +3,7 @@
 
 use veritas::{baseline_trace, Abduction, CounterfactualEngine, Scenario, VeritasConfig};
 use veritas_engine::executor::execute_indexed;
-use veritas_engine::{Engine, Query, QueryRecord, QuerySet, ScenarioSpec};
+use veritas_engine::{Engine, Query, QueryPlan, QueryRecord, QuerySet, ScenarioSpec};
 use veritas_media::QualityLadder;
 use veritas_player::QoeSummary;
 use veritas_trace::stats::trace_mae;
@@ -90,7 +90,10 @@ fn outcome_from_record(trace: usize, record: &QueryRecord) -> TraceOutcome {
 /// Runs a batch of paper scenarios through the query engine as one
 /// [`QuerySet`] — one counterfactual query per scenario, every query over
 /// every trace — so all scenarios share a single cached abduction per
-/// session. Returns one outcome vector per scenario, in input order.
+/// session. The set is compiled into a [`QueryPlan`] and submitted for
+/// streaming execution (`submit(...).wait()`, the batch shape of the
+/// compile → execute → consume pipeline). Returns one outcome vector per
+/// scenario, in input order.
 pub fn run_paper_scenarios_via_engine(
     corpus: &Corpus,
     kinds: &[PaperScenario],
@@ -101,10 +104,15 @@ pub fn run_paper_scenarios_via_engine(
     for kind in kinds {
         set = set.with_query(Query::counterfactual(kind.figure(), kind.spec()));
     }
+    let plan = QueryPlan::compile(&set, &engine_corpus).expect("paper query set is valid");
     let engine = Engine::new().with_threads(default_threads());
     let report = engine
-        .run(&engine_corpus, &set)
-        .expect("paper query set is valid");
+        .submit_shared(
+            std::sync::Arc::new(engine_corpus),
+            std::sync::Arc::new(plan),
+        )
+        .expect("plan matches its corpus")
+        .wait();
     kinds
         .iter()
         .map(|kind| {

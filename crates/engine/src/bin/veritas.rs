@@ -1,27 +1,37 @@
-//! The `veritas` CLI: run declarative query sets through the engine.
+//! The `veritas` CLI: compile declarative query sets into execution plans
+//! and run them through the streaming engine.
 //!
 //! ```text
 //! veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]
-//!             [--threads N] [--out FILE] [--summary FILE] [--no-cache]
-//!             [--min-cache-hits N]
+//!             [--threads N] [--shards N] [--stream] [--out FILE]
+//!             [--summary FILE] [--no-cache] [--min-cache-hits N]
+//!             [--allow-errors]
 //! veritas bench [--sessions N] [--queries N] [--threads N] [--json FILE]
 //! veritas example-queries
 //! veritas validate <report.jsonl>
 //! ```
 //!
-//! `run` executes a query file over a corpus (loaded from a directory of
-//! session-log JSON files, or synthesized) and writes one JSON line per
-//! (query, session) unit plus a summary. `bench` times the same synthetic
-//! query set with and without the abduction cache and reports the speedup.
-//! `example-queries` prints a starter query file. `validate` checks that a
-//! report is well-formed JSONL.
+//! `run` compiles a query file into a [`QueryPlan`], executes it over a
+//! corpus (loaded from a directory of session-log JSON files, or
+//! synthesized), and writes one JSON line per record plus a summary. By
+//! default records are written in deterministic batch order once the run
+//! completes; `--stream` writes each line the moment its unit finishes
+//! (completion order), and `--shards N` partitions the corpus across N
+//! worker groups. The exit code is nonzero when any record carries an
+//! error, unless `--allow-errors` is passed. `bench` times the same
+//! synthetic query set with and without the abduction cache and reports
+//! the speedup. `example-queries` prints a starter query file. `validate`
+//! checks that a report is well-formed JSONL.
 
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use veritas_engine::{
-    Engine, EngineReport, QueryKind, QueryRecord, QuerySet, SessionCorpus, SyntheticSpec,
+    Engine, EngineReport, QueryKind, QueryPlan, QueryRecord, QuerySet, RunSummary, SessionCorpus,
+    SyntheticSpec,
 };
 
 fn main() -> ExitCode {
@@ -54,8 +64,9 @@ fn print_usage() {
         "veritas — batched causal queries over video streaming traces\n\n\
          USAGE:\n\
          \x20 veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]\n\
-         \x20                            [--threads N] [--out FILE] [--summary FILE]\n\
-         \x20                            [--no-cache] [--min-cache-hits N]\n\
+         \x20                            [--threads N] [--shards N] [--stream]\n\
+         \x20                            [--out FILE] [--summary FILE] [--no-cache]\n\
+         \x20                            [--min-cache-hits N] [--allow-errors]\n\
          \x20 veritas bench [--sessions N] [--queries N] [--threads N] [--json FILE]\n\
          \x20 veritas example-queries\n\
          \x20 veritas validate <report.jsonl>"
@@ -69,10 +80,13 @@ struct Options {
     synthetic: Option<usize>,
     seed: u64,
     threads: Option<usize>,
+    shards: Option<usize>,
+    stream: bool,
     out: Option<PathBuf>,
     summary: Option<PathBuf>,
     no_cache: bool,
     min_cache_hits: Option<u64>,
+    allow_errors: bool,
     sessions: usize,
     queries: usize,
     json: Option<PathBuf>,
@@ -87,10 +101,13 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         synthetic: None,
         seed: 7,
         threads: None,
+        shards: None,
+        stream: false,
         out: None,
         summary: None,
         no_cache: false,
         min_cache_hits: None,
+        allow_errors: false,
         sessions: 4,
         queries: 10,
         json: None,
@@ -117,12 +134,15 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--synthetic" => options.synthetic = Some(parse_num(&value_for("--synthetic")?)?),
             "--seed" => options.seed = parse_num(&value_for("--seed")?)?,
             "--threads" => options.threads = Some(parse_num(&value_for("--threads")?)?),
+            "--shards" => options.shards = Some(parse_num(&value_for("--shards")?)?),
+            "--stream" => options.stream = true,
             "--out" => options.out = Some(PathBuf::from(value_for("--out")?)),
             "--summary" => options.summary = Some(PathBuf::from(value_for("--summary")?)),
             "--no-cache" => options.no_cache = true,
             "--min-cache-hits" => {
                 options.min_cache_hits = Some(parse_num(&value_for("--min-cache-hits")?)?)
             }
+            "--allow-errors" => options.allow_errors = true,
             "--sessions" => options.sessions = parse_num(&value_for("--sessions")?)?,
             "--queries" => options.queries = parse_num(&value_for("--queries")?)?,
             "--json" => options.json = Some(PathBuf::from(value_for("--json")?)),
@@ -161,10 +181,25 @@ fn build_engine(options: &Options) -> Engine {
     if let Some(threads) = options.threads {
         engine = engine.with_threads(threads);
     }
+    if let Some(shards) = options.shards {
+        engine = engine.with_shards(shards);
+    }
     if options.no_cache {
         engine = engine.without_cache();
     }
     engine
+}
+
+/// Where `run` writes its JSONL record lines.
+fn record_writer(out: &Option<PathBuf>) -> Result<Box<dyn Write>, String> {
+    match out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Ok(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => Ok(Box::new(std::io::stdout().lock())),
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -175,10 +210,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--synthetic",
             "--seed",
             "--threads",
+            "--shards",
+            "--stream",
             "--out",
             "--summary",
             "--no-cache",
             "--min-cache-hits",
+            "--allow-errors",
         ],
     )?;
     let [query_path] = options.positional.as_slice() else {
@@ -190,36 +228,76 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let json = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
-    let corpus = load_corpus(&options)?;
+    // The CLI owns both values, so they are shared with the workers via
+    // `submit_shared` instead of paying `submit`'s defensive deep copies.
+    let corpus = Arc::new(load_corpus(&options)?);
+    let plan = Arc::new(QueryPlan::compile(&set, &corpus).map_err(|e| e.to_string())?);
     let engine = build_engine(&options);
-    let report = engine.run(&corpus, &set).map_err(|e| e.to_string())?;
 
-    match &options.out {
-        Some(path) => std::fs::write(path, report.to_jsonl())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
-        None => print!("{}", report.to_jsonl()),
-    }
+    let summary = if options.stream {
+        // Incremental consumption: each record is written (and flushed)
+        // the moment its unit completes, in completion order.
+        let mut handle = engine
+            .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))
+            .map_err(|e| e.to_string())?;
+        let mut writer = record_writer(&options.out)?;
+        for record in &mut handle {
+            let line = serde_json::to_string(&record).expect("record serialization cannot fail");
+            writeln!(writer, "{line}").map_err(|e| format!("cannot write record: {e}"))?;
+            writer
+                .flush()
+                .map_err(|e| format!("cannot flush record: {e}"))?;
+        }
+        handle.into_summary()
+    } else {
+        let report = engine
+            .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))
+            .map_err(|e| e.to_string())?
+            .wait();
+        let mut writer = record_writer(&options.out)?;
+        write!(writer, "{}", report.to_jsonl())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot write records: {e}"))?;
+        report.summary
+    };
+
     if let Some(path) = &options.summary {
-        std::fs::write(path, report.summary_json())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let json =
+            serde_json::to_string_pretty(&summary).expect("summary serialization cannot fail");
+        std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
-    let s = &report.summary;
-    eprintln!(
-        "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} threads={} elapsed_ms={:.1}",
-        s.queryset, s.units, s.ok, s.errors, s.cache_hits, s.cache_misses, s.threads, s.elapsed_ms
-    );
-    if s.errors > 0 {
-        return Err(format!("{} of {} units failed", s.errors, s.units));
+    report_summary(&summary);
+    if summary.errors > 0 && !options.allow_errors {
+        return Err(format!(
+            "{} of {} records failed (pass --allow-errors to exit 0 anyway)",
+            summary.errors, summary.units
+        ));
     }
     if let Some(min) = options.min_cache_hits {
-        if s.cache_hits < min {
+        if summary.cache_hits < min {
             return Err(format!(
                 "expected at least {min} cache hits, observed {}",
-                s.cache_hits
+                summary.cache_hits
             ));
         }
     }
     Ok(())
+}
+
+fn report_summary(s: &RunSummary) {
+    eprintln!(
+        "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} threads={} \
+         shards={} elapsed_ms={:.1}",
+        s.queryset,
+        s.units,
+        s.ok,
+        s.errors,
+        s.cache_hits,
+        s.cache_misses,
+        s.threads,
+        s.shards,
+        s.elapsed_ms
+    );
 }
 
 /// Machine-readable summary of one `veritas bench` invocation — written
@@ -308,7 +386,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut ok = 0usize;
     let mut errors = 0usize;
-    let mut kinds = [0usize; 3];
+    let mut kinds = [0usize; 5];
     for (number, line) in data.lines().enumerate() {
         let record: QueryRecord = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: invalid record: {e}", number + 1))?;
@@ -321,17 +399,22 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             QueryKind::Abduction => 0,
             QueryKind::Interventional => 1,
             QueryKind::Counterfactual => 2,
+            QueryKind::Sweep => 3,
+            QueryKind::Aggregate => 4,
         }] += 1;
     }
     if ok + errors == 0 {
         return Err(format!("{path} contains no records"));
     }
     println!(
-        "{path}: {} records ({ok} ok, {errors} error) — {} abduction, {} interventional, {} counterfactual",
+        "{path}: {} records ({ok} ok, {errors} error) — {} abduction, {} interventional, \
+         {} counterfactual, {} sweep, {} aggregate",
         ok + errors,
         kinds[0],
         kinds[1],
-        kinds[2]
+        kinds[2],
+        kinds[3],
+        kinds[4]
     );
     Ok(())
 }

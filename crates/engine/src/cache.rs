@@ -35,24 +35,32 @@ use crate::executor;
 /// it saves.
 const PARALLEL_EMISSION_THRESHOLD: usize = 512;
 
+/// FNV-1a offset basis — the seed of every fingerprint in this module.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Mixes one 64-bit word into an FNV-1a hash, byte by byte. The single
+/// implementation behind [`config_fingerprint`], [`log_fingerprint`],
+/// [`combine_fingerprints`], and the corpus deployed-setting fingerprint,
+/// so the hashing can never diverge between them.
+pub(crate) fn fnv_mix(hash: &mut u64, bits: u64) {
+    for byte in bits.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
 /// Fingerprints the configuration fields the abduction posterior depends
 /// on: δ, ε, the grid ceiling, σ, and the stay probability. `num_samples`
 /// and `seed` are deliberately excluded — they only steer post-hoc
 /// posterior *sampling* (see [`Abduction::sample_traces_with_seed`]), so
 /// queries that differ only in sampling still share one cache entry.
 pub fn config_fingerprint(config: &VeritasConfig) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |bits: u64| {
-        for byte in bits.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    mix(config.delta_s.to_bits());
-    mix(config.epsilon_mbps.to_bits());
-    mix(config.max_capacity_mbps.to_bits());
-    mix(config.sigma_mbps.to_bits());
-    mix(config.stay_probability.to_bits());
+    let mut hash = FNV_OFFSET;
+    fnv_mix(&mut hash, config.delta_s.to_bits());
+    fnv_mix(&mut hash, config.epsilon_mbps.to_bits());
+    fnv_mix(&mut hash, config.max_capacity_mbps.to_bits());
+    fnv_mix(&mut hash, config.sigma_mbps.to_bits());
+    fnv_mix(&mut hash, config.stay_probability.to_bits());
     hash
 }
 
@@ -63,25 +71,19 @@ pub fn config_fingerprint(config: &VeritasConfig) -> u64 {
 /// *different* log — e.g. two synthetic corpora both naming sessions
 /// `session-0` — can never alias another corpus's posterior.
 pub fn log_fingerprint(log: &SessionLog) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |bits: u64| {
-        for byte in bits.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    mix(log.records.len() as u64);
-    mix(log.session_duration_s.to_bits());
+    let mut hash = FNV_OFFSET;
+    fnv_mix(&mut hash, log.records.len() as u64);
+    fnv_mix(&mut hash, log.session_duration_s.to_bits());
     for record in &log.records {
-        mix(record.start_time_s.to_bits());
-        mix(record.size_bytes.to_bits());
-        mix(record.throughput_mbps.to_bits());
-        mix(record.tcp_info.cwnd_segments.to_bits());
-        mix(record.tcp_info.ssthresh_segments.to_bits());
-        mix(record.tcp_info.rto_s.to_bits());
-        mix(record.tcp_info.srtt_s.to_bits());
-        mix(record.tcp_info.min_rtt_s.to_bits());
-        mix(record.tcp_info.last_send_gap_s.to_bits());
+        fnv_mix(&mut hash, record.start_time_s.to_bits());
+        fnv_mix(&mut hash, record.size_bytes.to_bits());
+        fnv_mix(&mut hash, record.throughput_mbps.to_bits());
+        fnv_mix(&mut hash, record.tcp_info.cwnd_segments.to_bits());
+        fnv_mix(&mut hash, record.tcp_info.ssthresh_segments.to_bits());
+        fnv_mix(&mut hash, record.tcp_info.rto_s.to_bits());
+        fnv_mix(&mut hash, record.tcp_info.srtt_s.to_bits());
+        fnv_mix(&mut hash, record.tcp_info.min_rtt_s.to_bits());
+        fnv_mix(&mut hash, record.tcp_info.last_send_gap_s.to_bits());
     }
     hash
 }
@@ -160,6 +162,20 @@ fn emission_rows(log: &SessionLog, config: &VeritasConfig) -> Vec<Vec<f64>> {
     }
 }
 
+/// Order-sensitive fold of fingerprints (per-session [`log_fingerprint`]s
+/// plus the deployed-setting fingerprint) into one corpus-content
+/// fingerprint. A [`crate::QueryPlan`] records it at compile time so a
+/// submit over a *different* corpus that happens to have the same session
+/// count is rejected instead of replaying wrong scenarios against wrong
+/// logs.
+pub(crate) fn combine_fingerprints(fps: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for fp in fps {
+        fnv_mix(&mut hash, fp);
+    }
+    hash
+}
+
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     session: String,
@@ -228,10 +244,36 @@ impl AbductionCache {
         horizon: usize,
         config: &VeritasConfig,
     ) -> Result<(Arc<Abduction>, bool), AbductionError> {
+        self.get_or_infer_keyed(
+            session_id,
+            log,
+            log_fingerprint(log),
+            horizon,
+            config,
+            config_fingerprint(config),
+        )
+    }
+
+    /// Like [`Self::get_or_infer_prefix`] but with the log and config
+    /// fingerprints supplied by the caller. The executor computes both
+    /// once per session / per planned config (see
+    /// [`crate::QueryPlan::configs`]) instead of re-hashing the full log
+    /// on every lookup; the fingerprints **must** be
+    /// [`log_fingerprint`]`(log)` and [`config_fingerprint`]`(config)` or
+    /// cache entries will alias.
+    pub fn get_or_infer_keyed(
+        &self,
+        session_id: &str,
+        log: &SessionLog,
+        log_fp: u64,
+        horizon: usize,
+        config: &VeritasConfig,
+        config_fp: u64,
+    ) -> Result<(Arc<Abduction>, bool), AbductionError> {
         let key = CacheKey {
             session: session_id.to_string(),
-            fingerprint: config_fingerprint(config),
-            log: log_fingerprint(log),
+            fingerprint: config_fp,
+            log: log_fp,
             horizon,
         };
         let fingerprint = key.fingerprint;

@@ -47,6 +47,19 @@ pub struct SessionCorpus {
     pub sessions: Vec<CorpusSession>,
 }
 
+/// One shard of a corpus: a view over a subset of its sessions, produced
+/// by [`SessionCorpus::shard`]. Holds indices, not copies — the sessions
+/// stay in the corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusShard {
+    /// This shard's position in `0..of`.
+    pub index: usize,
+    /// Total number of shards the corpus was split into.
+    pub of: usize,
+    /// Corpus session indices belonging to this shard (never empty).
+    pub sessions: Vec<usize>,
+}
+
 /// Parameters for synthesizing a corpus.
 #[derive(Debug, Clone)]
 pub struct SyntheticSpec {
@@ -190,6 +203,70 @@ impl SessionCorpus {
         self.sessions.is_empty()
     }
 
+    /// Fingerprints the deployed setting — the ABR name, player
+    /// configuration (buffer, startup threshold, link), and the full
+    /// video asset (ladder bitrates, per-chunk sizes and SSIMs).
+    /// Combined with the per-session log fingerprints into the
+    /// [`crate::QueryPlan`] corpus fingerprint: counterfactual scenarios
+    /// are materialized *from* this setting at compile time, so a corpus
+    /// with identical logs but a different deployed setting must not
+    /// accept a stale plan.
+    pub fn deployed_fingerprint(&self) -> u64 {
+        use crate::cache::{fnv_mix, FNV_OFFSET};
+        let mut hash = FNV_OFFSET;
+        fnv_mix(&mut hash, self.deployed_abr.len() as u64);
+        for byte in self.deployed_abr.bytes() {
+            fnv_mix(&mut hash, u64::from(byte));
+        }
+        fnv_mix(&mut hash, self.player.buffer_capacity_s.to_bits());
+        fnv_mix(&mut hash, self.player.startup_chunks as u64);
+        fnv_mix(&mut hash, self.player.link.one_way_delay_s.to_bits());
+        fnv_mix(&mut hash, self.player.link.mss_bytes.to_bits());
+        fnv_mix(&mut hash, self.player.link.queue_segments.to_bits());
+        fnv_mix(&mut hash, self.asset.num_chunks() as u64);
+        fnv_mix(&mut hash, self.asset.num_qualities() as u64);
+        fnv_mix(&mut hash, self.asset.chunk_duration_s().to_bits());
+        for chunk in 0..self.asset.num_chunks() {
+            for quality in 0..self.asset.num_qualities() {
+                fnv_mix(&mut hash, self.asset.size_bytes(chunk, quality).to_bits());
+                fnv_mix(&mut hash, self.asset.ssim(chunk, quality).to_bits());
+            }
+        }
+        hash
+    }
+
+    /// Splits the corpus into at most `shards` contiguous, balanced
+    /// session groups. Shard sizes differ by at most one session, no
+    /// shard is empty (so `shards` is clamped to the session count, and
+    /// an empty corpus yields no shards at all), and every session
+    /// appears in exactly one shard.
+    ///
+    /// Shards are views (session index lists), so one corpus can be
+    /// divided across engine instances or — as [`crate::Engine::submit`]
+    /// does with [`crate::Engine::with_shards`] — across worker groups of
+    /// a single streaming run.
+    pub fn shard(&self, shards: usize) -> Vec<CorpusShard> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let shards = shards.clamp(1, self.len());
+        let base = self.len() / shards;
+        let extra = self.len() % shards;
+        let mut start = 0;
+        (0..shards)
+            .map(|index| {
+                let len = base + usize::from(index < extra);
+                let shard = CorpusShard {
+                    index,
+                    of: shards,
+                    sessions: (start..start + len).collect(),
+                };
+                start += len;
+                shard
+            })
+            .collect()
+    }
+
     /// Resolves a query's session selector against this corpus: `None`
     /// selects every session, `Some(indices)` is validated to be in range.
     pub fn select(&self, sessions: &Option<Vec<usize>>) -> Result<Vec<usize>, String> {
@@ -270,6 +347,40 @@ mod tests {
         assert_eq!(loaded.sessions[0].id, "session-0");
         assert_eq!(loaded.sessions[0].log, corpus.sessions[0].log);
         assert!(loaded.sessions[0].truth.is_none());
+    }
+
+    #[test]
+    fn sharding_is_balanced_and_complete() {
+        let corpus = SyntheticSpec {
+            sessions: 5,
+            video_duration_s: 60.0,
+            ..SyntheticSpec::default()
+        }
+        .build();
+        let shards = corpus.shard(2);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].sessions, vec![0, 1, 2]);
+        assert_eq!(shards[1].sessions, vec![3, 4]);
+        assert!(shards.iter().all(|s| s.of == 2));
+        // More shards than sessions clamps; zero clamps to one.
+        assert_eq!(corpus.shard(9).len(), 5);
+        let single = corpus.shard(0);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].sessions, vec![0, 1, 2, 3, 4]);
+        // Every session appears exactly once across shards.
+        let mut all: Vec<usize> = corpus
+            .shard(3)
+            .into_iter()
+            .flat_map(|s| s.sessions)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        // An empty corpus has no shards — never an empty shard.
+        let empty = SessionCorpus {
+            sessions: Vec::new(),
+            ..corpus
+        };
+        assert!(empty.shard(4).is_empty());
     }
 
     #[test]

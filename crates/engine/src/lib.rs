@@ -1,43 +1,64 @@
-//! `veritas_engine`: a batched, cached causal-query engine over session
-//! corpora.
+//! `veritas_engine`: a plan-based, streaming causal-query engine over
+//! session corpora.
 //!
-//! The figure binaries in `veritas_bench` originally re-ran abduction
-//! inline for every experiment; this crate turns the reproduction into a
-//! reusable engine with four layers:
+//! The public API is a three-stage pipeline — **compile → execute →
+//! consume**:
 //!
-//! * [`query`] — a declarative, JSON-serializable query spec:
-//!   [`QuerySet`]/[`Query`] express abduction, interventional, and
-//!   counterfactual questions over a corpus (session selectors,
-//!   intervention parameters, sample counts, seeds).
-//! * [`cache`] — the [`AbductionCache`]: one EHMM posterior per
-//!   (session, config fingerprint, horizon), computed once and shared by
-//!   every query that touches it.
-//! * [`executor`] — a work-stealing worker pool over an atomic cursor that
-//!   fans (query, session) units out across cores.
-//! * [`runner`] — the [`Engine`] that ties them together and streams
-//!   per-unit [`QueryRecord`]s as JSONL with timing, cache, and error
-//!   status.
+//! 1. **Compile** ([`plan`]) — [`QueryPlan::compile`] turns a declarative
+//!    [`QuerySet`] (abduction / interventional / counterfactual queries,
+//!    plus [`Query::sweep`] config grids and [`Query::aggregate`]
+//!    trace-level reductions) into a flat, validated list of
+//!    [`WorkUnit`]s with per-config cache fingerprints precomputed and
+//!    counterfactual scenarios materialized once per distinct spec.
+//! 2. **Execute** ([`runner`], [`executor`], [`cache`], [`corpus`]) —
+//!    [`Engine::submit`] partitions the corpus into shards
+//!    ([`SessionCorpus::shard`]), fans units out across atomic-cursor
+//!    worker groups, resolves every abduction through the shared
+//!    [`AbductionCache`] (one EHMM posterior per session × config ×
+//!    horizon), and pushes each completed [`QueryRecord`] through a
+//!    bounded channel.
+//! 3. **Consume** — the returned [`RunHandle`] is an
+//!    `Iterator<Item = QueryRecord>` for incremental consumption
+//!    (aggregations fold from the stream without buffering records), and
+//!    [`RunHandle::wait`] restores the deterministic batch shape.
+//!    [`Engine::run`] is the blocking `compile → submit → wait` wrapper.
 //!
-//! The `veritas` CLI binary (`src/bin/veritas.rs`) exposes the engine end
-//! to end: `veritas run queries.json --corpus DIR` (or `--synthetic N`),
-//! `veritas bench`, `veritas example-queries`, `veritas validate`.
+//! The `veritas` CLI binary (`src/bin/veritas.rs`) exposes the pipeline
+//! end to end: `veritas run queries.json --corpus DIR` (or
+//! `--synthetic N`), with `--stream` for record-at-a-time JSONL and
+//! `--shards N` for partitioned execution; plus `veritas bench`,
+//! `veritas example-queries`, and `veritas validate`.
 //!
-//! # Example
+//! # Example: streaming consumption
 //!
 //! ```
 //! use veritas::VeritasConfig;
-//! use veritas_engine::{Engine, Query, QuerySet, ScenarioSpec, SessionCorpus};
+//! use veritas_engine::{Engine, Query, QueryPlan, QuerySet, ScenarioSpec, SessionCorpus};
 //!
 //! let corpus = SessionCorpus::synthetic(2, 7);
 //! let set = QuerySet::new("demo", VeritasConfig::paper_default().with_samples(2))
 //!     .with_query(Query::abduction("posterior"))
 //!     .with_query(Query::counterfactual("what-if-bba", ScenarioSpec::abr("bba")));
-//! let engine = Engine::new();
-//! let report = engine.run(&corpus, &set).unwrap();
-//! assert_eq!(report.summary.errors, 0);
+//!
+//! // Compile once; submit streams records as workers finish them.
+//! let plan = QueryPlan::compile(&set, &corpus).unwrap();
+//! let engine = Engine::new().with_shards(2);
+//! let mut handle = engine.submit(&corpus, &plan).unwrap();
+//! let mut seen = 0;
+//! for record in &mut handle {
+//!     assert!(record.is_ok());
+//!     seen += 1;
+//! }
+//! let summary = handle.into_summary();
+//! assert_eq!(seen, 4);
+//! assert_eq!(summary.errors, 0);
 //! // Both queries touched both sessions, but each session was abduced once.
-//! assert_eq!(report.summary.cache_misses, 2);
-//! assert_eq!(report.summary.cache_hits, 2);
+//! assert_eq!(summary.cache_misses, 2);
+//! assert_eq!(summary.cache_hits, 2);
+//!
+//! // The batch shape: Engine::run == compile + submit + wait.
+//! let report = engine.run(&corpus, &set).unwrap();
+//! assert_eq!(report.records.len(), 4);
 //! ```
 
 #![deny(missing_docs)]
@@ -47,13 +68,19 @@ pub mod cache;
 pub mod corpus;
 mod error;
 pub mod executor;
+pub mod plan;
 pub mod query;
 pub mod runner;
 
 pub use cache::{config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheStats};
-pub use corpus::{CorpusSession, SessionCorpus, SyntheticSpec};
+pub use corpus::{CorpusSession, CorpusShard, SessionCorpus, SyntheticSpec};
 pub use error::EngineError;
+pub use plan::{
+    AggregateMetric, AggregateSpec, AggregateSummary, ConfigSweep, PlannedConfig, QueryPlan,
+    WorkUnit, MAX_SWEEP_VARIANTS,
+};
 pub use query::{Query, QueryKind, QuerySet, ScenarioSpec};
 pub use runner::{
-    materialize_scenario, Engine, EngineReport, QueryOutput, QueryRecord, RangeSummary, RunSummary,
+    materialize_scenario, Engine, EngineReport, QueryLatency, QueryOutput, QueryRecord,
+    RangeSummary, RunHandle, RunSummary, AGGREGATE_SESSION,
 };

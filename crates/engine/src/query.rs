@@ -3,21 +3,31 @@
 //! A [`QuerySet`] is a JSON-serializable batch of causal queries over one
 //! corpus: *abduction* queries (infer the latent GTBW posterior),
 //! *interventional* queries (predict the download time of a candidate chunk
-//! size at a decision point), and *counterfactual* queries (replay the
-//! session under a changed design). The engine executes a query set with
-//! [`crate::Engine::run`], reusing one abduction per (session, config)
-//! through the [`crate::AbductionCache`].
+//! size at a decision point), *counterfactual* queries (replay the
+//! session under a changed design), plus the two compound kinds — *sweep*
+//! queries (one query expanded over a [`ConfigSweep`] grid of
+//! configurations) and *aggregate* queries (an [`AggregateSpec`]
+//! trace-level reduction folded over per-session outputs). A query set is
+//! compiled into a [`crate::QueryPlan`] and executed with
+//! [`crate::Engine::submit`] (or the blocking [`crate::Engine::run`]
+//! wrapper), reusing one abduction per (session, config) through the
+//! [`crate::AbductionCache`].
 //!
-//! Serialization note: [`Query`], [`ScenarioSpec`], and [`QuerySet`]
-//! implement `Deserialize` by hand so that hand-authored query files may
-//! omit optional fields entirely (the derive shim requires every field to
-//! be present) and so that unknown fields are rejected with a pointed
-//! error instead of being silently ignored.
+//! Serialization note: [`Query`], [`ScenarioSpec`], [`QuerySet`], and the
+//! plan-level specs implement `Deserialize` by hand so that hand-authored
+//! query files may omit optional fields entirely (the derive shim
+//! requires every field to be present) and so that unknown fields are
+//! rejected with a pointed error instead of being silently ignored.
 
 use serde::{de, Deserialize, Deserializer, Serialize, Serializer, Value, ValueDeserializer};
 use veritas::VeritasConfig;
 
-/// The three causal query families of the paper (§3).
+use crate::plan::{AggregateSpec, ConfigSweep};
+
+/// The three causal query families of the paper (§3), plus the two
+/// engine-level compound kinds that materialize in the plan compiler
+/// ([`crate::QueryPlan`]): configuration sweeps and trace-level
+/// aggregations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     /// Infer the GTBW posterior for each selected session and report a
@@ -29,6 +39,14 @@ pub enum QueryKind {
     /// Replay the session under a changed design — ABR, buffer size, or
     /// quality ladder (paper §4.3).
     Counterfactual,
+    /// Expand one query over a grid of [`VeritasConfig`] variations (see
+    /// [`ConfigSweep`]); abduction-shaped by default, counterfactual when
+    /// the query carries a scenario.
+    Sweep,
+    /// Fold a trace-level reduction over per-session outputs (see
+    /// [`AggregateSpec`]); the reduced summary arrives as a final
+    /// `session: "*"` record.
+    Aggregate,
 }
 
 impl QueryKind {
@@ -38,6 +56,8 @@ impl QueryKind {
             QueryKind::Abduction => "abduction",
             QueryKind::Interventional => "interventional",
             QueryKind::Counterfactual => "counterfactual",
+            QueryKind::Sweep => "sweep",
+            QueryKind::Aggregate => "aggregate",
         }
     }
 
@@ -47,6 +67,8 @@ impl QueryKind {
             "abduction" => Some(QueryKind::Abduction),
             "interventional" => Some(QueryKind::Interventional),
             "counterfactual" => Some(QueryKind::Counterfactual),
+            "sweep" => Some(QueryKind::Sweep),
+            "aggregate" => Some(QueryKind::Aggregate),
             _ => None,
         }
     }
@@ -63,7 +85,8 @@ impl<'de> Deserialize<'de> for QueryKind {
         match deserializer.deserialize_value()? {
             Value::String(s) => QueryKind::parse(&s).ok_or_else(|| {
                 de::Error::custom(format!(
-                    "unknown query kind `{s}` (expected abduction | interventional | counterfactual)"
+                    "unknown query kind `{s}` (expected abduction | interventional | \
+                     counterfactual | sweep | aggregate)"
                 ))
             }),
             other => Err(de::Error::custom(format!(
@@ -139,6 +162,12 @@ pub struct Query {
     /// decoupled from inference, so a seed override still hits the
     /// abduction cache.
     pub seed: Option<u64>,
+    /// The configuration grid a sweep query expands over (sweep queries
+    /// only).
+    pub sweep: Option<ConfigSweep>,
+    /// The trace-level reduction an aggregation query folds (aggregate
+    /// queries only).
+    pub aggregate: Option<AggregateSpec>,
 }
 
 impl Query {
@@ -153,6 +182,8 @@ impl Query {
             candidate_size_bytes: None,
             samples: None,
             seed: None,
+            sweep: None,
+            aggregate: None,
         }
     }
 
@@ -172,6 +203,33 @@ impl Query {
             scenario: Some(scenario),
             ..Self::new(id, QueryKind::Counterfactual)
         }
+    }
+
+    /// A configuration-sweep query over all sessions: one abduction per
+    /// (config variant, session). Add [`Self::with_scenario`] to replay a
+    /// counterfactual under every variant instead.
+    pub fn sweep(id: &str, sweep: ConfigSweep) -> Self {
+        Self {
+            sweep: Some(sweep),
+            ..Self::new(id, QueryKind::Sweep)
+        }
+    }
+
+    /// An aggregation query over all sessions: the per-session metric is
+    /// computed for every selected session and reduced into one
+    /// [`crate::AggregateSummary`] folded from the result stream.
+    pub fn aggregate(id: &str, aggregate: AggregateSpec) -> Self {
+        Self {
+            aggregate: Some(aggregate),
+            ..Self::new(id, QueryKind::Aggregate)
+        }
+    }
+
+    /// Sets the scenario a counterfactual (or counterfactual sweep) query
+    /// replays.
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = Some(scenario);
+        self
     }
 
     /// Restricts the query to specific corpus session indices.
@@ -262,6 +320,12 @@ impl QuerySet {
             if query.samples == Some(0) {
                 return Err(format!("query `{}`: samples must be at least 1", query.id));
             }
+            if query.sessions.as_deref() == Some(&[]) {
+                return Err(format!(
+                    "query `{}`: session selector is empty (omit it to select every session)",
+                    query.id
+                ));
+            }
             if let Some(size) = query.candidate_size_bytes {
                 if !(size.is_finite() && size > 0.0) {
                     return Err(format!(
@@ -279,19 +343,40 @@ impl QuerySet {
             // Fields on a kind that ignores them are almost certainly a
             // misread of the spec; reject them rather than silently doing
             // the default thing.
-            if query.kind != QueryKind::Counterfactual {
-                if query.scenario.is_some() {
-                    return Err(format!(
-                        "query `{}`: scenario is only meaningful for counterfactual queries",
-                        query.id
-                    ));
-                }
-                if query.samples.is_some() || query.seed.is_some() {
-                    return Err(format!(
-                        "query `{}`: samples/seed only steer counterfactual posterior sampling",
-                        query.id
-                    ));
-                }
+            if query.kind == QueryKind::Aggregate && query.scenario.is_some() {
+                return Err(format!(
+                    "query `{}`: an aggregation's scenario belongs inside its aggregate spec",
+                    query.id
+                ));
+            }
+            if !matches!(query.kind, QueryKind::Counterfactual | QueryKind::Sweep)
+                && query.scenario.is_some()
+            {
+                return Err(format!(
+                    "query `{}`: scenario is only meaningful for counterfactual or \
+                     sweep queries",
+                    query.id
+                ));
+            }
+            // samples/seed only matter where posterior sampling happens: a
+            // counterfactual replay, a sweep that replays a scenario, or a
+            // QoE aggregation. On everything else they would be silently
+            // ignored — reject instead.
+            let samples_steer_sampling = match query.kind {
+                QueryKind::Counterfactual => true,
+                QueryKind::Sweep => query.scenario.is_some(),
+                QueryKind::Aggregate => query
+                    .aggregate
+                    .as_ref()
+                    .is_some_and(|spec| spec.metric.needs_replay()),
+                QueryKind::Abduction | QueryKind::Interventional => false,
+            };
+            if !samples_steer_sampling && (query.samples.is_some() || query.seed.is_some()) {
+                return Err(format!(
+                    "query `{}`: samples/seed only steer posterior sampling (counterfactual \
+                     queries, sweeps with a scenario, and QoE aggregations)",
+                    query.id
+                ));
             }
             if query.kind != QueryKind::Interventional
                 && (query.chunk_index.is_some() || query.candidate_size_bytes.is_some())
@@ -301,6 +386,65 @@ impl QuerySet {
                      for interventional queries",
                     query.id
                 ));
+            }
+            match (&query.sweep, query.kind) {
+                (Some(sweep), QueryKind::Sweep) => {
+                    sweep
+                        .validate(&self.config)
+                        .map_err(|e| format!("query `{}`: {e}", query.id))?;
+                    // A num_samples axis is only observable when each
+                    // variant actually samples (a scenario replay) and no
+                    // query-level override pins the count — otherwise the
+                    // sweep would emit identical results under distinct
+                    // `samples=N` labels.
+                    if sweep.num_samples.is_some() {
+                        if query.samples.is_some() {
+                            return Err(format!(
+                                "query `{}`: a samples override defeats the sweep's \
+                                 num_samples axis",
+                                query.id
+                            ));
+                        }
+                        if query.scenario.is_none() {
+                            return Err(format!(
+                                "query `{}`: a num_samples axis needs a scenario — \
+                                 abduction-shaped sweeps never sample",
+                                query.id
+                            ));
+                        }
+                    }
+                }
+                (None, QueryKind::Sweep) => {
+                    return Err(format!(
+                        "query `{}`: sweep queries require a sweep grid",
+                        query.id
+                    ))
+                }
+                (Some(_), _) => {
+                    return Err(format!(
+                        "query `{}`: a sweep grid is only meaningful for sweep queries",
+                        query.id
+                    ))
+                }
+                (None, _) => {}
+            }
+            match (&query.aggregate, query.kind) {
+                (Some(aggregate), QueryKind::Aggregate) => aggregate
+                    .validate()
+                    .map_err(|e| format!("query `{}`: {e}", query.id))?,
+                (None, QueryKind::Aggregate) => {
+                    return Err(format!(
+                        "query `{}`: aggregate queries require an aggregate spec",
+                        query.id
+                    ))
+                }
+                (Some(_), _) => {
+                    return Err(format!(
+                        "query `{}`: an aggregate spec is only meaningful for aggregate queries",
+                        query.id
+                    ))
+                }
+                (None, _) => {}
             }
         }
         Ok(())
@@ -371,7 +515,7 @@ impl QuerySet {
 
 /// Removes `name` from a decoded object's field list, treating JSON `null`
 /// the same as an absent field.
-fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
+pub(crate) fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
     let index = fields.iter().position(|(key, _)| key == name)?;
     match fields.remove(index).1 {
         Value::Null => None,
@@ -380,7 +524,7 @@ fn take_field(fields: &mut Vec<(String, Value)>, name: &str) -> Option<Value> {
 }
 
 /// Lifts an optional typed field out of a decoded object.
-fn opt<'de, T: Deserialize<'de>, E: de::Error>(
+pub(crate) fn opt<'de, T: Deserialize<'de>, E: de::Error>(
     fields: &mut Vec<(String, Value)>,
     name: &str,
 ) -> Result<Option<T>, E> {
@@ -391,7 +535,7 @@ fn opt<'de, T: Deserialize<'de>, E: de::Error>(
 }
 
 /// Lifts a required typed field out of a decoded object.
-fn req<'de, T: Deserialize<'de>, E: de::Error>(
+pub(crate) fn req<'de, T: Deserialize<'de>, E: de::Error>(
     fields: &mut Vec<(String, Value)>,
     context: &str,
     name: &str,
@@ -405,7 +549,10 @@ fn req<'de, T: Deserialize<'de>, E: de::Error>(
 }
 
 /// Errors on any fields left over after the known ones were consumed.
-fn reject_unknown<E: de::Error>(fields: &[(String, Value)], context: &str) -> Result<(), E> {
+pub(crate) fn reject_unknown<E: de::Error>(
+    fields: &[(String, Value)],
+    context: &str,
+) -> Result<(), E> {
     if let Some((name, _)) = fields.first() {
         return Err(de::Error::custom(format!(
             "{context}: unknown field `{name}`"
@@ -415,7 +562,7 @@ fn reject_unknown<E: de::Error>(fields: &[(String, Value)], context: &str) -> Re
 }
 
 /// Decodes an object's field list out of a deserializer.
-fn object_fields<'de, D: Deserializer<'de>>(
+pub(crate) fn object_fields<'de, D: Deserializer<'de>>(
     deserializer: D,
     context: &str,
 ) -> Result<Vec<(String, Value)>, D::Error> {
@@ -452,6 +599,8 @@ impl<'de> Deserialize<'de> for Query {
             candidate_size_bytes: opt(&mut fields, "candidate_size_bytes")?,
             samples: opt(&mut fields, "samples")?,
             seed: opt(&mut fields, "seed")?,
+            sweep: opt(&mut fields, "sweep")?,
+            aggregate: opt(&mut fields, "aggregate")?,
         };
         reject_unknown(&fields, &format!("query `{}`", query.id))?;
         Ok(query)
@@ -523,6 +672,46 @@ mod tests {
         let stray_seed = QuerySet::new("s", VeritasConfig::paper_default())
             .with_query(Query::new("a", QueryKind::Abduction).with_seed(1));
         assert!(stray_seed.validate().unwrap_err().contains("samples/seed"));
+        // samples/seed are also rejected where a compound query would
+        // silently ignore them: a scenario-less (abduction-shaped) sweep
+        // and a posterior-only aggregation never sample.
+        let sweep_no_scenario = QuerySet::new("s", VeritasConfig::paper_default()).with_query(
+            Query::sweep(
+                "sw",
+                crate::plan::ConfigSweep::new().over_sigma(vec![0.25, 0.5]),
+            )
+            .with_samples(3),
+        );
+        assert!(sweep_no_scenario
+            .validate()
+            .unwrap_err()
+            .contains("samples/seed"));
+        let capacity_agg = QuerySet::new("s", VeritasConfig::paper_default()).with_query(
+            Query::aggregate(
+                "agg",
+                crate::plan::AggregateSpec::of(crate::plan::AggregateMetric::MeanCapacityMbps),
+            )
+            .with_seed(9),
+        );
+        assert!(capacity_agg
+            .validate()
+            .unwrap_err()
+            .contains("samples/seed"));
+        // A num_samples axis must actually be observable: no query-level
+        // samples override, and only on a replaying (scenario) sweep.
+        let base = crate::plan::ConfigSweep::new().over_samples(vec![1, 2]);
+        let overridden = QuerySet::new("s", VeritasConfig::paper_default()).with_query(
+            Query::sweep("sw", base.clone())
+                .with_scenario(ScenarioSpec::abr("bba"))
+                .with_samples(5),
+        );
+        assert!(overridden.validate().unwrap_err().contains("defeats"));
+        let abduction_shaped =
+            QuerySet::new("s", VeritasConfig::paper_default()).with_query(Query::sweep("sw", base));
+        assert!(abduction_shaped
+            .validate()
+            .unwrap_err()
+            .contains("never sample"));
         let stray_chunk = QuerySet::new("s", VeritasConfig::paper_default())
             .with_query(Query::counterfactual("c", ScenarioSpec::abr("bba")).with_chunk_index(3));
         assert!(stray_chunk

@@ -1,32 +1,55 @@
-//! The engine proper: fans a [`QuerySet`] out over a corpus and streams
-//! per-query results.
+//! The execute and consume stages: [`Engine::submit`] streams a compiled
+//! [`QueryPlan`] over a corpus; [`RunHandle`] is the consumer's view.
 //!
-//! Execution model: every (query, session) pair is one independent work
-//! unit. Units are distributed across cores by the atomic-cursor executor
-//! ([`crate::executor`]), and each unit resolves its abduction through the
-//! shared [`AbductionCache`], so a batch of N queries touching the same
-//! session runs forward–backward once, not N times. Results come back as
-//! [`QueryRecord`]s — one JSON line each, with timing, cache, and error
-//! status — in deterministic (query-major, session-minor) order.
+//! Execution model: every [`crate::WorkUnit`] (query × session × config)
+//! is independent. Units are partitioned into corpus shards
+//! ([`crate::SessionCorpus::shard`], one worker group per shard) and
+//! claimed by atomic-cursor workers ([`crate::executor::stream_groups`]);
+//! each unit resolves its abduction through the shared
+//! [`AbductionCache`] using the plan's precomputed config fingerprints,
+//! so a batch of N queries touching the same session runs
+//! forward–backward once, not N times. Completed [`QueryRecord`]s flow
+//! through a bounded channel the moment they finish:
+//!
+//! * **incremental** — `RunHandle` implements
+//!   `Iterator<Item = QueryRecord>`, yielding records in completion
+//!   order; [`RunHandle::into_summary`] then closes the run.
+//! * **batch** — [`RunHandle::wait`] drains the stream, restores
+//!   deterministic (query-major, variant-major, session-minor) order,
+//!   and returns an [`EngineReport`]. [`Engine::run`] is exactly
+//!   `compile → submit → wait`.
+//!
+//! Aggregation queries are folded *from the stream*: the handle retains
+//! only each aggregation's per-session scalars (never the record set)
+//! and emits one final `session: "*"` record per aggregation when its
+//! last unit completes.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use veritas::{
     baseline_trace, oracle_trace, Abduction, InterventionalPredictor, RangePrediction, Scenario,
-    VeritasConfig,
 };
 use veritas_abr::abr_by_name;
 use veritas_media::QualityLadder;
 use veritas_player::QoeSummary;
 use veritas_trace::stats::trace_mae;
 
-use crate::cache::AbductionCache;
-use crate::corpus::{CorpusSession, SessionCorpus};
+use crate::cache::{infer_prefix, log_fingerprint, AbductionCache};
+use crate::corpus::SessionCorpus;
 use crate::error::EngineError;
 use crate::executor;
-use crate::query::{Query, QueryKind, QuerySet, ScenarioSpec};
+use crate::plan::{percentile_u64, AggregateSummary, PlannedConfig, QueryPlan};
+use crate::query::{
+    object_fields, opt, reject_unknown, req, Query, QueryKind, QuerySet, ScenarioSpec,
+};
+
+/// The session id carried by an aggregation's final folded record.
+pub const AGGREGATE_SESSION: &str = "*";
 
 /// Veritas(Low)/(High) and median summaries of a counterfactual range
 /// prediction, one triple per QoE metric.
@@ -77,7 +100,12 @@ impl RangeSummary {
 
 /// The kind-specific payload of a successful query; fields irrelevant to
 /// the query's kind are `null` in the JSONL output.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (like the query spec types) so that
+/// every field is absent-tolerant: reports written by earlier engine
+/// versions — before `variant`, `metric_value`, or `aggregate` existed —
+/// still validate, while unknown fields are rejected.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct QueryOutput {
     /// Abduction: number of chunks conditioned on.
     pub chunks: Option<usize>,
@@ -100,17 +128,28 @@ pub struct QueryOutput {
     /// Counterfactual: the Oracle (ground-truth replay) outcome, when the
     /// corpus carries the truth.
     pub oracle: Option<QoeSummary>,
+    /// Aggregate (per-session unit): this session's scalar contribution.
+    pub metric_value: Option<f64>,
+    /// Aggregate (final `session: "*"` record): the folded reduction.
+    pub aggregate: Option<AggregateSummary>,
 }
 
 /// One line of the engine's JSONL result stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written so optional fields (including the
+/// PR-4-era `variant`) may be absent, keeping old reports readable by
+/// `veritas validate`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct QueryRecord {
     /// Id of the query this record answers.
     pub query_id: String,
     /// The query's kind.
     pub kind: QueryKind,
-    /// Id of the corpus session the unit ran over.
+    /// Id of the corpus session the unit ran over, or
+    /// [`AGGREGATE_SESSION`] for an aggregation's folded record.
     pub session: String,
+    /// Sweep variant label (`None` for the base configuration).
+    pub variant: Option<String>,
     /// `"ok"` or `"error"`.
     pub status: String,
     /// Error description when `status == "error"`.
@@ -132,6 +171,63 @@ impl QueryRecord {
     }
 }
 
+impl<'de> Deserialize<'de> for QueryOutput {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "query output")?;
+        let output = QueryOutput {
+            chunks: opt(&mut fields, "chunks")?,
+            mean_capacity_mbps: opt(&mut fields, "mean_capacity_mbps")?,
+            viterbi_mae_vs_truth_mbps: opt(&mut fields, "viterbi_mae_vs_truth_mbps")?,
+            expected_capacity_mbps: opt(&mut fields, "expected_capacity_mbps")?,
+            predicted_download_time_s: opt(&mut fields, "predicted_download_time_s")?,
+            actual_download_time_s: opt(&mut fields, "actual_download_time_s")?,
+            veritas: opt(&mut fields, "veritas")?,
+            baseline: opt(&mut fields, "baseline")?,
+            oracle: opt(&mut fields, "oracle")?,
+            metric_value: opt(&mut fields, "metric_value")?,
+            aggregate: opt(&mut fields, "aggregate")?,
+        };
+        reject_unknown(&fields, "query output")?;
+        Ok(output)
+    }
+}
+
+impl<'de> Deserialize<'de> for QueryRecord {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "query record")?;
+        let record = QueryRecord {
+            query_id: req(&mut fields, "query record", "query_id")?,
+            kind: req(&mut fields, "query record", "kind")?,
+            session: req(&mut fields, "query record", "session")?,
+            variant: opt(&mut fields, "variant")?,
+            status: req(&mut fields, "query record", "status")?,
+            error: opt(&mut fields, "error")?,
+            cache: opt(&mut fields, "cache")?,
+            elapsed_us: req(&mut fields, "query record", "elapsed_us")?,
+            output: opt(&mut fields, "output")?,
+        };
+        reject_unknown(&fields, "query record")?;
+        Ok(record)
+    }
+}
+
+/// Latency aggregates of one query's units — the streaming path reports
+/// the same timing fidelity as the batch report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryLatency {
+    /// The query id.
+    pub id: String,
+    /// Worker units the query expanded to (aggregation fold records are
+    /// excluded — they are bookkeeping, not work).
+    pub units: usize,
+    /// Median unit latency in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile unit latency in microseconds.
+    pub p95_us: u64,
+    /// Maximum unit latency in microseconds.
+    pub max_us: u64,
+}
+
 /// Aggregate summary of one engine run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
@@ -141,11 +237,12 @@ pub struct RunSummary {
     pub queries: usize,
     /// Number of sessions in the corpus.
     pub sessions: usize,
-    /// Number of (query, session) work units executed.
+    /// Number of records the run produced (work units plus one folded
+    /// record per aggregation query).
     pub units: usize,
-    /// Units that succeeded.
+    /// Records that succeeded.
     pub ok: usize,
-    /// Units that failed.
+    /// Records that failed.
     pub errors: usize,
     /// Abduction-cache hits during this run.
     pub cache_hits: u64,
@@ -153,14 +250,19 @@ pub struct RunSummary {
     pub cache_misses: u64,
     /// Worker threads used.
     pub threads: usize,
+    /// Corpus shards the run was partitioned into.
+    pub shards: usize,
     /// Wall-clock duration of the run in milliseconds.
     pub elapsed_ms: f64,
+    /// Per-query latency aggregates, in query order.
+    pub per_query: Vec<QueryLatency>,
 }
 
 /// Everything an engine run produced.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
-    /// Per-unit records in (query-major, session-minor) order.
+    /// Records in deterministic (query-major, variant-major,
+    /// session-minor) order, with aggregation fold records at the end.
     pub records: Vec<QueryRecord>,
     /// The run summary.
     pub summary: RunSummary,
@@ -189,14 +291,32 @@ impl EngineReport {
             .filter(|r| r.query_id == query_id)
             .collect()
     }
+
+    /// The folded [`AggregateSummary`] of an aggregation query, when the
+    /// query exists and its fold succeeded.
+    pub fn aggregate_for(&self, query_id: &str) -> Option<AggregateSummary> {
+        self.records
+            .iter()
+            .find(|r| r.query_id == query_id && r.session == AGGREGATE_SESSION)
+            .and_then(|r| r.output.as_ref())
+            .and_then(|o| o.aggregate)
+    }
 }
 
 /// The batched, cached causal-query engine.
+///
+/// The API is a three-stage pipeline: **compile** a [`QuerySet`] into a
+/// [`QueryPlan`] ([`QueryPlan::compile`]), **execute** it with
+/// [`Engine::submit`], and **consume** the returned [`RunHandle`] either
+/// incrementally (it is an `Iterator`) or as a batch
+/// ([`RunHandle::wait`]). [`Engine::run`] wraps all three for the
+/// blocking callers.
 #[derive(Debug)]
 pub struct Engine {
     threads: Option<usize>,
+    shards: usize,
     cache_enabled: bool,
-    cache: AbductionCache,
+    cache: Arc<AbductionCache>,
 }
 
 impl Default for Engine {
@@ -206,18 +326,36 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with caching enabled and the default thread count.
+    /// An engine with caching enabled, the default thread count, and a
+    /// single shard.
     pub fn new() -> Self {
         Self {
             threads: None,
+            shards: 1,
             cache_enabled: true,
-            cache: AbductionCache::new(),
+            cache: Arc::new(AbductionCache::new()),
         }
     }
 
-    /// Overrides the worker-thread count.
+    /// Overrides the worker-thread count. `0` is normalized to
+    /// [`executor::default_threads`] at this boundary — the builder, not
+    /// the executor, owns the "pick for me" convention, so a summary
+    /// always reports the real thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads.max(1));
+        self.threads = Some(if threads == 0 {
+            executor::default_threads()
+        } else {
+            threads
+        });
+        self
+    }
+
+    /// Partitions every submitted corpus into `shards` worker groups
+    /// (clamped to at least one; also clamped to the corpus size at
+    /// submit time). Units of one shard are drained together, emulating a
+    /// corpus split across engine instances.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -233,106 +371,392 @@ impl Engine {
         &self.cache
     }
 
-    /// Executes a query set over a corpus.
-    ///
-    /// Fails fast on structural problems (empty corpus, invalid query set,
-    /// out-of-range session selectors); per-unit inference or replay
-    /// failures are reported in the returned records instead of aborting
-    /// the batch.
+    /// Executes a query set over a corpus, blocking until every record is
+    /// in: a thin `compile → submit → wait` wrapper. The plan is compiled
+    /// against this very corpus in the same call, so the corpus-content
+    /// verification that guards the public submit paths is skipped.
     pub fn run(&self, corpus: &SessionCorpus, set: &QuerySet) -> Result<EngineReport, EngineError> {
+        let plan = QueryPlan::compile(set, corpus)?;
+        Ok(self
+            .submit_inner(Arc::new(corpus.clone()), Arc::new(plan), false)?
+            .wait())
+    }
+
+    /// Submits a compiled plan for streaming execution over a corpus.
+    ///
+    /// Returns immediately with a [`RunHandle`]; workers push each
+    /// completed [`QueryRecord`] through a bounded channel as it
+    /// finishes. The corpus and plan are cloned into shared ownership —
+    /// callers that already hold `Arc`s should use
+    /// [`Engine::submit_shared`] to skip the copy.
+    pub fn submit(
+        &self,
+        corpus: &SessionCorpus,
+        plan: &QueryPlan,
+    ) -> Result<RunHandle, EngineError> {
+        self.submit_shared(Arc::new(corpus.clone()), Arc::new(plan.clone()))
+    }
+
+    /// [`Engine::submit`] without the defensive copies.
+    ///
+    /// Fails fast when the corpus is empty or its session count differs
+    /// from the one the plan was compiled against (plans resolve session
+    /// selectors and deployed-setting scenarios at compile time, so they
+    /// are corpus-shaped).
+    pub fn submit_shared(
+        &self,
+        corpus: Arc<SessionCorpus>,
+        plan: Arc<QueryPlan>,
+    ) -> Result<RunHandle, EngineError> {
+        self.submit_inner(corpus, plan, true)
+    }
+
+    /// The one submit implementation. `verify_content` re-hashes the
+    /// corpus to prove it is the one the plan was compiled against —
+    /// required on the public paths, skipped by [`Engine::run`], which
+    /// compiles and submits the same borrow in one call.
+    fn submit_inner(
+        &self,
+        corpus: Arc<SessionCorpus>,
+        plan: Arc<QueryPlan>,
+        verify_content: bool,
+    ) -> Result<RunHandle, EngineError> {
         if corpus.is_empty() {
             return Err(EngineError::EmptyCorpus);
         }
-        set.validate().map_err(EngineError::Query)?;
-        let mut units: Vec<(usize, usize)> = Vec::new();
-        for (qi, query) in set.queries.iter().enumerate() {
-            let selected = corpus
-                .select(&query.sessions)
-                .map_err(|e| EngineError::Query(format!("query `{}`: {e}", query.id)))?;
-            units.extend(selected.into_iter().map(|si| (qi, si)));
+        if plan.sessions() != corpus.len() {
+            return Err(EngineError::Query(format!(
+                "plan was compiled against {} sessions but the corpus has {}",
+                plan.sessions(),
+                corpus.len()
+            )));
         }
-        // Materialize counterfactual scenarios once per *distinct spec*,
-        // not once per (query, session) unit — a ladder change re-encodes
-        // the corpus asset, which must not happen again for every session
-        // (or for every query repeating the same intervention). A bad spec
-        // (unknown ABR/ladder) is replicated as a per-unit error below so
-        // one broken query still doesn't abort the batch.
-        let default_spec = ScenarioSpec::default();
-        let mut scenarios: Vec<Option<Result<Scenario, String>>> =
-            Vec::with_capacity(set.queries.len());
-        for query in &set.queries {
-            if query.kind != QueryKind::Counterfactual {
-                scenarios.push(None);
-                continue;
+        // Per-session log fingerprints, hashed once here instead of once
+        // per cache lookup — and, on the public paths, folded with the
+        // deployed setting to verify this is the *same* corpus the plan's
+        // scenarios and selectors were resolved against.
+        let log_fps: Vec<u64> = corpus
+            .sessions
+            .iter()
+            .map(|s| log_fingerprint(&s.log))
+            .collect();
+        if verify_content {
+            let content = crate::cache::combine_fingerprints(
+                log_fps
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(corpus.deployed_fingerprint())),
+            );
+            if content != plan.corpus_fingerprint() {
+                return Err(EngineError::Query(
+                    "plan was compiled against a different corpus (content fingerprints \
+                     differ); recompile the plan for this corpus"
+                        .to_string(),
+                ));
             }
-            let spec = query.scenario.as_ref().unwrap_or(&default_spec);
-            let reused = set.queries[..scenarios.len()]
-                .iter()
-                .zip(&scenarios)
-                .find_map(|(earlier, materialized)| {
-                    (earlier.kind == QueryKind::Counterfactual
-                        && earlier.scenario.as_ref().unwrap_or(&default_spec) == spec)
-                        .then(|| materialized.clone())
-                })
-                .flatten();
-            scenarios.push(Some(
-                reused.unwrap_or_else(|| materialize_scenario(corpus, spec)),
-            ));
         }
         let threads = self.threads.unwrap_or_else(executor::default_threads);
-        let hits_before = self.cache.hits();
-        let misses_before = self.cache.misses();
         let started = Instant::now();
-        let records = executor::execute(&units, threads, |&(qi, si)| {
-            self.run_unit(corpus, set, &scenarios, qi, si)
+
+        // Partition units into shard groups: one worker group per corpus
+        // shard, preserving plan order within each group.
+        let shard_views = corpus.shard(self.shards);
+        let shards = shard_views.len();
+        let mut shard_of = vec![0usize; corpus.len()];
+        for shard in &shard_views {
+            for &si in &shard.sessions {
+                shard_of[si] = shard.index;
+            }
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (ui, unit) in plan.units().iter().enumerate() {
+            groups[shard_of[unit.session]].push(ui);
+        }
+        let ctx = Arc::new(ExecCtx {
+            corpus: Arc::clone(&corpus),
+            plan: Arc::clone(&plan),
+            cache: self.cache_enabled.then(|| Arc::clone(&self.cache)),
+            log_fps,
+            run_hits: AtomicU64::new(0),
+            run_misses: AtomicU64::new(0),
         });
-        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-        let ok = records.iter().filter(|r| r.is_ok()).count();
-        let summary = RunSummary {
-            queryset: set.name.clone(),
-            queries: set.queries.len(),
+        let worker_ctx = Arc::clone(&ctx);
+        let capacity = threads.saturating_mul(2).clamp(4, 1024);
+        let (rx, workers) = executor::stream_groups(groups, threads, capacity, move |index| {
+            worker_ctx.run_unit(index)
+        });
+
+        let folds = plan
+            .set()
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, query)| {
+                (query.kind == QueryKind::Aggregate).then(|| AggregateFold {
+                    remaining: plan.unit_count(qi),
+                    values: Vec::new(),
+                    unit_errors: 0,
+                })
+            })
+            .collect();
+        let latencies = vec![Vec::new(); plan.set().queries.len()];
+        Ok(RunHandle {
+            rx: Some(rx),
+            workers,
+            plan,
+            ctx,
+            pending: VecDeque::new(),
+            folds,
+            latencies,
+            ok: 0,
+            errors: 0,
             sessions: corpus.len(),
-            units: records.len(),
-            ok,
-            errors: records.len() - ok,
-            cache_hits: self.cache.hits() - hits_before,
-            cache_misses: self.cache.misses() - misses_before,
             threads,
-            elapsed_ms,
-        };
-        Ok(EngineReport { records, summary })
+            shards,
+            started,
+        })
+    }
+}
+
+/// Incremental fold state of one aggregation query: only the per-session
+/// scalars are retained, never the records themselves.
+struct AggregateFold {
+    remaining: usize,
+    values: Vec<f64>,
+    unit_errors: usize,
+}
+
+/// A live streaming run: the **consume** stage.
+///
+/// Iterate it for records in completion order (each `next()` blocks until
+/// a worker finishes a unit), then call [`RunHandle::into_summary`]; or
+/// call [`RunHandle::wait`] for the deterministic batch report. Dropping
+/// the handle abandons the run: workers observe the closed channel and
+/// stop after their in-flight unit.
+///
+/// Worker panics (which cannot happen through the public query surface —
+/// per-unit failures are records, not panics) are re-raised by `wait`,
+/// `into_summary`, and the iterator once the stream drains.
+pub struct RunHandle {
+    rx: Option<mpsc::Receiver<(usize, QueryRecord)>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    plan: Arc<QueryPlan>,
+    /// Shared with the workers; carries this run's own cache counters so
+    /// concurrent submits on one engine never pollute each other's
+    /// summaries.
+    ctx: Arc<ExecCtx>,
+    /// Aggregation fold records waiting to be yielded.
+    pending: VecDeque<(usize, QueryRecord)>,
+    folds: Vec<Option<AggregateFold>>,
+    latencies: Vec<Vec<u64>>,
+    ok: usize,
+    errors: usize,
+    sessions: usize,
+    threads: usize,
+    shards: usize,
+    started: Instant,
+}
+
+impl RunHandle {
+    /// Yields the next record with its deterministic sort key (worker
+    /// units sort by plan position; aggregation folds after all units).
+    fn next_keyed(&mut self) -> Option<(usize, QueryRecord)> {
+        if let Some(keyed) = self.pending.pop_front() {
+            return Some(keyed);
+        }
+        let rx = self.rx.as_ref()?;
+        match rx.recv() {
+            Ok((key, record)) => {
+                self.absorb_unit(key, &record);
+                Some((key, record))
+            }
+            Err(_) => {
+                self.rx = None;
+                self.join_workers();
+                None
+            }
+        }
     }
 
-    fn run_unit(
-        &self,
-        corpus: &SessionCorpus,
-        set: &QuerySet,
-        scenarios: &[Option<Result<Scenario, String>>],
-        qi: usize,
-        si: usize,
-    ) -> QueryRecord {
-        let query = &set.queries[qi];
-        let session = &corpus.sessions[si];
+    /// Folds a completed worker unit into the summary statistics and the
+    /// aggregation accumulators, queueing an aggregation's final record
+    /// when its last unit arrives.
+    fn absorb_unit(&mut self, key: usize, record: &QueryRecord) {
+        self.count(record);
+        let unit = self.plan.units()[key];
+        self.latencies[unit.query].push(record.elapsed_us);
+        let Some(fold) = self.folds[unit.query].as_mut() else {
+            return;
+        };
+        match record.output.as_ref().and_then(|o| o.metric_value) {
+            Some(value) => fold.values.push(value),
+            None => fold.unit_errors += 1,
+        }
+        fold.remaining -= 1;
+        if fold.remaining == 0 {
+            let query = &self.plan.set().queries[unit.query];
+            let final_record = aggregate_record(query, self.folds[unit.query].as_ref().unwrap());
+            self.count(&final_record);
+            // Keyed by query index so the batch report lists fold records
+            // in query order regardless of which aggregation's last unit
+            // happened to finish first.
+            let final_key = self.plan.units().len() + unit.query;
+            self.pending.push_back((final_key, final_record));
+        }
+    }
+
+    fn count(&mut self, record: &QueryRecord) {
+        if record.is_ok() {
+            self.ok += 1;
+        } else {
+            self.errors += 1;
+        }
+    }
+
+    fn join_workers(&mut self) {
+        for handle in self.workers.drain(..) {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// The summary of everything absorbed so far.
+    fn summary_now(&self) -> RunSummary {
+        let per_query = self
+            .plan
+            .set()
+            .queries
+            .iter()
+            .zip(&self.latencies)
+            .map(|(query, elapsed)| {
+                let mut sorted = elapsed.clone();
+                sorted.sort_unstable();
+                QueryLatency {
+                    id: query.id.clone(),
+                    units: sorted.len(),
+                    p50_us: percentile_u64(&sorted, 50.0),
+                    p95_us: percentile_u64(&sorted, 95.0),
+                    max_us: sorted.last().copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        RunSummary {
+            queryset: self.plan.set().name.clone(),
+            queries: self.plan.set().queries.len(),
+            sessions: self.sessions,
+            units: self.ok + self.errors,
+            ok: self.ok,
+            errors: self.errors,
+            cache_hits: self.ctx.run_hits.load(Ordering::Relaxed),
+            cache_misses: self.ctx.run_misses.load(Ordering::Relaxed),
+            threads: self.threads,
+            shards: self.shards,
+            elapsed_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            per_query,
+        }
+    }
+
+    /// Drains the remaining stream and returns the batch-shaped report:
+    /// records restored to deterministic plan order (aggregation folds at
+    /// the end). Records already taken through the iterator are *not*
+    /// re-included; call `wait` on a fresh handle for the full batch.
+    pub fn wait(mut self) -> EngineReport {
+        let mut keyed: Vec<(usize, QueryRecord)> = Vec::with_capacity(self.plan.units().len());
+        while let Some(entry) = self.next_keyed() {
+            keyed.push(entry);
+        }
+        self.join_workers();
+        keyed.sort_unstable_by_key(|(key, _)| *key);
+        EngineReport {
+            records: keyed.into_iter().map(|(_, record)| record).collect(),
+            summary: self.summary_now(),
+        }
+    }
+
+    /// Discards any remaining records and returns the run summary — the
+    /// closing call of the incremental path, after the iterator has been
+    /// consumed.
+    pub fn into_summary(mut self) -> RunSummary {
+        while self.next_keyed().is_some() {}
+        self.join_workers();
+        self.summary_now()
+    }
+}
+
+impl Iterator for RunHandle {
+    type Item = QueryRecord;
+
+    fn next(&mut self) -> Option<QueryRecord> {
+        self.next_keyed().map(|(_, record)| record)
+    }
+}
+
+impl Drop for RunHandle {
+    fn drop(&mut self) {
+        // Close the channel first so blocked senders fail out, then let
+        // the workers finish their in-flight units. Panics are not
+        // re-raised here (a re-raise during an unwind would abort); the
+        // consuming methods propagate them.
+        self.rx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Everything a worker needs to execute plan units: shared, immutable,
+/// and alive for as long as any worker runs.
+struct ExecCtx {
+    corpus: Arc<SessionCorpus>,
+    plan: Arc<QueryPlan>,
+    /// `None` when caching is disabled — units infer directly.
+    cache: Option<Arc<AbductionCache>>,
+    /// Per-session log fingerprints, precomputed at submit.
+    log_fps: Vec<u64>,
+    /// Cache hits observed by *this run's* units. Kept per run (not as a
+    /// delta of the shared cache's global counters) so concurrent submits
+    /// on one engine report accurate, independent summaries.
+    run_hits: AtomicU64,
+    /// Cache misses observed by this run's units.
+    run_misses: AtomicU64,
+}
+
+impl ExecCtx {
+    fn run_unit(&self, index: usize) -> QueryRecord {
+        let unit = self.plan.units()[index];
+        let query = &self.plan.set().queries[unit.query];
+        let planned = &self.plan.configs()[unit.config];
+        let session_id = self.corpus.sessions[unit.session].id.clone();
         let started = Instant::now();
-        let answered = match (query.kind, &scenarios[qi]) {
-            (QueryKind::Abduction, _) => self.answer_abduction(&set.config, session),
-            (QueryKind::Interventional, _) => {
-                self.answer_interventional(&set.config, query, session)
-            }
-            (QueryKind::Counterfactual, Some(Ok(scenario))) => {
-                self.answer_counterfactual(&set.config, query, session, scenario)
-            }
-            (QueryKind::Counterfactual, Some(Err(error))) => Err(error.clone()),
-            (QueryKind::Counterfactual, None) => {
-                unreachable!("scenarios are materialized for every counterfactual query")
-            }
+        let answered = match query.kind {
+            QueryKind::Abduction => self.answer_abduction(planned, unit.session),
+            QueryKind::Interventional => self.answer_interventional(planned, query, unit.session),
+            QueryKind::Counterfactual => match self.plan.scenario_for(unit.query) {
+                Some(Ok(scenario)) => {
+                    self.answer_counterfactual(planned, query, unit.session, scenario)
+                }
+                Some(Err(error)) => Err(error.clone()),
+                None => unreachable!("scenarios are materialized for every counterfactual query"),
+            },
+            QueryKind::Sweep => match self.plan.scenario_for(unit.query) {
+                // A sweep with a scenario replays the counterfactual under
+                // every config variant; without one it is abduction-shaped.
+                Some(Ok(scenario)) => {
+                    self.answer_counterfactual(planned, query, unit.session, scenario)
+                }
+                Some(Err(error)) => Err(error.clone()),
+                None => self.answer_abduction(planned, unit.session),
+            },
+            QueryKind::Aggregate => self.answer_aggregate(planned, query, unit.query, unit.session),
         };
         let elapsed_us = started.elapsed().as_micros() as u64;
         match answered {
             Ok((output, cache)) => QueryRecord {
                 query_id: query.id.clone(),
                 kind: query.kind,
-                session: session.id.clone(),
+                session: session_id,
+                variant: planned.label.clone(),
                 status: "ok".to_string(),
                 error: None,
                 cache,
@@ -342,7 +766,8 @@ impl Engine {
             Err(error) => QueryRecord {
                 query_id: query.id.clone(),
                 kind: query.kind,
-                session: session.id.clone(),
+                session: session_id,
+                variant: planned.label.clone(),
                 status: "error".to_string(),
                 error: Some(error),
                 cache: None,
@@ -352,40 +777,61 @@ impl Engine {
         }
     }
 
-    /// Resolves the unit's abduction — through the cache when enabled —
-    /// returning the posterior and the cache status string.
+    /// Resolves a unit's abduction — through the cache when enabled —
+    /// using the fingerprints precomputed at compile (config) and submit
+    /// (log) time.
     fn abduce(
         &self,
-        session: &CorpusSession,
+        si: usize,
         horizon: usize,
-        config: &VeritasConfig,
+        planned: &PlannedConfig,
     ) -> Result<(Arc<Abduction>, Option<String>), String> {
-        if self.cache_enabled {
-            let (abduction, hit) = self
-                .cache
-                .get_or_infer_prefix(&session.id, &session.log, horizon, config)
-                .map_err(|e| e.to_string())?;
-            Ok((
-                abduction,
-                Some(if hit { "hit" } else { "miss" }.to_string()),
-            ))
-        } else {
-            let abduction = crate::cache::infer_prefix(&session.log, horizon, config)
-                .map_err(|e| e.to_string())?;
-            Ok((Arc::new(abduction), Some("off".to_string())))
+        let session = &self.corpus.sessions[si];
+        match &self.cache {
+            Some(cache) => {
+                let (abduction, hit) = cache
+                    .get_or_infer_keyed(
+                        &session.id,
+                        &session.log,
+                        self.log_fps[si],
+                        horizon,
+                        &planned.config,
+                        planned.fingerprint,
+                    )
+                    .map_err(|e| e.to_string())?;
+                if hit {
+                    self.run_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.run_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((
+                    abduction,
+                    Some(if hit { "hit" } else { "miss" }.to_string()),
+                ))
+            }
+            None => {
+                let abduction = infer_prefix(&session.log, horizon, &planned.config)
+                    .map_err(|e| e.to_string())?;
+                Ok((Arc::new(abduction), Some("off".to_string())))
+            }
         }
     }
 
     fn answer_abduction(
         &self,
-        config: &VeritasConfig,
-        session: &CorpusSession,
+        planned: &PlannedConfig,
+        si: usize,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let (abduction, cache) = self.abduce(session, session.log.records.len(), config)?;
+        let session = &self.corpus.sessions[si];
+        let (abduction, cache) = self.abduce(si, session.log.records.len(), planned)?;
         let viterbi = abduction.viterbi_trace();
         let mae = session.truth.as_ref().map(|truth| {
             let horizon = session.log.session_duration_s.min(truth.duration());
-            trace_mae(&truth.with_duration(horizon), &viterbi, config.delta_s)
+            trace_mae(
+                &truth.with_duration(horizon),
+                &viterbi,
+                planned.config.delta_s,
+            )
         });
         Ok((
             QueryOutput {
@@ -400,11 +846,11 @@ impl Engine {
 
     fn answer_interventional(
         &self,
-        config: &VeritasConfig,
+        planned: &PlannedConfig,
         query: &Query,
-        session: &CorpusSession,
+        si: usize,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let log = &session.log;
+        let log = &self.corpus.sessions[si].log;
         let next_index = query.chunk_index.unwrap_or(log.records.len());
         if next_index == 0 || next_index > log.records.len() {
             return Err(format!(
@@ -412,7 +858,7 @@ impl Engine {
                 log.records.len()
             ));
         }
-        let (abduction, cache) = self.abduce(session, next_index, config)?;
+        let (abduction, cache) = self.abduce(si, next_index, planned)?;
         // At decision time the TCP state and (for replayed decisions) the
         // logged size of the next chunk are observable.
         let (tcp_info, logged) = if next_index < log.records.len() {
@@ -427,7 +873,7 @@ impl Engine {
             .or(logged.map(|r| r.size_bytes))
             .or(log.records.last().map(|r| r.size_bytes))
             .expect("non-empty log");
-        let prediction = InterventionalPredictor::new(*config).predict_from_abduction(
+        let prediction = InterventionalPredictor::new(planned.config).predict_from_abduction(
             &abduction,
             log,
             next_index,
@@ -445,16 +891,19 @@ impl Engine {
         ))
     }
 
-    fn answer_counterfactual(
+    /// Samples the posterior and replays a scenario over every sampled
+    /// trace — the shared core of counterfactual and aggregation answers.
+    fn replay_prediction(
         &self,
-        config: &VeritasConfig,
+        planned: &PlannedConfig,
         query: &Query,
-        session: &CorpusSession,
+        si: usize,
         scenario: &Scenario,
-    ) -> Result<(QueryOutput, Option<String>), String> {
-        let (abduction, cache) = self.abduce(session, session.log.records.len(), config)?;
-        let samples = query.samples.unwrap_or(config.num_samples).max(1);
-        let seed = query.seed.unwrap_or(config.seed);
+    ) -> Result<(Arc<Abduction>, RangePrediction, Option<String>), String> {
+        let session = &self.corpus.sessions[si];
+        let (abduction, cache) = self.abduce(si, session.log.records.len(), planned)?;
+        let samples = query.samples.unwrap_or(planned.config.num_samples).max(1);
+        let seed = query.seed.unwrap_or(planned.config.seed);
         let prediction = RangePrediction {
             samples: abduction
                 .sample_traces_with_seed(samples, seed)
@@ -462,7 +911,19 @@ impl Engine {
                 .map(|trace| scenario.replay(trace))
                 .collect(),
         };
-        let baseline = scenario.replay(&baseline_trace(&session.log, config.delta_s));
+        Ok((abduction, prediction, cache))
+    }
+
+    fn answer_counterfactual(
+        &self,
+        planned: &PlannedConfig,
+        query: &Query,
+        si: usize,
+        scenario: &Scenario,
+    ) -> Result<(QueryOutput, Option<String>), String> {
+        let session = &self.corpus.sessions[si];
+        let (_, prediction, cache) = self.replay_prediction(planned, query, si, scenario)?;
+        let baseline = scenario.replay(&baseline_trace(&session.log, planned.config.delta_s));
         let oracle = session
             .truth
             .as_ref()
@@ -477,6 +938,68 @@ impl Engine {
             cache,
         ))
     }
+
+    fn answer_aggregate(
+        &self,
+        planned: &PlannedConfig,
+        query: &Query,
+        qi: usize,
+        si: usize,
+    ) -> Result<(QueryOutput, Option<String>), String> {
+        let spec = query.aggregate.as_ref().expect("validated aggregate query");
+        let (value, cache) = if spec.metric.needs_replay() {
+            let scenario = match self.plan.scenario_for(qi) {
+                Some(Ok(scenario)) => scenario,
+                Some(Err(error)) => return Err(error.clone()),
+                None => unreachable!("replay metrics materialize a scenario at compile time"),
+            };
+            let (_, prediction, cache) = self.replay_prediction(planned, query, si, scenario)?;
+            // The per-session contribution is the Veritas-median outcome
+            // of the metric across posterior samples (paper §4.3).
+            (prediction.median_of(|q| spec.metric.of_qoe(q)), cache)
+        } else {
+            let session = &self.corpus.sessions[si];
+            let (abduction, cache) = self.abduce(si, session.log.records.len(), planned)?;
+            (abduction.viterbi_trace().mean(), cache)
+        };
+        Ok((
+            QueryOutput {
+                metric_value: Some(value),
+                ..QueryOutput::default()
+            },
+            cache,
+        ))
+    }
+}
+
+/// Builds the final `session: "*"` record of an aggregation query from
+/// its fold state.
+fn aggregate_record(query: &Query, fold: &AggregateFold) -> QueryRecord {
+    let spec = query.aggregate.as_ref().expect("validated aggregate query");
+    let mut record = QueryRecord {
+        query_id: query.id.clone(),
+        kind: QueryKind::Aggregate,
+        session: AGGREGATE_SESSION.to_string(),
+        variant: None,
+        status: "ok".to_string(),
+        error: None,
+        cache: None,
+        elapsed_us: 0,
+        output: None,
+    };
+    if fold.values.is_empty() {
+        record.status = "error".to_string();
+        record.error = Some(format!(
+            "no session produced a value to aggregate ({} unit errors)",
+            fold.unit_errors
+        ));
+    } else {
+        record.output = Some(QueryOutput {
+            aggregate: Some(AggregateSummary::reduce(spec.metric, &fold.values)),
+            ..QueryOutput::default()
+        });
+    }
+    record
 }
 
 /// Builds the concrete replay [`Scenario`] a [`ScenarioSpec`] describes,
@@ -521,7 +1044,7 @@ mod tests {
     use super::*;
     use crate::corpus::SyntheticSpec;
     use crate::query::QuerySet;
-    use veritas::CounterfactualEngine;
+    use veritas::{CounterfactualEngine, VeritasConfig};
 
     fn tiny_corpus() -> SessionCorpus {
         SyntheticSpec {
@@ -717,5 +1240,130 @@ mod tests {
         }
         let summary: RunSummary = serde_json::from_str(&report.summary_json()).unwrap();
         assert_eq!(summary, report.summary);
+    }
+
+    #[test]
+    fn with_threads_zero_normalizes_to_default() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config()).with_query(Query::abduction("a"));
+        let report = Engine::new().with_threads(0).run(&corpus, &set).unwrap();
+        assert_eq!(
+            report.summary.threads,
+            executor::default_threads(),
+            "with_threads(0) must mean `pick the default`, not one thread"
+        );
+        let explicit = Engine::new().with_threads(3).run(&corpus, &set).unwrap();
+        assert_eq!(explicit.summary.threads, 3);
+    }
+
+    #[test]
+    fn summary_reports_per_query_latency_aggregates() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::abduction("a"))
+            .with_query(Query::counterfactual("b", ScenarioSpec::abr("bba")));
+        let report = Engine::new().run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.per_query.len(), 2);
+        for latency in &report.summary.per_query {
+            assert_eq!(latency.units, corpus.len());
+            assert!(latency.p50_us <= latency.p95_us);
+            assert!(latency.p95_us <= latency.max_us);
+            assert!(latency.max_us > 0, "units take measurable time");
+        }
+        assert_eq!(report.summary.per_query[0].id, "a");
+        assert_eq!(report.summary.per_query[1].id, "b");
+    }
+
+    #[test]
+    fn submit_rejects_a_mismatched_corpus() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config()).with_query(Query::abduction("a"));
+        let plan = QueryPlan::compile(&set, &corpus).unwrap();
+        // Wrong session count.
+        let bigger = SyntheticSpec {
+            sessions: 3,
+            video_duration_s: 60.0,
+            ..SyntheticSpec::default()
+        }
+        .build();
+        assert!(matches!(
+            Engine::new().submit(&bigger, &plan),
+            Err(EngineError::Query(_))
+        ));
+        // Same session count, different content: the plan's scenarios and
+        // selectors were resolved against another corpus, so this must be
+        // rejected rather than silently replaying the wrong assets.
+        let impostor = SyntheticSpec {
+            sessions: 2,
+            video_duration_s: 120.0,
+            seed: 999,
+            ..SyntheticSpec::default()
+        }
+        .build();
+        match Engine::new().submit(&impostor, &plan) {
+            Err(EngineError::Query(message)) => assert!(message.contains("different corpus")),
+            Err(other) => panic!("expected a corpus-mismatch error, got {other:?}"),
+            Ok(_) => panic!("a same-sized impostor corpus must be rejected"),
+        }
+        // Identical logs but a different deployed setting: scenarios were
+        // materialized from the original setting, so this too must be
+        // rejected, not silently replayed.
+        let mut redeployed = corpus.clone();
+        redeployed.deployed_abr = "bba".to_string();
+        assert!(
+            Engine::new().submit(&redeployed, &plan).is_err(),
+            "a changed deployed setting must invalidate the plan"
+        );
+        let mut rebuffered = corpus.clone();
+        rebuffered.player = rebuffered.player.with_buffer_capacity(30.0);
+        assert!(Engine::new().submit(&rebuffered, &plan).is_err());
+        // The corpus it was compiled against still works.
+        assert!(Engine::new().submit(&corpus, &plan).is_ok());
+    }
+
+    #[test]
+    fn multiple_aggregations_fold_in_query_order() {
+        use crate::plan::{AggregateMetric, AggregateSpec};
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::aggregate(
+                "agg-a",
+                AggregateSpec::of(AggregateMetric::MeanCapacityMbps),
+            ))
+            .with_query(Query::aggregate(
+                "agg-b",
+                AggregateSpec::of(AggregateMetric::MeanCapacityMbps),
+            ));
+        // Several runs with real parallelism: the two fold records must
+        // always close the report in query order, no matter which
+        // aggregation's last unit finished first.
+        for _ in 0..3 {
+            let report = Engine::new().with_threads(4).run(&corpus, &set).unwrap();
+            let tail: Vec<(&str, &str)> = report.records[report.records.len() - 2..]
+                .iter()
+                .map(|r| (r.query_id.as_str(), r.session.as_str()))
+                .collect();
+            assert_eq!(
+                tail,
+                vec![("agg-a", AGGREGATE_SESSION), ("agg-b", AGGREGATE_SESSION)]
+            );
+        }
+    }
+
+    #[test]
+    fn pre_variant_reports_still_deserialize() {
+        // A record line written before `variant`/`metric_value`/`aggregate`
+        // existed must stay readable by `veritas validate`.
+        let old_line = r#"{"query_id":"posterior","kind":"abduction","session":"session-0","status":"ok","error":null,"cache":"miss","elapsed_us":1234,"output":{"chunks":60,"mean_capacity_mbps":5.5,"viterbi_mae_vs_truth_mbps":null,"expected_capacity_mbps":null,"predicted_download_time_s":null,"actual_download_time_s":null,"veritas":null,"baseline":null,"oracle":null}}"#;
+        let record: QueryRecord = serde_json::from_str(old_line).unwrap();
+        assert_eq!(record.query_id, "posterior");
+        assert_eq!(record.variant, None);
+        assert_eq!(record.output.as_ref().unwrap().chunks, Some(60));
+        assert_eq!(record.output.as_ref().unwrap().metric_value, None);
+        // Typos are still rejected.
+        assert!(serde_json::from_str::<QueryRecord>(
+            r#"{"query_id":"q","kind":"abduction","session":"s","status":"ok","elapsed_us":1,"varient":"x"}"#
+        )
+        .is_err());
     }
 }

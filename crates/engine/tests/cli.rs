@@ -1,0 +1,127 @@
+//! CLI-level tests of the `veritas` binary: exit-status behavior on
+//! per-unit errors (`--allow-errors`), and the sharded streaming path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use veritas_engine::QueryRecord;
+
+fn veritas(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_veritas"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("the veritas binary must run")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("veritas_cli_test_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn run_exits_nonzero_on_unit_errors_unless_allowed() {
+    let dir = temp_dir("exit_status");
+    // chunk_index far out of range: every unit fails (cheaply, before any
+    // inference), so the run completes but carries errors.
+    std::fs::write(
+        dir.join("bad.json"),
+        r#"{"queries": [{"id": "bad", "kind": "interventional", "chunk_index": 100000}]}"#,
+    )
+    .unwrap();
+
+    let failing = veritas(
+        &[
+            "run",
+            "bad.json",
+            "--synthetic",
+            "2",
+            "--out",
+            "report.jsonl",
+        ],
+        &dir,
+    );
+    assert!(
+        !failing.status.success(),
+        "per-unit errors must fail the run: {}",
+        String::from_utf8_lossy(&failing.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&failing.stderr);
+    assert!(stderr.contains("--allow-errors"), "stderr was: {stderr}");
+    // The records were still written before the nonzero exit.
+    let report = std::fs::read_to_string(dir.join("report.jsonl")).unwrap();
+    assert_eq!(report.lines().count(), 2);
+
+    let allowed = veritas(
+        &[
+            "run",
+            "bad.json",
+            "--synthetic",
+            "2",
+            "--allow-errors",
+            "--out",
+            "report.jsonl",
+        ],
+        &dir,
+    );
+    assert!(
+        allowed.status.success(),
+        "--allow-errors must downgrade unit errors to exit 0: {}",
+        String::from_utf8_lossy(&allowed.stderr)
+    );
+}
+
+#[test]
+fn run_rejects_invalid_query_files_with_nonzero_exit() {
+    let dir = temp_dir("invalid_query");
+    std::fs::write(
+        dir.join("invalid.json"),
+        r#"{"queries": [{"id": "s", "kind": "sweep"}]}"#,
+    )
+    .unwrap();
+    let output = veritas(&["run", "invalid.json", "--synthetic", "2"], &dir);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("sweep"), "stderr was: {stderr}");
+}
+
+#[test]
+fn streamed_sharded_run_writes_valid_jsonl() {
+    let dir = temp_dir("stream");
+    std::fs::write(
+        dir.join("queries.json"),
+        r#"{"queries": [{"id": "posterior", "kind": "abduction"}]}"#,
+    )
+    .unwrap();
+    let output = veritas(
+        &[
+            "run",
+            "queries.json",
+            "--synthetic",
+            "2",
+            "--stream",
+            "--shards",
+            "2",
+            "--out",
+            "stream.jsonl",
+            "--summary",
+            "summary.json",
+        ],
+        &dir,
+    );
+    assert!(
+        output.status.success(),
+        "streamed run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = std::fs::read_to_string(dir.join("stream.jsonl")).unwrap();
+    let records: Vec<QueryRecord> = report
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("every streamed line is a record"))
+        .collect();
+    assert_eq!(records.len(), 2);
+    assert!(records.iter().all(|r| r.is_ok()));
+    let summary = std::fs::read_to_string(dir.join("summary.json")).unwrap();
+    assert!(summary.contains("\"shards\": 2"), "summary was: {summary}");
+}

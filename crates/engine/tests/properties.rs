@@ -9,15 +9,49 @@
 use proptest::prelude::*;
 
 use veritas::VeritasConfig;
-use veritas_engine::{Query, QueryKind, QuerySet, ScenarioSpec};
+use veritas_engine::{
+    AggregateMetric, AggregateSpec, ConfigSweep, Query, QueryKind, QuerySet, ScenarioSpec,
+};
+
+/// Deterministically expands one sampled u64 into a sweep grid.
+fn build_sweep(bits: u64) -> ConfigSweep {
+    ConfigSweep {
+        sigma_mbps: (bits & 0x01 != 0).then(|| vec![0.2 + (bits >> 4 & 0x7) as f64 * 0.11, 1.0]),
+        stay_probability: (bits & 0x02 != 0).then(|| vec![0.5, 0.75, 0.9]),
+        num_samples: (bits & 0x04 != 0).then(|| vec![(bits >> 8) as usize % 7 + 1]),
+        epsilon_mbps: (bits & 0x1000 != 0).then(|| vec![0.5, 0.25]),
+        max_capacity_mbps: (bits & 0x2000 != 0).then(|| vec![8.0 + (bits >> 12 & 0x3) as f64]),
+    }
+}
+
+/// Deterministically expands one sampled u64 into an aggregate spec.
+fn build_aggregate(bits: u64) -> AggregateSpec {
+    let metric = match bits >> 3 & 0x3 {
+        0 => AggregateMetric::MeanSsim,
+        1 => AggregateMetric::RebufferRatioPercent,
+        2 => AggregateMetric::AvgBitrateMbps,
+        _ => AggregateMetric::StartupDelayS,
+    };
+    let mut spec = if bits & 0x01 != 0 {
+        AggregateSpec::of(AggregateMetric::MeanCapacityMbps)
+    } else {
+        AggregateSpec::of(metric)
+    };
+    if bits & 0x01 == 0 && bits & 0x02 != 0 {
+        spec = spec.with_scenario(ScenarioSpec::abr("bba"));
+    }
+    spec
+}
 
 /// Deterministically expands one sampled u64 into a query, exercising
 /// every field and every kind.
 fn build_query(index: usize, bits: u64) -> Query {
-    let kind = match bits % 3 {
+    let kind = match bits % 5 {
         0 => QueryKind::Abduction,
         1 => QueryKind::Interventional,
-        _ => QueryKind::Counterfactual,
+        2 => QueryKind::Counterfactual,
+        3 => QueryKind::Sweep,
+        _ => QueryKind::Aggregate,
     };
     let mut query = Query::new(&format!("q{index}"), kind);
     if bits & 0x08 != 0 {
@@ -41,6 +75,12 @@ fn build_query(index: usize, bits: u64) -> Query {
     }
     if bits & 0x800 != 0 {
         query.seed = Some(bits >> 11); // stays within 53 bits
+    }
+    if kind == QueryKind::Sweep || bits & 0x4000 != 0 {
+        query.sweep = Some(build_sweep(bits >> 5));
+    }
+    if kind == QueryKind::Aggregate || bits & 0x8000 != 0 {
+        query.aggregate = Some(build_aggregate(bits >> 17));
     }
     query
 }
@@ -79,5 +119,42 @@ proptest! {
         let compact: QuerySet =
             serde_json::from_str(&serde_json::to_string(&set).unwrap()).unwrap();
         prop_assert_eq!(compact, set);
+    }
+
+    #[test]
+    fn sweeps_expand_the_declared_product_and_validate(bits in 0u64..u64::MAX) {
+        let base = VeritasConfig::paper_default();
+        let sweep = build_sweep(bits | 0x01); // at least one axis present
+        prop_assert!(sweep.validate(&base).is_ok(), "sweep was: {:?}", sweep);
+        let variants = sweep.expand(&base);
+        prop_assert_eq!(variants.len(), sweep.variant_count());
+        // Labels are unique and every variant is a valid configuration.
+        let mut labels: Vec<&str> = variants.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        prop_assert_eq!(labels.len(), variants.len(), "duplicate sweep labels");
+        for (label, config) in &variants {
+            prop_assert!(config.validate().is_ok(), "variant `{}` invalid", label);
+        }
+        // A sweep query built from it round-trips through JSON. A
+        // num_samples axis is only valid on a replaying sweep, so give
+        // those a scenario.
+        let mut query = Query::sweep("sw", sweep);
+        if query.sweep.as_ref().unwrap().num_samples.is_some() {
+            query = query.with_scenario(ScenarioSpec::abr("bba"));
+        }
+        let set = QuerySet::new("sweep", base).with_query(query);
+        prop_assert!(set.validate().is_ok());
+        prop_assert_eq!(QuerySet::from_json(&set.to_json()).unwrap(), set);
+    }
+
+    #[test]
+    fn aggregate_specs_round_trip_and_validate(bits in 0u64..u64::MAX) {
+        let spec = build_aggregate(bits);
+        prop_assert!(spec.validate().is_ok(), "spec was: {:?}", spec);
+        let set = QuerySet::new("agg", VeritasConfig::paper_default())
+            .with_query(Query::aggregate("a", spec));
+        prop_assert!(set.validate().is_ok());
+        prop_assert_eq!(QuerySet::from_json(&set.to_json()).unwrap(), set);
     }
 }

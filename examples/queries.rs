@@ -1,16 +1,22 @@
-//! Example: the declarative query engine end to end.
+//! Example: the declarative query engine end to end — compile, execute,
+//! consume.
 //!
 //! Builds a [`QuerySet`] programmatically (the same structure `veritas run
-//! queries.json` reads from disk), prints its JSON form, executes it over
-//! a small synthetic corpus through the cached engine, and shows the JSONL
-//! result stream plus the cache's effect.
+//! queries.json` reads from disk), compiles it into a [`QueryPlan`],
+//! executes it over a small synthetic corpus through the cached engine —
+//! first as a blocking batch, then as a sharded record stream — and shows
+//! the new compound query kinds: a configuration sweep and a trace-level
+//! aggregation.
 //!
 //! ```sh
 //! cargo run --release --example queries
 //! ```
 
 use veritas::VeritasConfig;
-use veritas_engine::{Engine, Query, QueryKind, QuerySet, ScenarioSpec, SessionCorpus};
+use veritas_engine::{
+    AggregateMetric, AggregateSpec, ConfigSweep, Engine, Query, QueryKind, QueryPlan, QuerySet,
+    ScenarioSpec, SessionCorpus, AGGREGATE_SESSION,
+};
 
 fn main() {
     // 1. A declarative query set: every paper query family at once.
@@ -37,10 +43,24 @@ fn main() {
     //    GTBW traces (use SessionCorpus::from_dir for recorded logs).
     let corpus = SessionCorpus::synthetic(3, 42);
 
-    // 3. Execute. Every (query, session) pair is one work unit; the four
-    //    queries share a single cached abduction per session.
+    // 3. Compile. The plan is the flat unit list the executor drains:
+    //    session selectors resolved, scenarios materialized once per
+    //    distinct spec, config fingerprints precomputed.
+    let plan = QueryPlan::compile(&set, &corpus).expect("valid query set");
+    println!(
+        "--- plan: {} units across {} queries, {} config(s) ---",
+        plan.units().len(),
+        set.queries.len(),
+        plan.configs().len()
+    );
+
+    // 4. Execute + consume, batch-shaped: submit(...).wait() restores
+    //    deterministic order (Engine::run is exactly this wrapper).
     let engine = Engine::new();
-    let report = engine.run(&corpus, &set).expect("valid query set");
+    let report = engine
+        .submit(&corpus, &plan)
+        .expect("plan fits corpus")
+        .wait();
 
     println!("--- results (JSONL, one line per unit) ---");
     print!("{}", report.to_jsonl());
@@ -60,7 +80,7 @@ fn main() {
         s.units, s.sessions, s.cache_misses, s.cache_hits
     );
 
-    // 4. Pull one structured answer back out: the BBA counterfactual
+    // 5. Pull one structured answer back out: the BBA counterfactual
     //    ranges for the first session.
     let record = report.records_for("what-if-bba")[0];
     assert_eq!(record.kind, QueryKind::Counterfactual);
@@ -72,5 +92,66 @@ fn main() {
         veritas.ssim_high,
         veritas.rebuffer_low,
         veritas.rebuffer_high
+    );
+
+    // 6. The streaming path, with the compound query kinds: a sweep over
+    //    the emission noise σ and a corpus-level QoE aggregation. The
+    //    handle is an Iterator — records arrive in completion order, and
+    //    the aggregation folds from the stream (only scalars are kept).
+    let compound = QuerySet::new("compound", VeritasConfig::paper_default().with_samples(2))
+        .with_query(Query::sweep(
+            "noise-sweep",
+            ConfigSweep::new().over_sigma(vec![0.25, 0.5, 1.0]),
+        ))
+        .with_query(Query::aggregate(
+            "fleet-rebuffer",
+            AggregateSpec::of(AggregateMetric::RebufferRatioPercent)
+                .with_scenario(ScenarioSpec::abr("bba")),
+        ));
+    let plan = QueryPlan::compile(&compound, &corpus).expect("valid compound set");
+    let mut handle = Engine::new()
+        .with_shards(2)
+        .submit(&corpus, &plan)
+        .expect("plan fits corpus");
+    println!("\n--- streaming (completion order, 2 shards) ---");
+    for record in &mut handle {
+        match record.variant.as_deref() {
+            Some(variant) => println!(
+                "  [{}] {} on {}: mean capacity {:.2} Mbps",
+                record.query_id,
+                variant,
+                record.session,
+                record
+                    .output
+                    .as_ref()
+                    .and_then(|o| o.mean_capacity_mbps)
+                    .unwrap_or(f64::NAN)
+            ),
+            None if record.session == AGGREGATE_SESSION => {
+                let agg = record.output.as_ref().unwrap().aggregate.unwrap();
+                println!(
+                    "  [{}] fleet fold over {} sessions: mean {:.2}%, p50 {:.2}%, p95 {:.2}%",
+                    record.query_id, agg.sessions, agg.mean, agg.p50, agg.p95
+                );
+            }
+            None => println!(
+                "  [{}] {} contributes {:.3}",
+                record.query_id,
+                record.session,
+                record
+                    .output
+                    .as_ref()
+                    .and_then(|o| o.metric_value)
+                    .unwrap_or(f64::NAN)
+            ),
+        }
+    }
+    let summary = handle.into_summary();
+    assert_eq!(summary.errors, 0);
+    // 3 sigma variants x 3 sessions + 3 aggregate units + 1 fold record.
+    assert_eq!(summary.units, 13);
+    println!(
+        "compound set: {} records in {:.1} ms across {} shards",
+        summary.units, summary.elapsed_ms, summary.shards
     );
 }
