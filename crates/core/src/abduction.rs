@@ -31,7 +31,11 @@ pub struct Abduction {
     config: VeritasConfig,
     quantizer: Quantizer,
     workspace: Arc<EhmmWorkspace>,
-    emissions: EmissionTable,
+    /// Number of chunk observations conditioned on. The emission table
+    /// itself is consumed by inference and not retained, so a posterior
+    /// restored from a persistent store is indistinguishable from a
+    /// freshly inferred one.
+    num_obs: usize,
     /// δ-interval index in which each chunk download starts.
     start_intervals: Vec<usize>,
     /// Total number of δ-intervals spanned by the session.
@@ -149,29 +153,8 @@ impl Abduction {
             "workspace spec does not match the configuration"
         );
         let quantizer = Quantizer::new(config.epsilon_mbps, config.max_capacity_mbps);
-
-        let start_intervals: Vec<usize> = log
-            .records
-            .iter()
-            .map(|record| (record.start_time_s / config.delta_s).floor() as usize)
-            .collect();
-        let mut gaps = Vec::with_capacity(start_intervals.len());
-        gaps.push(0u32);
-        for n in 1..start_intervals.len() {
-            let (prev, cur) = (start_intervals[n - 1], start_intervals[n]);
-            if cur < prev {
-                // A backwards start time would underflow the `usize`
-                // subtraction below and produce a garbage gap; reject the
-                // log instead.
-                return Err(AbductionError::NonMonotonicLog { chunk: n });
-            }
-            gaps.push((cur - prev) as u32);
-        }
+        let (start_intervals, gaps, total_intervals) = interval_layout(log, config)?;
         let emissions = EmissionTable::new(rows, gaps);
-
-        let total_intervals = ((log.session_duration_s / config.delta_s).ceil() as usize)
-            .max(start_intervals.last().copied().unwrap_or(0) + 1)
-            .max(1);
 
         let viterbi = workspace.viterbi(&emissions);
         let posteriors = workspace.forward_backward(&emissions);
@@ -180,7 +163,90 @@ impl Abduction {
             config: *config,
             quantizer,
             workspace,
-            emissions,
+            num_obs: emissions.num_obs(),
+            start_intervals,
+            total_intervals,
+            viterbi,
+            posteriors,
+        })
+    }
+
+    /// Rebuilds an abduction from previously computed inference results —
+    /// the warm-start path persistent caches use. No forward–backward or
+    /// Viterbi pass runs; only the cheap δ-interval layout is rederived
+    /// from the log.
+    ///
+    /// Every shape is revalidated against the log/config pair: a Viterbi
+    /// path or posterior whose length, state count, or state indices do
+    /// not fit yields [`AbductionError::InconsistentParts`], so a stale or
+    /// truncated store entry can never be served as a plausible-looking
+    /// posterior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workspace` was built for a different spec than `config`
+    /// implies — a caller bug, exactly as in [`Self::try_infer_prepared`].
+    pub fn from_parts(
+        log: &SessionLog,
+        config: &VeritasConfig,
+        workspace: Arc<EhmmWorkspace>,
+        viterbi: ViterbiResult,
+        posteriors: Posteriors,
+    ) -> Result<Self, AbductionError> {
+        config.validate().map_err(AbductionError::InvalidConfig)?;
+        if log.records.is_empty() {
+            return Err(AbductionError::EmptySession);
+        }
+        assert!(
+            workspace.spec() == &Self::spec_for(config),
+            "workspace spec does not match the configuration"
+        );
+        let quantizer = Quantizer::new(config.epsilon_mbps, config.max_capacity_mbps);
+        let num_obs = log.records.len();
+        let num_states = quantizer.values().len();
+        let inconsistent = |reason: String| AbductionError::InconsistentParts(reason);
+        if viterbi.path.len() != num_obs {
+            return Err(inconsistent(format!(
+                "viterbi path covers {} chunks, log has {num_obs}",
+                viterbi.path.len()
+            )));
+        }
+        if let Some(&state) = viterbi.path.iter().find(|&&s| s >= num_states) {
+            return Err(inconsistent(format!(
+                "viterbi state {state} exceeds the {num_states}-state capacity grid"
+            )));
+        }
+        if posteriors.gamma.len() != num_obs || posteriors.gamma.cols() != num_states {
+            return Err(inconsistent(format!(
+                "gamma is {}x{}, expected {num_obs}x{num_states}",
+                posteriors.gamma.len(),
+                posteriors.gamma.cols()
+            )));
+        }
+        if posteriors.xi.len() != num_obs - 1 {
+            return Err(inconsistent(format!(
+                "{} pairwise posteriors for {num_obs} chunks, expected {}",
+                posteriors.xi.len(),
+                num_obs - 1
+            )));
+        }
+        if let Some(pair) = posteriors
+            .xi
+            .iter()
+            .find(|m| m.len() != num_states || m.cols() != num_states)
+        {
+            return Err(inconsistent(format!(
+                "pairwise posterior is {}x{}, expected {num_states}x{num_states}",
+                pair.len(),
+                pair.cols()
+            )));
+        }
+        let (start_intervals, _gaps, total_intervals) = interval_layout(log, config)?;
+        Ok(Self {
+            config: *config,
+            quantizer,
+            workspace,
+            num_obs,
             start_intervals,
             total_intervals,
             viterbi,
@@ -216,6 +282,18 @@ impl Abduction {
         &self.posteriors
     }
 
+    /// The Viterbi decode (path plus its log-likelihood) — exposed whole,
+    /// alongside [`Self::posteriors`], so persistence layers can serialize
+    /// everything [`Self::from_parts`] needs to restore the abduction.
+    pub fn viterbi(&self) -> &ViterbiResult {
+        &self.viterbi
+    }
+
+    /// Number of chunk observations the posterior conditions on.
+    pub fn num_obs(&self) -> usize {
+        self.num_obs
+    }
+
     /// The Viterbi (jointly most likely) capacity state per chunk.
     pub fn viterbi_states(&self) -> &[usize] {
         &self.viterbi.path
@@ -229,7 +307,7 @@ impl Abduction {
     /// Per-chunk posterior-mean capacity in Mbps.
     pub fn posterior_mean_chunk_capacities(&self) -> Vec<f64> {
         let grid = self.capacity_grid();
-        (0..self.emissions.num_obs())
+        (0..self.num_obs)
             .map(|n| self.posteriors.posterior_mean(n, &grid))
             .collect()
     }
@@ -284,6 +362,38 @@ impl Abduction {
         BandwidthTrace::from_uniform(self.config.delta_s, &values)
             .expect("interpolated capacity trace is valid")
     }
+}
+
+/// The δ-interval layout a log/config pair implies: the interval in which
+/// each chunk starts, the non-negative gaps between consecutive starts,
+/// and the total interval count of the session. Shared by fresh inference
+/// ([`Abduction::try_infer_prepared`]) and warm restoration
+/// ([`Abduction::from_parts`]) so the two paths can never disagree.
+fn interval_layout(
+    log: &SessionLog,
+    config: &VeritasConfig,
+) -> Result<(Vec<usize>, Vec<u32>, usize), AbductionError> {
+    let start_intervals: Vec<usize> = log
+        .records
+        .iter()
+        .map(|record| (record.start_time_s / config.delta_s).floor() as usize)
+        .collect();
+    let mut gaps = Vec::with_capacity(start_intervals.len());
+    gaps.push(0u32);
+    for n in 1..start_intervals.len() {
+        let (prev, cur) = (start_intervals[n - 1], start_intervals[n]);
+        if cur < prev {
+            // A backwards start time would underflow the `usize`
+            // subtraction below and produce a garbage gap; reject the
+            // log instead.
+            return Err(AbductionError::NonMonotonicLog { chunk: n });
+        }
+        gaps.push((cur - prev) as u32);
+    }
+    let total_intervals = ((log.session_duration_s / config.delta_s).ceil() as usize)
+        .max(start_intervals.last().copied().unwrap_or(0) + 1)
+        .max(1);
+    Ok((start_intervals, gaps, total_intervals))
 }
 
 #[cfg(test)]
@@ -546,6 +656,82 @@ mod tests {
             ab.sample_traces_with_seed(3, config.seed + 1),
             "different seeds should explore different posterior paths"
         );
+    }
+
+    #[test]
+    fn from_parts_restores_an_identical_abduction_without_inference() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 77);
+        let log = logged_session(&truth);
+        let config = VeritasConfig::paper_default();
+        let original = Abduction::infer(&log, &config);
+        let restored = Abduction::from_parts(
+            &log,
+            &config,
+            original.workspace().clone(),
+            original.viterbi().clone(),
+            original.posteriors().clone(),
+        )
+        .unwrap();
+        assert_eq!(restored.viterbi_states(), original.viterbi_states());
+        assert_eq!(restored.posteriors(), original.posteriors());
+        assert_eq!(restored.num_obs(), original.num_obs());
+        assert_eq!(restored.start_intervals(), original.start_intervals());
+        assert_eq!(restored.total_intervals(), original.total_intervals());
+        assert_eq!(restored.viterbi_trace(), original.viterbi_trace());
+        assert_eq!(restored.sample_traces(3), original.sample_traces(3));
+        assert!(
+            std::sync::Arc::ptr_eq(restored.workspace(), original.workspace()),
+            "restoration must reuse the caller's shared kernel workspace"
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_artifacts_that_do_not_fit_the_log() {
+        let truth = FccLike::new(3.0, 8.0).generate(600.0, 78);
+        let log = logged_session(&truth);
+        let config = VeritasConfig::paper_default();
+        let ab = Abduction::infer(&log, &config);
+
+        // A truncated log: every stored shape is now one chunk too long.
+        let mut shorter = log.clone();
+        shorter.records.pop();
+        let err = Abduction::from_parts(
+            &shorter,
+            &config,
+            ab.workspace().clone(),
+            ab.viterbi().clone(),
+            ab.posteriors().clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AbductionError::InconsistentParts(_)), "{err}");
+
+        // An out-of-grid Viterbi state.
+        let mut bad_viterbi = ab.viterbi().clone();
+        bad_viterbi.path[0] = ab.capacity_grid().len();
+        assert!(matches!(
+            Abduction::from_parts(
+                &log,
+                &config,
+                ab.workspace().clone(),
+                bad_viterbi,
+                ab.posteriors().clone(),
+            ),
+            Err(AbductionError::InconsistentParts(_))
+        ));
+
+        // A pairwise-posterior list of the wrong length.
+        let mut bad_posteriors = ab.posteriors().clone();
+        bad_posteriors.xi.pop();
+        assert!(matches!(
+            Abduction::from_parts(
+                &log,
+                &config,
+                ab.workspace().clone(),
+                ab.viterbi().clone(),
+                bad_posteriors,
+            ),
+            Err(AbductionError::InconsistentParts(_))
+        ));
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub enum AbductionError {
         /// Index of the first out-of-order chunk record.
         chunk: usize,
     },
+    /// Precomputed inference artifacts handed to
+    /// [`crate::Abduction::from_parts`] do not fit the log/config pair
+    /// (wrong path length, posterior shape, or out-of-range states).
+    /// Persistence layers treat this as a cache miss: a stale or corrupt
+    /// stored posterior must never be served against the wrong session.
+    InconsistentParts(String),
 }
 
 impl fmt::Display for AbductionError {
@@ -40,6 +46,12 @@ impl fmt::Display for AbductionError {
                     "chunk {chunk} starts in an earlier δ-interval than chunk {}: \
                      session logs must be sorted by start time",
                     chunk - 1
+                )
+            }
+            AbductionError::InconsistentParts(reason) => {
+                write!(
+                    f,
+                    "restored abduction parts do not fit the session: {reason}"
                 )
             }
         }

@@ -47,6 +47,23 @@ impl StateMatrix {
         }
     }
 
+    /// Wraps an existing row-major buffer as a `rows × cols` matrix —
+    /// the reconstruction path for posteriors restored from a persistent
+    /// store, where the flat buffer already exists byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero or `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert!(cols > 0, "StateMatrix rows must be non-empty");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows * cols"
+        );
+        Self { rows, cols, data }
+    }
+
     /// Number of rows. Named `len` because a `StateMatrix` stands in for a
     /// `Vec` of rows wherever the kernels used nested `Vec`s.
     pub fn len(&self) -> usize {
@@ -195,6 +212,21 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_zero_columns() {
         let _ = StateMatrix::zeros(2, 0);
+    }
+
+    #[test]
+    fn from_vec_round_trips_the_flat_buffer() {
+        let m = StateMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[1], [4.0, 5.0, 6.0]);
+        assert_eq!(StateMatrix::from_vec(2, 3, m.as_slice().to_vec()), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows * cols")]
+    fn from_vec_rejects_mismatched_lengths() {
+        let _ = StateMatrix::from_vec(2, 3, vec![0.0; 5]);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! ```text
 //! veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]
 //!             [--threads N] [--shards N] [--stream] [--out FILE]
-//!             [--summary FILE] [--no-cache] [--min-cache-hits N]
-//!             [--allow-errors]
-//! veritas bench [--sessions N] [--queries N] [--threads N] [--json FILE]
+//!             [--summary FILE] [--no-cache] [--cache-dir DIR]
+//!             [--min-cache-hits N] [--allow-errors]
+//! veritas bench [--sessions N] [--queries N] [--threads N]
+//!               [--cache-dir DIR] [--json FILE]
 //! veritas example-queries
 //! veritas validate <report.jsonl>
 //! ```
@@ -17,11 +18,16 @@
 //! default records are written in deterministic batch order once the run
 //! completes; `--stream` writes each line the moment its unit finishes
 //! (completion order), and `--shards N` partitions the corpus across N
-//! worker groups. The exit code is nonzero when any record carries an
-//! error, unless `--allow-errors` is passed. `bench` times the same
-//! synthetic query set with and without the abduction cache and reports
-//! the speedup. `example-queries` prints a starter query file. `validate`
-//! checks that a report is well-formed JSONL.
+//! worker groups. `--cache-dir DIR` attaches the persistent abduction
+//! store: posteriors are written through to `DIR` and restored on later
+//! runs, so a repeat run over an unchanged corpus performs zero EHMM
+//! inferences (the summary's `disk_hits` counts the restorations). The
+//! exit code is nonzero when any record carries an error, unless
+//! `--allow-errors` is passed. `bench` times the same synthetic query set
+//! with and without the abduction cache and reports the speedup — plus,
+//! with `--cache-dir`, a disk-warm pass restored entirely from the
+//! persistent store. `example-queries` prints a starter query file.
+//! `validate` checks that a report is well-formed JSONL.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -66,8 +72,10 @@ fn print_usage() {
          \x20 veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]\n\
          \x20                            [--threads N] [--shards N] [--stream]\n\
          \x20                            [--out FILE] [--summary FILE] [--no-cache]\n\
-         \x20                            [--min-cache-hits N] [--allow-errors]\n\
-         \x20 veritas bench [--sessions N] [--queries N] [--threads N] [--json FILE]\n\
+         \x20                            [--cache-dir DIR] [--min-cache-hits N]\n\
+         \x20                            [--allow-errors]\n\
+         \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
+         \x20               [--cache-dir DIR] [--json FILE]\n\
          \x20 veritas example-queries\n\
          \x20 veritas validate <report.jsonl>"
     );
@@ -85,6 +93,7 @@ struct Options {
     out: Option<PathBuf>,
     summary: Option<PathBuf>,
     no_cache: bool,
+    cache_dir: Option<PathBuf>,
     min_cache_hits: Option<u64>,
     allow_errors: bool,
     sessions: usize,
@@ -106,6 +115,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         out: None,
         summary: None,
         no_cache: false,
+        cache_dir: None,
         min_cache_hits: None,
         allow_errors: false,
         sessions: 4,
@@ -139,6 +149,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--out" => options.out = Some(PathBuf::from(value_for("--out")?)),
             "--summary" => options.summary = Some(PathBuf::from(value_for("--summary")?)),
             "--no-cache" => options.no_cache = true,
+            "--cache-dir" => options.cache_dir = Some(PathBuf::from(value_for("--cache-dir")?)),
             "--min-cache-hits" => {
                 options.min_cache_hits = Some(parse_num(&value_for("--min-cache-hits")?)?)
             }
@@ -176,7 +187,7 @@ fn load_corpus(options: &Options) -> Result<SessionCorpus, String> {
     }
 }
 
-fn build_engine(options: &Options) -> Engine {
+fn build_engine(options: &Options) -> Result<Engine, String> {
     let mut engine = Engine::new();
     if let Some(threads) = options.threads {
         engine = engine.with_threads(threads);
@@ -187,7 +198,12 @@ fn build_engine(options: &Options) -> Engine {
     if options.no_cache {
         engine = engine.without_cache();
     }
-    engine
+    if let Some(dir) = &options.cache_dir {
+        engine = engine
+            .with_cache_dir(dir)
+            .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?;
+    }
+    Ok(engine)
 }
 
 /// Where `run` writes its JSONL record lines.
@@ -215,6 +231,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--out",
             "--summary",
             "--no-cache",
+            "--cache-dir",
             "--min-cache-hits",
             "--allow-errors",
         ],
@@ -225,6 +242,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if options.no_cache && options.min_cache_hits.is_some() {
         return Err("--min-cache-hits cannot be satisfied with --no-cache".to_string());
     }
+    if options.no_cache && options.cache_dir.is_some() {
+        return Err("--cache-dir requires the cache; drop --no-cache".to_string());
+    }
     let json = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
@@ -232,7 +252,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // `submit_shared` instead of paying `submit`'s defensive deep copies.
     let corpus = Arc::new(load_corpus(&options)?);
     let plan = Arc::new(QueryPlan::compile(&set, &corpus).map_err(|e| e.to_string())?);
-    let engine = build_engine(&options);
+    let engine = build_engine(&options)?;
 
     let summary = if options.stream {
         // Incremental consumption: each record is written (and flushed)
@@ -286,14 +306,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn report_summary(s: &RunSummary) {
     eprintln!(
-        "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} threads={} \
-         shards={} elapsed_ms={:.1}",
+        "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} disk_hits={} \
+         threads={} shards={} elapsed_ms={:.1}",
         s.queryset,
         s.units,
         s.ok,
         s.errors,
         s.cache_hits,
         s.cache_misses,
+        s.disk_hits,
         s.threads,
         s.shards,
         s.elapsed_ms
@@ -315,12 +336,24 @@ struct BenchJson {
     speedup: f64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Wall time of a run warm-started entirely from `--cache-dir`
+    /// (`null` when no cache dir was benchmarked).
+    disk_warm_ms: Option<f64>,
+    /// Posteriors the disk-warm run restored from the store.
+    disk_hits: Option<u64>,
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let options = parse_options(
         args,
-        &["--sessions", "--queries", "--threads", "--seed", "--json"],
+        &[
+            "--sessions",
+            "--queries",
+            "--threads",
+            "--seed",
+            "--cache-dir",
+            "--json",
+        ],
     )?;
     let spec = SyntheticSpec {
         sessions: options.sessions,
@@ -357,6 +390,36 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         cached_report.summary.cache_hits,
         cached_report.summary.units
     );
+
+    // With a cache dir: populate the persistent store, then time a fresh
+    // engine whose every posterior is restored from disk — the repeat-run
+    // production profile.
+    let disk_warm = match &options.cache_dir {
+        Some(dir) => {
+            let with_store = |e: Engine| {
+                e.with_cache_dir(dir)
+                    .map_err(|err| format!("cannot open cache dir {}: {err}", dir.display()))
+            };
+            let _ = run(with_store(Engine::new().with_threads(threads))?)?;
+            let (warm_report, warm_ms) = run(with_store(Engine::new().with_threads(threads))?)?;
+            if warm_report.summary.cache_misses > 0 {
+                return Err(format!(
+                    "disk-warm run still inferred {} posteriors — the store at {} is not \
+                     serving them",
+                    warm_report.summary.cache_misses,
+                    dir.display()
+                ));
+            }
+            println!(
+                "disk-warm: {warm_ms:.1} ms   ({} posteriors restored from {}, 0 inferred)",
+                warm_report.summary.disk_hits,
+                dir.display()
+            );
+            Some((warm_ms, warm_report.summary.disk_hits))
+        }
+        None => None,
+    };
+
     if let Some(path) = &options.json {
         let report = BenchJson {
             sessions: options.sessions,
@@ -368,6 +431,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             speedup: uncached_ms / cached_ms.max(1e-9),
             cache_hits: cached_report.summary.cache_hits,
             cache_misses: cached_report.summary.cache_misses,
+            disk_warm_ms: disk_warm.map(|(ms, _)| ms),
+            disk_hits: disk_warm.map(|(_, hits)| hits),
         };
         let json =
             serde_json::to_string_pretty(&report).map_err(|e| format!("serialization: {e}"))?;

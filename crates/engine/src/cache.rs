@@ -27,6 +27,7 @@ use veritas_ehmm::EhmmWorkspace;
 use veritas_player::SessionLog;
 
 use crate::executor;
+use crate::persist::{DiskStore, PersistKey};
 
 /// Logs with at least this many chunk records get their emission table
 /// built through the batch executor — the rows are embarrassingly parallel
@@ -49,18 +50,38 @@ pub(crate) fn fnv_mix(hash: &mut u64, bits: u64) {
     }
 }
 
+/// Mixes one `f64` into a fingerprint by **canonical** bit pattern:
+/// `-0.0` hashes as `+0.0` and every NaN payload as the one canonical NaN.
+/// Raw `to_bits` would split semantically identical configs/logs into
+/// distinct cache keys — a silent in-memory cache split, and a stale
+/// identity once fingerprints become durable file names on disk
+/// ([`crate::persist`]). Every fingerprint in this crate mixes floats
+/// through this function.
+pub(crate) fn fnv_mix_f64(hash: &mut u64, value: f64) {
+    let bits = if value == 0.0 {
+        0.0_f64.to_bits()
+    } else if value.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        value.to_bits()
+    };
+    fnv_mix(hash, bits);
+}
+
 /// Fingerprints the configuration fields the abduction posterior depends
 /// on: δ, ε, the grid ceiling, σ, and the stay probability. `num_samples`
 /// and `seed` are deliberately excluded — they only steer post-hoc
 /// posterior *sampling* (see [`Abduction::sample_traces_with_seed`]), so
 /// queries that differ only in sampling still share one cache entry.
+/// Equal-valued configs always share a fingerprint (zeros and NaNs are
+/// canonicalized, see [`fnv_mix_f64`]).
 pub fn config_fingerprint(config: &VeritasConfig) -> u64 {
     let mut hash = FNV_OFFSET;
-    fnv_mix(&mut hash, config.delta_s.to_bits());
-    fnv_mix(&mut hash, config.epsilon_mbps.to_bits());
-    fnv_mix(&mut hash, config.max_capacity_mbps.to_bits());
-    fnv_mix(&mut hash, config.sigma_mbps.to_bits());
-    fnv_mix(&mut hash, config.stay_probability.to_bits());
+    fnv_mix_f64(&mut hash, config.delta_s);
+    fnv_mix_f64(&mut hash, config.epsilon_mbps);
+    fnv_mix_f64(&mut hash, config.max_capacity_mbps);
+    fnv_mix_f64(&mut hash, config.sigma_mbps);
+    fnv_mix_f64(&mut hash, config.stay_probability);
     hash
 }
 
@@ -73,17 +94,17 @@ pub fn config_fingerprint(config: &VeritasConfig) -> u64 {
 pub fn log_fingerprint(log: &SessionLog) -> u64 {
     let mut hash = FNV_OFFSET;
     fnv_mix(&mut hash, log.records.len() as u64);
-    fnv_mix(&mut hash, log.session_duration_s.to_bits());
+    fnv_mix_f64(&mut hash, log.session_duration_s);
     for record in &log.records {
-        fnv_mix(&mut hash, record.start_time_s.to_bits());
-        fnv_mix(&mut hash, record.size_bytes.to_bits());
-        fnv_mix(&mut hash, record.throughput_mbps.to_bits());
-        fnv_mix(&mut hash, record.tcp_info.cwnd_segments.to_bits());
-        fnv_mix(&mut hash, record.tcp_info.ssthresh_segments.to_bits());
-        fnv_mix(&mut hash, record.tcp_info.rto_s.to_bits());
-        fnv_mix(&mut hash, record.tcp_info.srtt_s.to_bits());
-        fnv_mix(&mut hash, record.tcp_info.min_rtt_s.to_bits());
-        fnv_mix(&mut hash, record.tcp_info.last_send_gap_s.to_bits());
+        fnv_mix_f64(&mut hash, record.start_time_s);
+        fnv_mix_f64(&mut hash, record.size_bytes);
+        fnv_mix_f64(&mut hash, record.throughput_mbps);
+        fnv_mix_f64(&mut hash, record.tcp_info.cwnd_segments);
+        fnv_mix_f64(&mut hash, record.tcp_info.ssthresh_segments);
+        fnv_mix_f64(&mut hash, record.tcp_info.rto_s);
+        fnv_mix_f64(&mut hash, record.tcp_info.srtt_s);
+        fnv_mix_f64(&mut hash, record.tcp_info.min_rtt_s);
+        fnv_mix_f64(&mut hash, record.tcp_info.last_send_gap_s);
     }
     hash
 }
@@ -118,27 +139,38 @@ fn infer_prefix_with(
     config: &VeritasConfig,
     workspace: impl FnOnce(veritas_ehmm::EhmmSpec) -> Arc<EhmmWorkspace>,
 ) -> Result<Abduction, AbductionError> {
+    config.validate().map_err(AbductionError::InvalidConfig)?;
+    let view = prefix_view(log, horizon);
+    if view.records.is_empty() {
+        return Err(AbductionError::EmptySession);
+    }
+    let rows = emission_rows(&view, config);
+    Abduction::try_infer_prepared(&view, config, rows, workspace(Abduction::spec_for(config)))
+}
+
+/// The first `horizon` records of `log` as a borrowed view when the
+/// horizon covers the whole log, or an owned truncated copy otherwise.
+/// Shared by fresh inference and the disk warm-start path, so both
+/// condition on exactly the same prefix.
+///
+/// # Panics
+///
+/// Panics if `horizon` exceeds the log's record count; callers validate
+/// query-supplied horizons first (see `Engine::answer_interventional`).
+fn prefix_view(log: &SessionLog, horizon: usize) -> std::borrow::Cow<'_, SessionLog> {
     assert!(
         horizon <= log.records.len(),
         "horizon {horizon} exceeds the log's {} records",
         log.records.len()
     );
-    config.validate().map_err(AbductionError::InvalidConfig)?;
-    let prefix;
-    let view = if horizon == log.records.len() {
-        log
+    if horizon == log.records.len() {
+        std::borrow::Cow::Borrowed(log)
     } else {
-        prefix = SessionLog {
+        std::borrow::Cow::Owned(SessionLog {
             records: log.records[..horizon].to_vec(),
             ..log.clone()
-        };
-        &prefix
-    };
-    if view.records.is_empty() {
-        return Err(AbductionError::EmptySession);
+        })
     }
-    let rows = emission_rows(view, config);
-    Abduction::try_infer_prepared(view, config, rows, workspace(Abduction::spec_for(config)))
 }
 
 /// Builds the per-(chunk, capacity) emission log-density table for a log,
@@ -186,14 +218,45 @@ struct CacheKey {
 
 type Slot = Arc<Mutex<Option<Arc<Abduction>>>>;
 
+/// Where a cache lookup's posterior came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Served from an in-memory slot — no work at all.
+    Memory,
+    /// Restored from the persistent store ([`crate::persist::DiskStore`])
+    /// — a file read and shape validation, but zero EHMM inference.
+    Disk,
+    /// Computed by running forward–backward and Viterbi.
+    Inferred,
+}
+
+impl CacheSource {
+    /// Whether the lookup avoided inference (memory or disk).
+    pub fn is_warm(self) -> bool {
+        !matches!(self, CacheSource::Inferred)
+    }
+
+    /// The wire label result records carry (`"hit"`, `"disk"`, `"miss"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSource::Memory => "hit",
+            CacheSource::Disk => "disk",
+            CacheSource::Inferred => "miss",
+        }
+    }
+}
+
 /// Counters describing how a cache has been used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups served from an existing posterior.
+    /// Lookups served from an in-memory posterior.
     pub hits: u64,
     /// Lookups that had to run inference.
     pub misses: u64,
-    /// Posteriors currently held.
+    /// Lookups served by restoring a posterior from the disk store
+    /// (counted separately from `hits` so warm starts are observable).
+    pub disk_hits: u64,
+    /// Posteriors currently held in memory.
     pub entries: u64,
 }
 
@@ -203,30 +266,55 @@ pub struct CacheStats {
 /// [`EhmmWorkspace`] per configuration fingerprint: every session inferred
 /// under the same config reuses the same memoized `A^Δ` / `ln A^Δ`
 /// transition kernels, across the whole batch executor.
+///
+/// With [`Self::with_disk_store`] the in-memory slots gain a persistent
+/// tier: an in-memory miss first tries to restore the posterior from the
+/// store (counted as a *disk hit*), and a genuinely inferred posterior is
+/// written through so the next process warm-starts. Disk problems are
+/// silent misses by design ([`crate::persist`]).
 #[derive(Debug, Default)]
 pub struct AbductionCache {
     slots: Mutex<HashMap<CacheKey, Slot>>,
     workspaces: Mutex<HashMap<u64, Arc<EhmmWorkspace>>>,
+    disk: Option<DiskStore>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
     entries: AtomicU64,
 }
 
 impl AbductionCache {
-    /// Creates an empty cache.
+    /// Creates an empty, memory-only cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Attaches a persistent disk tier: in-memory misses try the store
+    /// first, and inferred posteriors are written through to it.
+    pub fn with_disk_store(mut self, store: DiskStore) -> Self {
+        self.attach_disk_store(store);
+        self
+    }
+
+    /// [`Self::with_disk_store`] for a cache that already exists —
+    /// keeps its posteriors, workspaces, and counters.
+    pub fn attach_disk_store(&mut self, store: DiskStore) {
+        self.disk = Some(store);
+    }
+
+    /// The persistent store, when one is attached.
+    pub fn disk_store(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
+    }
+
     /// Returns the cached full-session abduction for `(session_id, config)`,
-    /// inferring (and caching) it on first use. The boolean is `true` on a
-    /// cache hit.
+    /// inferring (and caching) it on first use, plus where it came from.
     pub fn get_or_infer(
         &self,
         session_id: &str,
         log: &SessionLog,
         config: &VeritasConfig,
-    ) -> Result<(Arc<Abduction>, bool), AbductionError> {
+    ) -> Result<(Arc<Abduction>, CacheSource), AbductionError> {
         self.get_or_infer_prefix(session_id, log, log.records.len(), config)
     }
 
@@ -243,7 +331,7 @@ impl AbductionCache {
         log: &SessionLog,
         horizon: usize,
         config: &VeritasConfig,
-    ) -> Result<(Arc<Abduction>, bool), AbductionError> {
+    ) -> Result<(Arc<Abduction>, CacheSource), AbductionError> {
         self.get_or_infer_keyed(
             session_id,
             log,
@@ -260,7 +348,9 @@ impl AbductionCache {
     /// [`crate::QueryPlan::configs`]) instead of re-hashing the full log
     /// on every lookup; the fingerprints **must** be
     /// [`log_fingerprint`]`(log)` and [`config_fingerprint`]`(config)` or
-    /// cache entries will alias.
+    /// cache entries will alias — in memory *and* on disk, where the
+    /// `(log_fp, config_fp, horizon)` triple is the entry's whole
+    /// identity.
     pub fn get_or_infer_keyed(
         &self,
         session_id: &str,
@@ -269,7 +359,7 @@ impl AbductionCache {
         horizon: usize,
         config: &VeritasConfig,
         config_fp: u64,
-    ) -> Result<(Arc<Abduction>, bool), AbductionError> {
+    ) -> Result<(Arc<Abduction>, CacheSource), AbductionError> {
         let key = CacheKey {
             session: session_id.to_string(),
             fingerprint: config_fp,
@@ -284,7 +374,19 @@ impl AbductionCache {
         let mut guard = slot.lock();
         if let Some(abduction) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((abduction.clone(), true));
+            return Ok((abduction.clone(), CacheSource::Memory));
+        }
+        let persist_key = PersistKey {
+            log: log_fp,
+            config: config_fp,
+            horizon,
+        };
+        if let Some(abduction) = self.load_from_disk(&persist_key, log, horizon, config) {
+            let abduction = Arc::new(abduction);
+            *guard = Some(abduction.clone());
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            return Ok((abduction, CacheSource::Disk));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let abduction = Arc::new(infer_prefix_with(log, horizon, config, |spec| {
@@ -292,7 +394,37 @@ impl AbductionCache {
         })?);
         *guard = Some(abduction.clone());
         self.entries.fetch_add(1, Ordering::Relaxed);
-        Ok((abduction.clone(), false))
+        if let Some(disk) = &self.disk {
+            // Write-through is best-effort: a full or read-only cache
+            // directory degrades to memory-only caching, it never fails
+            // the query.
+            let _ = disk.save(&persist_key, &abduction);
+        }
+        Ok((abduction, CacheSource::Inferred))
+    }
+
+    /// Attempts a disk restore for one key. Validates the config and
+    /// builds the horizon view exactly as inference would, so a restored
+    /// posterior is checked against the same log prefix a fresh one would
+    /// condition on. Every failure mode is a `None` (miss).
+    fn load_from_disk(
+        &self,
+        key: &PersistKey,
+        log: &SessionLog,
+        horizon: usize,
+        config: &VeritasConfig,
+    ) -> Option<Abduction> {
+        let disk = self.disk.as_ref()?;
+        if config.validate().is_err() || horizon > log.records.len() {
+            // Let the inference path produce the typed error.
+            return None;
+        }
+        let view = prefix_view(log, horizon);
+        if view.records.is_empty() {
+            return None;
+        }
+        let workspace = self.workspace_for_spec(key.config, Abduction::spec_for(config));
+        disk.load(key, &view, config, workspace)
     }
 
     /// The shared inference workspace for `config`, created on first use
@@ -319,7 +451,7 @@ impl AbductionCache {
             .clone()
     }
 
-    /// Lookups served without inference so far.
+    /// Lookups served from memory so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -327,6 +459,11 @@ impl AbductionCache {
     /// Lookups that ran inference so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served by restoring a posterior from disk so far.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Number of cached posteriors. Maintained as a counter so reading it
@@ -340,16 +477,24 @@ impl AbductionCache {
         CacheStats {
             hits: self.hits(),
             misses: self.misses(),
+            disk_hits: self.disk_hits(),
             entries: self.entries(),
         }
     }
 
-    /// Drops every cached posterior, keeping the hit/miss counters. Not
-    /// meant to race in-flight inferences: a posterior stored into an
+    /// Drops every cached posterior *and* every per-config kernel
+    /// workspace, keeping the hit/miss counters (and any attached disk
+    /// store — clearing memory does not delete persisted entries). The
+    /// workspace table must go too: sweep queries register up to
+    /// [`crate::MAX_SWEEP_VARIANTS`] configs, and a `clear()` that kept
+    /// their `A^Δ` kernel tables would leak them for the cache's lifetime.
+    ///
+    /// Not meant to race in-flight inferences: a posterior stored into an
     /// already-evicted slot survives only with its holder and is not
     /// reflected in [`Self::entries`].
     pub fn clear(&self) {
         self.slots.lock().clear();
+        self.workspaces.lock().clear();
         self.entries.store(0, Ordering::Relaxed);
     }
 }
@@ -387,20 +532,56 @@ mod tests {
     }
 
     #[test]
+    fn fingerprints_canonicalize_zeros_and_nans() {
+        // `-0.0 == 0.0` but their bit patterns differ; raw `to_bits`
+        // hashing split semantically identical configs into distinct
+        // (soon durable, on-disk) identities. Same for NaN payloads.
+        let base = VeritasConfig::paper_default();
+        let mut zero_plus = base;
+        let mut zero_minus = base;
+        zero_plus.sigma_mbps = 0.0;
+        zero_minus.sigma_mbps = -0.0;
+        assert_eq!(
+            config_fingerprint(&zero_plus),
+            config_fingerprint(&zero_minus),
+            "-0.0 and +0.0 must share a fingerprint"
+        );
+        let mut log_plus = log();
+        let mut log_minus = log_plus.clone();
+        log_plus.records[0].start_time_s = 0.0;
+        log_minus.records[0].start_time_s = -0.0;
+        assert_eq!(log_fingerprint(&log_plus), log_fingerprint(&log_minus));
+        // Different NaN payloads canonicalize to one identity.
+        let nan_a = f64::from_bits(0x7FF8_0000_0000_0001);
+        let nan_b = f64::from_bits(0xFFF8_DEAD_BEEF_0001);
+        assert!(nan_a.is_nan() && nan_b.is_nan());
+        let mut log_nan_a = log();
+        let mut log_nan_b = log_nan_a.clone();
+        log_nan_a.records[0].tcp_info.srtt_s = nan_a;
+        log_nan_b.records[0].tcp_info.srtt_s = nan_b;
+        assert_eq!(log_fingerprint(&log_nan_a), log_fingerprint(&log_nan_b));
+        // Canonicalization must not conflate distinct real values.
+        assert_ne!(log_fingerprint(&log_nan_a), log_fingerprint(&log()));
+    }
+
+    #[test]
     fn second_lookup_hits_and_shares_the_posterior() {
         let cache = AbductionCache::new();
         let log = log();
         let config = VeritasConfig::paper_default();
-        let (first, hit1) = cache.get_or_infer("s0", &log, &config).unwrap();
-        let (second, hit2) = cache.get_or_infer("s0", &log, &config).unwrap();
-        assert!(!hit1);
-        assert!(hit2);
+        let (first, source1) = cache.get_or_infer("s0", &log, &config).unwrap();
+        let (second, source2) = cache.get_or_infer("s0", &log, &config).unwrap();
+        assert_eq!(source1, CacheSource::Inferred);
+        assert_eq!(source2, CacheSource::Memory);
+        assert!(!source1.is_warm());
+        assert!(source2.is_warm());
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(
             cache.stats(),
             CacheStats {
                 hits: 1,
                 misses: 1,
+                disk_hits: 0,
                 entries: 1
             }
         );
@@ -425,15 +606,39 @@ mod tests {
     }
 
     #[test]
+    fn clear_drops_the_workspace_table_too() {
+        // Regression: `clear()` used to drop posterior slots but leave the
+        // per-config `EhmmWorkspace` kernel tables, so sweep-heavy callers
+        // (up to MAX_SWEEP_VARIANTS configs per sweep) accumulated tables
+        // that survived every clear.
+        let cache = AbductionCache::new();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+        let (before, _) = cache.get_or_infer("s", &log, &config).unwrap();
+        assert!(Arc::ptr_eq(
+            before.workspace(),
+            &cache.workspace_for(&config)
+        ));
+        cache.clear();
+        assert!(
+            !Arc::ptr_eq(before.workspace(), &cache.workspace_for(&config)),
+            "clear() must drop the kernel workspaces, not just the posteriors"
+        );
+    }
+
+    #[test]
     fn sampling_overrides_share_one_entry() {
         let cache = AbductionCache::new();
         let log = log();
         let base = VeritasConfig::paper_default();
         cache.get_or_infer("s", &log, &base).unwrap();
-        let (_, hit) = cache
+        let (_, source) = cache
             .get_or_infer("s", &log, &base.with_samples(2).with_seed(99))
             .unwrap();
-        assert!(hit, "seed/sample overrides must not force re-inference");
+        assert!(
+            source.is_warm(),
+            "seed/sample overrides must not force re-inference"
+        );
     }
 
     #[test]
@@ -445,10 +650,14 @@ mod tests {
         let mut log_b = log_a.clone();
         log_b.records.truncate(log_b.records.len() - 1);
         let config = VeritasConfig::paper_default();
-        let (a, hit_a) = cache.get_or_infer("session-0", &log_a, &config).unwrap();
-        let (b, hit_b) = cache.get_or_infer("session-0", &log_b, &config).unwrap();
-        assert!(!hit_a);
-        assert!(!hit_b, "a different log must not hit the first log's entry");
+        let (a, source_a) = cache.get_or_infer("session-0", &log_a, &config).unwrap();
+        let (b, source_b) = cache.get_or_infer("session-0", &log_b, &config).unwrap();
+        assert_eq!(source_a, CacheSource::Inferred);
+        assert_eq!(
+            source_b,
+            CacheSource::Inferred,
+            "a different log must not hit the first log's entry"
+        );
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(log_fingerprint(&log_a), log_fingerprint(&log_b));
     }
@@ -535,6 +744,190 @@ mod tests {
             other => panic!("expected NonMonotonicLog, got {other:?}"),
         }
         assert_eq!(cache.entries(), 0, "failures must not be cached");
+    }
+
+    proptest::proptest! {
+        /// Equal-*valued* configs must share a fingerprint no matter which
+        /// bit pattern represents the value: ±0.0 are one identity, every
+        /// NaN payload is one identity, and any other value is keyed by
+        /// its (unique) bit pattern.
+        #[test]
+        fn equal_valued_configs_share_a_fingerprint(
+            class in 0u8..3,
+            bits in proptest::any::<u64>(),
+            payload in proptest::any::<u64>(),
+            flip in proptest::any::<bool>(),
+            field in 0usize..5,
+        ) {
+            const NAN_EXP: u64 = 0x7FF8_0000_0000_0000;
+            const NAN_PAYLOAD: u64 = 0x0007_FFFF_FFFF_FFFF;
+            let (value, twin) = match class {
+                // The two zeros.
+                0 => (0.0, if flip { -0.0 } else { 0.0 }),
+                // Two NaNs with arbitrary payloads and signs.
+                1 => (
+                    f64::from_bits(NAN_EXP | (bits & NAN_PAYLOAD)),
+                    f64::from_bits(
+                        (u64::from(flip) << 63) | NAN_EXP | (payload & NAN_PAYLOAD),
+                    ),
+                ),
+                // Any value is equal to itself.
+                _ => (f64::from_bits(bits), f64::from_bits(bits)),
+            };
+            let mut a = VeritasConfig::paper_default();
+            let mut b = a;
+            let set = |c: &mut VeritasConfig, v: f64| match field {
+                0 => c.delta_s = v,
+                1 => c.epsilon_mbps = v,
+                2 => c.max_capacity_mbps = v,
+                3 => c.sigma_mbps = v,
+                _ => c.stay_probability = v,
+            };
+            set(&mut a, value);
+            set(&mut b, twin);
+            proptest::prop_assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+            // The same canonicalization governs log fingerprints.
+            let mut log_a = tiny_log();
+            let mut log_b = log_a.clone();
+            log_a.records[0].throughput_mbps = value;
+            log_b.records[0].throughput_mbps = twin;
+            proptest::prop_assert_eq!(log_fingerprint(&log_a), log_fingerprint(&log_b));
+        }
+    }
+
+    /// A minimal hand-built log for fingerprint tests — cheap enough to
+    /// construct once per property-test case (no session emulation).
+    fn tiny_log() -> SessionLog {
+        use veritas_player::ChunkRecord;
+        let record = |index: usize, start: f64| ChunkRecord {
+            index,
+            quality: 1,
+            size_bytes: 400_000.0,
+            ssim: 0.95,
+            wait_before_request_s: 0.0,
+            start_time_s: start,
+            end_time_s: start + 1.0,
+            download_time_s: 1.0,
+            throughput_mbps: 3.2,
+            buffer_at_request_s: 2.0,
+            rebuffer_s: 0.0,
+            tcp_info: veritas_net::TcpInfo::fresh(0.08),
+            gtbw_at_request_mbps: 4.0,
+        };
+        SessionLog {
+            abr_name: "MPC".to_string(),
+            buffer_capacity_s: 5.0,
+            chunk_duration_s: 2.0,
+            records: vec![record(0, 0.0), record(1, 2.0)],
+            startup_delay_s: 1.0,
+            total_rebuffer_s: 0.0,
+            session_duration_s: 6.0,
+        }
+    }
+
+    fn temp_store(name: &str) -> DiskStore {
+        let dir = std::env::temp_dir().join(format!("veritas_cache_disk_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn disk_tier_restores_posteriors_across_cache_instances() {
+        let store = temp_store("restore");
+        let dir = store.dir().to_path_buf();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+
+        let cold = AbductionCache::new().with_disk_store(store);
+        let (inferred, source) = cold.get_or_infer("s", &log, &config).unwrap();
+        assert_eq!(source, CacheSource::Inferred);
+        assert_eq!(cold.disk_hits(), 0);
+
+        // A fresh cache (fresh process, in effect) over the same directory
+        // restores the posterior without inference.
+        let warm = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        let (restored, source) = warm.get_or_infer("s", &log, &config).unwrap();
+        assert_eq!(source, CacheSource::Disk);
+        assert_eq!(warm.misses(), 0, "the warm lookup must not infer");
+        assert_eq!(restored.posteriors(), inferred.posteriors());
+        assert_eq!(restored.viterbi_states(), inferred.viterbi_states());
+        // Sampling — the consumer of the restored posterior — agrees too.
+        assert_eq!(restored.sample_traces(3), inferred.sample_traces(3));
+        // Once restored, the entry lives in memory.
+        let (_, source) = warm.get_or_infer("s", &log, &config).unwrap();
+        assert_eq!(source, CacheSource::Memory);
+        assert_eq!(
+            warm.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                disk_hits: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_or_garbage_disk_entries_are_misses() {
+        let store = temp_store("corrupt");
+        let dir = store.dir().to_path_buf();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+        let cold = AbductionCache::new().with_disk_store(store);
+        cold.get_or_infer("s", &log, &config).unwrap();
+
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|ext| ext == "vpost"))
+            .expect("the cold run must have persisted an entry");
+        let bytes = std::fs::read(&entry).unwrap();
+
+        for mangle in [
+            &bytes[..bytes.len() / 2], // truncated
+            b"total garbage".as_slice(),
+            &[],
+        ] {
+            std::fs::write(&entry, mangle).unwrap();
+            let warm = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+            let (_, source) = warm.get_or_infer("s", &log, &config).unwrap();
+            assert_eq!(
+                source,
+                CacheSource::Inferred,
+                "a bad store entry must be a miss, never an error"
+            );
+            assert_eq!(warm.disk_hits(), 0);
+        }
+
+        // The re-inference wrote the entry back; it restores again.
+        let healed = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        let (_, source) = healed.get_or_infer("s", &log, &config).unwrap();
+        assert_eq!(source, CacheSource::Disk);
+    }
+
+    #[test]
+    fn disk_entries_do_not_serve_changed_logs_or_configs() {
+        let store = temp_store("invalidate");
+        let dir = store.dir().to_path_buf();
+        let log_a = log();
+        let config = VeritasConfig::paper_default();
+        let cold = AbductionCache::new().with_disk_store(store);
+        cold.get_or_infer("s", &log_a, &config).unwrap();
+
+        // A changed log (different fingerprint) and a changed
+        // posterior-relevant config both miss naturally.
+        let mut log_b = log_a.clone();
+        log_b.records[0].throughput_mbps += 0.125;
+        let warm = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        let (_, source) = warm.get_or_infer("s", &log_b, &config).unwrap();
+        assert_eq!(source, CacheSource::Inferred);
+        let (_, source) = warm
+            .get_or_infer("s", &log_a, &config.with_sigma(1.0))
+            .unwrap();
+        assert_eq!(source, CacheSource::Inferred);
+        // The original pair still restores.
+        let (_, source) = warm.get_or_infer("s", &log_a, &config).unwrap();
+        assert_eq!(source, CacheSource::Disk);
     }
 
     #[test]

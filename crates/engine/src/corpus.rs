@@ -143,8 +143,9 @@ impl SessionCorpus {
         .build()
     }
 
-    /// Loads every `*.json` session log in `dir` (sorted by file name; the
-    /// file stem becomes the session id).
+    /// Loads every `*.json` session log in `dir` (sorted by file name with
+    /// numeric awareness, so `session-2.json` precedes `session-10.json`;
+    /// the file stem becomes the session id).
     ///
     /// Counterfactual replays need a deployed setting to start from. The
     /// player's buffer capacity and the asset's chunk duration are restored
@@ -158,7 +159,17 @@ impl SessionCorpus {
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
             .collect();
-        paths.sort();
+        // Numeric-aware order, not lexicographic: plain `sort()` put
+        // `session-10.json` before `session-2.json`, silently changing
+        // the record order — and the corpus-content fingerprint — of any
+        // corpus with ≥ 10 sessions relative to its synthetic twin.
+        paths.sort_by(|a, b| {
+            natural_cmp(
+                &a.file_name().unwrap_or_default().to_string_lossy(),
+                &b.file_name().unwrap_or_default().to_string_lossy(),
+            )
+            .then_with(|| a.cmp(b))
+        });
         let mut sessions = Vec::with_capacity(paths.len());
         for path in paths {
             let data = std::fs::read_to_string(&path)?;
@@ -212,24 +223,24 @@ impl SessionCorpus {
     /// with identical logs but a different deployed setting must not
     /// accept a stale plan.
     pub fn deployed_fingerprint(&self) -> u64 {
-        use crate::cache::{fnv_mix, FNV_OFFSET};
+        use crate::cache::{fnv_mix, fnv_mix_f64, FNV_OFFSET};
         let mut hash = FNV_OFFSET;
         fnv_mix(&mut hash, self.deployed_abr.len() as u64);
         for byte in self.deployed_abr.bytes() {
             fnv_mix(&mut hash, u64::from(byte));
         }
-        fnv_mix(&mut hash, self.player.buffer_capacity_s.to_bits());
+        fnv_mix_f64(&mut hash, self.player.buffer_capacity_s);
         fnv_mix(&mut hash, self.player.startup_chunks as u64);
-        fnv_mix(&mut hash, self.player.link.one_way_delay_s.to_bits());
-        fnv_mix(&mut hash, self.player.link.mss_bytes.to_bits());
-        fnv_mix(&mut hash, self.player.link.queue_segments.to_bits());
+        fnv_mix_f64(&mut hash, self.player.link.one_way_delay_s);
+        fnv_mix_f64(&mut hash, self.player.link.mss_bytes);
+        fnv_mix_f64(&mut hash, self.player.link.queue_segments);
         fnv_mix(&mut hash, self.asset.num_chunks() as u64);
         fnv_mix(&mut hash, self.asset.num_qualities() as u64);
-        fnv_mix(&mut hash, self.asset.chunk_duration_s().to_bits());
+        fnv_mix_f64(&mut hash, self.asset.chunk_duration_s());
         for chunk in 0..self.asset.num_chunks() {
             for quality in 0..self.asset.num_qualities() {
-                fnv_mix(&mut hash, self.asset.size_bytes(chunk, quality).to_bits());
-                fnv_mix(&mut hash, self.asset.ssim(chunk, quality).to_bits());
+                fnv_mix_f64(&mut hash, self.asset.size_bytes(chunk, quality));
+                fnv_mix_f64(&mut hash, self.asset.ssim(chunk, quality));
             }
         }
         hash
@@ -287,9 +298,124 @@ impl SessionCorpus {
     }
 }
 
+/// Compares two file names with numeric awareness: maximal digit runs
+/// compare as integers (of any length — compared by stripped length, then
+/// digits, so nothing overflows), everything else byte-wise. Equal-valued
+/// runs with different zero padding (`02` vs `2`) fall back to the longer
+/// (more padded) run first, keeping the order total and deterministic.
+fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let run = |s: &[u8], start: usize| {
+                let mut end = start;
+                while end < s.len() && s[end].is_ascii_digit() {
+                    end += 1;
+                }
+                end
+            };
+            let (ai, bj) = (run(a, i), run(b, j));
+            fn strip(digits: &[u8]) -> &[u8] {
+                let lead = digits.iter().take_while(|&&d| d == b'0').count();
+                &digits[lead.min(digits.len() - 1)..]
+            }
+            let (da, db) = (strip(&a[i..ai]), strip(&b[j..bj]));
+            let by_value = da.len().cmp(&db.len()).then_with(|| da.cmp(db));
+            if by_value != Ordering::Equal {
+                return by_value;
+            }
+            // Same numeric value: more leading zeros sorts first.
+            let by_padding = (bj - j).cmp(&(ai - i));
+            if by_padding != Ordering::Equal {
+                return by_padding;
+            }
+            (i, j) = (ai, bj);
+        } else {
+            let by_byte = a[i].cmp(&b[j]);
+            if by_byte != Ordering::Equal {
+                return by_byte;
+            }
+            (i, j) = (i + 1, j + 1);
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn natural_order_compares_digit_runs_numerically() {
+        use std::cmp::Ordering;
+        assert_eq!(natural_cmp("session-2", "session-10"), Ordering::Less);
+        assert_eq!(natural_cmp("session-10", "session-2"), Ordering::Greater);
+        assert_eq!(natural_cmp("session-2", "session-2"), Ordering::Equal);
+        assert_eq!(natural_cmp("a-2-b-3", "a-2-b-12"), Ordering::Less);
+        assert_eq!(natural_cmp("a10b1", "a10b2"), Ordering::Less);
+        // Padding: equal values order deterministically (padded first).
+        assert_eq!(natural_cmp("s-02", "s-2"), Ordering::Less);
+        assert_eq!(natural_cmp("s-000", "s-0"), Ordering::Less);
+        // Mixed digit/non-digit boundaries fall back to bytes.
+        assert_eq!(natural_cmp("abc", "abd"), Ordering::Less);
+        assert_eq!(natural_cmp("ab", "ab1"), Ordering::Less);
+        assert_eq!(natural_cmp("1ab", "ab"), Ordering::Less);
+        // Long runs beyond u64 still compare correctly (by length first).
+        assert_eq!(
+            natural_cmp("x99999999999999999999", "x100000000000000000000"),
+            Ordering::Less
+        );
+        let mut names = vec![
+            "session-10.json",
+            "session-2.json",
+            "session-1.json",
+            "session-21.json",
+            "session-3.json",
+        ];
+        names.sort_by(|x, y| natural_cmp(x, y));
+        assert_eq!(
+            names,
+            vec![
+                "session-1.json",
+                "session-2.json",
+                "session-3.json",
+                "session-10.json",
+                "session-21.json",
+            ]
+        );
+    }
+
+    #[test]
+    fn from_dir_orders_sessions_numerically() {
+        // A 12-session corpus written to disk must load in the same order
+        // it was built — lexicographic sorting put session-10 before
+        // session-2 and silently changed the corpus fingerprint.
+        let corpus = SyntheticSpec {
+            sessions: 12,
+            video_duration_s: 60.0,
+            ..SyntheticSpec::default()
+        }
+        .build();
+        let dir = std::env::temp_dir().join("veritas_engine_natural_order_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for session in &corpus.sessions {
+            std::fs::write(
+                dir.join(format!("{}.json", session.id)),
+                session.log.to_json(),
+            )
+            .unwrap();
+        }
+        let loaded = SessionCorpus::from_dir(&dir).unwrap();
+        let ids: Vec<&str> = loaded.sessions.iter().map(|s| s.id.as_str()).collect();
+        let expected: Vec<String> = (0..12).map(|i| format!("session-{i}")).collect();
+        assert_eq!(ids, expected, "session-2 must order before session-10");
+        for (loaded, built) in loaded.sessions.iter().zip(&corpus.sessions) {
+            assert_eq!(loaded.log, built.log);
+        }
+    }
 
     #[test]
     fn synthetic_corpus_is_consistent_and_deterministic() {

@@ -25,9 +25,23 @@
 //!
 //! The `veritas` CLI binary (`src/bin/veritas.rs`) exposes the pipeline
 //! end to end: `veritas run queries.json --corpus DIR` (or
-//! `--synthetic N`), with `--stream` for record-at-a-time JSONL and
-//! `--shards N` for partitioned execution; plus `veritas bench`,
+//! `--synthetic N`), with `--stream` for record-at-a-time JSONL,
+//! `--shards N` for partitioned execution, and `--cache-dir DIR` for the
+//! persistent abduction store; plus `veritas bench`,
 //! `veritas example-queries`, and `veritas validate`.
+//!
+//! # Persistent cache
+//!
+//! The abduction cache has an optional disk tier ([`persist`],
+//! [`Engine::with_cache_dir`]): posteriors are serialized to a cache
+//! directory keyed by the `(log, config, horizon)` content fingerprints,
+//! so a second run over an unchanged corpus performs **zero** EHMM
+//! inferences — every work unit restores its posterior from disk
+//! (`"cache": "disk"` in the records, `disk_hits` in the summary).
+//! Invalidation is structural: any change to a log or a
+//! posterior-relevant config field changes the fingerprint and misses
+//! naturally; corrupt or truncated store files are treated as misses,
+//! never errors.
 //!
 //! # Example: streaming consumption
 //!
@@ -68,13 +82,17 @@ pub mod cache;
 pub mod corpus;
 mod error;
 pub mod executor;
+pub mod persist;
 pub mod plan;
 pub mod query;
 pub mod runner;
 
-pub use cache::{config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheStats};
+pub use cache::{
+    config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheSource, CacheStats,
+};
 pub use corpus::{CorpusSession, CorpusShard, SessionCorpus, SyntheticSpec};
 pub use error::EngineError;
+pub use persist::{DiskStore, PersistKey};
 pub use plan::{
     AggregateMetric, AggregateSpec, AggregateSummary, ConfigSweep, PlannedConfig, QueryPlan,
     WorkUnit, MAX_SWEEP_VARIANTS,

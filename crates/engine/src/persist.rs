@@ -1,0 +1,490 @@
+//! The persistent abduction store: warm-starting inference across
+//! processes.
+//!
+//! Abduction is the expensive step of every causal query, and everything
+//! downstream (interventional and counterfactual replay, aggregation)
+//! only *reads* the posterior. Within one process the [`crate::AbductionCache`]
+//! already computes each posterior once; this module extends that cache
+//! with a **disk tier**, so a second `veritas run` over an unchanged
+//! corpus performs zero EHMM inferences.
+//!
+//! # Key scheme
+//!
+//! Entries are content-addressed by the
+//! `(log_fingerprint, config_fingerprint, horizon)` triple the in-memory
+//! cache already computes ([`crate::log_fingerprint`] /
+//! [`crate::config_fingerprint`]): the log fingerprint covers every
+//! observed variable inference conditions on, the config fingerprint
+//! covers every posterior-relevant configuration field, and the horizon is
+//! the conditioned-on record prefix. Session *ids* are deliberately not
+//! part of the identity — two sessions with byte-identical logs share one
+//! stored posterior, and a renamed corpus file warm-starts unchanged.
+//! Invalidation is therefore purely structural: any change to the log or
+//! the posterior-relevant config changes the fingerprint and naturally
+//! misses; no stamp files or TTLs exist.
+//!
+//! # File format
+//!
+//! One file per posterior, named `ab-v1-<log>-<config>-<horizon>.vpost`
+//! under the store directory. The payload is a fixed little-endian binary
+//! layout (magic, format version, the key triple, the Viterbi decode, the
+//! smoothed posteriors, and a trailing FNV-1a checksum). Floats are stored
+//! as raw IEEE-754 bit patterns, so a reloaded posterior is *bit-equal* to
+//! the one saved — no text round-trip error.
+//!
+//! # Failure philosophy
+//!
+//! Writes are atomic (write to a temp file in the store directory, then
+//! rename), so a crash mid-write can never leave a half-entry under a live
+//! key. Loads are corruption-tolerant: a missing, truncated, garbage, or
+//! shape-inconsistent file is a **miss**, never an error — the cache
+//! simply re-infers and overwrites the entry via the same atomic path.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use veritas::{Abduction, VeritasConfig};
+use veritas_ehmm::{EhmmWorkspace, Posteriors, StateMatrix, ViterbiResult};
+use veritas_player::SessionLog;
+
+use crate::cache::{fnv_mix, FNV_OFFSET};
+
+/// Version stamp embedded in every stored entry; bump on any layout
+/// change so older binaries' files read as misses instead of garbage.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Leading magic of every store file.
+const MAGIC: [u8; 8] = *b"VRTSPOST";
+
+/// Decode-time sanity ceilings: a corrupted length field must fail fast
+/// instead of driving a multi-gigabyte allocation. Real sessions have
+/// hundreds of chunks and tens of capacity states.
+const MAX_OBS: u64 = 1 << 24;
+const MAX_STATES: u64 = 1 << 16;
+
+/// The content-addressed identity of one stored posterior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistKey {
+    /// [`crate::log_fingerprint`] of the session log.
+    pub log: u64,
+    /// [`crate::config_fingerprint`] of the posterior-relevant config.
+    pub config: u64,
+    /// Number of chunk records the posterior conditions on.
+    pub horizon: usize,
+}
+
+/// A directory of persisted abduction posteriors — the disk tier behind
+/// [`crate::AbductionCache`].
+///
+/// The store is safe to share between concurrent processes pointed at the
+/// same directory: writes are write-then-rename atomic, loads validate a
+/// checksum plus every shape, and both sides of a racing double-write
+/// produce identical bytes (the key is a content address).
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    /// Distinguishes concurrent temp files within one process; the file
+    /// name also carries the process id for cross-process uniqueness.
+    nonce: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            nonce: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path an entry for `key` lives at.
+    pub fn path_for(&self, key: &PersistKey) -> PathBuf {
+        self.dir.join(format!(
+            "ab-v{FORMAT_VERSION}-{:016x}-{:016x}-{:x}.vpost",
+            key.log, key.config, key.horizon
+        ))
+    }
+
+    /// Persists one abduction under `key`, atomically: the payload is
+    /// written to a temp file in the store directory and renamed into
+    /// place, so readers only ever observe complete entries.
+    pub fn save(&self, key: &PersistKey, abduction: &Abduction) -> std::io::Result<()> {
+        let bytes = encode(key, abduction.viterbi(), abduction.posteriors());
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{:016x}",
+            std::process::id(),
+            self.nonce.fetch_add(1, Ordering::Relaxed),
+            key.log
+        ));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            fs::rename(&tmp, self.path_for(key))
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads the entry for `key` and restores it into an [`Abduction`]
+    /// over `log` (already the horizon-truncated view) under `config`,
+    /// resolving transition kernels through the shared `workspace`.
+    ///
+    /// Any failure — no file, unreadable file, wrong magic or version, a
+    /// checksum or key mismatch, or artifacts whose shapes do not fit the
+    /// log — returns `None`: a disk problem is a cache miss, never an
+    /// error.
+    pub fn load(
+        &self,
+        key: &PersistKey,
+        log: &SessionLog,
+        config: &VeritasConfig,
+        workspace: Arc<EhmmWorkspace>,
+    ) -> Option<Abduction> {
+        let bytes = fs::read(self.path_for(key)).ok()?;
+        let (stored_key, viterbi, posteriors) = decode(&bytes)?;
+        if stored_key != *key {
+            return None;
+        }
+        Abduction::from_parts(log, config, workspace, viterbi, posteriors).ok()
+    }
+}
+
+/// Append helpers: everything is little-endian, floats as raw bit patterns
+/// (the reload is bit-exact by construction).
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, value: f64) {
+    put_u64(buf, value.to_bits());
+}
+
+/// Serializes one entry: magic, version, key, Viterbi decode, posteriors,
+/// trailing FNV-1a checksum over everything after the magic.
+fn encode(key: &PersistKey, viterbi: &ViterbiResult, posteriors: &Posteriors) -> Vec<u8> {
+    let num_obs = viterbi.path.len();
+    let num_states = posteriors.gamma.cols();
+    let mut buf = Vec::with_capacity(
+        96 + 8
+            * (num_obs
+                + posteriors.gamma.as_slice().len()
+                + posteriors.xi.len() * num_states * num_states),
+    );
+    buf.extend_from_slice(&MAGIC);
+    put_u64(&mut buf, FORMAT_VERSION);
+    put_u64(&mut buf, key.log);
+    put_u64(&mut buf, key.config);
+    put_u64(&mut buf, key.horizon as u64);
+    put_u64(&mut buf, num_obs as u64);
+    put_u64(&mut buf, num_states as u64);
+    for &state in &viterbi.path {
+        put_u64(&mut buf, state as u64);
+    }
+    put_f64(&mut buf, viterbi.log_likelihood);
+    for &v in posteriors.gamma.as_slice() {
+        put_f64(&mut buf, v);
+    }
+    put_u64(&mut buf, posteriors.xi.len() as u64);
+    for pair in &posteriors.xi {
+        for &v in pair.as_slice() {
+            put_f64(&mut buf, v);
+        }
+    }
+    put_f64(&mut buf, posteriors.log_likelihood);
+    let checksum = fnv_checksum(&buf[MAGIC.len()..]);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// FNV-1a over a byte slice, word-at-a-time via the fingerprint mixer so
+/// the store and the cache can never disagree on the hash function.
+fn fnv_checksum(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        fnv_mix(
+            &mut hash,
+            u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
+        );
+    }
+    let remainder = chunks.remainder();
+    if !remainder.is_empty() {
+        let mut word = [0u8; 8];
+        word[..remainder.len()].copy_from_slice(remainder);
+        fnv_mix(&mut hash, u64::from_le_bytes(word));
+    }
+    hash
+}
+
+/// A bounds-checked little-endian reader; every take returns `None` past
+/// the end instead of panicking, so arbitrary garbage decodes to a miss.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take_u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let bytes = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn take_f64(&mut self) -> Option<f64> {
+        self.take_u64().map(f64::from_bits)
+    }
+
+    fn take_f64s(&mut self, count: usize) -> Option<Vec<f64>> {
+        let end = self.pos.checked_add(count.checked_mul(8)?)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(self.take_f64().expect("length checked above"));
+        }
+        Some(values)
+    }
+}
+
+/// Parses one stored entry, validating magic, version, checksum, and every
+/// declared length against the actual byte count *before* any large
+/// allocation. Returns `None` on any inconsistency.
+fn decode(bytes: &[u8]) -> Option<(PersistKey, ViterbiResult, Posteriors)> {
+    if bytes.len() < MAGIC.len() + 8 || bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let payload = &bytes[MAGIC.len()..bytes.len() - 8];
+    let stored_checksum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv_checksum(payload) != stored_checksum {
+        return None;
+    }
+    let mut reader = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    if reader.take_u64()? != FORMAT_VERSION {
+        return None;
+    }
+    let key = PersistKey {
+        log: reader.take_u64()?,
+        config: reader.take_u64()?,
+        horizon: usize::try_from(reader.take_u64()?).ok()?,
+    };
+    let num_obs = reader.take_u64()?;
+    let num_states = reader.take_u64()?;
+    if num_obs == 0 || num_obs > MAX_OBS || num_states == 0 || num_states > MAX_STATES {
+        return None;
+    }
+    let (num_obs, num_states) = (num_obs as usize, num_states as usize);
+    // The whole remaining layout is length-determined; verify it against
+    // the payload size before allocating anything observation-sized.
+    let xi_cells = num_states.checked_mul(num_states)?;
+    let expected_words = num_obs // viterbi path
+        .checked_add(1)? // viterbi log-likelihood
+        .checked_add(num_obs.checked_mul(num_states)?)? // gamma
+        .checked_add(1)? // xi count
+        .checked_add((num_obs - 1).checked_mul(xi_cells)?)? // xi matrices
+        .checked_add(1)?; // posterior log-likelihood
+    if payload.len() - reader.pos != expected_words.checked_mul(8)? {
+        return None;
+    }
+    let mut path = Vec::with_capacity(num_obs);
+    for _ in 0..num_obs {
+        let state = reader.take_u64()?;
+        if state >= num_states as u64 {
+            return None;
+        }
+        path.push(state as usize);
+    }
+    let viterbi = ViterbiResult {
+        path,
+        log_likelihood: reader.take_f64()?,
+    };
+    let gamma = StateMatrix::from_vec(num_obs, num_states, reader.take_f64s(num_obs * num_states)?);
+    let xi_count = usize::try_from(reader.take_u64()?).ok()?;
+    if xi_count != num_obs - 1 {
+        return None;
+    }
+    let mut xi = Vec::with_capacity(xi_count);
+    for _ in 0..xi_count {
+        xi.push(StateMatrix::from_vec(
+            num_states,
+            num_states,
+            reader.take_f64s(xi_cells)?,
+        ));
+    }
+    let posteriors = Posteriors {
+        gamma,
+        xi,
+        log_likelihood: reader.take_f64()?,
+    };
+    Some((key, viterbi, posteriors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds an entry directly from raw numbers (no inference), so the
+    /// codec is testable over arbitrary bit patterns.
+    fn entry(
+        num_obs: usize,
+        num_states: usize,
+        values: &mut impl FnMut() -> f64,
+    ) -> (PersistKey, ViterbiResult, Posteriors) {
+        let key = PersistKey {
+            log: 0xDEAD_BEEF_0BAD_F00D,
+            config: 0x0123_4567_89AB_CDEF,
+            horizon: num_obs,
+        };
+        let viterbi = ViterbiResult {
+            path: (0..num_obs).map(|n| n % num_states).collect(),
+            log_likelihood: values(),
+        };
+        let posteriors = Posteriors {
+            gamma: StateMatrix::from_vec(
+                num_obs,
+                num_states,
+                (0..num_obs * num_states).map(|_| values()).collect(),
+            ),
+            xi: (0..num_obs - 1)
+                .map(|_| {
+                    StateMatrix::from_vec(
+                        num_states,
+                        num_states,
+                        (0..num_states * num_states).map(|_| values()).collect(),
+                    )
+                })
+                .collect(),
+            log_likelihood: values(),
+        };
+        (key, viterbi, posteriors)
+    }
+
+    proptest! {
+        /// The codec must round-trip *bit patterns*, not values: NaNs,
+        /// negative zero, subnormals, and infinities all come back
+        /// byte-identical, and the re-encoded entry is the same byte
+        /// stream.
+        #[test]
+        fn codec_round_trips_arbitrary_bit_patterns(
+            seed in any::<u64>(),
+            num_obs in 1usize..12,
+            num_states in 1usize..6,
+        ) {
+            let mut state = seed;
+            let mut values = move || {
+                // xorshift64* over the full u64 space, reinterpreted as
+                // f64 bits: covers NaN payloads, ±0, subnormals, ±inf.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                f64::from_bits(state.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            };
+            let (key, viterbi, posteriors) = entry(num_obs, num_states, &mut values);
+            let bytes = encode(&key, &viterbi, &posteriors);
+            let (back_key, back_viterbi, back_posteriors) =
+                decode(&bytes).expect("a just-encoded entry must decode");
+            prop_assert_eq!(back_key, key);
+            prop_assert_eq!(&back_viterbi.path, &viterbi.path);
+            prop_assert_eq!(
+                back_viterbi.log_likelihood.to_bits(),
+                viterbi.log_likelihood.to_bits()
+            );
+            prop_assert_eq!(
+                back_posteriors.log_likelihood.to_bits(),
+                posteriors.log_likelihood.to_bits()
+            );
+            let bits = |m: &StateMatrix| -> Vec<u64> {
+                m.as_slice().iter().map(|v| v.to_bits()).collect()
+            };
+            prop_assert_eq!(bits(&back_posteriors.gamma), bits(&posteriors.gamma));
+            prop_assert_eq!(back_posteriors.xi.len(), posteriors.xi.len());
+            for (a, b) in back_posteriors.xi.iter().zip(&posteriors.xi) {
+                prop_assert_eq!(bits(a), bits(b));
+            }
+            prop_assert_eq!(
+                encode(&key, &back_viterbi, &back_posteriors),
+                bytes,
+                "re-encoding a decoded entry must be byte-identical"
+            );
+        }
+
+        /// Any prefix truncation of a valid entry must decode to `None`
+        /// (the checksum or a length check catches it) — never panic.
+        #[test]
+        fn truncated_entries_decode_to_none(
+            cut in 0usize..200,
+        ) {
+            let mut counter = 0.0f64;
+            let mut values = move || { counter += 1.5; counter };
+            let (key, viterbi, posteriors) = entry(4, 3, &mut values);
+            let bytes = encode(&key, &viterbi, &posteriors);
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            prop_assert!(decode(&bytes[..cut]).is_none());
+        }
+
+        /// Flipping any single byte of a valid entry must decode to
+        /// `None`: every byte is covered by the checksum (or is the
+        /// checksum / magic itself).
+        #[test]
+        fn corrupted_entries_decode_to_none(position in 0usize..400, flip in 1u8..=255) {
+            let mut counter = 0.0f64;
+            let mut values = move || { counter += 0.25; counter };
+            let (key, viterbi, posteriors) = entry(4, 3, &mut values);
+            let mut bytes = encode(&key, &viterbi, &posteriors);
+            let position = position % bytes.len();
+            bytes[position] ^= flip;
+            prop_assert!(decode(&bytes).is_none());
+        }
+    }
+
+    #[test]
+    fn garbage_and_empty_buffers_are_rejected() {
+        assert!(decode(&[]).is_none());
+        assert!(decode(b"not a store entry at all").is_none());
+        let mut magic_only = MAGIC.to_vec();
+        assert!(decode(&magic_only).is_none());
+        magic_only.extend_from_slice(&[0u8; 64]);
+        assert!(decode(&magic_only).is_none());
+    }
+
+    #[test]
+    fn oversized_declared_shapes_are_rejected_before_allocating() {
+        // A tiny buffer that *claims* billions of observations: decode
+        // must bail on the sanity bound / length check, not try to
+        // allocate.
+        let key = PersistKey {
+            log: 1,
+            config: 2,
+            horizon: 3,
+        };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        put_u64(&mut buf, FORMAT_VERSION);
+        put_u64(&mut buf, key.log);
+        put_u64(&mut buf, key.config);
+        put_u64(&mut buf, key.horizon as u64);
+        put_u64(&mut buf, u64::MAX); // num_obs
+        put_u64(&mut buf, 4); // num_states
+        let checksum = fnv_checksum(&buf[MAGIC.len()..]);
+        put_u64(&mut buf, checksum);
+        assert!(decode(&buf).is_none());
+    }
+}

@@ -423,13 +423,20 @@ impl AggregateSummary {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice of integers.
+/// Nearest-rank percentile over an ascending-sorted slice of integers:
+/// the value at 1-based rank `⌈q/100 · len⌉` (`q = 0` yields the
+/// minimum). Always an actually observed value — the right convention for
+/// latency counters, unlike the linear interpolation
+/// [`veritas_trace::stats::percentile`] applies to continuous metrics.
 pub(crate) fn percentile_u64(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = ((q / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank]
+    // Multiply before dividing: `q / 100.0` alone rounds up for many
+    // integer q (e.g. 0.28000…02), and `ceil` would overshoot the rank by
+    // one; `q · len / 100` is exact for integer q.
+    let rank = ((q.clamp(0.0, 100.0) * sorted.len() as f64) / 100.0).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// One configuration a plan executes under: the query set's base config
@@ -740,6 +747,40 @@ mod tests {
         assert_eq!(percentile_u64(&[10, 20, 30], 50.0), 20);
         assert_eq!(percentile_u64(&[10, 20, 30], 100.0), 30);
         assert_eq!(percentile_u64(&[], 50.0), 0);
+        // Nearest rank is ⌈q/100 · len⌉, *not* round-half-up linear
+        // indexing over len−1: p50 of four values is the 2nd (20), where
+        // the old indexing scheme returned the 3rd (30).
+        assert_eq!(percentile_u64(&[10, 20, 30, 40], 50.0), 20);
+        assert_eq!(percentile_u64(&[10, 20, 30, 40], 50.1), 30);
+        assert_eq!(percentile_u64(&[10, 20, 30, 40], 0.0), 10);
+        assert_eq!(percentile_u64(&[10, 20, 30, 40], 25.0), 10);
+        assert_eq!(percentile_u64(&[10, 20, 30, 40], 75.0), 30);
+        assert_eq!(percentile_u64(&[10, 20, 30, 40], 95.0), 40);
+        assert_eq!(percentile_u64(&[7], 50.0), 7);
+        // Out-of-range quantiles clamp instead of indexing out of bounds.
+        assert_eq!(percentile_u64(&[10, 20], -5.0), 10);
+        assert_eq!(percentile_u64(&[10, 20], 250.0), 20);
+        // Every percentile is an actually observed value.
+        let sorted = [3u64, 9, 27, 81, 243];
+        for q in 0..=100 {
+            assert!(sorted.contains(&percentile_u64(&sorted, f64::from(q))));
+        }
+        // Float-rounding regression: q/100 alone rounds 0.07 up, so
+        // ceil(0.07·100) was 8, not the correct rank 7. The exact rank
+        // must hold for every integer (q, len) pair.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&hundred, 7.0), 7);
+        for len in 1..=128usize {
+            let sorted: Vec<u64> = (1..=len as u64).collect();
+            for q in 0..=100u64 {
+                let expected = (q as usize * len).div_ceil(100).max(1) as u64;
+                assert_eq!(
+                    percentile_u64(&sorted, q as f64),
+                    expected,
+                    "q={q} len={len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,10 +39,11 @@ use veritas_media::QualityLadder;
 use veritas_player::QoeSummary;
 use veritas_trace::stats::trace_mae;
 
-use crate::cache::{infer_prefix, log_fingerprint, AbductionCache};
+use crate::cache::{infer_prefix, log_fingerprint, AbductionCache, CacheSource};
 use crate::corpus::SessionCorpus;
 use crate::error::EngineError;
 use crate::executor;
+use crate::persist::DiskStore;
 use crate::plan::{percentile_u64, AggregateSummary, PlannedConfig, QueryPlan};
 use crate::query::{
     object_fields, opt, reject_unknown, req, Query, QueryKind, QuerySet, ScenarioSpec,
@@ -154,9 +155,10 @@ pub struct QueryRecord {
     pub status: String,
     /// Error description when `status == "error"`.
     pub error: Option<String>,
-    /// `"hit"` / `"miss"` when the unit consulted the abduction cache,
-    /// `"off"` when caching was disabled, `null` when the unit failed
-    /// before inference.
+    /// `"hit"` (in-memory) / `"disk"` (restored from the persistent
+    /// store) / `"miss"` (inferred) when the unit consulted the abduction
+    /// cache, `"off"` when caching was disabled, `null` when the unit
+    /// failed before inference.
     pub cache: Option<String>,
     /// Wall-clock time this unit took, in microseconds.
     pub elapsed_us: u64,
@@ -244,10 +246,14 @@ pub struct RunSummary {
     pub ok: usize,
     /// Records that failed.
     pub errors: usize,
-    /// Abduction-cache hits during this run.
+    /// Abduction-cache hits served from memory during this run.
     pub cache_hits: u64,
-    /// Abduction-cache misses during this run.
+    /// Abduction-cache misses (units that ran inference) during this run.
     pub cache_misses: u64,
+    /// Posteriors restored from the persistent store during this run —
+    /// nonzero on a warm start, and together with `cache_misses == 0` the
+    /// proof that the run performed no EHMM inference at all.
+    pub disk_hits: u64,
     /// Worker threads used.
     pub threads: usize,
     /// Corpus shards the run was partitioned into.
@@ -366,6 +372,30 @@ impl Engine {
         self
     }
 
+    /// Attaches a persistent abduction store rooted at `dir` (created if
+    /// absent) behind the in-memory cache: posteriors inferred by this
+    /// engine are written through to disk, and runs restore previously
+    /// persisted posteriors instead of re-inferring — including across
+    /// processes. Re-enables caching if [`Engine::without_cache`] was
+    /// called earlier (a disk tier behind a disabled cache would be a
+    /// silent no-op). Fails only if the directory cannot be created; read
+    /// or write problems at run time degrade to cache misses
+    /// (see [`crate::persist`]).
+    pub fn with_cache_dir(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Self, EngineError> {
+        let store = DiskStore::open(dir)?;
+        self.cache_enabled = true;
+        match Arc::get_mut(&mut self.cache) {
+            // The builder normally still owns its cache exclusively:
+            // attach in place, keeping any posteriors already in memory.
+            Some(cache) => cache.attach_disk_store(store),
+            None => self.cache = Arc::new(AbductionCache::new().with_disk_store(store)),
+        }
+        Ok(self)
+    }
+
     /// The engine's abduction cache (shared across runs).
     pub fn cache(&self) -> &AbductionCache {
         &self.cache
@@ -479,6 +509,7 @@ impl Engine {
             log_fps,
             run_hits: AtomicU64::new(0),
             run_misses: AtomicU64::new(0),
+            run_disk_hits: AtomicU64::new(0),
         });
         let worker_ctx = Arc::clone(&ctx);
         let capacity = threads.saturating_mul(2).clamp(4, 1024);
@@ -650,6 +681,7 @@ impl RunHandle {
             errors: self.errors,
             cache_hits: self.ctx.run_hits.load(Ordering::Relaxed),
             cache_misses: self.ctx.run_misses.load(Ordering::Relaxed),
+            disk_hits: self.ctx.run_disk_hits.load(Ordering::Relaxed),
             threads: self.threads,
             shards: self.shards,
             elapsed_ms: self.started.elapsed().as_secs_f64() * 1e3,
@@ -720,6 +752,8 @@ struct ExecCtx {
     run_hits: AtomicU64,
     /// Cache misses observed by this run's units.
     run_misses: AtomicU64,
+    /// Posteriors this run's units restored from the persistent store.
+    run_disk_hits: AtomicU64,
 }
 
 impl ExecCtx {
@@ -789,7 +823,7 @@ impl ExecCtx {
         let session = &self.corpus.sessions[si];
         match &self.cache {
             Some(cache) => {
-                let (abduction, hit) = cache
+                let (abduction, source) = cache
                     .get_or_infer_keyed(
                         &session.id,
                         &session.log,
@@ -799,15 +833,12 @@ impl ExecCtx {
                         planned.fingerprint,
                     )
                     .map_err(|e| e.to_string())?;
-                if hit {
-                    self.run_hits.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.run_misses.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok((
-                    abduction,
-                    Some(if hit { "hit" } else { "miss" }.to_string()),
-                ))
+                match source {
+                    CacheSource::Memory => self.run_hits.fetch_add(1, Ordering::Relaxed),
+                    CacheSource::Disk => self.run_disk_hits.fetch_add(1, Ordering::Relaxed),
+                    CacheSource::Inferred => self.run_misses.fetch_add(1, Ordering::Relaxed),
+                };
+                Ok((abduction, Some(source.label().to_string())))
             }
             None => {
                 let abduction = infer_prefix(&session.log, horizon, &planned.config)

@@ -125,3 +125,85 @@ fn streamed_sharded_run_writes_valid_jsonl() {
     let summary = std::fs::read_to_string(dir.join("summary.json")).unwrap();
     assert!(summary.contains("\"shards\": 2"), "summary was: {summary}");
 }
+
+#[test]
+fn cache_dir_warm_starts_a_second_run_without_inference() {
+    let dir = temp_dir("cache_dir");
+    let _ = std::fs::remove_dir_all(dir.join("store"));
+    std::fs::write(
+        dir.join("queries.json"),
+        r#"{"queries": [
+            {"id": "posterior", "kind": "abduction"},
+            {"id": "what-if", "kind": "counterfactual", "scenario": {"abr": "bba"}}
+        ]}"#,
+    )
+    .unwrap();
+    let run = |out: &str, summary: &str| {
+        veritas(
+            &[
+                "run",
+                "queries.json",
+                "--synthetic",
+                "2",
+                "--cache-dir",
+                "store",
+                "--out",
+                out,
+                "--summary",
+                summary,
+            ],
+            &dir,
+        )
+    };
+    let cold = run("cold.jsonl", "cold-summary.json");
+    assert!(
+        cold.status.success(),
+        "cold run failed: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let warm = run("warm.jsonl", "warm-summary.json");
+    assert!(warm.status.success());
+
+    let summary_of = |name: &str| -> veritas_engine::RunSummary {
+        serde_json::from_str(&std::fs::read_to_string(dir.join(name)).unwrap()).unwrap()
+    };
+    let cold_summary = summary_of("cold-summary.json");
+    let warm_summary = summary_of("warm-summary.json");
+    assert_eq!(cold_summary.disk_hits, 0);
+    assert!(cold_summary.cache_misses > 0);
+    assert_eq!(
+        warm_summary.cache_misses, 0,
+        "the second --cache-dir run must perform zero inferences"
+    );
+    assert_eq!(warm_summary.disk_hits, cold_summary.cache_misses);
+
+    // The record streams agree on everything but timing and cache tier.
+    let normalize = |name: &str| -> Vec<String> {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap()
+            .lines()
+            .map(|line| {
+                let mut record: QueryRecord = serde_json::from_str(line).unwrap();
+                record.elapsed_us = 0;
+                record.cache = None;
+                serde_json::to_string(&record).unwrap()
+            })
+            .collect()
+    };
+    assert_eq!(normalize("cold.jsonl"), normalize("warm.jsonl"));
+
+    // --no-cache cannot honor a cache dir.
+    let conflict = veritas(
+        &[
+            "run",
+            "queries.json",
+            "--synthetic",
+            "2",
+            "--no-cache",
+            "--cache-dir",
+            "store",
+        ],
+        &dir,
+    );
+    assert!(!conflict.status.success());
+}
