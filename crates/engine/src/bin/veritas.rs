@@ -8,6 +8,7 @@
 //!             [--min-cache-hits N] [--allow-errors]
 //! veritas bench [--sessions N] [--queries N] [--threads N]
 //!               [--cache-dir DIR] [--json FILE]
+//! veritas serve [--addr HOST:PORT] [--corpus DIR | --synthetic N] ...
 //! veritas example-queries
 //! veritas validate <report.jsonl>
 //! ```
@@ -26,8 +27,14 @@
 //! `--allow-errors` is passed. `bench` times the same synthetic query set
 //! with and without the abduction cache and reports the speedup — plus,
 //! with `--cache-dir`, a disk-warm pass restored entirely from the
-//! persistent store. `example-queries` prints a starter query file.
-//! `validate` checks that a report is well-formed JSONL.
+//! persistent store. `serve` runs the same engine as the `veritasd`
+//! daemon (see `veritas_engine::service`). `example-queries` prints a
+//! starter query file. `validate` checks that a report is well-formed
+//! JSONL.
+//!
+//! Exit codes follow `EngineError::exit_code`: 1 for failed work (unit
+//! failures, cache-floor shortfall), 2 for bad input (usage, query, or
+//! config errors), 3 for environment (I/O) errors, 4 for load shedding.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -36,15 +43,55 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use veritas_engine::{
-    Engine, EngineReport, QueryKind, QueryPlan, QueryRecord, QuerySet, RunSummary, SessionCorpus,
-    SyntheticSpec,
+    service, Engine, EngineError, EngineReport, QueryKind, QueryPlan, QueryRecord, QuerySet,
+    RunSummary, SessionCorpus, SyntheticSpec,
 };
+
+/// What a subcommand can fail with: a usage problem (bad flags or
+/// arguments — exit 2, like [`EngineError::Config`]) or a typed engine
+/// failure, whose [`EngineError::exit_code`] becomes the process exit
+/// code.
+enum CliError {
+    Usage(String),
+    Engine(EngineError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Engine(error) => error.exit_code(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "{message}"),
+            CliError::Engine(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl From<EngineError> for CliError {
+    fn from(error: EngineError) -> Self {
+        CliError::Engine(error)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => service::run_cli(&args[1..]).map_err(CliError::Engine),
         Some("example-queries") => {
             println!("{}", QuerySet::example().to_json());
             Ok(())
@@ -54,13 +101,15 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}` (try --help)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("veritas: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("veritas: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -76,6 +125,8 @@ fn print_usage() {
          \x20                            [--allow-errors]\n\
          \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
          \x20               [--cache-dir DIR] [--json FILE]\n\
+         \x20 veritas serve [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]\n\
+         \x20               [--threads N] [--shards N] [--cache-dir DIR] [--admission N]\n\
          \x20 veritas example-queries\n\
          \x20 veritas validate <report.jsonl>"
     );
@@ -168,10 +219,12 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
         .map_err(|_| format!("invalid numeric value `{text}`"))
 }
 
-fn load_corpus(options: &Options) -> Result<SessionCorpus, String> {
+fn load_corpus(options: &Options) -> Result<SessionCorpus, CliError> {
     match (&options.corpus, options.synthetic) {
-        (Some(_), Some(_)) => Err("--corpus and --synthetic are mutually exclusive".to_string()),
-        (Some(dir), None) => SessionCorpus::from_dir(dir).map_err(|e| e.to_string()),
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--corpus and --synthetic are mutually exclusive".to_string(),
+        )),
+        (Some(dir), None) => Ok(SessionCorpus::from_dir(dir)?),
         (None, n) => {
             let spec = SyntheticSpec {
                 sessions: n.unwrap_or(4),
@@ -187,23 +240,27 @@ fn load_corpus(options: &Options) -> Result<SessionCorpus, String> {
     }
 }
 
-fn build_engine(options: &Options) -> Result<Engine, String> {
-    let mut engine = Engine::new();
+/// Constructs the engine through [`Engine::builder`]; inconsistent flag
+/// combinations (e.g. `--no-cache` with `--cache-dir`) surface as
+/// [`EngineError::Config`] from the builder.
+fn build_engine(options: &Options) -> Result<Engine, CliError> {
+    let mut builder = Engine::builder();
     if let Some(threads) = options.threads {
-        engine = engine.with_threads(threads);
+        builder = builder.threads(threads);
     }
     if let Some(shards) = options.shards {
-        engine = engine.with_shards(shards);
+        builder = builder.shards(shards);
     }
     if options.no_cache {
-        engine = engine.without_cache();
+        builder = builder.no_cache();
     }
     if let Some(dir) = &options.cache_dir {
-        engine = engine
-            .with_cache_dir(dir)
-            .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?;
+        builder = builder.cache_dir(dir);
     }
-    Ok(engine)
+    if let Some(min) = options.min_cache_hits {
+        builder = builder.min_cache_hits(min);
+    }
+    Ok(builder.build()?)
 }
 
 /// Where `run` writes its JSONL record lines.
@@ -218,7 +275,7 @@ fn record_writer(out: &Option<PathBuf>) -> Result<Box<dyn Write>, String> {
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(
         args,
         &[
@@ -237,29 +294,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ],
     )?;
     let [query_path] = options.positional.as_slice() else {
-        return Err("run expects exactly one <queries.json> argument".to_string());
+        return Err(CliError::Usage(
+            "run expects exactly one <queries.json> argument".to_string(),
+        ));
     };
-    if options.no_cache && options.min_cache_hits.is_some() {
-        return Err("--min-cache-hits cannot be satisfied with --no-cache".to_string());
-    }
-    if options.no_cache && options.cache_dir.is_some() {
-        return Err("--cache-dir requires the cache; drop --no-cache".to_string());
-    }
+    // The builder validates the flag combinations (`--no-cache` vs
+    // `--cache-dir` / `--min-cache-hits`) before any work happens.
+    let engine = build_engine(&options)?;
     let json = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
     // The CLI owns both values, so they are shared with the workers via
     // `submit_shared` instead of paying `submit`'s defensive deep copies.
     let corpus = Arc::new(load_corpus(&options)?);
-    let plan = Arc::new(QueryPlan::compile(&set, &corpus).map_err(|e| e.to_string())?);
-    let engine = build_engine(&options)?;
+    let plan = Arc::new(QueryPlan::compile(&set, &corpus)?);
 
     let summary = if options.stream {
         // Incremental consumption: each record is written (and flushed)
         // the moment its unit completes, in completion order.
-        let mut handle = engine
-            .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))
-            .map_err(|e| e.to_string())?;
+        let mut handle = engine.submit_shared(Arc::clone(&corpus), Arc::clone(&plan))?;
         let mut writer = record_writer(&options.out)?;
         for record in &mut handle {
             let line = serde_json::to_string(&record).expect("record serialization cannot fail");
@@ -271,8 +324,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         handle.into_summary()
     } else {
         let report = engine
-            .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))
-            .map_err(|e| e.to_string())?
+            .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))?
             .wait();
         let mut writer = record_writer(&options.out)?;
         write!(writer, "{}", report.to_jsonl())
@@ -288,19 +340,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     report_summary(&summary);
     if summary.errors > 0 && !options.allow_errors {
-        return Err(format!(
-            "{} of {} records failed (pass --allow-errors to exit 0 anyway)",
-            summary.errors, summary.units
-        ));
+        return Err(CliError::Engine(EngineError::UnitFailures {
+            failed: summary.errors,
+            units: summary.units,
+        }));
     }
-    if let Some(min) = options.min_cache_hits {
-        if summary.cache_hits < min {
-            return Err(format!(
-                "expected at least {min} cache hits, observed {}",
-                summary.cache_hits
-            ));
-        }
-    }
+    // `--min-cache-hits` became the engine's cache floor; `verify_summary`
+    // raises the typed `CacheShortfall` when the run fell below it.
+    engine.verify_summary(&summary)?;
     Ok(())
 }
 
@@ -343,7 +390,7 @@ struct BenchJson {
     disk_hits: Option<u64>,
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(
         args,
         &[
@@ -369,15 +416,17 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let set = QuerySet::cache_stress(options.queries);
     let threads = options.threads.unwrap_or(1);
 
-    let run = |engine: Engine| -> Result<(EngineReport, f64), String> {
+    let run = |engine: Engine| -> Result<(EngineReport, f64), CliError> {
         let started = Instant::now();
-        let report = engine.run(&corpus, &set).map_err(|e| e.to_string())?;
+        let report = engine.run(&corpus, &set)?;
         Ok((report, started.elapsed().as_secs_f64() * 1e3))
     };
+    let cached = || Engine::builder().threads(threads).build();
     // Warm once to stabilize, then time uncached vs cached (fresh cache).
-    let _ = run(Engine::new().with_threads(threads))?;
-    let (uncached_report, uncached_ms) = run(Engine::new().with_threads(threads).without_cache())?;
-    let (cached_report, cached_ms) = run(Engine::new().with_threads(threads))?;
+    let _ = run(cached()?)?;
+    let (uncached_report, uncached_ms) =
+        run(Engine::builder().threads(threads).no_cache().build()?)?;
+    let (cached_report, cached_ms) = run(cached()?)?;
     assert_eq!(uncached_report.summary.ok, cached_report.summary.ok);
 
     println!(
@@ -396,19 +445,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     // production profile.
     let disk_warm = match &options.cache_dir {
         Some(dir) => {
-            let with_store = |e: Engine| {
-                e.with_cache_dir(dir)
-                    .map_err(|err| format!("cannot open cache dir {}: {err}", dir.display()))
-            };
-            let _ = run(with_store(Engine::new().with_threads(threads))?)?;
-            let (warm_report, warm_ms) = run(with_store(Engine::new().with_threads(threads))?)?;
+            let with_store = || Engine::builder().threads(threads).cache_dir(dir).build();
+            let _ = run(with_store()?)?;
+            let (warm_report, warm_ms) = run(with_store()?)?;
             if warm_report.summary.cache_misses > 0 {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "disk-warm run still inferred {} posteriors — the store at {} is not \
                      serving them",
                     warm_report.summary.cache_misses,
                     dir.display()
-                ));
+                )));
             }
             println!(
                 "disk-warm: {warm_ms:.1} ms   ({} posteriors restored from {}, 0 inferred)",
@@ -442,10 +488,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_validate(args: &[String]) -> Result<(), String> {
+fn cmd_validate(args: &[String]) -> Result<(), CliError> {
     let options = parse_options(args, &[])?;
     let [path] = options.positional.as_slice() else {
-        return Err("validate expects exactly one <report.jsonl> argument".to_string());
+        return Err(CliError::Usage(
+            "validate expects exactly one <report.jsonl> argument".to_string(),
+        ));
     };
     let data =
         std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -469,7 +517,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         }] += 1;
     }
     if ok + errors == 0 {
-        return Err(format!("{path} contains no records"));
+        return Err(CliError::Usage(format!("{path} contains no records")));
     }
     println!(
         "{path}: {} records ({ok} ok, {errors} error) — {} abduction, {} interventional, \

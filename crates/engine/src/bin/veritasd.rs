@@ -1,0 +1,55 @@
+//! `veritasd` — the Veritas causal-query engine as a long-lived daemon.
+//!
+//! Binds a TCP listener, loads one resident corpus, warms one shared
+//! abduction cache, and answers newline-delimited JSON query requests
+//! until killed. See the `veritas_engine::service` module for the wire
+//! protocol and the metrics snapshot format.
+//!
+//! ```text
+//! veritasd [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]
+//!          [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
+//! ```
+//!
+//! On startup the daemon prints `veritasd: listening on <addr>` to
+//! stdout — with `--addr 127.0.0.1:0` this line is how callers learn the
+//! ephemeral port. Exit codes follow `EngineError::exit_code`.
+
+use std::process::ExitCode;
+
+use veritas_engine::service;
+
+const USAGE: &str = "veritasd - serve Veritas causal queries from a resident engine
+
+USAGE:
+    veritasd [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]
+             [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
+
+OPTIONS:
+    --addr HOST:PORT   Listen address (default 127.0.0.1:4617; port 0 = ephemeral)
+    --corpus DIR       Serve a directory of per-session JSON logs
+    --synthetic N      Serve an N-session synthetic corpus (default: 4 sessions)
+    --seed S           Synthetic corpus seed (default 7)
+    --threads N        Worker threads per plan (default: available cores)
+    --shards N         Corpus shards per plan (default 1)
+    --cache-dir DIR    Persistent abduction store (warm restarts)
+    --admission N      Max concurrent plans before shedding (default 4)
+
+PROTOCOL (one JSON object per line, responses are JSON lines too):
+    {\"query\": <QuerySet>, \"stream\": bool?}  -> QueryRecord lines, then {\"summary\": ...}
+    {\"metrics\": true}                        -> {\"metrics\": ...}
+    any failure                              -> {\"error\": {\"kind\": ..., \"detail\": ...}}";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match service::run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("veritasd: {error}");
+            ExitCode::from(error.exit_code())
+        }
+    }
+}

@@ -2,43 +2,64 @@
 //! session corpora.
 //!
 //! The public API is a three-stage pipeline — **compile → execute →
-//! consume**:
+//! consume** — exposed entirely through this crate root:
 //!
-//! 1. **Compile** ([`plan`]) — [`QueryPlan::compile`] turns a declarative
+//! 1. **Compile** — [`QueryPlan::compile`] turns a declarative
 //!    [`QuerySet`] (abduction / interventional / counterfactual queries,
 //!    plus [`Query::sweep`] config grids and [`Query::aggregate`]
 //!    trace-level reductions) into a flat, validated list of
 //!    [`WorkUnit`]s with per-config cache fingerprints precomputed and
 //!    counterfactual scenarios materialized once per distinct spec.
-//! 2. **Execute** ([`runner`], [`executor`], [`cache`], [`corpus`]) —
-//!    [`Engine::submit`] partitions the corpus into shards
+//! 2. **Execute** — [`Engine::submit`] partitions the corpus into shards
 //!    ([`SessionCorpus::shard`]), fans units out across atomic-cursor
 //!    worker groups, resolves every abduction through the shared
 //!    [`AbductionCache`] (one EHMM posterior per session × config ×
 //!    horizon), and pushes each completed [`QueryRecord`] through a
-//!    bounded channel.
+//!    bounded channel. Engines are configured with [`EngineBuilder`]
+//!    (threads, shards, persistent cache tier, cache-hit floor,
+//!    admission bound) via [`Engine::builder`].
 //! 3. **Consume** — the returned [`RunHandle`] is an
 //!    `Iterator<Item = QueryRecord>` for incremental consumption
 //!    (aggregations fold from the stream without buffering records), and
 //!    [`RunHandle::wait`] restores the deterministic batch shape.
-//!    [`Engine::run`] is the blocking `compile → submit → wait` wrapper.
+//!    [`Engine::run`] is the blocking `compile → submit → wait` wrapper
+//!    — an alias, not a second code path.
+//!
+//! Every failure mode surfaces as one typed [`EngineError`], with a
+//! stable machine-readable tag ([`EngineError::kind`]), a wire envelope
+//! (`{"error": {"kind": ..., "detail": ...}}`, see [`ErrorEnvelope`]),
+//! and a CLI exit-code mapping ([`EngineError::exit_code`]).
 //!
 //! The `veritas` CLI binary (`src/bin/veritas.rs`) exposes the pipeline
 //! end to end: `veritas run queries.json --corpus DIR` (or
 //! `--synthetic N`), with `--stream` for record-at-a-time JSONL,
 //! `--shards N` for partitioned execution, and `--cache-dir DIR` for the
 //! persistent abduction store; plus `veritas bench`,
-//! `veritas example-queries`, and `veritas validate`.
+//! `veritas example-queries`, `veritas validate`, and `veritas serve`.
+//!
+//! # Running as a service
+//!
+//! [`Service`] (module [`service`], binary `veritasd`) keeps one
+//! resident [`SessionCorpus`] and one warm [`AbductionCache`] behind a
+//! TCP listener speaking newline-delimited JSON: clients post a
+//! [`QuerySet`] and receive the [`QueryRecord`] feed followed by the
+//! [`RunSummary`], byte-identical to what [`Engine::run`] produces
+//! in-process. Admission control sheds load past a bounded number of
+//! concurrent plans with a typed `"overloaded"` error, and a
+//! `{"metrics": true}` request answers with a [`MetricsSnapshot`]
+//! (uptime, plans served/active/shed, cache hit tiers, per-query
+//! p50/p95/max latency). See the [`service`] module docs for the full
+//! protocol.
 //!
 //! # Persistent cache
 //!
-//! The abduction cache has an optional disk tier ([`persist`],
-//! [`Engine::with_cache_dir`]): posteriors are serialized to a cache
-//! directory keyed by the `(log, config, horizon)` content fingerprints,
-//! so a second run over an unchanged corpus performs **zero** EHMM
-//! inferences — every work unit restores its posterior from disk
-//! (`"cache": "disk"` in the records, `disk_hits` in the summary).
-//! Invalidation is structural: any change to a log or a
+//! The abduction cache has an optional disk tier
+//! ([`EngineBuilder::cache_dir`], [`DiskStore`]): posteriors are
+//! serialized to a cache directory keyed by the `(log, config, horizon)`
+//! content fingerprints, so a second run over an unchanged corpus
+//! performs **zero** EHMM inferences — every work unit restores its
+//! posterior from disk (`"cache": "disk"` in the records, `disk_hits`
+//! in the summary). Invalidation is structural: any change to a log or a
 //! posterior-relevant config field changes the fingerprint and misses
 //! naturally; corrupt or truncated store files are treated as misses,
 //! never errors.
@@ -56,7 +77,7 @@
 //!
 //! // Compile once; submit streams records as workers finish them.
 //! let plan = QueryPlan::compile(&set, &corpus).unwrap();
-//! let engine = Engine::new().with_shards(2);
+//! let engine = Engine::builder().shards(2).build().unwrap();
 //! let mut handle = engine.submit(&corpus, &plan).unwrap();
 //! let mut seen = 0;
 //! for record in &mut handle {
@@ -78,20 +99,21 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
-pub mod cache;
-pub mod corpus;
-mod error;
+pub(crate) mod cache;
+pub(crate) mod corpus;
+pub(crate) mod error;
 pub mod executor;
-pub mod persist;
-pub mod plan;
-pub mod query;
-pub mod runner;
+pub(crate) mod persist;
+pub(crate) mod plan;
+pub(crate) mod query;
+pub(crate) mod runner;
+pub mod service;
 
 pub use cache::{
     config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheSource, CacheStats,
 };
 pub use corpus::{CorpusSession, CorpusShard, SessionCorpus, SyntheticSpec};
-pub use error::EngineError;
+pub use error::{EngineError, ErrorEnvelope, WireError};
 pub use persist::{DiskStore, PersistKey};
 pub use plan::{
     AggregateMetric, AggregateSpec, AggregateSummary, ConfigSweep, PlannedConfig, QueryPlan,
@@ -99,6 +121,10 @@ pub use plan::{
 };
 pub use query::{Query, QueryKind, QuerySet, ScenarioSpec};
 pub use runner::{
-    materialize_scenario, Engine, EngineReport, QueryLatency, QueryOutput, QueryRecord,
-    RangeSummary, RunHandle, RunSummary, AGGREGATE_SESSION,
+    materialize_scenario, AdmissionPermit, Engine, EngineBuilder, EngineReport, QueryLatency,
+    QueryOutput, QueryRecord, RangeSummary, RunHandle, RunSummary, AGGREGATE_SESSION,
+};
+pub use service::{
+    CorpusSource, MetricsEnvelope, MetricsSnapshot, Service, ServiceConfig, ServiceHandle,
+    SummaryEnvelope, DEFAULT_ADMISSION_BOUND,
 };

@@ -25,7 +25,8 @@
 //! last unit completes.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -309,6 +310,148 @@ impl EngineReport {
     }
 }
 
+/// Admission control shared between an [`Engine`] and the permits it
+/// hands out: a plain atomic counter bounded by `bound`.
+#[derive(Debug)]
+struct AdmissionGate {
+    bound: usize,
+    active: AtomicUsize,
+}
+
+/// A granted admission slot. Holding it counts as one active plan; the
+/// slot is released when the permit is dropped. Permits from an engine
+/// without an admission bound are no-ops.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    gate: Option<Arc<AdmissionGate>>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        if let Some(gate) = &self.gate {
+            gate.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Configures and builds an [`Engine`] — the one construction path both
+/// the `veritas` CLI and the `veritasd` service go through.
+///
+/// Every knob the old `Engine::with_*` combinators exposed lives here,
+/// plus the two that only make sense at construction time: the
+/// cache-hit floor ([`Self::min_cache_hits`]) and the admission bound
+/// ([`Self::admission`]). [`Self::build`] validates the combination
+/// (e.g. a cache directory with caching disabled is an
+/// [`EngineError::Config`], not a silent no-op).
+///
+/// ```
+/// use veritas_engine::Engine;
+/// let engine = Engine::builder().threads(2).shards(2).build().unwrap();
+/// assert_eq!(engine.admission_bound(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    shards: Option<usize>,
+    cache_disabled: bool,
+    cache_dir: Option<PathBuf>,
+    min_cache_hits: Option<u64>,
+    admission: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// A builder with every knob at its default: caching on, default
+    /// thread count, one shard, no persistent store, no admission bound.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker-thread count. `0` means "pick the default"
+    /// ([`executor::default_threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Partitions every submitted corpus into `shards` worker groups
+    /// (clamped to at least one; also clamped to the corpus size at
+    /// submit time).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Disables the abduction cache — every unit re-infers. Exists for
+    /// the `veritas bench` comparison; incompatible with
+    /// [`Self::cache_dir`] and [`Self::min_cache_hits`].
+    pub fn no_cache(mut self) -> Self {
+        self.cache_disabled = true;
+        self
+    }
+
+    /// Attaches a persistent abduction store rooted at `dir` (created at
+    /// build time if absent) behind the in-memory cache.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Requires at least `hits` in-memory cache hits per run:
+    /// [`Engine::verify_summary`] returns
+    /// [`EngineError::CacheShortfall`] when a summary falls short.
+    pub fn min_cache_hits(mut self, hits: u64) -> Self {
+        self.min_cache_hits = Some(hits);
+        self
+    }
+
+    /// Bounds the number of concurrently admitted plans:
+    /// [`Engine::try_admit`] refuses with [`EngineError::Overloaded`]
+    /// once `bound` permits are outstanding. A bound of zero sheds every
+    /// plan (useful for drain/maintenance modes and tests).
+    pub fn admission(mut self, bound: usize) -> Self {
+        self.admission = Some(bound);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        if self.cache_disabled && self.cache_dir.is_some() {
+            return Err(EngineError::Config(
+                "a persistent cache directory requires the cache; drop no_cache/--no-cache"
+                    .to_string(),
+            ));
+        }
+        if self.cache_disabled && self.min_cache_hits.is_some() {
+            return Err(EngineError::Config(
+                "a cache-hit floor cannot be satisfied with the cache disabled".to_string(),
+            ));
+        }
+        let mut cache = AbductionCache::new();
+        if let Some(dir) = self.cache_dir {
+            cache.attach_disk_store(DiskStore::open(dir)?);
+        }
+        Ok(Engine {
+            threads: self.threads.map(|threads| {
+                if threads == 0 {
+                    executor::default_threads()
+                } else {
+                    threads
+                }
+            }),
+            shards: self.shards.unwrap_or(1),
+            cache_enabled: !self.cache_disabled,
+            cache: Arc::new(cache),
+            min_cache_hits: self.min_cache_hits,
+            admission: self.admission.map(|bound| {
+                Arc::new(AdmissionGate {
+                    bound,
+                    active: AtomicUsize::new(0),
+                })
+            }),
+        })
+    }
+}
+
 /// The batched, cached causal-query engine.
 ///
 /// The API is a three-stage pipeline: **compile** a [`QuerySet`] into a
@@ -317,12 +460,18 @@ impl EngineReport {
 /// incrementally (it is an `Iterator`) or as a batch
 /// ([`RunHandle::wait`]). [`Engine::run`] wraps all three for the
 /// blocking callers.
+///
+/// Construction goes through [`Engine::builder`]; the surviving
+/// `with_*` combinators are thin deprecated wrappers over the same
+/// fields.
 #[derive(Debug)]
 pub struct Engine {
     threads: Option<usize>,
     shards: usize,
     cache_enabled: bool,
     cache: Arc<AbductionCache>,
+    min_cache_hits: Option<u64>,
+    admission: Option<Arc<AdmissionGate>>,
 }
 
 impl Default for Engine {
@@ -335,18 +484,24 @@ impl Engine {
     /// An engine with caching enabled, the default thread count, and a
     /// single shard.
     pub fn new() -> Self {
-        Self {
-            threads: None,
-            shards: 1,
-            cache_enabled: true,
-            cache: Arc::new(AbductionCache::new()),
-        }
+        EngineBuilder::new()
+            .build()
+            .expect("the default engine configuration is valid")
+    }
+
+    /// The canonical construction path: a fresh [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
     }
 
     /// Overrides the worker-thread count. `0` is normalized to
     /// [`executor::default_threads`] at this boundary — the builder, not
     /// the executor, owns the "pick for me" convention, so a summary
     /// always reports the real thread count.
+    ///
+    /// Deprecated: prefer [`EngineBuilder::threads`] via
+    /// [`Engine::builder`]. Kept as a thin wrapper so existing callers
+    /// and tests keep working.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(if threads == 0 {
             executor::default_threads()
@@ -360,6 +515,10 @@ impl Engine {
     /// (clamped to at least one; also clamped to the corpus size at
     /// submit time). Units of one shard are drained together, emulating a
     /// corpus split across engine instances.
+    ///
+    /// Deprecated: prefer [`EngineBuilder::shards`] via
+    /// [`Engine::builder`]. Kept as a thin wrapper so existing callers
+    /// and tests keep working.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
@@ -367,6 +526,10 @@ impl Engine {
 
     /// Disables the abduction cache — every unit re-infers. Exists for the
     /// `veritas bench` comparison and for measuring cache effectiveness.
+    ///
+    /// Deprecated: prefer [`EngineBuilder::no_cache`] via
+    /// [`Engine::builder`]. Kept as a thin wrapper so existing callers
+    /// and tests keep working.
     pub fn without_cache(mut self) -> Self {
         self.cache_enabled = false;
         self
@@ -381,10 +544,12 @@ impl Engine {
     /// silent no-op). Fails only if the directory cannot be created; read
     /// or write problems at run time degrade to cache misses
     /// (see [`crate::persist`]).
-    pub fn with_cache_dir(
-        mut self,
-        dir: impl Into<std::path::PathBuf>,
-    ) -> Result<Self, EngineError> {
+    ///
+    /// Deprecated: prefer [`EngineBuilder::cache_dir`] via
+    /// [`Engine::builder`] (which rejects the disabled-cache combination
+    /// instead of silently re-enabling). Kept as a thin wrapper so
+    /// existing callers and tests keep working.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
         let store = DiskStore::open(dir)?;
         self.cache_enabled = true;
         match Arc::get_mut(&mut self.cache) {
@@ -399,6 +564,73 @@ impl Engine {
     /// The engine's abduction cache (shared across runs).
     pub fn cache(&self) -> &AbductionCache {
         &self.cache
+    }
+
+    /// The configured admission bound, when one was set
+    /// ([`EngineBuilder::admission`]).
+    pub fn admission_bound(&self) -> Option<usize> {
+        self.admission.as_ref().map(|gate| gate.bound)
+    }
+
+    /// Plans currently holding an [`AdmissionPermit`]. Always zero for an
+    /// engine without an admission bound.
+    pub fn active_plans(&self) -> usize {
+        self.admission
+            .as_ref()
+            .map_or(0, |gate| gate.active.load(Ordering::Acquire))
+    }
+
+    /// Claims an admission slot, refusing with
+    /// [`EngineError::Overloaded`] when the configured bound is already
+    /// saturated. Engines without a bound always grant (a no-op permit).
+    /// Hold the permit for as long as the plan should count as active.
+    pub fn try_admit(&self) -> Result<AdmissionPermit, EngineError> {
+        let Some(gate) = &self.admission else {
+            return Ok(AdmissionPermit { gate: None });
+        };
+        let mut active = gate.active.load(Ordering::Acquire);
+        loop {
+            if active >= gate.bound {
+                return Err(EngineError::Overloaded {
+                    active,
+                    bound: gate.bound,
+                });
+            }
+            match gate.active.compare_exchange_weak(
+                active,
+                active + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(AdmissionPermit {
+                        gate: Some(Arc::clone(gate)),
+                    })
+                }
+                Err(current) => active = current,
+            }
+        }
+    }
+
+    /// The configured cache-hit floor, when one was set
+    /// ([`EngineBuilder::min_cache_hits`]).
+    pub fn min_cache_hits(&self) -> Option<u64> {
+        self.min_cache_hits
+    }
+
+    /// Checks a finished run's summary against this engine's configured
+    /// cache-hit floor ([`EngineBuilder::min_cache_hits`]); a shortfall
+    /// is an [`EngineError::CacheShortfall`]. No-op without a floor.
+    pub fn verify_summary(&self, summary: &RunSummary) -> Result<(), EngineError> {
+        if let Some(expected) = self.min_cache_hits {
+            if summary.cache_hits < expected {
+                return Err(EngineError::CacheShortfall {
+                    expected,
+                    observed: summary.cache_hits,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Executes a query set over a corpus, blocking until every record is
@@ -455,7 +687,7 @@ impl Engine {
             return Err(EngineError::EmptyCorpus);
         }
         if plan.sessions() != corpus.len() {
-            return Err(EngineError::Query(format!(
+            return Err(EngineError::CorpusMismatch(format!(
                 "plan was compiled against {} sessions but the corpus has {}",
                 plan.sessions(),
                 corpus.len()
@@ -478,7 +710,7 @@ impl Engine {
                     .chain(std::iter::once(corpus.deployed_fingerprint())),
             );
             if content != plan.corpus_fingerprint() {
-                return Err(EngineError::Query(
+                return Err(EngineError::CorpusMismatch(
                     "plan was compiled against a different corpus (content fingerprints \
                      differ); recompile the plan for this corpus"
                         .to_string(),
@@ -1319,7 +1551,7 @@ mod tests {
         .build();
         assert!(matches!(
             Engine::new().submit(&bigger, &plan),
-            Err(EngineError::Query(_))
+            Err(EngineError::CorpusMismatch(_))
         ));
         // Same session count, different content: the plan's scenarios and
         // selectors were resolved against another corpus, so this must be
@@ -1332,7 +1564,9 @@ mod tests {
         }
         .build();
         match Engine::new().submit(&impostor, &plan) {
-            Err(EngineError::Query(message)) => assert!(message.contains("different corpus")),
+            Err(EngineError::CorpusMismatch(message)) => {
+                assert!(message.contains("different corpus"))
+            }
             Err(other) => panic!("expected a corpus-mismatch error, got {other:?}"),
             Ok(_) => panic!("a same-sized impostor corpus must be rejected"),
         }
@@ -1396,5 +1630,102 @@ mod tests {
             r#"{"query_id":"q","kind":"abduction","session":"s","status":"ok","elapsed_us":1,"varient":"x"}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn builder_matches_the_legacy_combinators() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config()).with_query(Query::abduction("a"));
+        let built = Engine::builder()
+            .threads(3)
+            .shards(2)
+            .build()
+            .unwrap()
+            .run(&corpus, &set)
+            .unwrap();
+        let legacy = Engine::new()
+            .with_threads(3)
+            .with_shards(2)
+            .run(&corpus, &set)
+            .unwrap();
+        assert_eq!(built.summary.threads, 3);
+        assert_eq!(built.summary.shards, legacy.summary.shards);
+        for (a, b) in built.records.iter().zip(&legacy.records) {
+            assert_eq!(a.output, b.output);
+        }
+        // threads(0) means "pick the default", exactly like with_threads(0).
+        let zero = Engine::builder().threads(0).build().unwrap();
+        let report = zero.run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.threads, executor::default_threads());
+        // no_cache() re-infers every unit, exactly like without_cache().
+        let uncached = Engine::builder().no_cache().build().unwrap();
+        let report = uncached.run(&corpus, &set).unwrap();
+        assert_eq!(report.summary.cache_hits, 0);
+        assert_eq!(report.summary.cache_misses, 0);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_cache_combinations() {
+        assert!(matches!(
+            Engine::builder().no_cache().cache_dir("/tmp/never").build(),
+            Err(EngineError::Config(_))
+        ));
+        assert!(matches!(
+            Engine::builder().no_cache().min_cache_hits(1).build(),
+            Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn admission_gate_bounds_concurrent_plans() {
+        let engine = Engine::builder().admission(2).build().unwrap();
+        assert_eq!(engine.admission_bound(), Some(2));
+        assert_eq!(engine.active_plans(), 0);
+        let first = engine.try_admit().unwrap();
+        let _second = engine.try_admit().unwrap();
+        assert_eq!(engine.active_plans(), 2);
+        match engine.try_admit() {
+            Err(EngineError::Overloaded { active, bound }) => {
+                assert_eq!((active, bound), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Releasing a permit frees a slot.
+        drop(first);
+        assert_eq!(engine.active_plans(), 1);
+        let _third = engine.try_admit().unwrap();
+        // A zero bound sheds everything; no bound admits everything.
+        let drained = Engine::builder().admission(0).build().unwrap();
+        assert!(drained.try_admit().is_err());
+        let unbounded = Engine::new();
+        assert_eq!(unbounded.admission_bound(), None);
+        for _ in 0..64 {
+            // No-op permits: dropping them immediately must not underflow.
+            let _ = unbounded.try_admit().unwrap();
+        }
+        assert_eq!(unbounded.active_plans(), 0);
+    }
+
+    #[test]
+    fn verify_summary_enforces_the_cache_floor() {
+        let corpus = tiny_corpus();
+        let set = QuerySet::new("t", config())
+            .with_query(Query::abduction("a"))
+            .with_query(Query::abduction("b"));
+        let engine = Engine::builder().min_cache_hits(2).build().unwrap();
+        let report = engine.run(&corpus, &set).unwrap();
+        // Two queries over two sessions: 2 misses + 2 hits — floor met.
+        engine.verify_summary(&report.summary).unwrap();
+        let strict = Engine::builder().min_cache_hits(1_000).build().unwrap();
+        let report = strict.run(&corpus, &set).unwrap();
+        match strict.verify_summary(&report.summary) {
+            Err(EngineError::CacheShortfall { expected, observed }) => {
+                assert_eq!(expected, 1_000);
+                assert_eq!(observed, report.summary.cache_hits);
+            }
+            other => panic!("expected CacheShortfall, got {other:?}"),
+        }
+        // Engines without a floor never object.
+        Engine::new().verify_summary(&report.summary).unwrap();
     }
 }

@@ -1,0 +1,644 @@
+//! `veritasd`: the engine as a long-lived service.
+//!
+//! One resident [`SessionCorpus`] and one warm [`AbductionCache`]
+//! (memory + optional disk tier) serve every connection, so the corpus
+//! is loaded once and each posterior is inferred at most once across
+//! *all* clients — the amortization a per-query CLI invocation can never
+//! reach. The service is plain `std::net` TCP speaking newline-delimited
+//! JSON; it rides the same `compile → submit → consume` pipeline as the
+//! library, so what a client receives over the wire is exactly what
+//! [`Engine::run`] would have produced in-process.
+//!
+//! # Protocol
+//!
+//! Each request is one JSON object on one line; a connection may carry
+//! any number of requests, answered in order:
+//!
+//! * `{"query": <QuerySet>}` — compile and run a query set against the
+//!   resident corpus. Optional `"stream": true` switches the record feed
+//!   from deterministic batch order to completion order (records are
+//!   flushed the moment their unit finishes).
+//! * `{"metrics": true}` — a point-in-time [`MetricsSnapshot`].
+//!
+//! Responses are newline-delimited JSON too:
+//!
+//! * Each [`QueryRecord`] is one raw line — byte-identical to the lines
+//!   of [`crate::EngineReport::to_jsonl`].
+//! * The terminal line of a query is `{"summary": <RunSummary>}`.
+//! * A metrics request answers with `{"metrics": <MetricsSnapshot>}`.
+//! * Any failure is `{"error": {"kind": ..., "detail": ...}}` (see
+//!   [`crate::ErrorEnvelope`]); the connection stays open — line framing
+//!   survives a bad request.
+//!
+//! # Admission control
+//!
+//! Concurrent plans are bounded ([`EngineBuilder::admission`], default
+//! [`DEFAULT_ADMISSION_BOUND`]): a request past the bound is shed
+//! immediately with an `"overloaded"` error (HTTP 429 in spirit) instead
+//! of queueing unboundedly. Within an admitted plan, the engine's
+//! bounded record channel applies backpressure end to end: a slow client
+//! stalls only its own workers, never another connection's.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::corpus::{SessionCorpus, SyntheticSpec};
+use crate::error::EngineError;
+use crate::plan::{percentile_u64, QueryPlan};
+use crate::query::{object_fields, opt, reject_unknown, QuerySet};
+use crate::runner::{Engine, QueryLatency, QueryRecord, RunSummary, AGGREGATE_SESSION};
+
+/// Concurrent plans admitted by default; past it requests are shed with
+/// a typed `"overloaded"` response.
+pub const DEFAULT_ADMISSION_BOUND: usize = 4;
+
+/// Per-query unit latencies retained for the metrics percentiles — a
+/// bounded sliding window so a long-lived daemon's memory stays flat.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Where the daemon's resident corpus comes from.
+#[derive(Debug, Clone)]
+pub enum CorpusSource {
+    /// A directory of per-session JSON logs ([`SessionCorpus::from_dir`]).
+    Dir(PathBuf),
+    /// A synthetic corpus ([`SyntheticSpec`]), for demos and smoke tests.
+    Synthetic {
+        /// Number of sessions to synthesize.
+        sessions: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl CorpusSource {
+    /// Loads (or synthesizes) the corpus.
+    pub fn load(&self) -> Result<SessionCorpus, EngineError> {
+        match self {
+            CorpusSource::Dir(dir) => SessionCorpus::from_dir(dir),
+            CorpusSource::Synthetic { sessions, seed } => Ok(SyntheticSpec {
+                sessions: *sessions,
+                seed: *seed,
+                ..SyntheticSpec::default()
+            }
+            .build()),
+        }
+    }
+}
+
+/// Everything needed to bind a [`Service`]: the listen address, the
+/// corpus source, and the engine knobs (all forwarded to
+/// [`Engine::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address, e.g. `127.0.0.1:4617`. Port `0` binds an
+    /// ephemeral port — read it back via [`Service::local_addr`].
+    pub addr: String,
+    /// The resident corpus.
+    pub corpus: CorpusSource,
+    /// Worker threads per plan (`None`: engine default).
+    pub threads: Option<usize>,
+    /// Corpus shards per plan (`None`: engine default).
+    pub shards: Option<usize>,
+    /// Persistent abduction store directory, for warm restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// Concurrent-plan admission bound.
+    pub admission: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4617".to_string(),
+            corpus: CorpusSource::Synthetic {
+                sessions: 4,
+                seed: 7,
+            },
+            threads: None,
+            shards: None,
+            cache_dir: None,
+            admission: DEFAULT_ADMISSION_BOUND,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Parses the daemon's command-line flags (shared by the `veritasd`
+    /// binary and the `veritas serve` subcommand):
+    ///
+    /// ```text
+    /// [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]
+    /// [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
+    /// ```
+    pub fn parse(args: &[String]) -> Result<Self, EngineError> {
+        let mut config = Self::default();
+        let mut corpus_dir: Option<PathBuf> = None;
+        let mut synthetic: Option<usize> = None;
+        let mut seed: u64 = 7;
+        let mut iter = args.iter();
+        let usage = |flag: &str| EngineError::Config(format!("{flag} requires a value"));
+        while let Some(arg) = iter.next() {
+            let mut value_for = |flag: &str| iter.next().cloned().ok_or_else(|| usage(flag));
+            match arg.as_str() {
+                "--addr" => config.addr = value_for("--addr")?,
+                "--corpus" => corpus_dir = Some(PathBuf::from(value_for("--corpus")?)),
+                "--synthetic" => {
+                    synthetic = Some(parse_num(&value_for("--synthetic")?, "--synthetic")?)
+                }
+                "--seed" => seed = parse_num(&value_for("--seed")?, "--seed")?,
+                "--threads" => {
+                    config.threads = Some(parse_num(&value_for("--threads")?, "--threads")?)
+                }
+                "--shards" => config.shards = Some(parse_num(&value_for("--shards")?, "--shards")?),
+                "--cache-dir" => config.cache_dir = Some(PathBuf::from(value_for("--cache-dir")?)),
+                "--admission" => {
+                    config.admission = parse_num(&value_for("--admission")?, "--admission")?
+                }
+                other => {
+                    return Err(EngineError::Config(format!(
+                        "unknown flag `{other}` (accepted: --addr, --corpus, --synthetic, \
+                         --seed, --threads, --shards, --cache-dir, --admission)"
+                    )))
+                }
+            }
+        }
+        config.corpus = match (corpus_dir, synthetic) {
+            (Some(_), Some(_)) => {
+                return Err(EngineError::Config(
+                    "--corpus and --synthetic are mutually exclusive".to_string(),
+                ))
+            }
+            (Some(dir), None) => CorpusSource::Dir(dir),
+            (None, sessions) => CorpusSource::Synthetic {
+                sessions: sessions.unwrap_or(4),
+                seed,
+            },
+        };
+        Ok(config)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, EngineError> {
+    text.parse()
+        .map_err(|_| EngineError::Config(format!("invalid numeric value `{text}` for {flag}")))
+}
+
+/// One parsed request line. Exactly one of `query` / `metrics` must be
+/// present; unknown fields are rejected so client typos fail loudly.
+struct Request {
+    query: Option<QuerySet>,
+    stream: bool,
+    metrics: bool,
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "service request")?;
+        let request = Request {
+            query: opt(&mut fields, "query")?,
+            stream: opt(&mut fields, "stream")?.unwrap_or(false),
+            metrics: opt(&mut fields, "metrics")?.unwrap_or(false),
+        };
+        reject_unknown(&fields, "service request")?;
+        Ok(request)
+    }
+}
+
+/// The terminal response line of a query: `{"summary": <RunSummary>}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryEnvelope {
+    /// The run's summary.
+    pub summary: RunSummary,
+}
+
+/// The response to a metrics request: `{"metrics": <MetricsSnapshot>}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsEnvelope {
+    /// The snapshot payload.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A point-in-time view of a running service — the `/metrics` answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the service was bound.
+    pub uptime_s: f64,
+    /// Sessions in the resident corpus.
+    pub sessions: usize,
+    /// The admission bound plans are held to.
+    pub admission_bound: Option<usize>,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Plans that ran to completion (summary written).
+    pub plans_served: u64,
+    /// Plans currently holding an admission permit.
+    pub plans_active: usize,
+    /// Requests shed by admission control.
+    pub plans_shed: u64,
+    /// Query records written to clients so far.
+    pub records_streamed: u64,
+    /// The shared abduction cache's counters (memory hits, disk hits,
+    /// misses, resident entries) since the service started.
+    pub cache: CacheStats,
+    /// Per-query-id p50/p95/max unit latency over a sliding window of
+    /// the last [`LATENCY_WINDOW`] units, sorted by id.
+    pub per_query: Vec<QueryLatency>,
+}
+
+/// The shared state every connection thread sees.
+struct ServiceState {
+    engine: Engine,
+    corpus: Arc<SessionCorpus>,
+    started: Instant,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    plans_served: AtomicU64,
+    plans_shed: AtomicU64,
+    records_streamed: AtomicU64,
+    latencies: Mutex<HashMap<String, Vec<u64>>>,
+}
+
+impl ServiceState {
+    /// Folds one outgoing record into the metrics window. Aggregation
+    /// fold records carry no unit work (`session == "*"`), so they count
+    /// as streamed output but not as latency samples.
+    fn observe(&self, record: &QueryRecord) {
+        self.records_streamed.fetch_add(1, Ordering::Relaxed);
+        if record.session == AGGREGATE_SESSION {
+            return;
+        }
+        let mut latencies = self.latencies.lock();
+        let window = latencies.entry(record.query_id.clone()).or_default();
+        if window.len() == LATENCY_WINDOW {
+            window.remove(0);
+        }
+        window.push(record.elapsed_us);
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let per_query = {
+            let latencies = self.latencies.lock();
+            let mut per_query: Vec<QueryLatency> = latencies
+                .iter()
+                .map(|(id, elapsed)| {
+                    let mut sorted = elapsed.clone();
+                    sorted.sort_unstable();
+                    QueryLatency {
+                        id: id.clone(),
+                        units: sorted.len(),
+                        p50_us: percentile_u64(&sorted, 50.0),
+                        p95_us: percentile_u64(&sorted, 95.0),
+                        max_us: sorted.last().copied().unwrap_or(0),
+                    }
+                })
+                .collect();
+            per_query.sort_by(|a, b| a.id.cmp(&b.id));
+            per_query
+        };
+        MetricsSnapshot {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            sessions: self.corpus.len(),
+            admission_bound: self.engine.admission_bound(),
+            connections: self.connections.load(Ordering::Relaxed),
+            plans_served: self.plans_served.load(Ordering::Relaxed),
+            plans_active: self.engine.active_plans(),
+            plans_shed: self.plans_shed.load(Ordering::Relaxed),
+            records_streamed: self.records_streamed.load(Ordering::Relaxed),
+            cache: self.engine.cache().stats(),
+            per_query,
+        }
+    }
+
+    /// Answers one request line. Write failures mean the client is gone;
+    /// everything else is answered on the wire and keeps the connection.
+    fn respond(&self, line: &str, writer: &mut impl Write) -> io::Result<()> {
+        let request = match serde_json::from_str::<Request>(line) {
+            Ok(request) => request,
+            Err(e) => return self.refuse(writer, &EngineError::Protocol(e.to_string())),
+        };
+        match (request.query, request.metrics) {
+            (None, true) => {
+                let line = serde_json::to_string(&MetricsEnvelope {
+                    metrics: self.snapshot(),
+                })
+                .expect("metrics serialization cannot fail");
+                writeln!(writer, "{line}")?;
+                writer.flush()
+            }
+            (Some(set), false) => self.serve_query(set, request.stream, writer),
+            (None, false) | (Some(_), true) => self.refuse(
+                writer,
+                &EngineError::Protocol(
+                    "a request must carry exactly one of `query` or `metrics`".to_string(),
+                ),
+            ),
+        }
+    }
+
+    fn refuse(&self, writer: &mut impl Write, error: &EngineError) -> io::Result<()> {
+        writeln!(writer, "{}", error.wire_json())?;
+        writer.flush()
+    }
+
+    /// Runs one admitted query set: stream the records, then the summary
+    /// envelope. The admission permit is held until the summary is on the
+    /// wire, so `plans_active` covers the full client-visible lifetime.
+    fn serve_query(
+        &self,
+        set: QuerySet,
+        streaming: bool,
+        writer: &mut impl Write,
+    ) -> io::Result<()> {
+        let permit = match self.engine.try_admit() {
+            Ok(permit) => permit,
+            Err(error) => {
+                self.plans_shed.fetch_add(1, Ordering::Relaxed);
+                return self.refuse(writer, &error);
+            }
+        };
+        let plan = match QueryPlan::compile(&set, &self.corpus) {
+            Ok(plan) => Arc::new(plan),
+            Err(error) => return self.refuse(writer, &error),
+        };
+        let handle = match self.engine.submit_shared(Arc::clone(&self.corpus), plan) {
+            Ok(handle) => handle,
+            Err(error) => return self.refuse(writer, &error),
+        };
+        let summary = if streaming {
+            // Completion order, one flush per record: the client sees
+            // each unit the moment it finishes.
+            let mut handle = handle;
+            for record in &mut handle {
+                self.observe(&record);
+                let line =
+                    serde_json::to_string(&record).expect("record serialization cannot fail");
+                writeln!(writer, "{line}")?;
+                writer.flush()?;
+            }
+            handle.into_summary()
+        } else {
+            // Deterministic batch order — the wire lines are exactly
+            // `EngineReport::to_jsonl`'s lines.
+            let report = handle.wait();
+            for record in &report.records {
+                self.observe(record);
+            }
+            writer.write_all(report.to_jsonl().as_bytes())?;
+            report.summary
+        };
+        let line = serde_json::to_string(&SummaryEnvelope { summary })
+            .expect("summary serialization cannot fail");
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        self.plans_served.fetch_add(1, Ordering::Relaxed);
+        drop(permit);
+        Ok(())
+    }
+}
+
+/// A bound (but not yet serving) `veritasd` instance: the resident
+/// corpus is loaded, the engine (and any persistent cache tier) is
+/// built, and the listener holds its port. Call [`Service::run`] to
+/// serve on the current thread or [`Service::spawn`] to serve on a
+/// background thread with a shutdown handle.
+pub struct Service {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+}
+
+impl Service {
+    /// Loads the corpus, builds the engine, and binds the listener.
+    pub fn bind(config: ServiceConfig) -> Result<Self, EngineError> {
+        let corpus = Arc::new(config.corpus.load()?);
+        if corpus.is_empty() {
+            return Err(EngineError::EmptyCorpus);
+        }
+        let mut builder = Engine::builder().admission(config.admission);
+        if let Some(threads) = config.threads {
+            builder = builder.threads(threads);
+        }
+        if let Some(shards) = config.shards {
+            builder = builder.shards(shards);
+        }
+        if let Some(dir) = config.cache_dir {
+            builder = builder.cache_dir(dir);
+        }
+        let engine = builder.build()?;
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            state: Arc::new(ServiceState {
+                engine,
+                corpus,
+                started: Instant::now(),
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                plans_served: AtomicU64::new(0),
+                plans_shed: AtomicU64::new(0),
+                records_streamed: AtomicU64::new(0),
+                latencies: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address — the way to learn the real port after binding
+    /// `:0`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A point-in-time metrics snapshot (the same payload a `metrics`
+    /// request receives on the wire).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Serves connections on the current thread until shut down (via a
+    /// [`ServiceHandle`]) or the listener dies. Each connection gets its
+    /// own thread; requests within a connection are answered in order.
+    pub fn run(self) -> Result<(), EngineError> {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            self.state.connections.fetch_add(1, Ordering::Relaxed);
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(&state, stream));
+        }
+        Ok(())
+    }
+
+    /// [`Service::run`] on a background thread, returning the handle
+    /// that can stop it.
+    pub fn spawn(self) -> io::Result<ServiceHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServiceHandle {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
+    // Flushed record lines should hit the wire immediately — a streaming
+    // client is latency-sensitive and the lines are small.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            // EOF or a dead socket: the client is done.
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if state.respond(trimmed, &mut writer).is_err() {
+            return;
+        }
+    }
+}
+
+/// A running background service: the bound address plus the means to
+/// stop it.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    thread: Option<std::thread::JoinHandle<Result<(), EngineError>>>,
+}
+
+impl ServiceHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time metrics snapshot, read directly off the shared
+    /// state (no connection needed).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Stops accepting connections and joins the accept loop. In-flight
+    /// connections finish their current request on their own threads.
+    pub fn stop(mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The shared `main` of the `veritasd` binary and `veritas serve`:
+/// parse flags, bind, announce the address on stdout, and serve forever.
+///
+/// The announcement line (`veritasd: listening on <addr>`) is the
+/// machine-readable readiness signal — tests and scripts bind `:0` and
+/// parse the real port from it.
+pub fn run_cli(args: &[String]) -> Result<(), EngineError> {
+    let config = ServiceConfig::parse(args)?;
+    let admission = config.admission;
+    let service = Service::bind(config)?;
+    let addr = service.local_addr()?;
+    println!("veritasd: listening on {addr}");
+    io::stdout().flush()?;
+    eprintln!(
+        "veritasd: {} resident sessions, admission bound {admission}",
+        service.state.corpus.len()
+    );
+    service.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn config_parses_the_daemon_flags() {
+        let config = ServiceConfig::parse(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--synthetic",
+            "3",
+            "--seed",
+            "11",
+            "--threads",
+            "2",
+            "--shards",
+            "2",
+            "--cache-dir",
+            "/tmp/vcache",
+            "--admission",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert!(matches!(
+            config.corpus,
+            CorpusSource::Synthetic {
+                sessions: 3,
+                seed: 11
+            }
+        ));
+        assert_eq!(config.threads, Some(2));
+        assert_eq!(config.shards, Some(2));
+        assert_eq!(
+            config.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/vcache"))
+        );
+        assert_eq!(config.admission, 8);
+    }
+
+    #[test]
+    fn config_rejects_bad_flag_combinations() {
+        for bad in [
+            &["--corpus", "dir", "--synthetic", "2"][..],
+            &["--bogus"][..],
+            &["--threads"][..],
+            &["--admission", "many"][..],
+        ] {
+            assert!(matches!(
+                ServiceConfig::parse(&args(bad)),
+                Err(EngineError::Config(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn request_lines_parse_strictly() {
+        let query: Request =
+            serde_json::from_str(r#"{"query": {"queries": [{"id": "a", "kind": "abduction"}]}}"#)
+                .unwrap();
+        assert!(query.query.is_some());
+        assert!(!query.stream && !query.metrics);
+        let metrics: Request = serde_json::from_str(r#"{"metrics": true}"#).unwrap();
+        assert!(metrics.metrics && metrics.query.is_none());
+        assert!(serde_json::from_str::<Request>(r#"{"querry": {}}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"[1, 2]"#).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Integration tests of the `veritasd` service: wire output equals batch
+//! output, the shared cache is warm across connections and restarts,
+//! admission control sheds, and the real binary speaks the protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use veritas::VeritasConfig;
+use veritas_engine::{
+    CorpusSource, Engine, ErrorEnvelope, MetricsEnvelope, MetricsSnapshot, Query, QueryRecord,
+    QuerySet, RunSummary, ScenarioSpec, Service, ServiceConfig, SessionCorpus, SummaryEnvelope,
+    WireError,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("veritas_service_it_{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(sessions: usize, seed: u64) -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        corpus: CorpusSource::Synthetic { sessions, seed },
+        threads: Some(2),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Strips what legitimately differs between runs — timing and the cache
+/// tier a posterior came from — leaving the causal payload.
+fn normalize(mut record: QueryRecord) -> QueryRecord {
+    record.elapsed_us = 0;
+    record.cache = None;
+    record
+}
+
+/// One JSONL client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Everything one query request streamed back.
+struct Response {
+    records: Vec<QueryRecord>,
+    summary: Option<RunSummary>,
+    error: Option<WireError>,
+}
+
+impl Client {
+    fn connect(addr: &std::net::SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("the service must accept connections");
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Self { reader, writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line).unwrap();
+        assert!(read > 0, "the service hung up unexpectedly");
+        line.trim().to_string()
+    }
+
+    /// Sends a query request and reads until its terminal line (summary
+    /// or error envelope).
+    fn query(&mut self, set: &QuerySet, stream: bool) -> Response {
+        let set_json = serde_json::to_string(set).unwrap();
+        let request = if stream {
+            format!(r#"{{"query": {set_json}, "stream": true}}"#)
+        } else {
+            format!(r#"{{"query": {set_json}}}"#)
+        };
+        self.send(&request);
+        let mut records = Vec::new();
+        loop {
+            let line = self.read_line();
+            if let Some(error) = ErrorEnvelope::parse(&line) {
+                return Response {
+                    records,
+                    summary: None,
+                    error: Some(error),
+                };
+            }
+            if let Ok(envelope) = serde_json::from_str::<SummaryEnvelope>(&line) {
+                return Response {
+                    records,
+                    summary: Some(envelope.summary),
+                    error: None,
+                };
+            }
+            records.push(serde_json::from_str(&line).expect("a record line must parse"));
+        }
+    }
+
+    fn summary(&mut self, set: &QuerySet) -> RunSummary {
+        let response = self.query(set, false);
+        assert_eq!(
+            response.error.as_ref().map(|e| e.detail.clone()),
+            None,
+            "the query must not be refused"
+        );
+        response.summary.expect("a summary must terminate the feed")
+    }
+
+    fn metrics(&mut self) -> MetricsSnapshot {
+        self.send(r#"{"metrics": true}"#);
+        let line = self.read_line();
+        serde_json::from_str::<MetricsEnvelope>(&line)
+            .unwrap_or_else(|e| panic!("metrics line must parse ({e}): {line}"))
+            .metrics
+    }
+}
+
+fn small_set(name: &str) -> QuerySet {
+    QuerySet::new(name, VeritasConfig::paper_default().with_samples(2))
+        .with_query(Query::abduction("posterior"))
+        .with_query(Query::counterfactual(
+            "what-if-bba",
+            ScenarioSpec::abr("bba"),
+        ))
+}
+
+#[test]
+fn concurrent_clients_see_batch_identical_records() {
+    let sessions = 3;
+    let seed = 11;
+    let handle = Service::bind(config(sessions, seed))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let addr = handle.addr();
+
+    // The ground truth each client must receive: the batch pipeline run
+    // in-process over an identical corpus and engine configuration.
+    let corpus = SessionCorpus::synthetic(sessions, seed);
+    let engine = Engine::builder().threads(2).build().unwrap();
+    let set_a = small_set("client-a");
+    let set_b = QuerySet::new("client-b", VeritasConfig::paper_default().with_samples(2))
+        .with_query(Query::abduction("only-posterior"));
+    let expect_a: Vec<QueryRecord> = engine
+        .run(&corpus, &set_a)
+        .unwrap()
+        .records
+        .into_iter()
+        .map(normalize)
+        .collect();
+    let expect_b: Vec<QueryRecord> = engine
+        .run(&corpus, &set_b)
+        .unwrap()
+        .records
+        .into_iter()
+        .map(normalize)
+        .collect();
+
+    let expected_stream_total = (2 * expect_a.len() + expect_b.len()) as u64;
+    let run_client = |set: QuerySet, expected: Vec<QueryRecord>| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr);
+            let response = client.query(&set, false);
+            let got: Vec<QueryRecord> = response.records.into_iter().map(normalize).collect();
+            assert_eq!(got, expected, "wire records must equal batch records");
+            let summary = response.summary.expect("the feed must end with a summary");
+            assert_eq!(summary.units, expected.len());
+            assert_eq!(summary.errors, 0);
+        })
+    };
+    let thread_a = run_client(set_a.clone(), expect_a.clone());
+    let thread_b = run_client(set_b, expect_b);
+    thread_a.join().unwrap();
+    thread_b.join().unwrap();
+
+    // The streamed variant delivers the same records in completion order.
+    let mut client = Client::connect(&addr);
+    let response = client.query(&set_a, true);
+    let mut streamed: Vec<String> = response
+        .records
+        .into_iter()
+        .map(|r| serde_json::to_string(&normalize(r)).unwrap())
+        .collect();
+    streamed.sort();
+    let mut batch: Vec<String> = expect_a
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    batch.sort();
+    assert_eq!(streamed, batch);
+
+    let metrics = client.metrics();
+    assert_eq!(metrics.sessions, sessions);
+    assert!(metrics.plans_served >= 3);
+    assert_eq!(metrics.plans_shed, 0);
+    assert_eq!(metrics.records_streamed, expected_stream_total);
+    assert!(metrics.per_query.iter().any(|q| q.id == "posterior"));
+    handle.stop();
+}
+
+#[test]
+fn a_repeat_query_is_served_from_the_warm_shared_cache() {
+    let handle = Service::bind(config(2, 23)).unwrap().spawn().unwrap();
+    let set = small_set("warm");
+
+    let cold = Client::connect(&handle.addr()).summary(&set);
+    assert!(cold.cache_misses > 0, "the first run must infer");
+
+    // A *different* connection: the cache is resident in the engine, not
+    // in any per-connection state.
+    let warm = Client::connect(&handle.addr()).summary(&set);
+    assert_eq!(
+        warm.cache_misses, 0,
+        "an identical query must perform zero inferences"
+    );
+    assert_eq!(warm.errors, 0);
+    assert!(warm.cache_hits >= cold.cache_misses);
+
+    let metrics = Client::connect(&handle.addr()).metrics();
+    assert_eq!(metrics.cache.misses, cold.cache_misses);
+    assert!(metrics.cache.hits >= warm.cache_hits);
+    handle.stop();
+}
+
+#[test]
+fn a_cache_dir_restart_serves_posteriors_from_disk() {
+    let dir = temp_dir("disk_restart");
+    let _ = std::fs::remove_dir_all(dir.join("store"));
+    let with_store = || {
+        let mut c = config(2, 31);
+        c.cache_dir = Some(dir.join("store"));
+        c
+    };
+    let set = small_set("restart");
+
+    let first = Service::bind(with_store()).unwrap().spawn().unwrap();
+    let cold = Client::connect(&first.addr()).query(&set, false);
+    let cold_summary = cold.summary.unwrap();
+    assert!(cold_summary.cache_misses > 0);
+    first.stop();
+
+    // A brand-new daemon over the same store: every posterior restores
+    // from the disk tier, none are inferred.
+    let second = Service::bind(with_store()).unwrap().spawn().unwrap();
+    let warm = Client::connect(&second.addr()).query(&set, false);
+    let warm_summary = warm.summary.unwrap();
+    assert_eq!(warm_summary.cache_misses, 0);
+    assert_eq!(warm_summary.disk_hits, cold_summary.cache_misses);
+    let normalized = |records: Vec<QueryRecord>| -> Vec<QueryRecord> {
+        records.into_iter().map(normalize).collect()
+    };
+    assert_eq!(normalized(cold.records), normalized(warm.records));
+    second.stop();
+}
+
+#[test]
+fn requests_past_the_admission_bound_are_shed_with_a_typed_error() {
+    // Deterministic variant: a bound of zero sheds every query while
+    // metrics stay reachable.
+    let mut zero = config(2, 41);
+    zero.admission = 0;
+    let handle = Service::bind(zero).unwrap().spawn().unwrap();
+    let mut client = Client::connect(&handle.addr());
+    let shed = client.query(&small_set("shed"), false);
+    let error = shed.error.expect("a bound of zero must shed the plan");
+    assert_eq!(error.kind, "overloaded");
+    assert!(
+        error.detail.contains("admission bound 0"),
+        "{}",
+        error.detail
+    );
+    assert!(shed.records.is_empty());
+    let metrics = client.metrics();
+    assert_eq!(metrics.plans_shed, 1);
+    assert_eq!(metrics.plans_served, 0);
+    handle.stop();
+
+    // Concurrent variant: client A holds the single admission slot with a
+    // deliberately slow plan; client B is shed while A runs and succeeds
+    // once A drains.
+    let mut single = config(4, 43);
+    single.admission = 1;
+    single.threads = Some(1);
+    let handle = Service::bind(single).unwrap().spawn().unwrap();
+    let slow_set =
+        QuerySet::new("slow", VeritasConfig::paper_default().with_samples(192)).with_query(
+            Query::counterfactual("hold-the-slot", ScenarioSpec::abr("bba")),
+        );
+
+    let mut holder = Client::connect(&handle.addr());
+    let set_json = serde_json::to_string(&slow_set).unwrap();
+    holder.send(&format!(r#"{{"query": {set_json}, "stream": true}}"#));
+    // The first streamed record proves A's plan was admitted and is
+    // mid-flight (three more single-threaded units remain).
+    let first = holder.read_line();
+    assert!(
+        serde_json::from_str::<QueryRecord>(&first).is_ok(),
+        "first line was: {first}"
+    );
+
+    let mut second = Client::connect(&handle.addr());
+    let refused = second.query(&small_set("too-late"), false);
+    let error = refused
+        .error
+        .expect("the second concurrent plan must be shed");
+    assert_eq!(error.kind, "overloaded");
+
+    // Drain A; the slot frees and B's retry is admitted.
+    loop {
+        let line = holder.read_line();
+        if serde_json::from_str::<SummaryEnvelope>(&line).is_ok() {
+            break;
+        }
+    }
+    let retry = second.summary(&small_set("retry"));
+    assert_eq!(retry.errors, 0);
+    assert!(handle.metrics().plans_shed >= 1);
+    handle.stop();
+}
+
+#[test]
+fn protocol_errors_answer_in_band_and_keep_the_connection() {
+    let handle = Service::bind(config(2, 53)).unwrap().spawn().unwrap();
+    let mut client = Client::connect(&handle.addr());
+
+    client.send("this is not json");
+    assert_eq!(
+        ErrorEnvelope::parse(&client.read_line()).unwrap().kind,
+        "protocol"
+    );
+
+    client.send(r#"{"stream": true}"#);
+    assert_eq!(
+        ErrorEnvelope::parse(&client.read_line()).unwrap().kind,
+        "protocol"
+    );
+
+    // An unsatisfiable query set is refused with the query error kind.
+    client.send(r#"{"query": {"queries": [{"id": "s", "kind": "sweep"}]}}"#);
+    let error = ErrorEnvelope::parse(&client.read_line()).unwrap();
+    assert_eq!(error.kind, "invalid_query");
+
+    // The connection survived all three refusals.
+    assert!(client.metrics().uptime_s >= 0.0);
+    handle.stop();
+}
+
+#[test]
+fn the_veritasd_binary_announces_its_port_and_serves_queries() {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_veritasd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--synthetic",
+            "2",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("the veritasd binary must start");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr: std::net::SocketAddr = banner
+        .trim()
+        .strip_prefix("veritasd: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .parse()
+        .unwrap();
+
+    let set = small_set("binary");
+    let corpus = SessionCorpus::synthetic(2, 9);
+    let engine = Engine::builder().threads(2).build().unwrap();
+    let expected: Vec<QueryRecord> = engine
+        .run(&corpus, &set)
+        .unwrap()
+        .records
+        .into_iter()
+        .map(normalize)
+        .collect();
+
+    let mut client = Client::connect(&addr);
+    let response = client.query(&set, false);
+    let got: Vec<QueryRecord> = response.records.into_iter().map(normalize).collect();
+    assert_eq!(got, expected);
+    let metrics = client.metrics();
+    assert_eq!(metrics.sessions, 2);
+    assert_eq!(metrics.plans_served, 1);
+
+    child.kill().unwrap();
+    let _ = child.wait();
+}

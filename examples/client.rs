@@ -1,0 +1,106 @@
+//! Example: a minimal JSONL client for the `veritasd` service.
+//!
+//! Connects to a running daemon, posts either a [`QuerySet`] (from a
+//! file, or the built-in example set) or a metrics request, and prints
+//! the response lines: one JSON line per [`QueryRecord`], then the
+//! summary. Error envelopes (`{"error": {"kind", "detail"}}`) are
+//! reported on stderr with a nonzero exit — including the `"overloaded"`
+//! shed response, which a production client would back off and retry.
+//!
+//! ```sh
+//! # terminal 1
+//! cargo run --release --bin veritasd -- --addr 127.0.0.1:4617 --synthetic 4
+//! # terminal 2
+//! cargo run --release --example client -- 127.0.0.1:4617 queries.json
+//! cargo run --release --example client -- 127.0.0.1:4617 --metrics
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use veritas_engine::{ErrorEnvelope, QuerySet, SummaryEnvelope};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, request) = match args.as_slice() {
+        [addr] => (addr, None),
+        [addr, flag] if flag == "--metrics" => (addr, Some(r#"{"metrics": true}"#.to_string())),
+        [addr, query_path] => match std::fs::read_to_string(query_path) {
+            Ok(json) => match QuerySet::from_json(&json) {
+                // Re-serialize compactly: the wire protocol is one JSON
+                // object per line.
+                Ok(set) => (
+                    addr,
+                    Some(format!(
+                        r#"{{"query": {}}}"#,
+                        serde_json::to_string(&set).expect("query sets always serialize")
+                    )),
+                ),
+                Err(e) => {
+                    eprintln!("client: cannot parse {query_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("client: cannot read {query_path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: client <host:port> [queries.json | --metrics]");
+            return ExitCode::from(2);
+        }
+    };
+    // No file argument: post the engine's built-in example query set.
+    let request = request.unwrap_or_else(|| {
+        format!(
+            r#"{{"query": {}}}"#,
+            serde_json::to_string(&QuerySet::example()).expect("query sets always serialize")
+        )
+    });
+
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("client: cannot connect to {addr}: {e} (is veritasd running?)");
+            return ExitCode::from(3);
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("cloning a socket handle works"));
+    let mut writer = stream;
+    writeln!(writer, "{request}")
+        .and_then(|()| writer.flush())
+        .expect("request write");
+
+    // Print every response line; stop at the terminal line (a summary for
+    // queries, a single line for metrics).
+    let expects_summary = request.starts_with(r#"{"query""#);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                eprintln!("client: the service hung up before the terminal line");
+                return ExitCode::from(3);
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("client: read failed: {e}");
+                return ExitCode::from(3);
+            }
+        }
+        let trimmed = line.trim();
+        if let Some(error) = ErrorEnvelope::parse(trimmed) {
+            eprintln!(
+                "client: service refused the request [{}]: {}",
+                error.kind, error.detail
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("{trimmed}");
+        if !expects_summary || serde_json::from_str::<SummaryEnvelope>(trimmed).is_ok() {
+            return ExitCode::SUCCESS;
+        }
+    }
+}
