@@ -2,20 +2,27 @@
 //! and run them through the streaming engine.
 //!
 //! ```text
-//! veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]
-//!             [--threads N] [--shards N] [--stream] [--out FILE]
+//! veritas run <queries.json> [--corpus DIR|FILE.vcorp | --synthetic N]
+//!             [--seed S] [--threads N] [--shards N] [--stream] [--out FILE]
 //!             [--summary FILE] [--no-cache] [--cache-dir DIR]
 //!             [--min-cache-hits N] [--allow-errors]
+//! veritas ingest <DIR> --out FILE.vcorp [--append]
+//! veritas synth --out DIR [--sessions N] [--seed S]
 //! veritas bench [--sessions N] [--queries N] [--threads N]
-//!               [--cache-dir DIR] [--json FILE]
-//! veritas serve [--addr HOST:PORT] [--corpus DIR | --synthetic N] ...
+//!               [--cache-dir DIR] [--load-sessions N] [--json FILE]
+//! veritas serve [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N] ...
 //! veritas example-queries
 //! veritas validate <report.jsonl>
 //! ```
 //!
 //! `run` compiles a query file into a [`QueryPlan`], executes it over a
-//! corpus (loaded from a directory of session-log JSON files, or
-//! synthesized), and writes one JSON line per record plus a summary. By
+//! corpus (a directory of session-log JSON files, a columnar binary
+//! `.vcorp` corpus served lazily, or a synthesized one), and writes one
+//! JSON line per record plus a summary. `ingest` converts a JSON session
+//! directory into a `.vcorp` (`--append` merges new logs into an
+//! existing file and compacts it); `synth` writes a synthetic corpus
+//! *as* a JSON directory, the raw-material generator for ingest smoke
+//! tests. By
 //! default records are written in deterministic batch order once the run
 //! completes; `--stream` writes each line the moment its unit finishes
 //! (completion order), and `--shards N` partitions the corpus across N
@@ -42,9 +49,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use veritas::VeritasConfig;
 use veritas_engine::{
-    service, Engine, EngineError, EngineReport, QueryKind, QueryPlan, QueryRecord, QuerySet,
-    RunSummary, SessionCorpus, SyntheticSpec,
+    append_dir, ingest_dir, service, Corpus, Engine, EngineError, EngineReport, LazyCorpus, Query,
+    QueryKind, QueryPlan, QueryRecord, QuerySet, RunSummary, SessionCorpus, SyntheticSpec,
 };
 
 /// What a subcommand can fail with: a usage problem (bad flags or
@@ -90,6 +98,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => service::run_cli(&args[1..]).map_err(CliError::Engine),
         Some("example-queries") => {
@@ -118,15 +128,18 @@ fn print_usage() {
     println!(
         "veritas — batched causal queries over video streaming traces\n\n\
          USAGE:\n\
-         \x20 veritas run <queries.json> [--corpus DIR | --synthetic N] [--seed S]\n\
-         \x20                            [--threads N] [--shards N] [--stream]\n\
+         \x20 veritas run <queries.json> [--corpus DIR|FILE.vcorp | --synthetic N]\n\
+         \x20                            [--seed S] [--threads N] [--shards N] [--stream]\n\
          \x20                            [--out FILE] [--summary FILE] [--no-cache]\n\
          \x20                            [--cache-dir DIR] [--min-cache-hits N]\n\
          \x20                            [--allow-errors]\n\
+         \x20 veritas ingest <DIR> --out FILE.vcorp [--append]\n\
+         \x20 veritas synth --out DIR [--sessions N] [--seed S]\n\
          \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
-         \x20               [--cache-dir DIR] [--json FILE]\n\
-         \x20 veritas serve [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]\n\
-         \x20               [--threads N] [--shards N] [--cache-dir DIR] [--admission N]\n\
+         \x20               [--cache-dir DIR] [--load-sessions N] [--json FILE]\n\
+         \x20 veritas serve [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N]\n\
+         \x20               [--seed S] [--threads N] [--shards N] [--cache-dir DIR]\n\
+         \x20               [--admission N] [--io-timeout SECS] [--max-connections N]\n\
          \x20 veritas example-queries\n\
          \x20 veritas validate <report.jsonl>"
     );
@@ -147,8 +160,10 @@ struct Options {
     cache_dir: Option<PathBuf>,
     min_cache_hits: Option<u64>,
     allow_errors: bool,
+    append: bool,
     sessions: usize,
     queries: usize,
+    load_sessions: Option<usize>,
     json: Option<PathBuf>,
 }
 
@@ -169,8 +184,10 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         cache_dir: None,
         min_cache_hits: None,
         allow_errors: false,
+        append: false,
         sessions: 4,
         queries: 10,
+        load_sessions: None,
         json: None,
     };
     let mut iter = args.iter();
@@ -205,8 +222,12 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 options.min_cache_hits = Some(parse_num(&value_for("--min-cache-hits")?)?)
             }
             "--allow-errors" => options.allow_errors = true,
+            "--append" => options.append = true,
             "--sessions" => options.sessions = parse_num(&value_for("--sessions")?)?,
             "--queries" => options.queries = parse_num(&value_for("--queries")?)?,
+            "--load-sessions" => {
+                options.load_sessions = Some(parse_num(&value_for("--load-sessions")?)?)
+            }
             "--json" => options.json = Some(PathBuf::from(value_for("--json")?)),
             positional => options.positional.push(positional.to_string()),
         }
@@ -219,12 +240,18 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
         .map_err(|_| format!("invalid numeric value `{text}`"))
 }
 
-fn load_corpus(options: &Options) -> Result<SessionCorpus, CliError> {
+/// Loads the corpus a `--corpus`/`--synthetic` pair names. A `--corpus`
+/// path ending in `.vcorp` opens the columnar binary store lazily
+/// ([`LazyCorpus`]); any other path is a JSON session directory.
+fn load_corpus(options: &Options) -> Result<Arc<dyn Corpus>, CliError> {
     match (&options.corpus, options.synthetic) {
         (Some(_), Some(_)) => Err(CliError::Usage(
             "--corpus and --synthetic are mutually exclusive".to_string(),
         )),
-        (Some(dir), None) => Ok(SessionCorpus::from_dir(dir)?),
+        (Some(path), None) if path.extension().is_some_and(|ext| ext == "vcorp") => {
+            Ok(Arc::new(LazyCorpus::open(path).map_err(EngineError::from)?))
+        }
+        (Some(dir), None) => Ok(Arc::new(SessionCorpus::from_dir(dir)?)),
         (None, n) => {
             let spec = SyntheticSpec {
                 sessions: n.unwrap_or(4),
@@ -235,7 +262,7 @@ fn load_corpus(options: &Options) -> Result<SessionCorpus, CliError> {
                 "synthesizing corpus: {} sessions, seed {}",
                 spec.sessions, spec.seed
             );
-            Ok(spec.build())
+            Ok(Arc::new(spec.build()))
         }
     }
 }
@@ -306,8 +333,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
     // The CLI owns both values, so they are shared with the workers via
     // `submit_shared` instead of paying `submit`'s defensive deep copies.
-    let corpus = Arc::new(load_corpus(&options)?);
-    let plan = Arc::new(QueryPlan::compile(&set, &corpus)?);
+    let corpus = load_corpus(&options)?;
+    let plan = Arc::new(QueryPlan::compile(&set, corpus.as_ref())?);
 
     let summary = if options.stream {
         // Incremental consumption: each record is written (and flushed)
@@ -351,6 +378,72 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `veritas ingest <DIR> --out FILE.vcorp [--append]`: convert a JSON
+/// session directory into the columnar binary store (or merge new logs
+/// into an existing one and compact it).
+fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args, &["--out", "--append"])?;
+    let [dir] = options.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "ingest expects exactly one <DIR> argument".to_string(),
+        ));
+    };
+    let Some(out) = &options.out else {
+        return Err(CliError::Usage(
+            "ingest requires --out FILE.vcorp".to_string(),
+        ));
+    };
+    let dir = Path::new(dir);
+    let report = if options.append && out.exists() {
+        append_dir(dir, out)?
+    } else {
+        ingest_dir(dir, out)?
+    };
+    println!(
+        "ingested {} sessions into {} ({} bytes; {} carried over, {} replaced)",
+        report.sessions,
+        out.display(),
+        report.bytes,
+        report.carried_over,
+        report.replaced
+    );
+    Ok(())
+}
+
+/// `veritas synth --out DIR [--sessions N] [--seed S]`: write a synthetic
+/// corpus *as* a JSON session directory — raw material for `ingest` and
+/// for smoke tests that need a directory-shaped corpus on disk.
+fn cmd_synth(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args, &["--out", "--sessions", "--seed"])?;
+    if !options.positional.is_empty() {
+        return Err(CliError::Usage(
+            "synth takes no positional arguments".to_string(),
+        ));
+    }
+    let Some(out) = &options.out else {
+        return Err(CliError::Usage("synth requires --out DIR".to_string()));
+    };
+    let spec = SyntheticSpec {
+        sessions: options.sessions,
+        seed: options.seed,
+        ..SyntheticSpec::default()
+    };
+    let corpus = spec.build();
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    for session in &corpus.sessions {
+        let path = out.join(format!("{}.json", session.id));
+        std::fs::write(&path, session.log.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    println!(
+        "wrote {} synthetic sessions (seed {}) to {}",
+        corpus.len(),
+        spec.seed,
+        out.display()
+    );
+    Ok(())
+}
+
 fn report_summary(s: &RunSummary) {
     eprintln!(
         "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} disk_hits={} \
@@ -388,6 +481,86 @@ struct BenchJson {
     disk_warm_ms: Option<f64>,
     /// Posteriors the disk-warm run restored from the store.
     disk_hits: Option<u64>,
+    /// `--load-sessions`: JSON-directory open + first query, ms.
+    json_load_ms: Option<f64>,
+    /// `--load-sessions`: `.vcorp` open + first query, ms.
+    vcorp_open_ms: Option<f64>,
+    /// `json_load_ms / vcorp_open_ms`.
+    load_speedup: Option<f64>,
+    /// Peak concurrently resident decoded logs during a full lazy pass
+    /// over the `.vcorp` corpus (bounded at 64 for the benchmark).
+    peak_resident_sessions: Option<usize>,
+}
+
+/// Result of the `--load-sessions` corpus-load benchmark.
+struct LoadBench {
+    json_load_ms: f64,
+    vcorp_open_ms: f64,
+    speedup: f64,
+    peak_resident: usize,
+}
+
+/// Times "open the corpus and answer one probe query" for a JSON session
+/// directory (every log parsed before the first answer) versus its
+/// ingested `.vcorp` (index-only open; the probe decodes exactly the one
+/// session it touches), then runs a full decode pass with a 64-session
+/// resident bound to show lazy streaming keeps memory flat.
+fn bench_load(n: usize, seed: u64, threads: usize) -> Result<LoadBench, CliError> {
+    let root = std::env::temp_dir().join(format!("veritas_bench_load_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dir = root.join("sessions");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let spec = SyntheticSpec {
+        sessions: n,
+        video_duration_s: 120.0,
+        seed,
+        ..SyntheticSpec::default()
+    };
+    for session in &spec.build().sessions {
+        let path = dir.join(format!("{}.json", session.id));
+        std::fs::write(&path, session.log.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    let set = QuerySet::new("load-probe", VeritasConfig::paper_default().with_samples(2))
+        .with_query(Query::abduction("probe").with_sessions(vec![0]));
+    let probe = |corpus: Arc<dyn Corpus>| -> Result<(), CliError> {
+        let engine = Engine::builder().threads(threads).no_cache().build()?;
+        let plan = Arc::new(QueryPlan::compile(&set, corpus.as_ref())?);
+        engine.submit_shared(corpus, plan)?.wait();
+        Ok(())
+    };
+
+    let started = Instant::now();
+    probe(Arc::new(SessionCorpus::from_dir(&dir)?))?;
+    let json_load_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // The one-off conversion is not part of either measured path.
+    let vcorp = root.join("corpus.vcorp");
+    ingest_dir(&dir, &vcorp)?;
+
+    let started = Instant::now();
+    probe(Arc::new(
+        LazyCorpus::open(&vcorp).map_err(EngineError::from)?,
+    ))?;
+    let vcorp_open_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Full decode pass under a bounded resident set: every session is
+    // decoded once, but at most 64 stay in memory.
+    let bounded = LazyCorpus::open(&vcorp)
+        .map_err(EngineError::from)?
+        .with_max_resident(64);
+    for index in 0..bounded.len() {
+        bounded.load_log(index).map_err(EngineError::from)?;
+    }
+    let peak_resident = bounded.peak_resident();
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(LoadBench {
+        json_load_ms,
+        vcorp_open_ms,
+        speedup: json_load_ms / vcorp_open_ms.max(1e-9),
+        peak_resident,
+    })
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
@@ -399,6 +572,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             "--threads",
             "--seed",
             "--cache-dir",
+            "--load-sessions",
             "--json",
         ],
     )?;
@@ -466,6 +640,21 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         None => None,
     };
 
+    // `--load-sessions N`: corpus-load comparison over a freshly
+    // synthesized N-session JSON directory and its ingested `.vcorp`.
+    let load = match options.load_sessions {
+        Some(n) => {
+            let load = bench_load(n, options.seed, threads)?;
+            println!(
+                "corpus load ({n} sessions): json {:.1} ms   vcorp {:.1} ms   speedup {:.1}x   \
+                 peak resident {}",
+                load.json_load_ms, load.vcorp_open_ms, load.speedup, load.peak_resident
+            );
+            Some(load)
+        }
+        None => None,
+    };
+
     if let Some(path) = &options.json {
         let report = BenchJson {
             sessions: options.sessions,
@@ -479,6 +668,10 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             cache_misses: cached_report.summary.cache_misses,
             disk_warm_ms: disk_warm.map(|(ms, _)| ms),
             disk_hits: disk_warm.map(|(_, hits)| hits),
+            json_load_ms: load.as_ref().map(|l| l.json_load_ms),
+            vcorp_open_ms: load.as_ref().map(|l| l.vcorp_open_ms),
+            load_speedup: load.as_ref().map(|l| l.speedup),
+            peak_resident_sessions: load.as_ref().map(|l| l.peak_resident),
         };
         let json =
             serde_json::to_string_pretty(&report).map_err(|e| format!("serialization: {e}"))?;

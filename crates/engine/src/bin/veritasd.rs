@@ -6,8 +6,9 @@
 //! protocol and the metrics snapshot format.
 //!
 //! ```text
-//! veritasd [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]
-//!          [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
+//! veritasd [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N]
+//!          [--seed S] [--threads N] [--shards N] [--cache-dir DIR]
+//!          [--admission N] [--io-timeout SECS] [--max-connections N]
 //! ```
 //!
 //! On startup the daemon prints `veritasd: listening on <addr>` to
@@ -21,18 +22,24 @@ use veritas_engine::service;
 const USAGE: &str = "veritasd - serve Veritas causal queries from a resident engine
 
 USAGE:
-    veritasd [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]
-             [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
+    veritasd [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N]
+             [--seed S] [--threads N] [--shards N] [--cache-dir DIR]
+             [--admission N] [--io-timeout SECS] [--max-connections N]
 
 OPTIONS:
-    --addr HOST:PORT   Listen address (default 127.0.0.1:4617; port 0 = ephemeral)
-    --corpus DIR       Serve a directory of per-session JSON logs
-    --synthetic N      Serve an N-session synthetic corpus (default: 4 sessions)
-    --seed S           Synthetic corpus seed (default 7)
-    --threads N        Worker threads per plan (default: available cores)
-    --shards N         Corpus shards per plan (default 1)
-    --cache-dir DIR    Persistent abduction store (warm restarts)
-    --admission N      Max concurrent plans before shedding (default 4)
+    --addr HOST:PORT     Listen address (default 127.0.0.1:4617; port 0 = ephemeral)
+    --corpus PATH        Serve a directory of per-session JSON logs, or a
+                         columnar binary `.vcorp` corpus (lazy-loaded; see
+                         `veritas ingest`)
+    --synthetic N        Serve an N-session synthetic corpus (default: 4 sessions)
+    --seed S             Synthetic corpus seed (default 7)
+    --threads N          Worker threads per plan (default: available cores)
+    --shards N           Corpus shards per plan (default 1)
+    --cache-dir DIR      Persistent abduction store (warm restarts)
+    --admission N        Max concurrent plans before shedding (default 4)
+    --io-timeout SECS    Per-connection read/write deadline (default 30; 0 = none)
+    --max-connections N  Max open connections before shedding accepts with a
+                         typed \"overloaded\" error (default 0 = unbounded)
 
 PROTOCOL (one JSON object per line, responses are JSON lines too):
     {\"query\": <QuerySet>, \"stream\": bool?}  -> QueryRecord lines, then {\"summary\": ...}

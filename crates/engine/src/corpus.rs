@@ -2,14 +2,19 @@
 //!
 //! A [`SessionCorpus`] pairs recorded [`SessionLog`]s with the deployed
 //! setting they were recorded under (asset, player, ABR) — the raw material
-//! every causal query conditions on. Corpora come from two places: loaded
+//! every causal query conditions on. Corpora come from three places: loaded
 //! from a directory of session-log JSON files (`veritas run --corpus DIR`),
-//! or synthesized end to end (hidden GTBW trace → player emulation) for
-//! benchmarks, CI smoke runs, and examples. Ground-truth traces are kept
-//! alongside synthetic sessions so counterfactual queries can report the
-//! oracle outcome; loaded real logs have no truth and simply omit it.
+//! synthesized end to end (hidden GTBW trace → player emulation) for
+//! benchmarks, CI smoke runs, and examples, or served lazily from a
+//! columnar `.vcorp` file ([`crate::LazyCorpus`]). The [`Corpus`] trait is
+//! the seam that makes the three interchangeable to
+//! [`crate::QueryPlan::compile`] and the executor. Ground-truth traces are
+//! kept alongside synthetic sessions so counterfactual queries can report
+//! the oracle outcome; loaded real logs have no truth and simply omit it.
 
-use std::path::Path;
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use veritas_abr::abr_by_name;
 use veritas_media::{QualityLadder, VbrParams, VideoAsset};
@@ -17,7 +22,121 @@ use veritas_player::{run_session, PlayerConfig, SessionLog};
 use veritas_trace::generators::{FccLike, TraceGenerator};
 use veritas_trace::BandwidthTrace;
 
+use crate::cache::{combine_fingerprints, log_fingerprint};
 use crate::error::EngineError;
+
+/// A session log borrowed from a corpus.
+///
+/// An eager corpus ([`SessionCorpus`]) hands out plain borrows; a lazy one
+/// ([`crate::LazyCorpus`]) hands out shared ownership of a log decoded on
+/// demand, which may be evicted from the resident set while still in use.
+/// Both deref to [`SessionLog`], so call sites never branch.
+#[derive(Debug, Clone)]
+pub enum LogRef<'a> {
+    /// A borrow from an eagerly loaded corpus.
+    Borrowed(&'a SessionLog),
+    /// Shared ownership of a lazily decoded log.
+    Shared(Arc<SessionLog>),
+}
+
+impl Deref for LogRef<'_> {
+    type Target = SessionLog;
+
+    fn deref(&self) -> &SessionLog {
+        match self {
+            LogRef::Borrowed(log) => log,
+            LogRef::Shared(log) => log,
+        }
+    }
+}
+
+/// What the engine needs from a corpus — the seam that makes JSON
+/// directories, synthetic corpora, and `.vcorp` files interchangeable to
+/// [`crate::QueryPlan::compile`] and [`crate::Engine::submit_shared`].
+///
+/// Everything except [`Corpus::log`] must be served from resident
+/// metadata (ids, fingerprints, the deployed setting): plan compilation
+/// and fingerprint checks never force a session load. Only the executor,
+/// per work unit, calls `log` — which is where a lazy implementation
+/// pays its decode, bounded by its resident set.
+pub trait Corpus: Send + Sync {
+    /// Number of sessions.
+    fn len(&self) -> usize;
+
+    /// Whether the corpus has no sessions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stable id of session `index` (cache key, record field).
+    fn session_id(&self, index: usize) -> &str;
+
+    /// The log of session `index`, loading it if necessary. Errors
+    /// (e.g. a corrupt lazy block) become per-unit record errors, not
+    /// run aborts.
+    fn log(&self, index: usize) -> Result<LogRef<'_>, String>;
+
+    /// The [`crate::log_fingerprint`] of session `index`, without
+    /// necessarily loading the log (a `.vcorp` serves it from its index).
+    fn log_fingerprint(&self, index: usize) -> u64;
+
+    /// Ground-truth bandwidth trace of session `index`, when known
+    /// (synthetic corpora only).
+    fn truth(&self, index: usize) -> Option<&BandwidthTrace>;
+
+    /// The video asset streamed in every session.
+    fn asset(&self) -> &VideoAsset;
+
+    /// The deployed player configuration.
+    fn player(&self) -> &PlayerConfig;
+
+    /// Name of the deployed ABR.
+    fn deployed_abr(&self) -> &str;
+
+    /// Fingerprint of the deployed setting (ABR, player, asset); see
+    /// [`SessionCorpus::deployed_fingerprint`].
+    fn deployed_fingerprint(&self) -> u64 {
+        deployed_fingerprint_of(self.deployed_abr(), self.player(), self.asset())
+    }
+
+    /// Fingerprint of the corpus *content*: every session's log
+    /// fingerprint chained with the deployed fingerprint. This is what
+    /// binds a compiled [`crate::QueryPlan`] to the corpus it was
+    /// compiled against.
+    fn content_fingerprint(&self) -> u64 {
+        combine_fingerprints(
+            (0..self.len())
+                .map(|index| self.log_fingerprint(index))
+                .chain(std::iter::once(self.deployed_fingerprint())),
+        )
+    }
+
+    /// Splits the corpus into at most `shards` contiguous, balanced
+    /// session groups; see [`SessionCorpus::shard`].
+    fn shard(&self, shards: usize) -> Vec<CorpusShard> {
+        shard_indices(self.len(), shards)
+    }
+
+    /// Resolves a query's session selector against this corpus: `None`
+    /// selects every session, `Some(indices)` is validated to be in
+    /// range.
+    fn select(&self, sessions: &Option<Vec<usize>>) -> Result<Vec<usize>, String> {
+        match sessions {
+            None => Ok((0..self.len()).collect()),
+            Some(indices) => {
+                for &index in indices {
+                    if index >= self.len() {
+                        return Err(format!(
+                            "session index {index} out of range (corpus has {} sessions)",
+                            self.len()
+                        ));
+                    }
+                }
+                Ok(indices.clone())
+            }
+        }
+    }
+}
 
 /// One session of a corpus: an id (stable across runs, used as the cache
 /// key), the recorded log, and — when known — the hidden ground truth.
@@ -155,21 +274,7 @@ impl SessionCorpus {
     /// chunk duration stands in for it. Ground truth is unknown for loaded
     /// logs, so oracle outcomes are omitted.
     pub fn from_dir(dir: &Path) -> Result<Self, EngineError> {
-        let mut paths: Vec<_> = std::fs::read_dir(dir)?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-            .collect();
-        // Numeric-aware order, not lexicographic: plain `sort()` put
-        // `session-10.json` before `session-2.json`, silently changing
-        // the record order — and the corpus-content fingerprint — of any
-        // corpus with ≥ 10 sessions relative to its synthetic twin.
-        paths.sort_by(|a, b| {
-            natural_cmp(
-                &a.file_name().unwrap_or_default().to_string_lossy(),
-                &b.file_name().unwrap_or_default().to_string_lossy(),
-            )
-            .then_with(|| a.cmp(b))
-        });
+        let paths = sorted_json_paths(dir)?;
         let mut sessions = Vec::with_capacity(paths.len());
         for path in paths {
             let data = std::fs::read_to_string(&path)?;
@@ -223,27 +328,7 @@ impl SessionCorpus {
     /// with identical logs but a different deployed setting must not
     /// accept a stale plan.
     pub fn deployed_fingerprint(&self) -> u64 {
-        use crate::cache::{fnv_mix, fnv_mix_f64, FNV_OFFSET};
-        let mut hash = FNV_OFFSET;
-        fnv_mix(&mut hash, self.deployed_abr.len() as u64);
-        for byte in self.deployed_abr.bytes() {
-            fnv_mix(&mut hash, u64::from(byte));
-        }
-        fnv_mix_f64(&mut hash, self.player.buffer_capacity_s);
-        fnv_mix(&mut hash, self.player.startup_chunks as u64);
-        fnv_mix_f64(&mut hash, self.player.link.one_way_delay_s);
-        fnv_mix_f64(&mut hash, self.player.link.mss_bytes);
-        fnv_mix_f64(&mut hash, self.player.link.queue_segments);
-        fnv_mix(&mut hash, self.asset.num_chunks() as u64);
-        fnv_mix(&mut hash, self.asset.num_qualities() as u64);
-        fnv_mix_f64(&mut hash, self.asset.chunk_duration_s());
-        for chunk in 0..self.asset.num_chunks() {
-            for quality in 0..self.asset.num_qualities() {
-                fnv_mix_f64(&mut hash, self.asset.size_bytes(chunk, quality));
-                fnv_mix_f64(&mut hash, self.asset.ssim(chunk, quality));
-            }
-        }
-        hash
+        deployed_fingerprint_of(&self.deployed_abr, &self.player, &self.asset)
     }
 
     /// Splits the corpus into at most `shards` contiguous, balanced
@@ -257,45 +342,127 @@ impl SessionCorpus {
     /// does with [`crate::Engine::with_shards`] — across worker groups of
     /// a single streaming run.
     pub fn shard(&self, shards: usize) -> Vec<CorpusShard> {
-        if self.is_empty() {
-            return Vec::new();
-        }
-        let shards = shards.clamp(1, self.len());
-        let base = self.len() / shards;
-        let extra = self.len() % shards;
-        let mut start = 0;
-        (0..shards)
-            .map(|index| {
-                let len = base + usize::from(index < extra);
-                let shard = CorpusShard {
-                    index,
-                    of: shards,
-                    sessions: (start..start + len).collect(),
-                };
-                start += len;
-                shard
-            })
-            .collect()
+        shard_indices(self.len(), shards)
     }
 
     /// Resolves a query's session selector against this corpus: `None`
     /// selects every session, `Some(indices)` is validated to be in range.
     pub fn select(&self, sessions: &Option<Vec<usize>>) -> Result<Vec<usize>, String> {
-        match sessions {
-            None => Ok((0..self.sessions.len()).collect()),
-            Some(indices) => {
-                for &index in indices {
-                    if index >= self.sessions.len() {
-                        return Err(format!(
-                            "session index {index} out of range (corpus has {} sessions)",
-                            self.sessions.len()
-                        ));
-                    }
-                }
-                Ok(indices.clone())
-            }
+        Corpus::select(self, sessions)
+    }
+}
+
+impl Corpus for SessionCorpus {
+    fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn session_id(&self, index: usize) -> &str {
+        &self.sessions[index].id
+    }
+
+    fn log(&self, index: usize) -> Result<LogRef<'_>, String> {
+        Ok(LogRef::Borrowed(&self.sessions[index].log))
+    }
+
+    fn log_fingerprint(&self, index: usize) -> u64 {
+        log_fingerprint(&self.sessions[index].log)
+    }
+
+    fn truth(&self, index: usize) -> Option<&BandwidthTrace> {
+        self.sessions[index].truth.as_ref()
+    }
+
+    fn asset(&self) -> &VideoAsset {
+        &self.asset
+    }
+
+    fn player(&self) -> &PlayerConfig {
+        &self.player
+    }
+
+    fn deployed_abr(&self) -> &str {
+        &self.deployed_abr
+    }
+}
+
+/// Fingerprints a deployed setting — the ABR name, player configuration
+/// (buffer, startup threshold, link), and the full video asset (ladder
+/// bitrates, per-chunk sizes and SSIMs). The one implementation behind
+/// [`Corpus::deployed_fingerprint`] for every corpus kind, so an eager
+/// corpus and its ingested `.vcorp` can never hash the setting
+/// differently.
+pub(crate) fn deployed_fingerprint_of(abr: &str, player: &PlayerConfig, asset: &VideoAsset) -> u64 {
+    use crate::cache::{fnv_mix, fnv_mix_f64, FNV_OFFSET};
+    let mut hash = FNV_OFFSET;
+    fnv_mix(&mut hash, abr.len() as u64);
+    for byte in abr.bytes() {
+        fnv_mix(&mut hash, u64::from(byte));
+    }
+    fnv_mix_f64(&mut hash, player.buffer_capacity_s);
+    fnv_mix(&mut hash, player.startup_chunks as u64);
+    fnv_mix_f64(&mut hash, player.link.one_way_delay_s);
+    fnv_mix_f64(&mut hash, player.link.mss_bytes);
+    fnv_mix_f64(&mut hash, player.link.queue_segments);
+    fnv_mix(&mut hash, asset.num_chunks() as u64);
+    fnv_mix(&mut hash, asset.num_qualities() as u64);
+    fnv_mix_f64(&mut hash, asset.chunk_duration_s());
+    for chunk in 0..asset.num_chunks() {
+        for quality in 0..asset.num_qualities() {
+            fnv_mix_f64(&mut hash, asset.size_bytes(chunk, quality));
+            fnv_mix_f64(&mut hash, asset.ssim(chunk, quality));
         }
     }
+    hash
+}
+
+/// Contiguous balanced sharding over `len` sessions — the one
+/// implementation behind [`Corpus::shard`]. Shard sizes differ by at most
+/// one, no shard is empty, every session appears exactly once.
+fn shard_indices(len: usize, shards: usize) -> Vec<CorpusShard> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|index| {
+            let size = base + usize::from(index < extra);
+            let shard = CorpusShard {
+                index,
+                of: shards,
+                sessions: (start..start + size).collect(),
+            };
+            start += size;
+            shard
+        })
+        .collect()
+}
+
+/// Lists every `*.json` file in `dir` in the numeric-aware name order
+/// corpora load in — shared by [`SessionCorpus::from_dir`] and
+/// [`crate::store::ingest_dir`], so a directory and its ingested `.vcorp`
+/// always agree on session order (and therefore on the corpus content
+/// fingerprint).
+pub(crate) fn sorted_json_paths(dir: &Path) -> Result<Vec<PathBuf>, EngineError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    // Numeric-aware order, not lexicographic: plain `sort()` put
+    // `session-10.json` before `session-2.json`, silently changing
+    // the record order — and the corpus-content fingerprint — of any
+    // corpus with ≥ 10 sessions relative to its synthetic twin.
+    paths.sort_by(|a, b| {
+        natural_cmp(
+            &a.file_name().unwrap_or_default().to_string_lossy(),
+            &b.file_name().unwrap_or_default().to_string_lossy(),
+        )
+        .then_with(|| a.cmp(b))
+    });
+    Ok(paths)
 }
 
 /// Compares two file names with numeric awareness: maximal digit runs
@@ -303,7 +470,7 @@ impl SessionCorpus {
 /// digits, so nothing overflows), everything else byte-wise. Equal-valued
 /// runs with different zero padding (`02` vs `2`) fall back to the longer
 /// (more padded) run first, keeping the order total and deterministic.
-fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
+pub(crate) fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
     use std::cmp::Ordering;
     let (a, b) = (a.as_bytes(), b.as_bytes());
     let (mut i, mut j) = (0, 0);

@@ -19,13 +19,16 @@ use std::io;
 use serde::{Deserialize, Serialize};
 use veritas::AbductionError;
 
+use crate::store::VcorpError;
+
 /// Why an engine operation failed as a whole.
 ///
 /// The variants partition into failure classes (see
 /// [`EngineError::exit_code`]): *bad input* (`Query`, `Config`, `Json`,
-/// `Protocol`, `EmptyCorpus`, `CorpusMismatch`), *failed work*
-/// (`Abduction`, `UnitFailures`, `CacheShortfall`), *environment*
-/// (`Io`), and *load shedding* (`Overloaded`).
+/// `Protocol`, `EmptyCorpus`, `CorpusMismatch`, `CorpusFormat`), *failed
+/// work* (`Abduction`, `UnitFailures`, `CacheShortfall`), *environment*
+/// (`Io`), and *load shedding* (`Overloaded`,
+/// `ConnectionsExhausted`).
 #[derive(Debug)]
 pub enum EngineError {
     /// Filesystem error while loading a corpus, opening a cache
@@ -33,6 +36,10 @@ pub enum EngineError {
     Io(io::Error),
     /// A query file or session log failed to parse.
     Json(serde_json::Error),
+    /// A binary `.vcorp` corpus failed to open or decode: unsupported
+    /// schema version, failed checksum or digest, truncation, ...
+    /// (see [`crate::store::VcorpError`]).
+    CorpusFormat(String),
     /// The query set is inconsistent (duplicate ids, bad selectors, ...)
     /// or cannot be compiled into a plan.
     Query(String),
@@ -54,6 +61,16 @@ pub enum EngineError {
         /// Plans running when admission was refused.
         active: usize,
         /// The configured admission bound.
+        bound: usize,
+    },
+    /// The service refused a new *connection*: `active` connections were
+    /// already open against a `--max-connections` bound of `bound`. Same
+    /// `"overloaded"` wire kind as [`EngineError::Overloaded`] (both are
+    /// retry-later shed responses), distinguishable by detail text.
+    ConnectionsExhausted {
+        /// Connections open when the accept was shed.
+        active: usize,
+        /// The configured connection bound.
         bound: usize,
     },
     /// A service request violated the wire protocol (not a JSON object,
@@ -86,12 +103,15 @@ impl EngineError {
         match self {
             EngineError::Io(_) => "io",
             EngineError::Json(_) => "json",
+            EngineError::CorpusFormat(_) => "corpus_format",
             EngineError::Query(_) => "invalid_query",
             EngineError::Config(_) => "invalid_config",
             EngineError::EmptyCorpus => "empty_corpus",
             EngineError::CorpusMismatch(_) => "corpus_mismatch",
             EngineError::Abduction(_) => "abduction",
-            EngineError::Overloaded { .. } => "overloaded",
+            EngineError::Overloaded { .. } | EngineError::ConnectionsExhausted { .. } => {
+                "overloaded"
+            }
             EngineError::Protocol(_) => "protocol",
             EngineError::CacheShortfall { .. } => "cache_shortfall",
             EngineError::UnitFailures { .. } => "unit_failures",
@@ -103,9 +123,9 @@ impl EngineError {
     /// | code | class | variants |
     /// |------|-------|----------|
     /// | 1 | failed work | `Abduction`, `UnitFailures`, `CacheShortfall` |
-    /// | 2 | bad input | `Query`, `Config`, `Json`, `Protocol`, `EmptyCorpus`, `CorpusMismatch` |
+    /// | 2 | bad input | `Query`, `Config`, `Json`, `Protocol`, `EmptyCorpus`, `CorpusMismatch`, `CorpusFormat` |
     /// | 3 | environment | `Io` |
-    /// | 4 | load shed | `Overloaded` |
+    /// | 4 | load shed | `Overloaded`, `ConnectionsExhausted` |
     pub fn exit_code(&self) -> u8 {
         match self {
             EngineError::Abduction(_)
@@ -116,9 +136,10 @@ impl EngineError {
             | EngineError::Json(_)
             | EngineError::Protocol(_)
             | EngineError::EmptyCorpus
-            | EngineError::CorpusMismatch(_) => 2,
+            | EngineError::CorpusMismatch(_)
+            | EngineError::CorpusFormat(_) => 2,
             EngineError::Io(_) => 3,
-            EngineError::Overloaded { .. } => 4,
+            EngineError::Overloaded { .. } | EngineError::ConnectionsExhausted { .. } => 4,
         }
     }
 
@@ -145,6 +166,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Io(e) => write!(f, "i/o error: {e}"),
             EngineError::Json(e) => write!(f, "json error: {e}"),
+            EngineError::CorpusFormat(reason) => write!(f, "corpus format error: {reason}"),
             EngineError::Query(reason) => write!(f, "invalid query set: {reason}"),
             EngineError::Config(reason) => write!(f, "invalid engine configuration: {reason}"),
             EngineError::EmptyCorpus => write!(f, "corpus contains no sessions"),
@@ -153,6 +175,10 @@ impl fmt::Display for EngineError {
             EngineError::Overloaded { active, bound } => write!(
                 f,
                 "overloaded: {active} plans already running (admission bound {bound}); retry later"
+            ),
+            EngineError::ConnectionsExhausted { active, bound } => write!(
+                f,
+                "overloaded: {active} connections already open (connection bound {bound}); retry later"
             ),
             EngineError::Protocol(reason) => write!(f, "protocol error: {reason}"),
             EngineError::CacheShortfall { expected, observed } => write!(
@@ -184,6 +210,16 @@ impl From<serde_json::Error> for EngineError {
 impl From<AbductionError> for EngineError {
     fn from(e: AbductionError) -> Self {
         EngineError::Abduction(e)
+    }
+}
+
+impl From<VcorpError> for EngineError {
+    fn from(e: VcorpError) -> Self {
+        match e {
+            // An i/o failure is an environment problem, not a format one.
+            VcorpError::Io(io) => EngineError::Io(io),
+            other => EngineError::CorpusFormat(other.to_string()),
+        }
     }
 }
 
@@ -248,6 +284,19 @@ mod tests {
                 },
                 "overloaded",
                 4,
+            ),
+            (
+                EngineError::ConnectionsExhausted {
+                    active: 64,
+                    bound: 64,
+                },
+                "overloaded",
+                4,
+            ),
+            (
+                EngineError::CorpusFormat("unsupported corpus format version 9".into()),
+                "corpus_format",
+                2,
             ),
             (EngineError::Protocol("not an object".into()), "protocol", 2),
             (

@@ -64,6 +64,22 @@
 //! naturally; corrupt or truncated store files are treated as misses,
 //! never errors.
 //!
+//! # Binary corpora
+//!
+//! Corpora implement the [`Corpus`] trait, and come in three
+//! interchangeable forms: eager [`SessionCorpus`] values (JSON
+//! directories via [`SessionCorpus::from_dir`], synthetic via
+//! [`SyntheticSpec`]), and lazy [`LazyCorpus`] views over a columnar
+//! binary `.vcorp` file (module [`store`]). `veritas ingest DIR --out
+//! corpus.vcorp` converts a JSON session directory (appends + compacts
+//! with `--append`); opening a `.vcorp` verifies a whole-file checksum
+//! and reads only the session index — ids, offsets, and precomputed
+//! [`log_fingerprint`]s — so a daemon restart or a cold run parses zero
+//! JSON and re-hashes zero floats. Session logs decode on demand per
+//! work unit, digest-verified, into a bounded resident set, so corpora
+//! larger than RAM stream through a run. See the [`store`] module docs
+//! for the file layout and versioning rules.
+//!
 //! # Example: streaming consumption
 //!
 //! ```
@@ -108,11 +124,12 @@ pub(crate) mod plan;
 pub(crate) mod query;
 pub(crate) mod runner;
 pub mod service;
+pub mod store;
 
 pub use cache::{
     config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheSource, CacheStats,
 };
-pub use corpus::{CorpusSession, CorpusShard, SessionCorpus, SyntheticSpec};
+pub use corpus::{Corpus, CorpusSession, CorpusShard, LogRef, SessionCorpus, SyntheticSpec};
 pub use error::{EngineError, ErrorEnvelope, WireError};
 pub use persist::{DiskStore, PersistKey};
 pub use plan::{
@@ -127,4 +144,8 @@ pub use runner::{
 pub use service::{
     CorpusSource, MetricsEnvelope, MetricsSnapshot, Service, ServiceConfig, ServiceHandle,
     SummaryEnvelope, DEFAULT_ADMISSION_BOUND,
+};
+pub use store::{
+    append_dir, ingest_dir, CorpusMeta, IngestReport, LazyCorpus, VcorpError, VcorpWriter,
+    DEFAULT_MAX_RESIDENT, VCORP_VERSION,
 };

@@ -163,12 +163,14 @@ impl DiskStore {
 }
 
 /// Append helpers: everything is little-endian, floats as raw bit patterns
-/// (the reload is bit-exact by construction).
-fn put_u64(buf: &mut Vec<u8>, value: u64) {
+/// (the reload is bit-exact by construction). Shared with the corpus
+/// store ([`crate::store`]) so the two binary formats can never disagree
+/// on encoding primitives.
+pub(crate) fn put_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
-fn put_f64(buf: &mut Vec<u8>, value: f64) {
+pub(crate) fn put_f64(buf: &mut Vec<u8>, value: f64) {
     put_u64(buf, value.to_bits());
 }
 
@@ -231,21 +233,43 @@ fn fnv_checksum(bytes: &[u8]) -> u64 {
 
 /// A bounds-checked little-endian reader; every take returns `None` past
 /// the end instead of panicking, so arbitrary garbage decodes to a miss.
-struct Reader<'a> {
+/// Shared with the corpus store ([`crate::store`]).
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take_u64(&mut self) -> Option<u64> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Option<u64> {
         let end = self.pos.checked_add(8)?;
         let bytes = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
     }
 
-    fn take_f64(&mut self) -> Option<f64> {
+    pub(crate) fn take_f64(&mut self) -> Option<f64> {
         self.take_u64().map(f64::from_bits)
+    }
+
+    pub(crate) fn take_bytes(&mut self, count: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(count)?;
+        let bytes = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(bytes)
     }
 
     fn take_f64s(&mut self, count: usize) -> Option<Vec<f64>> {

@@ -26,8 +26,8 @@ use serde::{de, Deserialize, Deserializer, Serialize};
 use veritas::{Scenario, VeritasConfig};
 use veritas_player::QoeSummary;
 
-use crate::cache::{combine_fingerprints, config_fingerprint, log_fingerprint};
-use crate::corpus::SessionCorpus;
+use crate::cache::config_fingerprint;
+use crate::corpus::Corpus;
 use crate::error::EngineError;
 use crate::query::{object_fields, opt, reject_unknown, req, QueryKind, QuerySet, ScenarioSpec};
 use crate::runner::materialize_scenario;
@@ -496,7 +496,12 @@ impl QueryPlan {
     /// or ladder name) is *not* a compile error: it is recorded and
     /// replicated as a per-unit error at execution time, so one broken
     /// query cannot abort a batch.
-    pub fn compile(set: &QuerySet, corpus: &SessionCorpus) -> Result<Self, EngineError> {
+    ///
+    /// Compilation only touches corpus *metadata* (session count,
+    /// selectors, fingerprints, the deployed setting) — never a session
+    /// log — so compiling against a lazy [`crate::LazyCorpus`] decodes
+    /// nothing.
+    pub fn compile(set: &QuerySet, corpus: &dyn Corpus) -> Result<Self, EngineError> {
         if corpus.is_empty() {
             return Err(EngineError::EmptyCorpus);
         }
@@ -567,13 +572,7 @@ impl QueryPlan {
         Ok(Self {
             set: set.clone(),
             sessions: corpus.len(),
-            corpus_fingerprint: combine_fingerprints(
-                corpus
-                    .sessions
-                    .iter()
-                    .map(|s| log_fingerprint(&s.log))
-                    .chain(std::iter::once(corpus.deployed_fingerprint())),
-            ),
+            corpus_fingerprint: corpus.content_fingerprint(),
             configs,
             units,
             scenarios,
@@ -595,7 +594,7 @@ impl QueryPlan {
     /// Content fingerprint of the corpus the plan was compiled against:
     /// the per-session log fingerprints (in session order) folded with
     /// the deployed-setting fingerprint
-    /// ([`SessionCorpus::deployed_fingerprint`]).
+    /// ([`crate::SessionCorpus::deployed_fingerprint`]).
     /// [`crate::Engine::submit`] rejects a corpus whose content differs —
     /// the plan's scenarios and selectors are resolved against one
     /// specific corpus, and a same-sized impostor (different logs *or* a
@@ -633,7 +632,7 @@ impl QueryPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::SyntheticSpec;
+    use crate::corpus::{SessionCorpus, SyntheticSpec};
     use crate::query::Query;
 
     fn corpus() -> SessionCorpus {

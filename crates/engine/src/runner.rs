@@ -40,8 +40,8 @@ use veritas_media::QualityLadder;
 use veritas_player::QoeSummary;
 use veritas_trace::stats::trace_mae;
 
-use crate::cache::{infer_prefix, log_fingerprint, AbductionCache, CacheSource};
-use crate::corpus::SessionCorpus;
+use crate::cache::{infer_prefix, AbductionCache, CacheSource};
+use crate::corpus::{Corpus, SessionCorpus};
 use crate::error::EngineError;
 use crate::executor;
 use crate::persist::DiskStore;
@@ -649,8 +649,9 @@ impl Engine {
     /// Returns immediately with a [`RunHandle`]; workers push each
     /// completed [`QueryRecord`] through a bounded channel as it
     /// finishes. The corpus and plan are cloned into shared ownership —
-    /// callers that already hold `Arc`s should use
-    /// [`Engine::submit_shared`] to skip the copy.
+    /// callers that already hold `Arc`s (or a lazy [`crate::LazyCorpus`],
+    /// which must not be deep-copied) should use [`Engine::submit_shared`]
+    /// to skip the copy.
     pub fn submit(
         &self,
         corpus: &SessionCorpus,
@@ -659,7 +660,9 @@ impl Engine {
         self.submit_shared(Arc::new(corpus.clone()), Arc::new(plan.clone()))
     }
 
-    /// [`Engine::submit`] without the defensive copies.
+    /// [`Engine::submit`] without the defensive copies, over any
+    /// [`Corpus`] implementation — eager [`SessionCorpus`] values and
+    /// lazy [`crate::LazyCorpus`] views alike.
     ///
     /// Fails fast when the corpus is empty or its session count differs
     /// from the one the plan was compiled against (plans resolve session
@@ -667,7 +670,7 @@ impl Engine {
     /// are corpus-shaped).
     pub fn submit_shared(
         &self,
-        corpus: Arc<SessionCorpus>,
+        corpus: Arc<dyn Corpus>,
         plan: Arc<QueryPlan>,
     ) -> Result<RunHandle, EngineError> {
         self.submit_inner(corpus, plan, true)
@@ -679,7 +682,7 @@ impl Engine {
     /// compiles and submits the same borrow in one call.
     fn submit_inner(
         &self,
-        corpus: Arc<SessionCorpus>,
+        corpus: Arc<dyn Corpus>,
         plan: Arc<QueryPlan>,
         verify_content: bool,
     ) -> Result<RunHandle, EngineError> {
@@ -693,14 +696,14 @@ impl Engine {
                 corpus.len()
             )));
         }
-        // Per-session log fingerprints, hashed once here instead of once
-        // per cache lookup — and, on the public paths, folded with the
-        // deployed setting to verify this is the *same* corpus the plan's
-        // scenarios and selectors were resolved against.
-        let log_fps: Vec<u64> = corpus
-            .sessions
-            .iter()
-            .map(|s| log_fingerprint(&s.log))
+        // Per-session log fingerprints, resolved once here instead of
+        // once per cache lookup (a `.vcorp` corpus serves them from its
+        // index without touching a session block) — and, on the public
+        // paths, folded with the deployed setting to verify this is the
+        // *same* corpus the plan's scenarios and selectors were resolved
+        // against.
+        let log_fps: Vec<u64> = (0..corpus.len())
+            .map(|i| corpus.log_fingerprint(i))
             .collect();
         if verify_content {
             let content = crate::cache::combine_fingerprints(
@@ -972,7 +975,7 @@ impl Drop for RunHandle {
 /// Everything a worker needs to execute plan units: shared, immutable,
 /// and alive for as long as any worker runs.
 struct ExecCtx {
-    corpus: Arc<SessionCorpus>,
+    corpus: Arc<dyn Corpus>,
     plan: Arc<QueryPlan>,
     /// `None` when caching is disabled — units infer directly.
     cache: Option<Arc<AbductionCache>>,
@@ -993,7 +996,7 @@ impl ExecCtx {
         let unit = self.plan.units()[index];
         let query = &self.plan.set().queries[unit.query];
         let planned = &self.plan.configs()[unit.config];
-        let session_id = self.corpus.sessions[unit.session].id.clone();
+        let session_id = self.corpus.session_id(unit.session).to_string();
         let started = Instant::now();
         let answered = match query.kind {
             QueryKind::Abduction => self.answer_abduction(planned, unit.session),
@@ -1052,13 +1055,16 @@ impl ExecCtx {
         horizon: usize,
         planned: &PlannedConfig,
     ) -> Result<(Arc<Abduction>, Option<String>), String> {
-        let session = &self.corpus.sessions[si];
+        // A lazy corpus decodes (or returns the resident copy of) the
+        // session block here; a load failure surfaces as this unit's
+        // per-record error, like any other per-unit failure.
+        let log = self.corpus.log(si)?;
         match &self.cache {
             Some(cache) => {
                 let (abduction, source) = cache
                     .get_or_infer_keyed(
-                        &session.id,
-                        &session.log,
+                        self.corpus.session_id(si),
+                        &log,
                         self.log_fps[si],
                         horizon,
                         &planned.config,
@@ -1073,8 +1079,8 @@ impl ExecCtx {
                 Ok((abduction, Some(source.label().to_string())))
             }
             None => {
-                let abduction = infer_prefix(&session.log, horizon, &planned.config)
-                    .map_err(|e| e.to_string())?;
+                let abduction =
+                    infer_prefix(&log, horizon, &planned.config).map_err(|e| e.to_string())?;
                 Ok((Arc::new(abduction), Some("off".to_string())))
             }
         }
@@ -1085,11 +1091,11 @@ impl ExecCtx {
         planned: &PlannedConfig,
         si: usize,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let session = &self.corpus.sessions[si];
-        let (abduction, cache) = self.abduce(si, session.log.records.len(), planned)?;
+        let log = self.corpus.log(si)?;
+        let (abduction, cache) = self.abduce(si, log.records.len(), planned)?;
         let viterbi = abduction.viterbi_trace();
-        let mae = session.truth.as_ref().map(|truth| {
-            let horizon = session.log.session_duration_s.min(truth.duration());
+        let mae = self.corpus.truth(si).map(|truth| {
+            let horizon = log.session_duration_s.min(truth.duration());
             trace_mae(
                 &truth.with_duration(horizon),
                 &viterbi,
@@ -1098,7 +1104,7 @@ impl ExecCtx {
         });
         Ok((
             QueryOutput {
-                chunks: Some(session.log.records.len()),
+                chunks: Some(log.records.len()),
                 mean_capacity_mbps: Some(viterbi.mean()),
                 viterbi_mae_vs_truth_mbps: mae,
                 ..QueryOutput::default()
@@ -1113,7 +1119,7 @@ impl ExecCtx {
         query: &Query,
         si: usize,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let log = &self.corpus.sessions[si].log;
+        let log = self.corpus.log(si)?;
         let next_index = query.chunk_index.unwrap_or(log.records.len());
         if next_index == 0 || next_index > log.records.len() {
             return Err(format!(
@@ -1138,7 +1144,7 @@ impl ExecCtx {
             .expect("non-empty log");
         let prediction = InterventionalPredictor::new(planned.config).predict_from_abduction(
             &abduction,
-            log,
+            &log,
             next_index,
             candidate_size,
             &tcp_info,
@@ -1163,8 +1169,8 @@ impl ExecCtx {
         si: usize,
         scenario: &Scenario,
     ) -> Result<(Arc<Abduction>, RangePrediction, Option<String>), String> {
-        let session = &self.corpus.sessions[si];
-        let (abduction, cache) = self.abduce(si, session.log.records.len(), planned)?;
+        let horizon = self.corpus.log(si)?.records.len();
+        let (abduction, cache) = self.abduce(si, horizon, planned)?;
         let samples = query.samples.unwrap_or(planned.config.num_samples).max(1);
         let seed = query.seed.unwrap_or(planned.config.seed);
         let prediction = RangePrediction {
@@ -1184,13 +1190,13 @@ impl ExecCtx {
         si: usize,
         scenario: &Scenario,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let session = &self.corpus.sessions[si];
+        let log = self.corpus.log(si)?;
         let (_, prediction, cache) = self.replay_prediction(planned, query, si, scenario)?;
-        let baseline = scenario.replay(&baseline_trace(&session.log, planned.config.delta_s));
-        let oracle = session
-            .truth
-            .as_ref()
-            .map(|truth| scenario.replay(&oracle_trace(truth, &session.log)));
+        let baseline = scenario.replay(&baseline_trace(&log, planned.config.delta_s));
+        let oracle = self
+            .corpus
+            .truth(si)
+            .map(|truth| scenario.replay(&oracle_trace(truth, &log)));
         Ok((
             QueryOutput {
                 veritas: Some(RangeSummary::of(&prediction)),
@@ -1221,8 +1227,8 @@ impl ExecCtx {
             // of the metric across posterior samples (paper §4.3).
             (prediction.median_of(|q| spec.metric.of_qoe(q)), cache)
         } else {
-            let session = &self.corpus.sessions[si];
-            let (abduction, cache) = self.abduce(si, session.log.records.len(), planned)?;
+            let horizon = self.corpus.log(si)?.records.len();
+            let (abduction, cache) = self.abduce(si, horizon, planned)?;
             (abduction.viterbi_trace().mean(), cache)
         };
         Ok((
@@ -1269,18 +1275,15 @@ fn aggregate_record(query: &Query, fold: &AggregateFold) -> QueryRecord {
 /// starting from a corpus's deployed setting. Fails (instead of panicking)
 /// on unknown ABR or ladder names and invalid buffer sizes, so bad query
 /// files surface as per-query errors.
-pub fn materialize_scenario(
-    corpus: &SessionCorpus,
-    spec: &ScenarioSpec,
-) -> Result<Scenario, String> {
+pub fn materialize_scenario(corpus: &dyn Corpus, spec: &ScenarioSpec) -> Result<Scenario, String> {
     let abr = spec
         .abr
         .clone()
-        .unwrap_or_else(|| corpus.deployed_abr.clone());
+        .unwrap_or_else(|| corpus.deployed_abr().to_string());
     if abr_by_name(&abr).is_none() {
         return Err(format!("unknown ABR algorithm name: {abr}"));
     }
-    let mut player = corpus.player;
+    let mut player = *corpus.player();
     if let Some(buffer) = spec.buffer_capacity_s {
         if !(buffer.is_finite() && buffer > 0.0) {
             return Err(format!("buffer_capacity_s must be positive, got {buffer}"));
@@ -1288,10 +1291,12 @@ pub fn materialize_scenario(
         player = player.with_buffer_capacity(buffer);
     }
     let asset = match spec.ladder.as_deref() {
-        None => corpus.asset.clone(),
-        Some("paper_default" | "default") => corpus.asset.reencoded(QualityLadder::paper_default()),
+        None => corpus.asset().clone(),
+        Some("paper_default" | "default") => {
+            corpus.asset().reencoded(QualityLadder::paper_default())
+        }
         Some("higher" | "paper_higher" | "paper_higher_qualities") => corpus
-            .asset
+            .asset()
             .reencoded(QualityLadder::paper_higher_qualities()),
         Some(other) => {
             return Err(format!(

@@ -1,13 +1,18 @@
 //! `veritasd`: the engine as a long-lived service.
 //!
-//! One resident [`SessionCorpus`] and one warm [`AbductionCache`]
-//! (memory + optional disk tier) serve every connection, so the corpus
-//! is loaded once and each posterior is inferred at most once across
-//! *all* clients — the amortization a per-query CLI invocation can never
-//! reach. The service is plain `std::net` TCP speaking newline-delimited
-//! JSON; it rides the same `compile → submit → consume` pipeline as the
-//! library, so what a client receives over the wire is exactly what
-//! [`Engine::run`] would have produced in-process.
+//! One resident corpus and one warm [`AbductionCache`] (memory +
+//! optional disk tier) serve every connection, so the corpus is loaded
+//! once and each posterior is inferred at most once across *all* clients
+//! — the amortization a per-query CLI invocation can never reach. The
+//! corpus may be an eager [`SessionCorpus`] (JSON directory or
+//! synthetic) or a lazy [`crate::LazyCorpus`] over a `.vcorp` file
+//! ([`CorpusSource`]); with the latter, a daemon restart opens the file
+//! and reads its index — no JSON parsing, no float re-hashing — so
+//! restart time is decoupled from corpus size. The service is plain
+//! `std::net` TCP speaking newline-delimited JSON; it rides the same
+//! `compile → submit → consume` pipeline as the library, so what a
+//! client receives over the wire is exactly what [`Engine::run`] would
+//! have produced in-process.
 //!
 //! # Protocol
 //!
@@ -30,7 +35,7 @@
 //!   [`crate::ErrorEnvelope`]); the connection stays open — line framing
 //!   survives a bad request.
 //!
-//! # Admission control
+//! # Admission control & connection hygiene
 //!
 //! Concurrent plans are bounded ([`EngineBuilder::admission`], default
 //! [`DEFAULT_ADMISSION_BOUND`]): a request past the bound is shed
@@ -38,28 +43,43 @@
 //! of queueing unboundedly. Within an admitted plan, the engine's
 //! bounded record channel applies backpressure end to end: a slow client
 //! stalls only its own workers, never another connection's.
+//!
+//! Two more knobs bound what misbehaving clients can pin:
+//!
+//! * `--max-connections N` caps concurrently open connections; an accept
+//!   past the cap is answered with the same typed `"overloaded"`
+//!   envelope (distinguishable by its detail text) and closed.
+//! * `--io-timeout SECS` (default [`DEFAULT_IO_TIMEOUT_S`]) arms
+//!   per-connection read *and* write deadlines, so a client that stalls
+//!   mid-line — or stops draining its record feed — frees its thread
+//!   instead of holding it forever. `0` disables the deadlines.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
-use crate::corpus::{SessionCorpus, SyntheticSpec};
+use crate::corpus::{Corpus, SessionCorpus, SyntheticSpec};
 use crate::error::EngineError;
 use crate::plan::{percentile_u64, QueryPlan};
 use crate::query::{object_fields, opt, reject_unknown, QuerySet};
 use crate::runner::{Engine, QueryLatency, QueryRecord, RunSummary, AGGREGATE_SESSION};
+use crate::store::LazyCorpus;
 
 /// Concurrent plans admitted by default; past it requests are shed with
 /// a typed `"overloaded"` response.
 pub const DEFAULT_ADMISSION_BOUND: usize = 4;
+
+/// Default per-connection read/write deadline in seconds
+/// (`--io-timeout`); `0` disables the deadlines.
+pub const DEFAULT_IO_TIMEOUT_S: u64 = 30;
 
 /// Per-query unit latencies retained for the metrics percentiles — a
 /// bounded sliding window so a long-lived daemon's memory stays flat.
@@ -70,6 +90,10 @@ const LATENCY_WINDOW: usize = 4096;
 pub enum CorpusSource {
     /// A directory of per-session JSON logs ([`SessionCorpus::from_dir`]).
     Dir(PathBuf),
+    /// A columnar binary `.vcorp` corpus, served lazily
+    /// ([`LazyCorpus::open`]): the daemon keeps only the session index
+    /// resident and decodes logs on demand per work unit.
+    Vcorp(PathBuf),
     /// A synthetic corpus ([`SyntheticSpec`]), for demos and smoke tests.
     Synthetic {
         /// Number of sessions to synthesize.
@@ -80,16 +104,19 @@ pub enum CorpusSource {
 }
 
 impl CorpusSource {
-    /// Loads (or synthesizes) the corpus.
-    pub fn load(&self) -> Result<SessionCorpus, EngineError> {
+    /// Loads (or synthesizes, or lazily opens) the corpus.
+    pub fn load(&self) -> Result<Arc<dyn Corpus>, EngineError> {
         match self {
-            CorpusSource::Dir(dir) => SessionCorpus::from_dir(dir),
-            CorpusSource::Synthetic { sessions, seed } => Ok(SyntheticSpec {
-                sessions: *sessions,
-                seed: *seed,
-                ..SyntheticSpec::default()
-            }
-            .build()),
+            CorpusSource::Dir(dir) => Ok(Arc::new(SessionCorpus::from_dir(dir)?)),
+            CorpusSource::Vcorp(path) => Ok(Arc::new(LazyCorpus::open(path)?)),
+            CorpusSource::Synthetic { sessions, seed } => Ok(Arc::new(
+                SyntheticSpec {
+                    sessions: *sessions,
+                    seed: *seed,
+                    ..SyntheticSpec::default()
+                }
+                .build(),
+            )),
         }
     }
 }
@@ -112,6 +139,11 @@ pub struct ServiceConfig {
     pub cache_dir: Option<PathBuf>,
     /// Concurrent-plan admission bound.
     pub admission: usize,
+    /// Per-connection read/write deadline in seconds (`0` disables).
+    pub io_timeout_s: u64,
+    /// Concurrently open connections admitted (`0` = unbounded); excess
+    /// accepts are shed with a typed `"overloaded"` envelope.
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +158,8 @@ impl Default for ServiceConfig {
             shards: None,
             cache_dir: None,
             admission: DEFAULT_ADMISSION_BOUND,
+            io_timeout_s: DEFAULT_IO_TIMEOUT_S,
+            max_connections: 0,
         }
     }
 }
@@ -135,12 +169,17 @@ impl ServiceConfig {
     /// binary and the `veritas serve` subcommand):
     ///
     /// ```text
-    /// [--addr HOST:PORT] [--corpus DIR | --synthetic N] [--seed S]
+    /// [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N] [--seed S]
     /// [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
+    /// [--io-timeout SECS] [--max-connections N]
     /// ```
+    ///
+    /// A `--corpus` path ending in `.vcorp` is served lazily from the
+    /// binary store ([`CorpusSource::Vcorp`]); anything else is a JSON
+    /// session directory.
     pub fn parse(args: &[String]) -> Result<Self, EngineError> {
         let mut config = Self::default();
-        let mut corpus_dir: Option<PathBuf> = None;
+        let mut corpus_path: Option<PathBuf> = None;
         let mut synthetic: Option<usize> = None;
         let mut seed: u64 = 7;
         let mut iter = args.iter();
@@ -149,7 +188,7 @@ impl ServiceConfig {
             let mut value_for = |flag: &str| iter.next().cloned().ok_or_else(|| usage(flag));
             match arg.as_str() {
                 "--addr" => config.addr = value_for("--addr")?,
-                "--corpus" => corpus_dir = Some(PathBuf::from(value_for("--corpus")?)),
+                "--corpus" => corpus_path = Some(PathBuf::from(value_for("--corpus")?)),
                 "--synthetic" => {
                     synthetic = Some(parse_num(&value_for("--synthetic")?, "--synthetic")?)
                 }
@@ -162,19 +201,30 @@ impl ServiceConfig {
                 "--admission" => {
                     config.admission = parse_num(&value_for("--admission")?, "--admission")?
                 }
+                "--io-timeout" => {
+                    config.io_timeout_s = parse_num(&value_for("--io-timeout")?, "--io-timeout")?
+                }
+                "--max-connections" => {
+                    config.max_connections =
+                        parse_num(&value_for("--max-connections")?, "--max-connections")?
+                }
                 other => {
                     return Err(EngineError::Config(format!(
                         "unknown flag `{other}` (accepted: --addr, --corpus, --synthetic, \
-                         --seed, --threads, --shards, --cache-dir, --admission)"
+                         --seed, --threads, --shards, --cache-dir, --admission, --io-timeout, \
+                         --max-connections)"
                     )))
                 }
             }
         }
-        config.corpus = match (corpus_dir, synthetic) {
+        config.corpus = match (corpus_path, synthetic) {
             (Some(_), Some(_)) => {
                 return Err(EngineError::Config(
                     "--corpus and --synthetic are mutually exclusive".to_string(),
                 ))
+            }
+            (Some(path), None) if path.extension().is_some_and(|ext| ext == "vcorp") => {
+                CorpusSource::Vcorp(path)
             }
             (Some(dir), None) => CorpusSource::Dir(dir),
             (None, sessions) => CorpusSource::Synthetic {
@@ -237,6 +287,10 @@ pub struct MetricsSnapshot {
     pub admission_bound: Option<usize>,
     /// Connections accepted so far.
     pub connections: u64,
+    /// Connections currently open.
+    pub connections_active: usize,
+    /// Accepts shed by the `--max-connections` bound.
+    pub connections_shed: u64,
     /// Plans that ran to completion (summary written).
     pub plans_served: u64,
     /// Plans currently holding an admission permit.
@@ -256,10 +310,16 @@ pub struct MetricsSnapshot {
 /// The shared state every connection thread sees.
 struct ServiceState {
     engine: Engine,
-    corpus: Arc<SessionCorpus>,
+    corpus: Arc<dyn Corpus>,
     started: Instant,
     shutdown: AtomicBool,
+    /// Per-connection read/write deadline (`None`: no deadline).
+    io_timeout: Option<Duration>,
+    /// Concurrently open connections admitted (`0` = unbounded).
+    max_connections: usize,
     connections: AtomicU64,
+    connections_active: AtomicUsize,
+    connections_shed: AtomicU64,
     plans_served: AtomicU64,
     plans_shed: AtomicU64,
     records_streamed: AtomicU64,
@@ -308,6 +368,8 @@ impl ServiceState {
             sessions: self.corpus.len(),
             admission_bound: self.engine.admission_bound(),
             connections: self.connections.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
             plans_served: self.plans_served.load(Ordering::Relaxed),
             plans_active: self.engine.active_plans(),
             plans_shed: self.plans_shed.load(Ordering::Relaxed),
@@ -364,7 +426,7 @@ impl ServiceState {
                 return self.refuse(writer, &error);
             }
         };
-        let plan = match QueryPlan::compile(&set, &self.corpus) {
+        let plan = match QueryPlan::compile(&set, self.corpus.as_ref()) {
             Ok(plan) => Arc::new(plan),
             Err(error) => return self.refuse(writer, &error),
         };
@@ -417,7 +479,7 @@ pub struct Service {
 impl Service {
     /// Loads the corpus, builds the engine, and binds the listener.
     pub fn bind(config: ServiceConfig) -> Result<Self, EngineError> {
-        let corpus = Arc::new(config.corpus.load()?);
+        let corpus = config.corpus.load()?;
         if corpus.is_empty() {
             return Err(EngineError::EmptyCorpus);
         }
@@ -440,7 +502,12 @@ impl Service {
                 corpus,
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
+                io_timeout: (config.io_timeout_s > 0)
+                    .then(|| Duration::from_secs(config.io_timeout_s)),
+                max_connections: config.max_connections,
                 connections: AtomicU64::new(0),
+                connections_active: AtomicUsize::new(0),
+                connections_shed: AtomicU64::new(0),
                 plans_served: AtomicU64::new(0),
                 plans_shed: AtomicU64::new(0),
                 records_streamed: AtomicU64::new(0),
@@ -464,15 +531,39 @@ impl Service {
     /// Serves connections on the current thread until shut down (via a
     /// [`ServiceHandle`]) or the listener dies. Each connection gets its
     /// own thread; requests within a connection are answered in order.
+    /// Accepts past the `--max-connections` bound are answered with one
+    /// typed `"overloaded"` envelope and closed.
     pub fn run(self) -> Result<(), EngineError> {
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
+            let Ok(mut stream) = stream else { continue };
+            let active = self.state.connections_active.load(Ordering::Acquire);
+            if self.state.max_connections > 0 && active >= self.state.max_connections {
+                self.state.connections_shed.fetch_add(1, Ordering::Relaxed);
+                let error = EngineError::ConnectionsExhausted {
+                    active,
+                    bound: self.state.max_connections,
+                };
+                let _ = writeln!(stream, "{}", error.wire_json());
+                continue;
+            }
             self.state.connections.fetch_add(1, Ordering::Relaxed);
+            self.state.connections_active.fetch_add(1, Ordering::AcqRel);
             let state = Arc::clone(&self.state);
-            std::thread::spawn(move || handle_connection(&state, stream));
+            std::thread::spawn(move || {
+                // The guard decrements even if the handler panics, so a
+                // poisoned connection never wedges the accept gate.
+                struct ActiveGuard(Arc<ServiceState>);
+                impl Drop for ActiveGuard {
+                    fn drop(&mut self) {
+                        self.0.connections_active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                let _guard = ActiveGuard(Arc::clone(&state));
+                handle_connection(&state, stream);
+            });
         }
         Ok(())
     }
@@ -495,6 +586,10 @@ fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
     // Flushed record lines should hit the wire immediately — a streaming
     // client is latency-sensitive and the lines are small.
     let _ = stream.set_nodelay(true);
+    // Deadlines on both halves: a client that stalls mid-request or
+    // stops draining its record feed times out and frees this thread.
+    let _ = stream.set_read_timeout(state.io_timeout);
+    let _ = stream.set_write_timeout(state.io_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -595,6 +690,10 @@ mod tests {
             "/tmp/vcache",
             "--admission",
             "8",
+            "--io-timeout",
+            "5",
+            "--max-connections",
+            "64",
         ]))
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -612,6 +711,16 @@ mod tests {
             Some(std::path::Path::new("/tmp/vcache"))
         );
         assert_eq!(config.admission, 8);
+        assert_eq!(config.io_timeout_s, 5);
+        assert_eq!(config.max_connections, 64);
+    }
+
+    #[test]
+    fn corpus_paths_dispatch_on_the_vcorp_extension() {
+        let binary = ServiceConfig::parse(&args(&["--corpus", "traces/corpus.vcorp"])).unwrap();
+        assert!(matches!(binary.corpus, CorpusSource::Vcorp(_)));
+        let json = ServiceConfig::parse(&args(&["--corpus", "traces/sessions"])).unwrap();
+        assert!(matches!(json.corpus, CorpusSource::Dir(_)));
     }
 
     #[test]
@@ -621,6 +730,8 @@ mod tests {
             &["--bogus"][..],
             &["--threads"][..],
             &["--admission", "many"][..],
+            &["--io-timeout", "soon"][..],
+            &["--max-connections"][..],
         ] {
             assert!(matches!(
                 ServiceConfig::parse(&args(bad)),

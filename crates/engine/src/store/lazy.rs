@@ -1,0 +1,220 @@
+//! [`LazyCorpus`]: a `.vcorp`-backed [`Corpus`] that decodes session
+//! logs on demand and keeps only a bounded resident set in memory.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use veritas_media::{QualityLadder, VbrParams, VideoAsset};
+use veritas_player::{PlayerConfig, SessionLog};
+use veritas_trace::BandwidthTrace;
+
+use super::{decode_block, open_parts, CorpusMeta, IndexEntry, VcorpError};
+use crate::corpus::{Corpus, LogRef};
+
+/// Default ceiling on concurrently resident decoded session logs.
+pub const DEFAULT_MAX_RESIDENT: usize = 256;
+
+#[derive(Debug, Default)]
+struct Resident {
+    map: HashMap<usize, Arc<SessionLog>>,
+    /// Decode order, for FIFO eviction.
+    order: VecDeque<usize>,
+}
+
+/// A corpus served lazily from a `.vcorp` file.
+///
+/// [`LazyCorpus::open`] verifies the whole file (checksum + index
+/// bounds) but decodes *nothing*: it retains the header and the session
+/// index — ids, offsets, and precomputed fingerprints — so open time is
+/// independent of corpus size beyond the linear checksum scan, and
+/// [`Corpus::log_fingerprint`] / [`Corpus::content_fingerprint`] never
+/// touch a session block. Logs are decoded (and digest-verified) on
+/// first access per session and cached in a FIFO resident set bounded by
+/// [`LazyCorpus::with_max_resident`], so a streaming run over a corpus
+/// larger than RAM holds only a window of it.
+///
+/// The deployed setting (asset, player, ABR) is reconstructed from the
+/// header exactly as [`crate::SessionCorpus::from_dir`] reconstructs it
+/// from the first JSON log, so plans, cache keys, and records are
+/// interchangeable between a directory and its ingested `.vcorp`.
+#[derive(Debug)]
+pub struct LazyCorpus {
+    path: PathBuf,
+    file: Mutex<File>,
+    meta: CorpusMeta,
+    asset: VideoAsset,
+    player: PlayerConfig,
+    index: Vec<IndexEntry>,
+    resident: Mutex<Resident>,
+    max_resident: usize,
+    peak_resident: AtomicUsize,
+}
+
+impl LazyCorpus {
+    /// Opens and verifies `path` (see [`super::open_parts`]), retaining
+    /// only the header and index in memory.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, VcorpError> {
+        let path = path.as_ref();
+        let parts = open_parts(path)?;
+        let asset = VideoAsset::generate(
+            QualityLadder::paper_default(),
+            parts.meta.video_duration_s,
+            parts.meta.chunk_duration_s,
+            VbrParams::default(),
+            parts.meta.asset_seed,
+        );
+        let player =
+            PlayerConfig::paper_default().with_buffer_capacity(parts.meta.buffer_capacity_s);
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: Mutex::new(parts.file),
+            meta: parts.meta,
+            asset,
+            player,
+            index: parts.index,
+            resident: Mutex::new(Resident::default()),
+            max_resident: DEFAULT_MAX_RESIDENT,
+            peak_resident: AtomicUsize::new(0),
+        })
+    }
+
+    /// Caps the resident decoded-log set at `max` sessions (at least 1;
+    /// default [`DEFAULT_MAX_RESIDENT`]).
+    pub fn with_max_resident(mut self, max: usize) -> Self {
+        self.max_resident = max.max(1);
+        self
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The corpus header (deployed setting).
+    pub fn meta(&self) -> &CorpusMeta {
+        &self.meta
+    }
+
+    /// Number of sessions in the index.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the corpus has no sessions (never true for a successfully
+    /// opened file — the codec rejects empty corpora).
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The id of session `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn session_id_at(&self, index: usize) -> &str {
+        &self.index[index].id
+    }
+
+    /// The configured resident-set bound.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Decoded logs currently resident.
+    pub fn resident_sessions(&self) -> usize {
+        self.resident.lock().expect("resident lock").map.len()
+    }
+
+    /// High-water mark of concurrently resident decoded logs — the
+    /// observable bound on lazy streaming memory (reported by
+    /// `veritas bench --load-sessions`).
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident.load(Ordering::Relaxed)
+    }
+
+    /// Loads (or returns the resident copy of) session `index`,
+    /// verifying the block's column digests and log fingerprint on
+    /// decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn load_log(&self, index: usize) -> Result<Arc<SessionLog>, VcorpError> {
+        if let Some(log) = self.resident.lock().expect("resident lock").map.get(&index) {
+            return Ok(Arc::clone(log));
+        }
+        let entry = &self.index[index];
+        let bytes = {
+            let mut file = self.file.lock().expect("corpus file lock");
+            file.seek(SeekFrom::Start(entry.offset))?;
+            let mut bytes = vec![0u8; entry.block_len as usize];
+            file.read_exact(&mut bytes)?;
+            bytes
+        };
+        let log = Arc::new(decode_block(&bytes, entry)?);
+        let mut resident = self.resident.lock().expect("resident lock");
+        if let Some(raced) = resident.map.get(&index) {
+            // Another thread decoded the same session concurrently; keep
+            // its copy so the FIFO order stays consistent.
+            return Ok(Arc::clone(raced));
+        }
+        while resident.map.len() >= self.max_resident {
+            match resident.order.pop_front() {
+                Some(evict) => {
+                    resident.map.remove(&evict);
+                }
+                None => break,
+            }
+        }
+        resident.map.insert(index, Arc::clone(&log));
+        resident.order.push_back(index);
+        let now = resident.map.len();
+        self.peak_resident.fetch_max(now, Ordering::Relaxed);
+        Ok(log)
+    }
+}
+
+impl Corpus for LazyCorpus {
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn session_id(&self, index: usize) -> &str {
+        &self.index[index].id
+    }
+
+    fn log(&self, index: usize) -> Result<LogRef<'_>, String> {
+        self.load_log(index)
+            .map(LogRef::Shared)
+            .map_err(|e| e.to_string())
+    }
+
+    fn log_fingerprint(&self, index: usize) -> u64 {
+        // Served from the index: no block decode, no float re-hash. The
+        // stored value is cross-checked against a recompute whenever the
+        // block itself is decoded (see `decode_block`).
+        self.index[index].log_fingerprint
+    }
+
+    fn truth(&self, _index: usize) -> Option<&BandwidthTrace> {
+        // Ground truth is never stored: `.vcorp` holds recorded logs,
+        // exactly like a JSON session directory.
+        None
+    }
+
+    fn asset(&self) -> &VideoAsset {
+        &self.asset
+    }
+
+    fn player(&self) -> &PlayerConfig {
+        &self.player
+    }
+
+    fn deployed_abr(&self) -> &str {
+        &self.meta.deployed_abr
+    }
+}

@@ -1,0 +1,350 @@
+//! Codec tests: bit-exact round-trips over arbitrary bit patterns,
+//! rejection of every truncation and byte flip at open, typed failure on
+//! future schema versions, lazy-load bounds, and cross-source equivalence
+//! with [`SessionCorpus::from_dir`].
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use super::*;
+use crate::corpus::{Corpus, SessionCorpus};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("veritas_store_test_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// xorshift64* over the full u64 space, reinterpreted as f64 bits:
+/// covers NaN payloads, ±0, subnormals, ±inf (same generator as the
+/// persist codec tests).
+fn bit_source(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        f64::from_bits(state.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+}
+
+/// A source of ordinary finite values, for logs that must survive a JSON
+/// round-trip (serde_json cannot carry NaN/inf).
+fn finite_source(start: f64) -> impl FnMut() -> f64 {
+    let mut counter = start;
+    move || {
+        counter += 1.25;
+        counter
+    }
+}
+
+fn synth_log(abr_name: &str, chunks: usize, values: &mut impl FnMut() -> f64) -> SessionLog {
+    let records = (0..chunks)
+        .map(|i| ChunkRecord {
+            index: i,
+            quality: i % 5,
+            size_bytes: values(),
+            ssim: values(),
+            wait_before_request_s: values(),
+            start_time_s: values(),
+            end_time_s: values(),
+            download_time_s: values(),
+            throughput_mbps: values(),
+            buffer_at_request_s: values(),
+            rebuffer_s: values(),
+            tcp_info: TcpInfo {
+                cwnd_segments: values(),
+                ssthresh_segments: values(),
+                rto_s: values(),
+                srtt_s: values(),
+                min_rtt_s: values(),
+                last_send_gap_s: values(),
+            },
+            gtbw_at_request_mbps: values(),
+        })
+        .collect();
+    SessionLog {
+        abr_name: abr_name.to_string(),
+        buffer_capacity_s: values(),
+        chunk_duration_s: values(),
+        records,
+        startup_delay_s: values(),
+        total_rebuffer_s: values(),
+        session_duration_s: values(),
+    }
+}
+
+/// A header with sane geometry: the asset regenerated at open must be
+/// small regardless of what bit patterns the session blocks carry.
+fn meta() -> CorpusMeta {
+    CorpusMeta {
+        deployed_abr: "mpc".to_string(),
+        buffer_capacity_s: 25.0,
+        chunk_duration_s: 4.0,
+        video_duration_s: 40.0,
+        asset_seed: 7,
+    }
+}
+
+/// Every numeric field of a log as raw bits, in a fixed order — the
+/// bit-exactness witness. Reuses [`F64_COLUMNS`] so a column added there
+/// is automatically compared here.
+fn log_bits(log: &SessionLog) -> Vec<u64> {
+    let mut bits = vec![
+        log.buffer_capacity_s.to_bits(),
+        log.chunk_duration_s.to_bits(),
+        log.startup_delay_s.to_bits(),
+        log.total_rebuffer_s.to_bits(),
+        log.session_duration_s.to_bits(),
+        log.records.len() as u64,
+    ];
+    for record in &log.records {
+        bits.push(record.index as u64);
+        bits.push(record.quality as u64);
+        for (_, get) in &F64_COLUMNS {
+            bits.push(get(record).to_bits());
+        }
+    }
+    bits
+}
+
+/// Writes a small, fixed, valid corpus and returns its bytes.
+fn valid_corpus_bytes(dir: &Path) -> Vec<u8> {
+    let path = dir.join("valid.vcorp");
+    let mut values = finite_source(0.0);
+    let mut writer = VcorpWriter::create(&path, &meta()).expect("create writer");
+    for i in 0..3 {
+        let log = synth_log("mpc", 4, &mut values);
+        writer.append(&format!("s{i}"), &log).expect("append");
+    }
+    writer.finish().expect("finish");
+    fs::read(&path).expect("read corpus back")
+}
+
+proptest! {
+    /// Arbitrary corpora round-trip *bit patterns*, not values: NaN
+    /// payloads, negative zero, subnormals, and infinities all reload
+    /// bit-identical through the lazy reader, and the index serves the
+    /// same fingerprints a recompute would.
+    #[test]
+    fn corpora_round_trip_bit_exactly(
+        seed in any::<u64>(),
+        sessions in 1usize..5,
+        chunks in 1usize..10,
+    ) {
+        let dir = temp_dir("round_trip");
+        let path = dir.join("corpus.vcorp");
+        let mut values = bit_source(seed);
+        let logs: Vec<SessionLog> = (0..sessions)
+            .map(|i| synth_log(&format!("abr-{}", "x".repeat(i % 9)), chunks, &mut values))
+            .collect();
+        let mut writer = VcorpWriter::create(&path, &meta()).expect("create writer");
+        for (i, log) in logs.iter().enumerate() {
+            writer.append(&format!("s{i}"), log).expect("append");
+        }
+        let bytes = writer.finish().expect("finish");
+        prop_assert_eq!(fs::metadata(&path).expect("stat").len(), bytes);
+
+        let corpus = LazyCorpus::open(&path).expect("open a just-written corpus");
+        prop_assert_eq!(corpus.len(), logs.len());
+        prop_assert_eq!(corpus.meta(), &meta());
+        for (i, log) in logs.iter().enumerate() {
+            prop_assert_eq!(corpus.session_id_at(i), format!("s{i}").as_str());
+            prop_assert_eq!(Corpus::log_fingerprint(&corpus, i), log_fingerprint(log));
+            let loaded = corpus.load_log(i).expect("decode a just-written block");
+            prop_assert_eq!(&loaded.abr_name, &log.abr_name);
+            prop_assert_eq!(log_bits(&loaded), log_bits(log));
+        }
+    }
+
+    /// Any prefix truncation is rejected at open as [`VcorpError::Corrupt`]
+    /// — never a silently partial corpus, and never a misleading
+    /// version error (the version word survives any cut past 16 bytes).
+    #[test]
+    fn truncated_corpora_are_rejected_at_open(cut in 0usize..4096) {
+        let dir = temp_dir("truncation");
+        let bytes = valid_corpus_bytes(&dir);
+        let cut = cut % bytes.len();
+        let path = dir.join("truncated.vcorp");
+        fs::write(&path, &bytes[..cut]).expect("write truncated file");
+        let err = LazyCorpus::open(&path).expect_err("a truncated corpus must not open");
+        prop_assert!(
+            matches!(err, VcorpError::Corrupt(_)),
+            "expected Corrupt, got: {err}"
+        );
+    }
+
+    /// Flipping any single byte is caught at open: the magic and version
+    /// are compared directly, the trailing checksum covers everything in
+    /// between, and FNV-1a's odd multiplier makes a one-byte change
+    /// always reach the final hash.
+    #[test]
+    fn corrupted_corpora_are_rejected_at_open(position in 0usize..4096, flip in 1u8..=255) {
+        let dir = temp_dir("byte_flip");
+        let mut bytes = valid_corpus_bytes(&dir);
+        let position = position % bytes.len();
+        bytes[position] ^= flip;
+        let path = dir.join("flipped.vcorp");
+        fs::write(&path, &bytes).expect("write corrupted file");
+        let err = LazyCorpus::open(&path).expect_err("a corrupted corpus must not open");
+        prop_assert!(
+            matches!(
+                err,
+                VcorpError::Corrupt(_) | VcorpError::UnsupportedVersion { .. }
+            ),
+            "expected a format error, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn future_schema_versions_fail_typed_before_the_checksum() {
+    let dir = temp_dir("future_version");
+    let mut bytes = valid_corpus_bytes(&dir);
+    // Patch only the version word: the checksum is now also wrong, but
+    // the version must be checked first so the error is actionable.
+    bytes[8..16].copy_from_slice(&(VCORP_VERSION + 1).to_le_bytes());
+    let path = dir.join("future.vcorp");
+    fs::write(&path, &bytes).expect("write future-version file");
+    let err = LazyCorpus::open(&path).expect_err("a future-version corpus must not open");
+    match err {
+        VcorpError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, VCORP_VERSION + 1);
+            assert_eq!(supported, VCORP_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got: {other}"),
+    }
+}
+
+#[test]
+fn lazy_loading_bounds_the_resident_set() {
+    let dir = temp_dir("resident_bound");
+    let path = dir.join("corpus.vcorp");
+    let mut values = bit_source(42);
+    let logs: Vec<SessionLog> = (0..5).map(|_| synth_log("mpc", 3, &mut values)).collect();
+    let mut writer = VcorpWriter::create(&path, &meta()).expect("create writer");
+    for (i, log) in logs.iter().enumerate() {
+        writer.append(&format!("s{i}"), log).expect("append");
+    }
+    writer.finish().expect("finish");
+
+    let corpus = LazyCorpus::open(&path).expect("open").with_max_resident(2);
+    assert_eq!(corpus.resident_sessions(), 0, "open must decode nothing");
+    for i in 0..corpus.len() {
+        corpus.load_log(i).expect("load");
+        assert!(corpus.resident_sessions() <= 2);
+    }
+    assert_eq!(corpus.peak_resident(), 2);
+    // An evicted session reloads bit-identically.
+    let reloaded = corpus.load_log(0).expect("reload evicted session");
+    assert_eq!(log_bits(&reloaded), log_bits(&logs[0]));
+}
+
+#[test]
+fn empty_corpora_are_refused_at_write_and_leave_no_debris() {
+    let dir = temp_dir("empty_refusal");
+    let writer = VcorpWriter::create(dir.join("empty.vcorp"), &meta()).expect("create writer");
+    let err = writer
+        .finish()
+        .expect_err("an empty corpus must be refused");
+    assert!(matches!(err, VcorpError::Corrupt(_)));
+    let leftovers: Vec<_> = fs::read_dir(&dir).expect("read dir").collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+}
+
+#[test]
+fn duplicate_session_ids_are_refused_at_append() {
+    let dir = temp_dir("duplicate_id");
+    let mut values = finite_source(0.0);
+    let log = synth_log("mpc", 2, &mut values);
+    let mut writer = VcorpWriter::create(dir.join("dup.vcorp"), &meta()).expect("create writer");
+    writer.append("s0", &log).expect("first append");
+    let err = writer
+        .append("s0", &log)
+        .expect_err("a duplicate id must be refused");
+    assert!(matches!(err, VcorpError::Corrupt(_)));
+}
+
+#[test]
+fn ingested_corpus_is_fingerprint_and_record_identical_to_its_directory() {
+    let dir = temp_dir("cross_source");
+    let json_dir = dir.join("logs");
+    fs::create_dir_all(&json_dir).expect("create json dir");
+    let mut values = finite_source(0.0);
+    for i in 0..3 {
+        let log = synth_log("mpc", 4, &mut values);
+        fs::write(json_dir.join(format!("session-{i}.json")), log.to_json())
+            .expect("write session json");
+    }
+
+    let eager = SessionCorpus::from_dir(&json_dir).expect("load directory");
+    let out = dir.join("corpus.vcorp");
+    let report = ingest_dir(&json_dir, &out).expect("ingest");
+    assert_eq!(report.sessions, 3);
+    assert_eq!(report.carried_over, 0);
+    assert_eq!(report.replaced, 0);
+    let lazy = LazyCorpus::open(&out).expect("open ingested corpus");
+
+    // Same identity end to end: deployed setting, per-session log
+    // fingerprints, and the whole-corpus content fingerprint — so plans
+    // and cache entries are interchangeable between the two sources.
+    assert_eq!(lazy.deployed_fingerprint(), eager.deployed_fingerprint());
+    assert_eq!(
+        Corpus::content_fingerprint(&lazy),
+        Corpus::content_fingerprint(&eager)
+    );
+    assert_eq!(Corpus::len(&lazy), eager.len());
+    for i in 0..eager.len() {
+        assert_eq!(Corpus::session_id(&lazy, i), eager.sessions[i].id.as_str());
+        assert_eq!(
+            Corpus::log_fingerprint(&lazy, i),
+            Corpus::log_fingerprint(&eager, i)
+        );
+        let loaded = lazy.load_log(i).expect("decode");
+        assert_eq!(log_bits(&loaded), log_bits(&eager.sessions[i].log));
+    }
+}
+
+#[test]
+fn append_merges_replaces_and_keeps_natural_order() {
+    let dir = temp_dir("append_merge");
+    let out = dir.join("corpus.vcorp");
+    let mut values = finite_source(0.0);
+
+    let dir_a = dir.join("a");
+    fs::create_dir_all(&dir_a).expect("create dir a");
+    let s1 = synth_log("mpc", 3, &mut values);
+    let s3 = synth_log("mpc", 3, &mut values);
+    fs::write(dir_a.join("s1.json"), s1.to_json()).expect("write s1");
+    fs::write(dir_a.join("s3.json"), s3.to_json()).expect("write s3");
+    ingest_dir(&dir_a, &out).expect("initial ingest");
+
+    // s2 is new; s3 supersedes the stored session of the same id.
+    let dir_b = dir.join("b");
+    fs::create_dir_all(&dir_b).expect("create dir b");
+    let s2 = synth_log("mpc", 3, &mut values);
+    let s3_replacement = synth_log("mpc", 5, &mut values);
+    fs::write(dir_b.join("s2.json"), s2.to_json()).expect("write s2");
+    fs::write(dir_b.join("s3.json"), s3_replacement.to_json()).expect("write s3 replacement");
+    let report = append_dir(&dir_b, &out).expect("append");
+    assert_eq!(report.sessions, 3);
+    assert_eq!(report.carried_over, 1);
+    assert_eq!(report.replaced, 1);
+
+    let merged = LazyCorpus::open(&out).expect("open merged corpus");
+    let ids: Vec<&str> = (0..merged.len()).map(|i| merged.session_id_at(i)).collect();
+    assert_eq!(ids, ["s1", "s2", "s3"], "merge keeps natural id order");
+    assert_eq!(log_bits(&merged.load_log(0).expect("s1")), log_bits(&s1));
+    assert_eq!(log_bits(&merged.load_log(1).expect("s2")), log_bits(&s2));
+    assert_eq!(
+        log_bits(&merged.load_log(2).expect("s3")),
+        log_bits(&s3_replacement),
+        "the JSON file must supersede the stored session"
+    );
+}

@@ -127,6 +127,126 @@ fn streamed_sharded_run_writes_valid_jsonl() {
 }
 
 #[test]
+fn an_ingested_vcorp_reproduces_its_directory_run_and_shares_its_cache() {
+    let dir = temp_dir("ingest_roundtrip");
+    let _ = std::fs::remove_dir_all(dir.join("sessions"));
+    let _ = std::fs::remove_dir_all(dir.join("store"));
+    let _ = std::fs::remove_file(dir.join("corpus.vcorp"));
+    std::fs::write(
+        dir.join("queries.json"),
+        r#"{"queries": [
+            {"id": "posterior", "kind": "abduction"},
+            {"id": "what-if", "kind": "counterfactual", "scenario": {"abr": "bba"}}
+        ]}"#,
+    )
+    .unwrap();
+
+    // Materialize a JSON session directory with the CLI itself, then
+    // convert it.
+    let synth = veritas(
+        &[
+            "synth",
+            "--out",
+            "sessions",
+            "--sessions",
+            "3",
+            "--seed",
+            "77",
+        ],
+        &dir,
+    );
+    assert!(
+        synth.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&synth.stderr)
+    );
+    let ingest = veritas(&["ingest", "sessions", "--out", "corpus.vcorp"], &dir);
+    assert!(
+        ingest.status.success(),
+        "ingest failed: {}",
+        String::from_utf8_lossy(&ingest.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ingest.stdout);
+    assert!(stdout.contains("ingested 3 sessions"), "stdout: {stdout}");
+
+    let run = |corpus: &str, out: &str, summary: &str| {
+        let output = veritas(
+            &[
+                "run",
+                "queries.json",
+                "--corpus",
+                corpus,
+                "--cache-dir",
+                "store",
+                "--out",
+                out,
+                "--summary",
+                summary,
+            ],
+            &dir,
+        );
+        assert!(
+            output.status.success(),
+            "run over {corpus} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    run("sessions", "dir.jsonl", "dir-summary.json");
+    run("corpus.vcorp", "vcorp.jsonl", "vcorp-summary.json");
+
+    // Identical causal payload from either corpus source.
+    let normalize = |name: &str| -> Vec<String> {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap()
+            .lines()
+            .map(|line| {
+                let mut record: QueryRecord = serde_json::from_str(line).unwrap();
+                record.elapsed_us = 0;
+                record.cache = None;
+                serde_json::to_string(&record).unwrap()
+            })
+            .collect()
+    };
+    let records = normalize("dir.jsonl");
+    assert!(!records.is_empty());
+    assert_eq!(records, normalize("vcorp.jsonl"));
+
+    // The `.vcorp` run shares the directory run's cache keys: it restores
+    // every posterior from the store written by the first run and infers
+    // nothing.
+    let summary_of = |name: &str| -> veritas_engine::RunSummary {
+        serde_json::from_str(&std::fs::read_to_string(dir.join(name)).unwrap()).unwrap()
+    };
+    let dir_summary = summary_of("dir-summary.json");
+    let vcorp_summary = summary_of("vcorp-summary.json");
+    assert!(dir_summary.cache_misses > 0);
+    assert_eq!(
+        vcorp_summary.cache_misses, 0,
+        "the .vcorp run must be served entirely from the shared cache"
+    );
+    assert_eq!(vcorp_summary.disk_hits, dir_summary.cache_misses);
+}
+
+#[test]
+fn ingest_rejects_bad_invocations_with_usage_errors() {
+    let dir = temp_dir("ingest_usage");
+    let missing_out = veritas(&["ingest", "sessions"], &dir);
+    assert_eq!(missing_out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&missing_out.stderr);
+    assert!(stderr.contains("--out"), "stderr: {stderr}");
+
+    let missing_dir = veritas(&["ingest", "--out", "x.vcorp"], &dir);
+    assert_eq!(missing_dir.status.code(), Some(2));
+
+    // A directory with no session logs is a corpus-format error (exit 2),
+    // and no output file is left behind.
+    std::fs::create_dir_all(dir.join("empty")).unwrap();
+    let empty = veritas(&["ingest", "empty", "--out", "empty.vcorp"], &dir);
+    assert!(!empty.status.success());
+    assert!(!dir.join("empty.vcorp").exists());
+}
+
+#[test]
 fn cache_dir_warm_starts_a_second_run_without_inference() {
     let dir = temp_dir("cache_dir");
     let _ = std::fs::remove_dir_all(dir.join("store"));

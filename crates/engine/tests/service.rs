@@ -8,9 +8,9 @@ use std::path::PathBuf;
 
 use veritas::VeritasConfig;
 use veritas_engine::{
-    CorpusSource, Engine, ErrorEnvelope, MetricsEnvelope, MetricsSnapshot, Query, QueryRecord,
-    QuerySet, RunSummary, ScenarioSpec, Service, ServiceConfig, SessionCorpus, SummaryEnvelope,
-    WireError,
+    ingest_dir, CorpusSource, Engine, ErrorEnvelope, MetricsEnvelope, MetricsSnapshot, Query,
+    QueryRecord, QuerySet, RunSummary, ScenarioSpec, Service, ServiceConfig, SessionCorpus,
+    SummaryEnvelope, WireError,
 };
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -318,6 +318,119 @@ fn requests_past_the_admission_bound_are_shed_with_a_typed_error() {
     let retry = second.summary(&small_set("retry"));
     assert_eq!(retry.errors, 0);
     assert!(handle.metrics().plans_shed >= 1);
+    handle.stop();
+}
+
+#[test]
+fn connections_past_the_bound_are_shed_with_a_typed_error() {
+    let mut bounded = config(2, 61);
+    bounded.max_connections = 1;
+    let handle = Service::bind(bounded).unwrap().spawn().unwrap();
+
+    // Client A occupies the single slot; the metrics round-trip proves
+    // its connection is fully established before B tries.
+    let mut holder = Client::connect(&handle.addr());
+    assert_eq!(holder.metrics().connections_active, 1);
+
+    let shed = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(shed);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let error = ErrorEnvelope::parse(line.trim())
+        .expect("the excess accept must answer with an error envelope");
+    assert_eq!(error.kind, "overloaded");
+    assert!(
+        error.detail.contains("connection bound 1"),
+        "{}",
+        error.detail
+    );
+    // ... and is then closed, not serviced.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0);
+
+    let metrics = holder.metrics();
+    assert_eq!(metrics.connections_shed, 1);
+    assert_eq!(metrics.connections_active, 1);
+
+    // The slot frees when A hangs up; a later client is admitted.
+    drop(holder);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let mut client = Client::connect(&handle.addr());
+        client.send(r#"{"metrics": true}"#);
+        let line = client.read_line();
+        if serde_json::from_str::<MetricsEnvelope>(&line).is_ok() {
+            break;
+        }
+        assert_eq!(ErrorEnvelope::parse(&line).unwrap().kind, "overloaded");
+        assert!(std::time::Instant::now() < deadline, "the slot never freed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    handle.stop();
+}
+
+#[test]
+fn idle_connections_are_cut_at_the_io_deadline() {
+    let mut impatient = config(2, 67);
+    impatient.io_timeout_s = 1;
+    let handle = Service::bind(impatient).unwrap().spawn().unwrap();
+
+    // A silent client never sends a request; the per-connection read
+    // deadline must cut it loose rather than pin the handler forever.
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let started = std::time::Instant::now();
+    let mut line = String::new();
+    let read = reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(read, 0, "the daemon must hang up, instead sent: {line}");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "the idle connection outlived the 1 s deadline by over an order \
+         of magnitude"
+    );
+
+    // A live client on the same daemon still gets full service.
+    let summary = Client::connect(&handle.addr()).summary(&small_set("after-timeout"));
+    assert_eq!(summary.errors, 0);
+    handle.stop();
+}
+
+#[test]
+fn a_vcorp_corpus_serves_the_same_records_as_its_source_directory() {
+    let dir = temp_dir("vcorp_daemon");
+    let sessions_dir = dir.join("sessions");
+    let _ = std::fs::remove_dir_all(&sessions_dir);
+    std::fs::create_dir_all(&sessions_dir).unwrap();
+    let corpus = SessionCorpus::synthetic(3, 71);
+    for session in &corpus.sessions {
+        let path = sessions_dir.join(format!("{}.json", session.id));
+        std::fs::write(path, session.log.to_json()).unwrap();
+    }
+    let vcorp = dir.join("corpus.vcorp");
+    ingest_dir(&sessions_dir, &vcorp).unwrap();
+
+    let mut cfg = config(0, 0);
+    cfg.corpus = CorpusSource::Vcorp(vcorp);
+    let handle = Service::bind(cfg).unwrap().spawn().unwrap();
+
+    // Ground truth: the batch pipeline over the JSON directory the
+    // `.vcorp` was ingested from.
+    let set = small_set("vcorp");
+    let engine = Engine::builder().threads(2).build().unwrap();
+    let from_dir = SessionCorpus::from_dir(&sessions_dir).unwrap();
+    let expected: Vec<QueryRecord> = engine
+        .run(&from_dir, &set)
+        .unwrap()
+        .records
+        .into_iter()
+        .map(normalize)
+        .collect();
+
+    let mut client = Client::connect(&handle.addr());
+    let response = client.query(&set, false);
+    let got: Vec<QueryRecord> = response.records.into_iter().map(normalize).collect();
+    assert_eq!(got, expected);
+    assert_eq!(client.metrics().sessions, 3);
     handle.stop();
 }
 
