@@ -5,7 +5,8 @@
 //! veritas run <queries.json> [--corpus DIR|FILE.vcorp | --synthetic N]
 //!             [--seed S] [--threads N] [--shards N] [--stream] [--out FILE]
 //!             [--summary FILE] [--no-cache] [--cache-dir DIR]
-//!             [--min-cache-hits N] [--allow-errors]
+//!             [--min-cache-hits N] [--allow-errors] [--fault-spec SPEC]
+//!             [--retry N]
 //! veritas ingest <DIR> --out FILE.vcorp [--append]
 //! veritas synth --out DIR [--sessions N] [--seed S]
 //! veritas bench [--sessions N] [--queries N] [--threads N]
@@ -31,7 +32,14 @@
 //! runs, so a repeat run over an unchanged corpus performs zero EHMM
 //! inferences (the summary's `disk_hits` counts the restorations). The
 //! exit code is nonzero when any record carries an error, unless
-//! `--allow-errors` is passed. `bench` times the same synthetic query set
+//! `--allow-errors` is passed. `--fault-spec SPEC` (or the
+//! `VERITAS_FAULT_SPEC` environment variable) attaches a seeded,
+//! deterministic fault-injection plan (see
+//! `veritas_engine::FaultPlan::parse`; e.g.
+//! `seed=42,compute=0.1,disk_read=0.2`) so CI can chaos-test the real
+//! binary, and `--retry N` enables per-unit supervision: failed units
+//! are re-run up to N attempts with deterministic exponential backoff,
+//! and sessions that exhaust their attempts are quarantined. `bench` times the same synthetic query set
 //! with and without the abduction cache and reports the speedup — plus,
 //! with `--cache-dir`, a disk-warm pass restored entirely from the
 //! persistent store. `serve` runs the same engine as the `veritasd`
@@ -51,8 +59,9 @@ use std::time::Instant;
 
 use veritas::VeritasConfig;
 use veritas_engine::{
-    append_dir, ingest_dir, service, Corpus, Engine, EngineError, EngineReport, LazyCorpus, Query,
-    QueryKind, QueryPlan, QueryRecord, QuerySet, RunSummary, SessionCorpus, SyntheticSpec,
+    append_dir, ingest_dir, service, Corpus, Engine, EngineError, EngineReport, FaultPlan,
+    LazyCorpus, Query, QueryKind, QueryPlan, QueryRecord, QuerySet, RetryPolicy, RunSummary,
+    SessionCorpus, SyntheticSpec,
 };
 
 /// What a subcommand can fail with: a usage problem (bad flags or
@@ -132,7 +141,7 @@ fn print_usage() {
          \x20                            [--seed S] [--threads N] [--shards N] [--stream]\n\
          \x20                            [--out FILE] [--summary FILE] [--no-cache]\n\
          \x20                            [--cache-dir DIR] [--min-cache-hits N]\n\
-         \x20                            [--allow-errors]\n\
+         \x20                            [--allow-errors] [--fault-spec SPEC] [--retry N]\n\
          \x20 veritas ingest <DIR> --out FILE.vcorp [--append]\n\
          \x20 veritas synth --out DIR [--sessions N] [--seed S]\n\
          \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
@@ -140,6 +149,7 @@ fn print_usage() {
          \x20 veritas serve [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N]\n\
          \x20               [--seed S] [--threads N] [--shards N] [--cache-dir DIR]\n\
          \x20               [--admission N] [--io-timeout SECS] [--max-connections N]\n\
+         \x20               [--auth-token SECRET] [--fault-spec SPEC]\n\
          \x20 veritas example-queries\n\
          \x20 veritas validate <report.jsonl>"
     );
@@ -165,6 +175,8 @@ struct Options {
     queries: usize,
     load_sessions: Option<usize>,
     json: Option<PathBuf>,
+    fault_spec: Option<String>,
+    retry: Option<u32>,
 }
 
 /// Parses `args`, accepting only the flags in `allowed` — a flag another
@@ -189,6 +201,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         queries: 10,
         load_sessions: None,
         json: None,
+        fault_spec: None,
+        retry: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -229,6 +243,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
                 options.load_sessions = Some(parse_num(&value_for("--load-sessions")?)?)
             }
             "--json" => options.json = Some(PathBuf::from(value_for("--json")?)),
+            "--fault-spec" => options.fault_spec = Some(value_for("--fault-spec")?),
+            "--retry" => options.retry = Some(parse_num(&value_for("--retry")?)?),
             positional => options.positional.push(positional.to_string()),
         }
     }
@@ -240,16 +256,43 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
         .map_err(|_| format!("invalid numeric value `{text}`"))
 }
 
+/// Resolves the run's fault plan: `--fault-spec` wins, else the
+/// `VERITAS_FAULT_SPEC` environment variable, else none. A malformed
+/// spec is a usage error (exit 2).
+fn resolve_fault_plan(options: &Options) -> Result<Option<Arc<FaultPlan>>, CliError> {
+    let spec = match &options.fault_spec {
+        Some(spec) => Some(spec.clone()),
+        None => std::env::var("VERITAS_FAULT_SPEC")
+            .ok()
+            .filter(|value| !value.is_empty()),
+    };
+    spec.map(|spec| {
+        FaultPlan::parse(&spec)
+            .map(Arc::new)
+            .map_err(|e| CliError::Usage(format!("invalid fault spec `{spec}`: {e}")))
+    })
+    .transpose()
+}
+
 /// Loads the corpus a `--corpus`/`--synthetic` pair names. A `--corpus`
 /// path ending in `.vcorp` opens the columnar binary store lazily
-/// ([`LazyCorpus`]); any other path is a JSON session directory.
-fn load_corpus(options: &Options) -> Result<Arc<dyn Corpus>, CliError> {
+/// ([`LazyCorpus`]); any other path is a JSON session directory. A
+/// fault plan, when present, arms the `.vcorp` block-decode injection
+/// point.
+fn load_corpus(
+    options: &Options,
+    fault: Option<&Arc<FaultPlan>>,
+) -> Result<Arc<dyn Corpus>, CliError> {
     match (&options.corpus, options.synthetic) {
         (Some(_), Some(_)) => Err(CliError::Usage(
             "--corpus and --synthetic are mutually exclusive".to_string(),
         )),
         (Some(path), None) if path.extension().is_some_and(|ext| ext == "vcorp") => {
-            Ok(Arc::new(LazyCorpus::open(path).map_err(EngineError::from)?))
+            let corpus = LazyCorpus::open(path).map_err(EngineError::from)?;
+            Ok(Arc::new(match fault {
+                Some(plan) => corpus.with_fault_plan(Arc::clone(plan)),
+                None => corpus,
+            }))
         }
         (Some(dir), None) => Ok(Arc::new(SessionCorpus::from_dir(dir)?)),
         (None, n) => {
@@ -262,7 +305,7 @@ fn load_corpus(options: &Options) -> Result<Arc<dyn Corpus>, CliError> {
                 "synthesizing corpus: {} sessions, seed {}",
                 spec.sessions, spec.seed
             );
-            Ok(Arc::new(spec.build()))
+            Ok(Arc::new(spec.try_build()?))
         }
     }
 }
@@ -270,7 +313,7 @@ fn load_corpus(options: &Options) -> Result<Arc<dyn Corpus>, CliError> {
 /// Constructs the engine through [`Engine::builder`]; inconsistent flag
 /// combinations (e.g. `--no-cache` with `--cache-dir`) surface as
 /// [`EngineError::Config`] from the builder.
-fn build_engine(options: &Options) -> Result<Engine, CliError> {
+fn build_engine(options: &Options, fault: Option<&Arc<FaultPlan>>) -> Result<Engine, CliError> {
     let mut builder = Engine::builder();
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
@@ -286,6 +329,12 @@ fn build_engine(options: &Options) -> Result<Engine, CliError> {
     }
     if let Some(min) = options.min_cache_hits {
         builder = builder.min_cache_hits(min);
+    }
+    if let Some(plan) = fault {
+        builder = builder.fault_plan(Arc::clone(plan));
+    }
+    if let Some(attempts) = options.retry {
+        builder = builder.retry_policy(RetryPolicy::with_max_attempts(attempts));
     }
     Ok(builder.build()?)
 }
@@ -318,6 +367,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "--cache-dir",
             "--min-cache-hits",
             "--allow-errors",
+            "--fault-spec",
+            "--retry",
         ],
     )?;
     let [query_path] = options.positional.as_slice() else {
@@ -326,14 +377,17 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         ));
     };
     // The builder validates the flag combinations (`--no-cache` vs
-    // `--cache-dir` / `--min-cache-hits`) before any work happens.
-    let engine = build_engine(&options)?;
+    // `--cache-dir` / `--min-cache-hits`) before any work happens. The
+    // same fault plan is shared by the engine and the corpus, so every
+    // injection point draws from one seeded decision stream.
+    let fault = resolve_fault_plan(&options)?;
+    let engine = build_engine(&options, fault.as_ref())?;
     let json = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
     // The CLI owns both values, so they are shared with the workers via
     // `submit_shared` instead of paying `submit`'s defensive deep copies.
-    let corpus = load_corpus(&options)?;
+    let corpus = load_corpus(&options, fault.as_ref())?;
     let plan = Arc::new(QueryPlan::compile(&set, corpus.as_ref())?);
 
     let summary = if options.stream {
@@ -428,7 +482,7 @@ fn cmd_synth(args: &[String]) -> Result<(), CliError> {
         seed: options.seed,
         ..SyntheticSpec::default()
     };
-    let corpus = spec.build();
+    let corpus = spec.try_build()?;
     std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     for session in &corpus.sessions {
         let path = out.join(format!("{}.json", session.id));
@@ -447,7 +501,7 @@ fn cmd_synth(args: &[String]) -> Result<(), CliError> {
 fn report_summary(s: &RunSummary) {
     eprintln!(
         "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} disk_hits={} \
-         threads={} shards={} elapsed_ms={:.1}",
+         retries={} quarantined={} threads={} shards={} elapsed_ms={:.1}",
         s.queryset,
         s.units,
         s.ok,
@@ -455,6 +509,8 @@ fn report_summary(s: &RunSummary) {
         s.cache_hits,
         s.cache_misses,
         s.disk_hits,
+        s.retries,
+        s.quarantined.len(),
         s.threads,
         s.shards,
         s.elapsed_ms
@@ -516,7 +572,7 @@ fn bench_load(n: usize, seed: u64, threads: usize) -> Result<LoadBench, CliError
         seed,
         ..SyntheticSpec::default()
     };
-    for session in &spec.build().sessions {
+    for session in &spec.try_build()?.sessions {
         let path = dir.join(format!("{}.json", session.id));
         std::fs::write(&path, session.log.to_json())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -586,7 +642,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         "benchmarking: {} sessions x {} queries",
         spec.sessions, options.queries
     );
-    let corpus = spec.build();
+    let corpus = spec.try_build()?;
     let set = QuerySet::cache_stress(options.queries);
     let threads = options.threads.unwrap_or(1);
 

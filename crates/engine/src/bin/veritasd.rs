@@ -9,6 +9,7 @@
 //! veritasd [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N]
 //!          [--seed S] [--threads N] [--shards N] [--cache-dir DIR]
 //!          [--admission N] [--io-timeout SECS] [--max-connections N]
+//!          [--auth-token SECRET] [--fault-spec SPEC]
 //! ```
 //!
 //! On startup the daemon prints `veritasd: listening on <addr>` to
@@ -25,6 +26,7 @@ USAGE:
     veritasd [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N]
              [--seed S] [--threads N] [--shards N] [--cache-dir DIR]
              [--admission N] [--io-timeout SECS] [--max-connections N]
+             [--auth-token SECRET] [--fault-spec SPEC]
 
 OPTIONS:
     --addr HOST:PORT     Listen address (default 127.0.0.1:4617; port 0 = ephemeral)
@@ -40,11 +42,23 @@ OPTIONS:
     --io-timeout SECS    Per-connection read/write deadline (default 30; 0 = none)
     --max-connections N  Max open connections before shedding accepts with a
                          typed \"overloaded\" error (default 0 = unbounded)
+    --auth-token SECRET  Require every request line to carry {\"auth\": SECRET};
+                         a mismatch is answered with a typed \"unauthorized\"
+                         envelope and the connection is closed
+    --fault-spec SPEC    Seeded deterministic fault injection for chaos tests,
+                         e.g. seed=42,compute=0.1,socket=0.05 (sites: disk_read,
+                         disk_write, decode, compute, panic, socket)
 
 PROTOCOL (one JSON object per line, responses are JSON lines too):
-    {\"query\": <QuerySet>, \"stream\": bool?}  -> QueryRecord lines, then {\"summary\": ...}
+    {\"query\": <QuerySet>, \"stream\": bool?}  -> QueryRecord lines, then
+                                                {\"summary\": ..., \"req_id\": N}
     {\"metrics\": true}                        -> {\"metrics\": ...}
-    any failure                              -> {\"error\": {\"kind\": ..., \"detail\": ...}}";
+    {\"shutdown\": true}                       -> {\"draining\": true}; in-flight
+                                                plans finish, new queries get a
+                                                typed \"draining\" error, then the
+                                                process exits cleanly
+    any failure                              -> {\"error\": {\"kind\": ..., \"detail\": ...}}
+    with --auth-token, every request object must also carry {\"auth\": SECRET}";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -258,6 +258,9 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Posteriors currently held in memory.
     pub entries: u64,
+    /// Corrupt disk entries detected, deleted, and (via re-inference +
+    /// write-through) rewritten — the disk tier's self-heals.
+    pub healed: u64,
 }
 
 /// A concurrent, compute-once cache of [`Abduction`] results.
@@ -271,7 +274,9 @@ pub struct CacheStats {
 /// tier: an in-memory miss first tries to restore the posterior from the
 /// store (counted as a *disk hit*), and a genuinely inferred posterior is
 /// written through so the next process warm-starts. Disk problems are
-/// silent misses by design ([`crate::persist`]).
+/// silent misses by design ([`crate::persist`]); a *corrupt* entry is
+/// additionally deleted so the re-inference + write-through repairs it in
+/// place, counted in [`CacheStats::healed`].
 #[derive(Debug, Default)]
 pub struct AbductionCache {
     slots: Mutex<HashMap<CacheKey, Slot>>,
@@ -281,6 +286,7 @@ pub struct AbductionCache {
     misses: AtomicU64,
     disk_hits: AtomicU64,
     entries: AtomicU64,
+    healed: AtomicU64,
 }
 
 impl AbductionCache {
@@ -424,7 +430,17 @@ impl AbductionCache {
             return None;
         }
         let workspace = self.workspace_for_spec(key.config, Abduction::spec_for(config));
-        disk.load(key, &view, config, workspace)
+        match disk.load_classified(key, &view, config, workspace) {
+            crate::persist::DiskLoadOutcome::Restored(abduction) => Some(*abduction),
+            crate::persist::DiskLoadOutcome::Missing => None,
+            crate::persist::DiskLoadOutcome::Healed => {
+                // The store deleted a corrupt entry under this key; the
+                // miss path below re-infers and writes a fresh one back
+                // through the same atomic rename, completing the heal.
+                self.healed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// The shared inference workspace for `config`, created on first use
@@ -472,6 +488,12 @@ impl AbductionCache {
         self.entries.load(Ordering::Relaxed)
     }
 
+    /// Corrupt disk entries this cache has healed (deleted + rewritten)
+    /// so far.
+    pub fn healed(&self) -> u64 {
+        self.healed.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -479,6 +501,7 @@ impl AbductionCache {
             misses: self.misses(),
             disk_hits: self.disk_hits(),
             entries: self.entries(),
+            healed: self.healed(),
         }
     }
 
@@ -582,7 +605,8 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 disk_hits: 0,
-                entries: 1
+                entries: 1,
+                healed: 0
             }
         );
     }
@@ -862,7 +886,8 @@ mod tests {
                 hits: 1,
                 misses: 0,
                 disk_hits: 1,
-                entries: 1
+                entries: 1,
+                healed: 0
             }
         );
     }
@@ -897,6 +922,7 @@ mod tests {
                 "a bad store entry must be a miss, never an error"
             );
             assert_eq!(warm.disk_hits(), 0);
+            assert_eq!(warm.healed(), 1, "the corrupt entry must count as healed");
         }
 
         // The re-inference wrote the entry back; it restores again.
@@ -944,5 +970,70 @@ mod tests {
         });
         assert_eq!(cache.misses(), 1, "posterior must be computed exactly once");
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn concurrent_lookups_heal_a_corrupt_entry_exactly_once() {
+        let store = temp_store("concurrent_heal");
+        let dir = store.dir().to_path_buf();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+
+        // Seed a valid entry, then corrupt it in place.
+        let cold = AbductionCache::new().with_disk_store(store);
+        let (expected, _) = cold.get_or_infer("shared", &log, &config).unwrap();
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|ext| ext == "vpost"))
+            .expect("the cold run must have persisted an entry");
+        let valid_bytes = std::fs::read(&entry).unwrap();
+        let mut corrupt = valid_bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        std::fs::write(&entry, &corrupt).unwrap();
+
+        // N threads race the same corrupted key through one cache: the
+        // slot lock serializes the disk probe, so exactly one thread
+        // observes the corruption, heals it, and re-infers; the rest are
+        // memory hits.
+        let cache = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (restored, _) = cache.get_or_infer("shared", &log, &config).unwrap();
+                    assert_eq!(restored.posteriors(), expected.posteriors());
+                });
+            }
+        });
+        assert_eq!(
+            cache.healed(),
+            1,
+            "the corrupt entry must heal exactly once"
+        );
+        assert_eq!(cache.misses(), 1, "the heal re-infers exactly once");
+        assert_eq!(cache.hits(), 7);
+        assert_eq!(cache.disk_hits(), 0);
+
+        // The rewrite is atomic (write-then-rename): no temp files remain
+        // and the healed entry is byte-identical to the original valid
+        // one — the key is a content address.
+        let mut leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        leftovers.retain(|p| !p.extension().is_some_and(|ext| ext == "vpost"));
+        assert!(leftovers.is_empty(), "no torn temp files: {leftovers:?}");
+        assert_eq!(
+            std::fs::read(&entry).unwrap(),
+            valid_bytes,
+            "the healed entry must be byte-identical to the original"
+        );
+
+        // And a fresh cache restores it from disk again.
+        let warm = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        let (_, source) = warm.get_or_infer("shared", &log, &config).unwrap();
+        assert_eq!(source, CacheSource::Disk);
+        assert_eq!(warm.healed(), 0);
     }
 }

@@ -215,8 +215,27 @@ impl SyntheticSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `deployed_abr` is not a recognized algorithm name.
+    /// Panics if `deployed_abr` is not a recognized algorithm name; the
+    /// corpus-opening paths (CLI, service) use [`SyntheticSpec::try_build`]
+    /// and answer a typed error instead.
     pub fn build(&self) -> SessionCorpus {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid synthetic spec: {e}"))
+    }
+
+    /// [`SyntheticSpec::build`], but an unrecognized `deployed_abr` is a
+    /// typed [`EngineError::Query`] instead of a panic — the variant the
+    /// user-facing corpus-open paths go through.
+    pub fn try_build(&self) -> Result<SessionCorpus, EngineError> {
+        // Validate before the (expensive) trace generation so a typo
+        // fails instantly.
+        if abr_by_name(&self.deployed_abr).is_none() {
+            return Err(EngineError::Query(format!(
+                "unknown deployed ABR `{}` (expected one of: mpc, robust_mpc, bba, bola, \
+                 throughput, random:<seed>, fixed:<rung>)",
+                self.deployed_abr
+            )));
+        }
         let asset = VideoAsset::generate(
             QualityLadder::paper_default(),
             self.video_duration_s,
@@ -231,8 +250,8 @@ impl SyntheticSpec {
         let sessions = (0..self.sessions as u64)
             .map(|i| {
                 let truth = generator.generate(trace_duration, self.seed ^ (0x9E37 + i));
-                let mut abr = abr_by_name(&self.deployed_abr)
-                    .unwrap_or_else(|| panic!("unknown deployed ABR {}", self.deployed_abr));
+                let mut abr =
+                    abr_by_name(&self.deployed_abr).expect("deployed ABR validated above");
                 let log = run_session(&asset, abr.as_mut(), &truth, &player);
                 CorpusSession {
                     id: format!("session-{i}"),
@@ -241,12 +260,12 @@ impl SyntheticSpec {
                 }
             })
             .collect();
-        SessionCorpus {
+        Ok(SessionCorpus {
             asset,
             player,
             deployed_abr: self.deployed_abr.clone(),
             sessions,
-        }
+        })
     }
 }
 
@@ -513,6 +532,28 @@ pub(crate) fn natural_cmp(a: &str, b: &str) -> std::cmp::Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn an_unknown_deployed_abr_is_a_typed_error_not_a_panic() {
+        let spec = SyntheticSpec {
+            sessions: 1,
+            deployed_abr: "warp_drive".to_string(),
+            ..SyntheticSpec::default()
+        };
+        let error = spec.try_build().expect_err("an unknown ABR must fail");
+        assert_eq!(error.kind(), "invalid_query");
+        let message = error.to_string();
+        assert!(message.contains("warp_drive"), "message was: {message}");
+        assert!(message.contains("mpc"), "message must list valid names");
+        // Known names still build.
+        let ok = SyntheticSpec {
+            sessions: 1,
+            deployed_abr: "bba".to_string(),
+            video_duration_s: 12.0,
+            ..SyntheticSpec::default()
+        };
+        assert_eq!(ok.try_build().expect("bba is valid").len(), 1);
+    }
 
     #[test]
     fn natural_order_compares_digit_runs_numerically() {

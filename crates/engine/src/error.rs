@@ -25,10 +25,10 @@ use crate::store::VcorpError;
 ///
 /// The variants partition into failure classes (see
 /// [`EngineError::exit_code`]): *bad input* (`Query`, `Config`, `Json`,
-/// `Protocol`, `EmptyCorpus`, `CorpusMismatch`, `CorpusFormat`), *failed
-/// work* (`Abduction`, `UnitFailures`, `CacheShortfall`), *environment*
-/// (`Io`), and *load shedding* (`Overloaded`,
-/// `ConnectionsExhausted`).
+/// `Protocol`, `EmptyCorpus`, `CorpusMismatch`, `CorpusFormat`,
+/// `Unauthorized`), *failed work* (`Abduction`, `UnitFailures`,
+/// `CacheShortfall`), *environment* (`Io`), and *load shedding*
+/// (`Overloaded`, `ConnectionsExhausted`, `Draining`).
 #[derive(Debug)]
 pub enum EngineError {
     /// Filesystem error while loading a corpus, opening a cache
@@ -76,6 +76,15 @@ pub enum EngineError {
     /// A service request violated the wire protocol (not a JSON object,
     /// no recognized request field, conflicting request fields, ...).
     Protocol(String),
+    /// The service is draining: a shutdown was requested, in-flight plans
+    /// are finishing, and no new plans are admitted. A retry-later shed
+    /// response, like [`EngineError::Overloaded`], but terminal for this
+    /// process — clients should fail over rather than retry here.
+    Draining,
+    /// The service requires an auth token (`--auth-token`) and the
+    /// request carried a missing or mismatched `auth` field. The
+    /// connection is closed after this answer.
+    Unauthorized,
     /// A run finished but observed fewer cache hits than the configured
     /// floor ([`crate::EngineBuilder::min_cache_hits`]) — the cache-reuse
     /// assertion CLI callers opt into.
@@ -113,6 +122,8 @@ impl EngineError {
                 "overloaded"
             }
             EngineError::Protocol(_) => "protocol",
+            EngineError::Draining => "draining",
+            EngineError::Unauthorized => "unauthorized",
             EngineError::CacheShortfall { .. } => "cache_shortfall",
             EngineError::UnitFailures { .. } => "unit_failures",
         }
@@ -123,9 +134,9 @@ impl EngineError {
     /// | code | class | variants |
     /// |------|-------|----------|
     /// | 1 | failed work | `Abduction`, `UnitFailures`, `CacheShortfall` |
-    /// | 2 | bad input | `Query`, `Config`, `Json`, `Protocol`, `EmptyCorpus`, `CorpusMismatch`, `CorpusFormat` |
+    /// | 2 | bad input | `Query`, `Config`, `Json`, `Protocol`, `EmptyCorpus`, `CorpusMismatch`, `CorpusFormat`, `Unauthorized` |
     /// | 3 | environment | `Io` |
-    /// | 4 | load shed | `Overloaded`, `ConnectionsExhausted` |
+    /// | 4 | load shed | `Overloaded`, `ConnectionsExhausted`, `Draining` |
     pub fn exit_code(&self) -> u8 {
         match self {
             EngineError::Abduction(_)
@@ -137,9 +148,12 @@ impl EngineError {
             | EngineError::Protocol(_)
             | EngineError::EmptyCorpus
             | EngineError::CorpusMismatch(_)
-            | EngineError::CorpusFormat(_) => 2,
+            | EngineError::CorpusFormat(_)
+            | EngineError::Unauthorized => 2,
             EngineError::Io(_) => 3,
-            EngineError::Overloaded { .. } | EngineError::ConnectionsExhausted { .. } => 4,
+            EngineError::Overloaded { .. }
+            | EngineError::ConnectionsExhausted { .. }
+            | EngineError::Draining => 4,
         }
     }
 
@@ -181,6 +195,13 @@ impl fmt::Display for EngineError {
                 "overloaded: {active} connections already open (connection bound {bound}); retry later"
             ),
             EngineError::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            EngineError::Draining => write!(
+                f,
+                "draining: the service is shutting down; no new plans are admitted"
+            ),
+            EngineError::Unauthorized => {
+                write!(f, "unauthorized: missing or invalid auth token")
+            }
             EngineError::CacheShortfall { expected, observed } => write!(
                 f,
                 "expected at least {expected} cache hits, observed {observed}"
@@ -299,6 +320,8 @@ mod tests {
                 2,
             ),
             (EngineError::Protocol("not an object".into()), "protocol", 2),
+            (EngineError::Draining, "draining", 4),
+            (EngineError::Unauthorized, "unauthorized", 2),
             (
                 EngineError::CacheShortfall {
                     expected: 3,

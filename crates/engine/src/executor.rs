@@ -152,6 +152,26 @@ where
     (rx, workers)
 }
 
+/// Runs `job` with panic isolation: a panic is caught and rendered as an
+/// `Err` carrying the panic payload's message instead of unwinding
+/// through the worker.
+///
+/// This is the supervision primitive the engine wraps every work unit
+/// in: one poisoned unit (a bug, or an injected `ComputePanic` fault)
+/// becomes a typed per-unit error record, and the worker thread — and
+/// with it every other unit on its shard — survives.
+pub fn run_isolated<R>(job: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).map_err(|payload| {
+        if let Some(message) = payload.downcast_ref::<&str>() {
+            (*message).to_string()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "worker panicked with a non-string payload".to_string()
+        }
+    })
+}
+
 /// Maps `f` over a shared slice with the atomic-cursor worker pool,
 /// preserving input order in the output.
 pub fn execute<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
@@ -243,6 +263,17 @@ mod tests {
             handle.join().unwrap();
         }
         assert!(flags.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn run_isolated_catches_panics_and_extracts_the_message() {
+        assert_eq!(run_isolated(|| 42), Ok(42));
+        let err = run_isolated(|| -> u32 { panic!("static str payload") }).unwrap_err();
+        assert_eq!(err, "static str payload");
+        let err = run_isolated(|| -> u32 { panic!("formatted {}", "payload") }).unwrap_err();
+        assert_eq!(err, "formatted payload");
+        let err = run_isolated(|| -> u32 { std::panic::panic_any(7u8) }).unwrap_err();
+        assert!(err.contains("non-string payload"));
     }
 
     #[test]

@@ -64,6 +64,24 @@
 //! naturally; corrupt or truncated store files are treated as misses,
 //! never errors.
 //!
+//! # Fault injection & supervision
+//!
+//! The engine carries a supervision layer for chaos testing and
+//! production resilience: a seeded, deterministic [`FaultPlan`]
+//! ([`EngineBuilder::fault_plan`], `veritas run --fault-spec`,
+//! `veritasd --fault-spec`) injects failures at the instrumented sites
+//! ([`FaultSite`]: disk-cache reads/writes, `.vcorp` block decodes,
+//! abduction compute, worker panics, service socket I/O); a
+//! [`RetryPolicy`] ([`EngineBuilder::retry_policy`], `--retry N`)
+//! re-runs failed units with bounded, deterministically-jittered
+//! exponential backoff and quarantines sessions that exhaust their
+//! attempts ([`RunSummary::quarantined`]); worker panics are isolated
+//! into typed error records ([`executor::run_isolated`]); and corrupt
+//! disk-cache entries self-heal — deleted, recomputed, rewritten
+//! ([`CacheStats::healed`]). Under any fault plan with retries enabled,
+//! a run over an intact corpus emits records byte-identical to the
+//! fault-free run.
+//!
 //! # Binary corpora
 //!
 //! Corpora implement the [`Corpus`] trait, and come in three
@@ -119,6 +137,7 @@ pub(crate) mod cache;
 pub(crate) mod corpus;
 pub(crate) mod error;
 pub mod executor;
+pub(crate) mod fault;
 pub(crate) mod persist;
 pub(crate) mod plan;
 pub(crate) mod query;
@@ -131,7 +150,8 @@ pub use cache::{
 };
 pub use corpus::{Corpus, CorpusSession, CorpusShard, LogRef, SessionCorpus, SyntheticSpec};
 pub use error::{EngineError, ErrorEnvelope, WireError};
-pub use persist::{DiskStore, PersistKey};
+pub use fault::{FaultPlan, FaultSite};
+pub use persist::{DiskLoadOutcome, DiskStore, PersistKey};
 pub use plan::{
     AggregateMetric, AggregateSpec, AggregateSummary, ConfigSweep, PlannedConfig, QueryPlan,
     WorkUnit, MAX_SWEEP_VARIANTS,
@@ -139,7 +159,7 @@ pub use plan::{
 pub use query::{Query, QueryKind, QuerySet, ScenarioSpec};
 pub use runner::{
     materialize_scenario, AdmissionPermit, Engine, EngineBuilder, EngineReport, QueryLatency,
-    QueryOutput, QueryRecord, RangeSummary, RunHandle, RunSummary, AGGREGATE_SESSION,
+    QueryOutput, QueryRecord, RangeSummary, RetryPolicy, RunHandle, RunSummary, AGGREGATE_SESSION,
 };
 pub use service::{
     CorpusSource, MetricsEnvelope, MetricsSnapshot, Service, ServiceConfig, ServiceHandle,

@@ -39,6 +39,12 @@
 //! key. Loads are corruption-tolerant: a missing, truncated, garbage, or
 //! shape-inconsistent file is a **miss**, never an error — the cache
 //! simply re-infers and overwrites the entry via the same atomic path.
+//! [`DiskStore::load_classified`] additionally distinguishes the corrupt
+//! case and deletes the bad file, so the re-inference + write-through
+//! *heals* the store; the cache tier counts these heals
+//! ([`crate::CacheStats::healed`]). A [`crate::FaultPlan`] can be
+//! attached ([`DiskStore::with_fault_plan`]) to inject deterministic
+//! read/write failures for chaos testing.
 
 use std::fs;
 use std::io::Write as _;
@@ -51,6 +57,7 @@ use veritas_ehmm::{EhmmWorkspace, Posteriors, StateMatrix, ViterbiResult};
 use veritas_player::SessionLog;
 
 use crate::cache::{fnv_mix, FNV_OFFSET};
+use crate::fault::{FaultPlan, FaultSite};
 
 /// Version stamp embedded in every stored entry; bump on any layout
 /// change so older binaries' files read as misses instead of garbage.
@@ -89,6 +96,26 @@ pub struct DiskStore {
     /// Distinguishes concurrent temp files within one process; the file
     /// name also carries the process id for cross-process uniqueness.
     nonce: AtomicU64,
+    /// Chaos hook: injects [`FaultSite::DiskRead`] /
+    /// [`FaultSite::DiskWrite`] failures when set.
+    fault: Option<Arc<FaultPlan>>,
+}
+
+/// What [`DiskStore::load_classified`] found for a key — the distinction
+/// the self-healing cache tier needs and plain [`DiskStore::load`]
+/// collapses.
+#[derive(Debug)]
+pub enum DiskLoadOutcome {
+    /// A complete, checksum-valid entry restored into an [`Abduction`].
+    Restored(Box<Abduction>),
+    /// No entry on disk (or it was unreadable): an ordinary cold miss.
+    Missing,
+    /// An entry existed but failed validation (bad magic, checksum, key,
+    /// or shapes) and *this caller* deleted it — the first half of a
+    /// heal; re-inference plus the write-through completes it. Reported
+    /// at most once per corrupt file: racing readers that lose the
+    /// unlink see [`DiskLoadOutcome::Missing`].
+    Healed,
 }
 
 impl DiskStore {
@@ -99,7 +126,16 @@ impl DiskStore {
         Ok(Self {
             dir,
             nonce: AtomicU64::new(0),
+            fault: None,
         })
+    }
+
+    /// Attaches a fault plan: reads and writes consult it and fail
+    /// deterministically (a read fault degrades to a miss, a write fault
+    /// to a skipped write-through).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// The store's directory.
@@ -119,6 +155,11 @@ impl DiskStore {
     /// written to a temp file in the store directory and renamed into
     /// place, so readers only ever observe complete entries.
     pub fn save(&self, key: &PersistKey, abduction: &Abduction) -> std::io::Result<()> {
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::DiskWrite) {
+                return Err(std::io::Error::other("injected disk write fault"));
+            }
+        }
         let bytes = encode(key, abduction.viterbi(), abduction.posteriors());
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{:016x}",
@@ -153,12 +194,53 @@ impl DiskStore {
         config: &VeritasConfig,
         workspace: Arc<EhmmWorkspace>,
     ) -> Option<Abduction> {
-        let bytes = fs::read(self.path_for(key)).ok()?;
-        let (stored_key, viterbi, posteriors) = decode(&bytes)?;
-        if stored_key != *key {
-            return None;
+        match self.load_classified(key, log, config, workspace) {
+            DiskLoadOutcome::Restored(abduction) => Some(*abduction),
+            DiskLoadOutcome::Missing | DiskLoadOutcome::Healed => None,
         }
-        Abduction::from_parts(log, config, workspace, viterbi, posteriors).ok()
+    }
+
+    /// [`DiskStore::load`], but distinguishing a cold miss from a corrupt
+    /// entry — and *removing* the corrupt file so the caller's
+    /// re-inference plus write-through heals the store in place.
+    ///
+    /// The unlink doubles as an atomic claim: when several readers race
+    /// on the same corrupt file, exactly one observes
+    /// [`DiskLoadOutcome::Healed`]; the rest read the path as missing (or
+    /// lose the `remove_file` race) and report an ordinary miss.
+    pub fn load_classified(
+        &self,
+        key: &PersistKey,
+        log: &SessionLog,
+        config: &VeritasConfig,
+        workspace: Arc<EhmmWorkspace>,
+    ) -> DiskLoadOutcome {
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::DiskRead) {
+                // A simulated unreadable entry: degrade to a miss, never
+                // an error (matching the real unreadable-file path).
+                return DiskLoadOutcome::Missing;
+            }
+        }
+        let path = self.path_for(key);
+        let Ok(bytes) = fs::read(&path) else {
+            return DiskLoadOutcome::Missing;
+        };
+        let restored = decode(&bytes)
+            .filter(|(stored_key, _, _)| stored_key == key)
+            .and_then(|(_, viterbi, posteriors)| {
+                Abduction::from_parts(log, config, workspace, viterbi, posteriors).ok()
+            });
+        match restored {
+            Some(abduction) => DiskLoadOutcome::Restored(Box::new(abduction)),
+            // The file exists but is garbage (truncated, bit-flipped,
+            // foreign, or shape-inconsistent). Delete it; whoever wins
+            // the unlink owns the heal.
+            None => match fs::remove_file(&path) {
+                Ok(()) => DiskLoadOutcome::Healed,
+                Err(_) => DiskLoadOutcome::Missing,
+            },
+        }
     }
 }
 

@@ -24,13 +24,14 @@
 //! and emits one final `session: "*"` record per aggregation when its
 //! last unit completes.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use veritas::{
     baseline_trace, oracle_trace, Abduction, InterventionalPredictor, RangePrediction, Scenario,
@@ -44,6 +45,7 @@ use crate::cache::{infer_prefix, AbductionCache, CacheSource};
 use crate::corpus::{Corpus, SessionCorpus};
 use crate::error::EngineError;
 use crate::executor;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::persist::DiskStore;
 use crate::plan::{percentile_u64, AggregateSummary, PlannedConfig, QueryPlan};
 use crate::query::{
@@ -140,8 +142,11 @@ pub struct QueryOutput {
 ///
 /// `Deserialize` is hand-written so optional fields (including the
 /// PR-4-era `variant`) may be absent, keeping old reports readable by
-/// `veritas validate`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// `veritas validate`. `Serialize` is hand-written too: `attempts` is
+/// *omitted* (not `null`) when unset, so records from runs without a
+/// [`RetryPolicy`] — and every successful record — keep their exact
+/// pre-supervision byte shape.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRecord {
     /// Id of the query this record answers.
     pub query_id: String,
@@ -165,6 +170,32 @@ pub struct QueryRecord {
     pub elapsed_us: u64,
     /// The payload, present when `status == "ok"`.
     pub output: Option<QueryOutput>,
+    /// Execution attempts the unit consumed, set only on *final error*
+    /// records produced under a [`RetryPolicy`]. Successful records —
+    /// including success-after-retry — leave it absent, so a retried
+    /// run's output stays identical to the fault-free run.
+    pub attempts: Option<u64>,
+}
+
+impl Serialize for QueryRecord {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let fields = 9 + usize::from(self.attempts.is_some());
+        let mut state = serializer.serialize_struct("QueryRecord", fields)?;
+        state.serialize_field("query_id", &self.query_id)?;
+        state.serialize_field("kind", &self.kind)?;
+        state.serialize_field("session", &self.session)?;
+        state.serialize_field("variant", &self.variant)?;
+        state.serialize_field("status", &self.status)?;
+        state.serialize_field("error", &self.error)?;
+        state.serialize_field("cache", &self.cache)?;
+        state.serialize_field("elapsed_us", &self.elapsed_us)?;
+        state.serialize_field("output", &self.output)?;
+        if let Some(attempts) = &self.attempts {
+            state.serialize_field("attempts", attempts)?;
+        }
+        state.end()
+    }
 }
 
 impl QueryRecord {
@@ -208,6 +239,7 @@ impl<'de> Deserialize<'de> for QueryRecord {
             cache: opt(&mut fields, "cache")?,
             elapsed_us: req(&mut fields, "query record", "elapsed_us")?,
             output: opt(&mut fields, "output")?,
+            attempts: opt(&mut fields, "attempts")?,
         };
         reject_unknown(&fields, "query record")?;
         Ok(record)
@@ -261,6 +293,14 @@ pub struct RunSummary {
     pub shards: usize,
     /// Wall-clock duration of the run in milliseconds.
     pub elapsed_ms: f64,
+    /// Unit retries performed under the engine's [`RetryPolicy`] (zero
+    /// when no policy is set).
+    pub retries: u64,
+    /// Session ids quarantined during the run: sessions where some unit
+    /// still failed after exhausting [`RetryPolicy::max_attempts`], whose
+    /// remaining units were short-circuited to typed errors. Sorted;
+    /// empty when no policy is set.
+    pub quarantined: Vec<String>,
     /// Per-query latency aggregates, in query order.
     pub per_query: Vec<QueryLatency>,
 }
@@ -334,6 +374,67 @@ impl Drop for AdmissionPermit {
     }
 }
 
+/// Per-unit retry with bounded exponential backoff and deterministic,
+/// seeded jitter.
+///
+/// Set on [`EngineBuilder::retry_policy`]. A unit that fails (typed
+/// error *or* isolated panic) is re-run up to `max_attempts` total
+/// attempts, sleeping `base_backoff × 2^(attempt-1)` (clamped to
+/// `max_backoff`) plus a jitter drawn deterministically from
+/// `(seed, unit, attempt)` between attempts — so a chaos run's sleep
+/// schedule is as reproducible as its fault schedule. When a unit still
+/// fails after `max_attempts`, its session is quarantined: remaining
+/// units on that session short-circuit to typed errors and the session
+/// id is reported in [`RunSummary::quarantined`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per unit (at least 1; 1 means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with `max_attempts` total attempts.
+    pub fn with_max_attempts(attempts: u32) -> Self {
+        Self {
+            max_attempts: attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// The sleep before retrying `unit`'s attempt number `attempt`
+    /// (1-based; the attempt that just failed): exponential in the
+    /// attempt, clamped, plus deterministic jitter in `[0, base_backoff)`.
+    pub fn backoff_for(&self, unit: usize, attempt: u32) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+        let clamped = exp.min(self.max_backoff);
+        let base_nanos = self.base_backoff.as_nanos() as u64;
+        if base_nanos == 0 {
+            return clamped;
+        }
+        let hash = crate::fault::jitter_hash(self.seed, unit as u64, u64::from(attempt));
+        clamped + Duration::from_nanos(hash % base_nanos)
+    }
+}
+
 /// Configures and builds an [`Engine`] — the one construction path both
 /// the `veritas` CLI and the `veritasd` service go through.
 ///
@@ -357,6 +458,8 @@ pub struct EngineBuilder {
     cache_dir: Option<PathBuf>,
     min_cache_hits: Option<u64>,
     admission: Option<usize>,
+    retry: Option<RetryPolicy>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl EngineBuilder {
@@ -413,6 +516,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables per-unit retry (and session quarantine on exhaustion)
+    /// under `policy`. See [`RetryPolicy`].
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan: compute faults and
+    /// worker panics in the unit path, plus disk-cache read/write faults
+    /// when a [`Self::cache_dir`] is configured. Chaos-testing only —
+    /// production engines leave this unset.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         if self.cache_disabled && self.cache_dir.is_some() {
@@ -428,9 +547,15 @@ impl EngineBuilder {
         }
         let mut cache = AbductionCache::new();
         if let Some(dir) = self.cache_dir {
-            cache.attach_disk_store(DiskStore::open(dir)?);
+            let mut store = DiskStore::open(dir)?;
+            if let Some(plan) = &self.fault {
+                store = store.with_fault_plan(Arc::clone(plan));
+            }
+            cache.attach_disk_store(store);
         }
         Ok(Engine {
+            retry: self.retry,
+            fault: self.fault,
             threads: self.threads.map(|threads| {
                 if threads == 0 {
                     executor::default_threads()
@@ -472,6 +597,8 @@ pub struct Engine {
     cache: Arc<AbductionCache>,
     min_cache_hits: Option<u64>,
     admission: Option<Arc<AdmissionGate>>,
+    retry: Option<RetryPolicy>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for Engine {
@@ -745,11 +872,15 @@ impl Engine {
             run_hits: AtomicU64::new(0),
             run_misses: AtomicU64::new(0),
             run_disk_hits: AtomicU64::new(0),
+            retry: self.retry,
+            fault: self.fault.clone(),
+            run_retries: AtomicU64::new(0),
+            quarantined: Mutex::new(BTreeSet::new()),
         });
         let worker_ctx = Arc::clone(&ctx);
         let capacity = threads.saturating_mul(2).clamp(4, 1024);
         let (rx, workers) = executor::stream_groups(groups, threads, capacity, move |index| {
-            worker_ctx.run_unit(index)
+            worker_ctx.supervised_run(index)
         });
 
         let folds = plan
@@ -800,9 +931,10 @@ struct AggregateFold {
 /// the handle abandons the run: workers observe the closed channel and
 /// stop after their in-flight unit.
 ///
-/// Worker panics (which cannot happen through the public query surface —
-/// per-unit failures are records, not panics) are re-raised by `wait`,
-/// `into_summary`, and the iterator once the stream drains.
+/// Unit panics are *isolated*: a panicking unit becomes a typed error
+/// record (via [`crate::executor::run_isolated`]), so the only panics
+/// `wait`, `into_summary`, and the iterator can re-raise on join are
+/// defects in the streaming machinery itself.
 pub struct RunHandle {
     rx: Option<mpsc::Receiver<(usize, QueryRecord)>>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -920,6 +1052,18 @@ impl RunHandle {
             threads: self.threads,
             shards: self.shards,
             elapsed_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            retries: self.ctx.run_retries.load(Ordering::Relaxed),
+            quarantined: {
+                let mut ids: Vec<String> = self
+                    .ctx
+                    .quarantined
+                    .lock()
+                    .iter()
+                    .map(|&si| self.ctx.corpus.session_id(si).to_string())
+                    .collect();
+                ids.sort();
+                ids
+            },
             per_query,
         }
     }
@@ -989,9 +1133,99 @@ struct ExecCtx {
     run_misses: AtomicU64,
     /// Posteriors this run's units restored from the persistent store.
     run_disk_hits: AtomicU64,
+    /// The engine's retry policy, when one was configured.
+    retry: Option<RetryPolicy>,
+    /// The engine's fault plan, when one was configured (chaos testing).
+    fault: Option<Arc<FaultPlan>>,
+    /// Unit retries this run performed.
+    run_retries: AtomicU64,
+    /// Corpus session indices quarantined by retry exhaustion.
+    quarantined: Mutex<BTreeSet<usize>>,
 }
 
 impl ExecCtx {
+    /// The supervised unit path every worker goes through: quarantine
+    /// short-circuit, panic isolation, and (under a [`RetryPolicy`])
+    /// bounded retry with deterministic backoff.
+    ///
+    /// Panic isolation is unconditional — a panicking unit becomes a
+    /// typed error record whether or not retries are enabled, so one
+    /// poisoned unit can never kill the run. Retry treats a typed unit
+    /// error and an isolated panic identically; a unit that exhausts
+    /// `max_attempts` quarantines its session (subsequent units on that
+    /// session answer a typed quarantine error without running).
+    fn supervised_run(&self, index: usize) -> QueryRecord {
+        let unit = self.plan.units()[index];
+        if self.retry.is_some() && self.quarantined.lock().contains(&unit.session) {
+            return self.synth_error_record(
+                index,
+                format!(
+                    "session {} quarantined after repeated failures",
+                    self.corpus.session_id(unit.session)
+                ),
+                None,
+            );
+        }
+        let max_attempts = self
+            .retry
+            .map_or(1, |policy| u64::from(policy.max_attempts.max(1)));
+        let mut attempt: u64 = 0;
+        loop {
+            attempt += 1;
+            let outcome = executor::run_isolated(|| self.run_unit(index));
+            let record = match outcome {
+                Ok(record) => record,
+                Err(panic_message) => self.synth_error_record(
+                    index,
+                    format!("worker panicked: {panic_message}"),
+                    None,
+                ),
+            };
+            if record.is_ok() {
+                return record;
+            }
+            if attempt < max_attempts {
+                self.run_retries.fetch_add(1, Ordering::Relaxed);
+                let policy = self.retry.expect("max_attempts > 1 implies a policy");
+                std::thread::sleep(policy.backoff_for(index, attempt as u32));
+                continue;
+            }
+            if self.retry.is_some() {
+                self.quarantined.lock().insert(unit.session);
+                let mut record = record;
+                record.attempts = Some(attempt);
+                return record;
+            }
+            return record;
+        }
+    }
+
+    /// A typed error record for unit `index` that did not come out of
+    /// [`ExecCtx::run_unit`] (quarantine short-circuits and isolated
+    /// panics).
+    fn synth_error_record(
+        &self,
+        index: usize,
+        error: String,
+        attempts: Option<u64>,
+    ) -> QueryRecord {
+        let unit = self.plan.units()[index];
+        let query = &self.plan.set().queries[unit.query];
+        let planned = &self.plan.configs()[unit.config];
+        QueryRecord {
+            query_id: query.id.clone(),
+            kind: query.kind,
+            session: self.corpus.session_id(unit.session).to_string(),
+            variant: planned.label.clone(),
+            status: "error".to_string(),
+            error: Some(error),
+            cache: None,
+            elapsed_us: 0,
+            output: None,
+            attempts,
+        }
+    }
+
     fn run_unit(&self, index: usize) -> QueryRecord {
         let unit = self.plan.units()[index];
         let query = &self.plan.set().queries[unit.query];
@@ -1031,6 +1265,7 @@ impl ExecCtx {
                 cache,
                 elapsed_us,
                 output: Some(output),
+                attempts: None,
             },
             Err(error) => QueryRecord {
                 query_id: query.id.clone(),
@@ -1042,6 +1277,7 @@ impl ExecCtx {
                 cache: None,
                 elapsed_us,
                 output: None,
+                attempts: None,
             },
         }
     }
@@ -1055,6 +1291,14 @@ impl ExecCtx {
         horizon: usize,
         planned: &PlannedConfig,
     ) -> Result<(Arc<Abduction>, Option<String>), String> {
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::ComputePanic) {
+                panic!("injected compute panic (fault plan)");
+            }
+            if fault.should_inject(FaultSite::Compute) {
+                return Err("injected compute fault (fault plan)".to_string());
+            }
+        }
         // A lazy corpus decodes (or returns the resident copy of) the
         // session block here; a load failure surfaces as this unit's
         // per-record error, like any other per-unit failure.
@@ -1255,6 +1499,7 @@ fn aggregate_record(query: &Query, fold: &AggregateFold) -> QueryRecord {
         cache: None,
         elapsed_us: 0,
         output: None,
+        attempts: None,
     };
     if fold.values.is_empty() {
         record.status = "error".to_string();

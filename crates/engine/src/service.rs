@@ -24,16 +24,34 @@
 //!   from deterministic batch order to completion order (records are
 //!   flushed the moment their unit finishes).
 //! * `{"metrics": true}` — a point-in-time [`MetricsSnapshot`].
+//! * `{"shutdown": true}` — begin a graceful drain: the request is
+//!   acknowledged with `{"draining": true}`, in-flight plans finish,
+//!   new query requests are refused with a typed `"draining"` envelope,
+//!   and once the last plan's summary is on the wire the process exits
+//!   cleanly.
+//!
+//! When the daemon was started with `--auth-token SECRET`, every request
+//! line must additionally carry `{"auth": "SECRET"}`; a missing or
+//! mismatched token is answered with a typed `"unauthorized"` envelope
+//! and the connection is closed. The comparison is constant-time.
 //!
 //! Responses are newline-delimited JSON too:
 //!
 //! * Each [`QueryRecord`] is one raw line — byte-identical to the lines
 //!   of [`crate::EngineReport::to_jsonl`].
-//! * The terminal line of a query is `{"summary": <RunSummary>}`.
+//! * The terminal line of a query is `{"summary": <RunSummary>,
+//!   "req_id": N}` — `req_id` is a per-daemon monotonic plan id, echoed
+//!   in the structured stderr log so wire responses and log lines can
+//!   be joined.
 //! * A metrics request answers with `{"metrics": <MetricsSnapshot>}`.
 //! * Any failure is `{"error": {"kind": ..., "detail": ...}}` (see
 //!   [`crate::ErrorEnvelope`]); the connection stays open — line framing
 //!   survives a bad request.
+//!
+//! Every served (or refused) plan also emits one structured JSONL line
+//! to stderr: `{"ts_ms", "req_id", "peer", "records", "elapsed_us",
+//! "status"}` with `status` one of `"ok"`, `"shed"`, `"drained"`, or
+//! `"unauthorized"`.
 //!
 //! # Admission control & connection hygiene
 //!
@@ -68,6 +86,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::CacheStats;
 use crate::corpus::{Corpus, SessionCorpus, SyntheticSpec};
 use crate::error::EngineError;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::plan::{percentile_u64, QueryPlan};
 use crate::query::{object_fields, opt, reject_unknown, QuerySet};
 use crate::runner::{Engine, QueryLatency, QueryRecord, RunSummary, AGGREGATE_SESSION};
@@ -106,16 +125,32 @@ pub enum CorpusSource {
 impl CorpusSource {
     /// Loads (or synthesizes, or lazily opens) the corpus.
     pub fn load(&self) -> Result<Arc<dyn Corpus>, EngineError> {
+        self.load_with_fault(None)
+    }
+
+    /// [`CorpusSource::load`], with an optional fault plan attached to
+    /// the corpus-side injection points (currently: `.vcorp` block
+    /// decodes, see [`LazyCorpus::with_fault_plan`]).
+    pub fn load_with_fault(
+        &self,
+        fault: Option<Arc<FaultPlan>>,
+    ) -> Result<Arc<dyn Corpus>, EngineError> {
         match self {
             CorpusSource::Dir(dir) => Ok(Arc::new(SessionCorpus::from_dir(dir)?)),
-            CorpusSource::Vcorp(path) => Ok(Arc::new(LazyCorpus::open(path)?)),
+            CorpusSource::Vcorp(path) => {
+                let corpus = LazyCorpus::open(path)?;
+                Ok(Arc::new(match fault {
+                    Some(plan) => corpus.with_fault_plan(plan),
+                    None => corpus,
+                }))
+            }
             CorpusSource::Synthetic { sessions, seed } => Ok(Arc::new(
                 SyntheticSpec {
                     sessions: *sessions,
                     seed: *seed,
                     ..SyntheticSpec::default()
                 }
-                .build(),
+                .try_build()?,
             )),
         }
     }
@@ -144,6 +179,14 @@ pub struct ServiceConfig {
     /// Concurrently open connections admitted (`0` = unbounded); excess
     /// accepts are shed with a typed `"overloaded"` envelope.
     pub max_connections: usize,
+    /// Shared secret; when set, every request line must carry a matching
+    /// `auth` field or it is refused with a typed `"unauthorized"`
+    /// envelope and the connection is closed.
+    pub auth_token: Option<String>,
+    /// Fault-injection spec (see [`FaultPlan::parse`]); when set, the
+    /// parsed plan is attached to the engine, the corpus, and the
+    /// service's own socket I/O for chaos testing.
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -160,6 +203,8 @@ impl Default for ServiceConfig {
             admission: DEFAULT_ADMISSION_BOUND,
             io_timeout_s: DEFAULT_IO_TIMEOUT_S,
             max_connections: 0,
+            auth_token: None,
+            fault_spec: None,
         }
     }
 }
@@ -171,7 +216,8 @@ impl ServiceConfig {
     /// ```text
     /// [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N] [--seed S]
     /// [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
-    /// [--io-timeout SECS] [--max-connections N]
+    /// [--io-timeout SECS] [--max-connections N] [--auth-token SECRET]
+    /// [--fault-spec SPEC]
     /// ```
     ///
     /// A `--corpus` path ending in `.vcorp` is served lazily from the
@@ -208,11 +254,13 @@ impl ServiceConfig {
                     config.max_connections =
                         parse_num(&value_for("--max-connections")?, "--max-connections")?
                 }
+                "--auth-token" => config.auth_token = Some(value_for("--auth-token")?),
+                "--fault-spec" => config.fault_spec = Some(value_for("--fault-spec")?),
                 other => {
                     return Err(EngineError::Config(format!(
                         "unknown flag `{other}` (accepted: --addr, --corpus, --synthetic, \
                          --seed, --threads, --shards, --cache-dir, --admission, --io-timeout, \
-                         --max-connections)"
+                         --max-connections, --auth-token, --fault-spec)"
                     )))
                 }
             }
@@ -241,12 +289,15 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, EngineEr
         .map_err(|_| EngineError::Config(format!("invalid numeric value `{text}` for {flag}")))
 }
 
-/// One parsed request line. Exactly one of `query` / `metrics` must be
-/// present; unknown fields are rejected so client typos fail loudly.
+/// One parsed request line. Exactly one of `query` / `metrics` /
+/// `shutdown` must be present; unknown fields are rejected so client
+/// typos fail loudly.
 struct Request {
     query: Option<QuerySet>,
     stream: bool,
     metrics: bool,
+    shutdown: bool,
+    auth: Option<String>,
 }
 
 impl<'de> Deserialize<'de> for Request {
@@ -256,17 +307,23 @@ impl<'de> Deserialize<'de> for Request {
             query: opt(&mut fields, "query")?,
             stream: opt(&mut fields, "stream")?.unwrap_or(false),
             metrics: opt(&mut fields, "metrics")?.unwrap_or(false),
+            shutdown: opt(&mut fields, "shutdown")?.unwrap_or(false),
+            auth: opt(&mut fields, "auth")?,
         };
         reject_unknown(&fields, "service request")?;
         Ok(request)
     }
 }
 
-/// The terminal response line of a query: `{"summary": <RunSummary>}`.
+/// The terminal response line of a query: `{"summary": <RunSummary>,
+/// "req_id": N}`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SummaryEnvelope {
     /// The run's summary.
     pub summary: RunSummary,
+    /// The daemon's monotonic plan id for this run — the join key
+    /// against the structured stderr log.
+    pub req_id: Option<u64>,
 }
 
 /// The response to a metrics request: `{"metrics": <MetricsSnapshot>}`.
@@ -313,6 +370,20 @@ struct ServiceState {
     corpus: Arc<dyn Corpus>,
     started: Instant,
     shutdown: AtomicBool,
+    /// Flipped by a `shutdown` request: new plans are refused with a
+    /// typed `"draining"` envelope while in-flight plans finish.
+    draining: AtomicBool,
+    /// Whether the drain watcher thread has been spawned (first
+    /// `shutdown` request wins; later ones are acknowledged only).
+    drain_started: AtomicBool,
+    /// Monotonic plan id, echoed in summary envelopes and stderr logs.
+    req_ids: AtomicU64,
+    /// The bound address, for the drain watcher's accept-loop wake-up.
+    self_addr: SocketAddr,
+    /// Shared secret required on every request when set.
+    auth_token: Option<String>,
+    /// Chaos hook: injects [`FaultSite::Socket`] failures when set.
+    fault: Option<Arc<FaultPlan>>,
     /// Per-connection read/write deadline (`None`: no deadline).
     io_timeout: Option<Duration>,
     /// Concurrently open connections admitted (`0` = unbounded).
@@ -324,6 +395,33 @@ struct ServiceState {
     plans_shed: AtomicU64,
     records_streamed: AtomicU64,
     latencies: Mutex<HashMap<String, Vec<u64>>>,
+}
+
+/// One structured stderr log line — the daemon's per-plan operational
+/// record (see the module docs).
+#[derive(Serialize)]
+struct PlanLogLine {
+    ts_ms: u64,
+    req_id: Option<u64>,
+    peer: String,
+    records: u64,
+    elapsed_us: u64,
+    status: String,
+}
+
+/// Compares two secrets without short-circuiting on the first mismatch,
+/// so the comparison time leaks neither the match prefix length nor
+/// (beyond the max of the two lengths) the token length.
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 impl ServiceState {
@@ -380,14 +478,42 @@ impl ServiceState {
     }
 
     /// Answers one request line. Write failures mean the client is gone;
-    /// everything else is answered on the wire and keeps the connection.
-    fn respond(&self, line: &str, writer: &mut impl Write) -> io::Result<()> {
+    /// everything else is answered on the wire and keeps the connection —
+    /// except an auth failure, which answers and then closes.
+    fn respond(
+        self: &Arc<Self>,
+        line: &str,
+        peer: &str,
+        writer: &mut impl Write,
+    ) -> io::Result<()> {
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::Socket) {
+                // Simulate the peer (or the network) dying mid-exchange:
+                // the connection thread unwinds exactly as it would on a
+                // real reset, and the client must reconnect.
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected socket fault",
+                ));
+            }
+        }
         let request = match serde_json::from_str::<Request>(line) {
             Ok(request) => request,
             Err(e) => return self.refuse(writer, &EngineError::Protocol(e.to_string())),
         };
-        match (request.query, request.metrics) {
-            (None, true) => {
+        if let Some(expected) = &self.auth_token {
+            let presented = request.auth.as_deref().unwrap_or("");
+            if !constant_time_eq(presented, expected) {
+                self.log_plan(None, peer, 0, 0, "unauthorized");
+                self.refuse(writer, &EngineError::Unauthorized)?;
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    "missing or invalid auth token",
+                ));
+            }
+        }
+        match (request.query, request.metrics, request.shutdown) {
+            (None, true, false) => {
                 let line = serde_json::to_string(&MetricsEnvelope {
                     metrics: self.snapshot(),
                 })
@@ -395,11 +521,13 @@ impl ServiceState {
                 writeln!(writer, "{line}")?;
                 writer.flush()
             }
-            (Some(set), false) => self.serve_query(set, request.stream, writer),
-            (None, false) | (Some(_), true) => self.refuse(
+            (None, false, true) => self.begin_drain(writer),
+            (Some(set), false, false) => self.serve_query(set, request.stream, peer, writer),
+            _ => self.refuse(
                 writer,
                 &EngineError::Protocol(
-                    "a request must carry exactly one of `query` or `metrics`".to_string(),
+                    "a request must carry exactly one of `query`, `metrics`, or `shutdown`"
+                        .to_string(),
                 ),
             ),
         }
@@ -410,6 +538,55 @@ impl ServiceState {
         writer.flush()
     }
 
+    /// One structured JSONL line per plan (or refusal) on stderr, so an
+    /// operator can join wire responses (`req_id` in the summary
+    /// envelope) against the daemon's log.
+    fn log_plan(
+        &self,
+        req_id: Option<u64>,
+        peer: &str,
+        records: u64,
+        elapsed_us: u64,
+        status: &str,
+    ) {
+        let line = PlanLogLine {
+            ts_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|since| since.as_millis() as u64)
+                .unwrap_or(0),
+            req_id,
+            peer: peer.to_string(),
+            records,
+            elapsed_us,
+            status: status.to_string(),
+        };
+        eprintln!(
+            "{}",
+            serde_json::to_string(&line).expect("log serialization cannot fail")
+        );
+    }
+
+    /// Handles a `shutdown` request: flip the drain gate, acknowledge,
+    /// and (once) spawn the watcher that waits for the last in-flight
+    /// plan before stopping the accept loop.
+    fn begin_drain(self: &Arc<Self>, writer: &mut impl Write) -> io::Result<()> {
+        self.draining.store(true, Ordering::Release);
+        if !self.drain_started.swap(true, Ordering::AcqRel) {
+            let state = Arc::clone(self);
+            std::thread::spawn(move || {
+                while state.engine.active_plans() > 0 {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                state.shutdown.store(true, Ordering::Release);
+                // Wake the blocking accept so the loop observes the flag.
+                let _ = TcpStream::connect(state.self_addr);
+            });
+        }
+        let ack = r#"{"draining":true}"#;
+        writeln!(writer, "{ack}")?;
+        writer.flush()
+    }
+
     /// Runs one admitted query set: stream the records, then the summary
     /// envelope. The admission permit is held until the summary is on the
     /// wire, so `plans_active` covers the full client-visible lifetime.
@@ -417,15 +594,31 @@ impl ServiceState {
         &self,
         set: QuerySet,
         streaming: bool,
+        peer: &str,
         writer: &mut impl Write,
     ) -> io::Result<()> {
+        let req_id = self.req_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let started = Instant::now();
+        if self.draining.load(Ordering::Acquire) {
+            self.log_plan(Some(req_id), peer, 0, 0, "drained");
+            return self.refuse(writer, &EngineError::Draining);
+        }
         let permit = match self.engine.try_admit() {
             Ok(permit) => permit,
             Err(error) => {
                 self.plans_shed.fetch_add(1, Ordering::Relaxed);
+                self.log_plan(Some(req_id), peer, 0, 0, "shed");
                 return self.refuse(writer, &error);
             }
         };
+        // Re-check under the permit: a drain that began between the first
+        // check and admission must still see this plan refused, or the
+        // watcher could observe zero active plans while we start one.
+        if self.draining.load(Ordering::Acquire) {
+            drop(permit);
+            self.log_plan(Some(req_id), peer, 0, 0, "drained");
+            return self.refuse(writer, &EngineError::Draining);
+        }
         let plan = match QueryPlan::compile(&set, self.corpus.as_ref()) {
             Ok(plan) => Arc::new(plan),
             Err(error) => return self.refuse(writer, &error),
@@ -434,12 +627,14 @@ impl ServiceState {
             Ok(handle) => handle,
             Err(error) => return self.refuse(writer, &error),
         };
+        let mut records: u64 = 0;
         let summary = if streaming {
             // Completion order, one flush per record: the client sees
             // each unit the moment it finishes.
             let mut handle = handle;
             for record in &mut handle {
                 self.observe(&record);
+                records += 1;
                 let line =
                     serde_json::to_string(&record).expect("record serialization cannot fail");
                 writeln!(writer, "{line}")?;
@@ -453,14 +648,25 @@ impl ServiceState {
             for record in &report.records {
                 self.observe(record);
             }
+            records = report.records.len() as u64;
             writer.write_all(report.to_jsonl().as_bytes())?;
             report.summary
         };
-        let line = serde_json::to_string(&SummaryEnvelope { summary })
-            .expect("summary serialization cannot fail");
+        let line = serde_json::to_string(&SummaryEnvelope {
+            summary,
+            req_id: Some(req_id),
+        })
+        .expect("summary serialization cannot fail");
         writeln!(writer, "{line}")?;
         writer.flush()?;
         self.plans_served.fetch_add(1, Ordering::Relaxed);
+        self.log_plan(
+            Some(req_id),
+            peer,
+            records,
+            started.elapsed().as_micros() as u64,
+            "ok",
+        );
         drop(permit);
         Ok(())
     }
@@ -477,9 +683,22 @@ pub struct Service {
 }
 
 impl Service {
-    /// Loads the corpus, builds the engine, and binds the listener.
+    /// Loads the corpus, builds the engine, and binds the listener. A
+    /// `fault_spec`, when present, is parsed here (a malformed spec is a
+    /// [`EngineError::Config`]) and attached to every injection point the
+    /// daemon owns: the engine (compute + disk tier), the corpus (block
+    /// decodes), and the connection handlers (socket I/O).
     pub fn bind(config: ServiceConfig) -> Result<Self, EngineError> {
-        let corpus = config.corpus.load()?;
+        let fault = config
+            .fault_spec
+            .as_deref()
+            .map(|spec| {
+                FaultPlan::parse(spec)
+                    .map(Arc::new)
+                    .map_err(|e| EngineError::Config(format!("invalid --fault-spec: {e}")))
+            })
+            .transpose()?;
+        let corpus = config.corpus.load_with_fault(fault.clone())?;
         if corpus.is_empty() {
             return Err(EngineError::EmptyCorpus);
         }
@@ -493,8 +712,12 @@ impl Service {
         if let Some(dir) = config.cache_dir {
             builder = builder.cache_dir(dir);
         }
+        if let Some(plan) = &fault {
+            builder = builder.fault_plan(Arc::clone(plan));
+        }
         let engine = builder.build()?;
         let listener = TcpListener::bind(&config.addr)?;
+        let self_addr = listener.local_addr()?;
         Ok(Self {
             listener,
             state: Arc::new(ServiceState {
@@ -502,6 +725,12 @@ impl Service {
                 corpus,
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                drain_started: AtomicBool::new(false),
+                req_ids: AtomicU64::new(0),
+                self_addr,
+                auth_token: config.auth_token,
+                fault,
                 io_timeout: (config.io_timeout_s > 0)
                     .then(|| Duration::from_secs(config.io_timeout_s)),
                 max_connections: config.max_connections,
@@ -565,6 +794,13 @@ impl Service {
                 handle_connection(&state, stream);
             });
         }
+        // Graceful drain: the accept loop is closed, but an admitted plan
+        // may still be streaming on its connection thread. Return (and,
+        // in the daemon, exit) only once every permit is back, so no
+        // in-flight record or summary line is lost.
+        while self.state.engine.active_plans() > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         Ok(())
     }
 
@@ -583,6 +819,10 @@ impl Service {
 }
 
 fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|addr| addr.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     // Flushed record lines should hit the wire immediately — a streaming
     // client is latency-sensitive and the lines are small.
     let _ = stream.set_nodelay(true);
@@ -607,7 +847,7 @@ fn handle_connection(state: &Arc<ServiceState>, stream: TcpStream) {
         if trimmed.is_empty() {
             continue;
         }
-        if state.respond(trimmed, &mut writer).is_err() {
+        if state.respond(trimmed, &peer, &mut writer).is_err() {
             return;
         }
     }
@@ -631,6 +871,15 @@ impl ServiceHandle {
     /// state (no connection needed).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.state.snapshot()
+    }
+
+    /// Whether the accept loop has exited — true after a graceful drain
+    /// (`{"shutdown": true}`) has run to completion.
+    pub fn is_finished(&self) -> bool {
+        match &self.thread {
+            Some(thread) => thread.is_finished(),
+            None => true,
+        }
     }
 
     /// Stops accepting connections and joins the accept loop. In-flight
@@ -694,6 +943,10 @@ mod tests {
             "5",
             "--max-connections",
             "64",
+            "--auth-token",
+            "hunter2",
+            "--fault-spec",
+            "seed=7,compute=0.1",
         ]))
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -713,6 +966,8 @@ mod tests {
         assert_eq!(config.admission, 8);
         assert_eq!(config.io_timeout_s, 5);
         assert_eq!(config.max_connections, 64);
+        assert_eq!(config.auth_token.as_deref(), Some("hunter2"));
+        assert_eq!(config.fault_spec.as_deref(), Some("seed=7,compute=0.1"));
     }
 
     #[test]
@@ -749,7 +1004,40 @@ mod tests {
         assert!(!query.stream && !query.metrics);
         let metrics: Request = serde_json::from_str(r#"{"metrics": true}"#).unwrap();
         assert!(metrics.metrics && metrics.query.is_none());
+        let drain: Request =
+            serde_json::from_str(r#"{"shutdown": true, "auth": "hunter2"}"#).unwrap();
+        assert!(drain.shutdown && drain.query.is_none() && !drain.metrics);
+        assert_eq!(drain.auth.as_deref(), Some("hunter2"));
         assert!(serde_json::from_str::<Request>(r#"{"querry": {}}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"[1, 2]"#).is_err());
+    }
+
+    #[test]
+    fn token_comparison_matches_only_exact_secrets() {
+        assert!(constant_time_eq("", ""));
+        assert!(constant_time_eq("hunter2", "hunter2"));
+        assert!(!constant_time_eq("hunter2", "hunter3"));
+        assert!(!constant_time_eq("hunter2", "hunter2 "));
+        assert!(!constant_time_eq("hunter2", ""));
+        assert!(!constant_time_eq("", "hunter2"));
+    }
+
+    #[test]
+    fn a_malformed_fault_spec_is_a_config_error_at_bind() {
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            fault_spec: Some("seed=nope".to_string()),
+            ..ServiceConfig::default()
+        };
+        let error = match Service::bind(config) {
+            Ok(_) => panic!("a malformed fault spec must not bind"),
+            Err(error) => error,
+        };
+        match error {
+            EngineError::Config(detail) => {
+                assert!(detail.contains("--fault-spec"), "got: {detail}")
+            }
+            other => panic!("expected a Config error, got {other:?}"),
+        }
     }
 }

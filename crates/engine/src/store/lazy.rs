@@ -14,6 +14,7 @@ use veritas_trace::BandwidthTrace;
 
 use super::{decode_block, open_parts, CorpusMeta, IndexEntry, VcorpError};
 use crate::corpus::{Corpus, LogRef};
+use crate::fault::{FaultPlan, FaultSite};
 
 /// Default ceiling on concurrently resident decoded session logs.
 pub const DEFAULT_MAX_RESIDENT: usize = 256;
@@ -52,6 +53,8 @@ pub struct LazyCorpus {
     resident: Mutex<Resident>,
     max_resident: usize,
     peak_resident: AtomicUsize,
+    /// Chaos hook: injects [`FaultSite::Decode`] failures when set.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl LazyCorpus {
@@ -79,6 +82,7 @@ impl LazyCorpus {
             resident: Mutex::new(Resident::default()),
             max_resident: DEFAULT_MAX_RESIDENT,
             peak_resident: AtomicUsize::new(0),
+            fault: None,
         })
     }
 
@@ -86,6 +90,16 @@ impl LazyCorpus {
     /// default [`DEFAULT_MAX_RESIDENT`]).
     pub fn with_max_resident(mut self, max: usize) -> Self {
         self.max_resident = max.max(1);
+        self
+    }
+
+    /// Attaches a fault plan: block decodes consult it and fail
+    /// deterministically with a typed [`VcorpError::Corrupt`], surfacing
+    /// as a retryable per-unit error. Resident (already-decoded) logs are
+    /// never faulted — an injected decode fault is transient, like the
+    /// real I/O glitches it stands in for.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -146,6 +160,13 @@ impl LazyCorpus {
     pub fn load_log(&self, index: usize) -> Result<Arc<SessionLog>, VcorpError> {
         if let Some(log) = self.resident.lock().expect("resident lock").map.get(&index) {
             return Ok(Arc::clone(log));
+        }
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::Decode) {
+                return Err(VcorpError::Corrupt(format!(
+                    "injected block decode fault (session index {index})"
+                )));
+            }
         }
         let entry = &self.index[index];
         let bytes = {

@@ -510,3 +510,137 @@ fn the_veritasd_binary_announces_its_port_and_serves_queries() {
     child.kill().unwrap();
     let _ = child.wait();
 }
+
+#[test]
+fn an_auth_token_gates_every_request() {
+    let mut cfg = config(2, 47);
+    cfg.auth_token = Some("hunter2".to_string());
+    let handle = Service::bind(cfg).unwrap().spawn().unwrap();
+
+    // No token: a typed refusal, then the connection is closed.
+    let mut anon = Client::connect(&handle.addr());
+    anon.send(r#"{"metrics": true}"#);
+    let error = ErrorEnvelope::parse(&anon.read_line()).unwrap();
+    assert_eq!(error.kind, "unauthorized");
+    let mut line = String::new();
+    assert_eq!(
+        anon.reader.read_line(&mut line).unwrap(),
+        0,
+        "an unauthorized connection must be closed after the refusal"
+    );
+
+    // Wrong token: same refusal; the daemon itself stays healthy.
+    let mut wrong = Client::connect(&handle.addr());
+    wrong.send(r#"{"metrics": true, "auth": "hunter3"}"#);
+    assert_eq!(
+        ErrorEnvelope::parse(&wrong.read_line()).unwrap().kind,
+        "unauthorized"
+    );
+
+    // The right token is served normally — metrics and queries alike.
+    let mut authed = Client::connect(&handle.addr());
+    authed.send(r#"{"metrics": true, "auth": "hunter2"}"#);
+    let line = authed.read_line();
+    let metrics = serde_json::from_str::<MetricsEnvelope>(&line)
+        .unwrap_or_else(|e| panic!("an authed metrics request must be served ({e}): {line}"))
+        .metrics;
+    assert_eq!(metrics.sessions, 2);
+
+    let set_json = serde_json::to_string(&small_set("authed")).unwrap();
+    authed.send(&format!(r#"{{"query": {set_json}, "auth": "hunter2"}}"#));
+    let mut records = 0;
+    let summary = loop {
+        let line = authed.read_line();
+        if let Ok(envelope) = serde_json::from_str::<SummaryEnvelope>(&line) {
+            break envelope.summary;
+        }
+        assert!(
+            serde_json::from_str::<QueryRecord>(&line).is_ok(),
+            "unexpected line: {line}"
+        );
+        records += 1;
+    };
+    assert_eq!(records, 4);
+    assert_eq!(summary.errors, 0);
+    handle.stop();
+}
+
+#[test]
+fn a_shutdown_request_drains_in_flight_plans_then_exits() {
+    let mut cfg = config(4, 43);
+    cfg.threads = Some(1);
+    let handle = Service::bind(cfg).unwrap().spawn().unwrap();
+
+    // Client A holds a deliberately slow plan in flight (single worker,
+    // heavy sampling), proven admitted by its first streamed record.
+    let slow_set =
+        QuerySet::new("slow", VeritasConfig::paper_default().with_samples(192)).with_query(
+            Query::counterfactual("hold-the-slot", ScenarioSpec::abr("bba")),
+        );
+    let mut holder = Client::connect(&handle.addr());
+    let set_json = serde_json::to_string(&slow_set).unwrap();
+    holder.send(&format!(r#"{{"query": {set_json}, "stream": true}}"#));
+    let first = holder.read_line();
+    assert!(
+        serde_json::from_str::<QueryRecord>(&first).is_ok(),
+        "first line was: {first}"
+    );
+
+    // A second connection asks for shutdown and is acked immediately.
+    let mut admin = Client::connect(&handle.addr());
+    admin.send(r#"{"shutdown": true}"#);
+    assert_eq!(admin.read_line(), r#"{"draining":true}"#);
+
+    // New plans on the draining daemon get the typed refusal.
+    let refused = admin.query(&small_set("too-late"), false);
+    let error = refused
+        .error
+        .expect("a draining daemon must refuse new plans");
+    assert_eq!(error.kind, "draining");
+
+    // The in-flight plan still streams every record and its summary.
+    let mut records = 1;
+    let summary = loop {
+        let line = holder.read_line();
+        if let Ok(envelope) = serde_json::from_str::<SummaryEnvelope>(&line) {
+            break envelope.summary;
+        }
+        records += 1;
+    };
+    assert_eq!(records, 4, "drain must not drop in-flight records");
+    assert_eq!(summary.errors, 0);
+
+    // With the last plan drained, the accept loop exits on its own —
+    // no stop() needed.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handle.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the daemon never exited after draining"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.stop();
+}
+
+#[test]
+fn summaries_carry_monotonic_request_ids() {
+    let handle = Service::bind(config(2, 59)).unwrap().spawn().unwrap();
+    let mut client = Client::connect(&handle.addr());
+    let set_json = serde_json::to_string(&small_set("req-id")).unwrap();
+    for expected in 1..=3u64 {
+        client.send(&format!(r#"{{"query": {set_json}}}"#));
+        let envelope = loop {
+            let line = client.read_line();
+            if let Ok(envelope) = serde_json::from_str::<SummaryEnvelope>(&line) {
+                break envelope;
+            }
+        };
+        assert_eq!(
+            envelope.req_id,
+            Some(expected),
+            "request ids must count every query request on the daemon"
+        );
+    }
+    handle.stop();
+}
