@@ -6,7 +6,8 @@
 //!             [--seed S] [--threads N] [--shards N] [--stream] [--out FILE]
 //!             [--summary FILE] [--no-cache] [--cache-dir DIR]
 //!             [--min-cache-hits N] [--allow-errors] [--fault-spec SPEC]
-//!             [--retry N]
+//!             [--retry N] [--workers N] [--worker-cmd CMD]
+//! veritas worker [--addr HOST:PORT] ...              # veritasd under another name
 //! veritas ingest <DIR> --out FILE.vcorp [--append]
 //! veritas synth --out DIR [--sessions N] [--seed S]
 //! veritas bench [--sessions N] [--queries N] [--threads N]
@@ -39,7 +40,21 @@
 //! `seed=42,compute=0.1,disk_read=0.2`) so CI can chaos-test the real
 //! binary, and `--retry N` enables per-unit supervision: failed units
 //! are re-run up to N attempts with deterministic exponential backoff,
-//! and sessions that exhaust their attempts are quarantined. `bench` times the same synthetic query set
+//! and sessions that exhaust their attempts are quarantined.
+//!
+//! `--workers N` switches `run` to distributed execution: the corpus is
+//! partitioned into shards and farmed to N locally spawned worker
+//! processes (`veritas worker`, or whatever `--worker-cmd` names) by a
+//! `veritas_engine::dist::Coordinator`; the merged output is
+//! byte-identical (after timing normalization) to the single-process
+//! run, `--retry` bounds the coordinator's shard re-dispatches, and
+//! `--fault-spec` is forwarded to the workers rather than armed
+//! locally. `worker` is the daemon under another name — `veritas worker
+//! --addr 127.0.0.1:0 --corpus ...` is exactly `veritasd` with the same
+//! flags, which is how spawned pools work without a second binary on
+//! `PATH`.
+//!
+//! `bench` times the same synthetic query set
 //! with and without the abduction cache and reports the speedup — plus,
 //! with `--cache-dir`, a disk-warm pass restored entirely from the
 //! persistent store. `serve` runs the same engine as the `veritasd`
@@ -59,9 +74,9 @@ use std::time::Instant;
 
 use veritas::VeritasConfig;
 use veritas_engine::{
-    append_dir, ingest_dir, service, Corpus, Engine, EngineError, EngineReport, FaultPlan,
-    LazyCorpus, Query, QueryKind, QueryPlan, QueryRecord, QuerySet, RetryPolicy, RunSummary,
-    SessionCorpus, SyntheticSpec,
+    append_dir, ingest_dir, service, worker_command, Coordinator, Corpus, DistConfig, Engine,
+    EngineError, EngineReport, FaultPlan, LazyCorpus, Query, QueryKind, QueryPlan, QueryRecord,
+    QuerySet, RetryPolicy, RunSummary, SessionCorpus, SyntheticSpec,
 };
 
 /// What a subcommand can fail with: a usage problem (bad flags or
@@ -111,6 +126,10 @@ fn main() -> ExitCode {
         Some("synth") => cmd_synth(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => service::run_cli(&args[1..]).map_err(CliError::Engine),
+        // The worker alias keeps spawned pools single-binary: the dist
+        // coordinator launches `current_exe() worker ...` and gets a full
+        // veritasd without needing the daemon binary on PATH.
+        Some("worker") => service::run_cli(&args[1..]).map_err(CliError::Engine),
         Some("example-queries") => {
             println!("{}", QuerySet::example().to_json());
             Ok(())
@@ -142,6 +161,8 @@ fn print_usage() {
          \x20                            [--out FILE] [--summary FILE] [--no-cache]\n\
          \x20                            [--cache-dir DIR] [--min-cache-hits N]\n\
          \x20                            [--allow-errors] [--fault-spec SPEC] [--retry N]\n\
+         \x20                            [--workers N] [--worker-cmd CMD]\n\
+         \x20 veritas worker [--addr HOST:PORT] ...   (veritasd under another name)\n\
          \x20 veritas ingest <DIR> --out FILE.vcorp [--append]\n\
          \x20 veritas synth --out DIR [--sessions N] [--seed S]\n\
          \x20 veritas bench [--sessions N] [--queries N] [--threads N]\n\
@@ -177,6 +198,8 @@ struct Options {
     json: Option<PathBuf>,
     fault_spec: Option<String>,
     retry: Option<u32>,
+    workers: usize,
+    worker_cmd: Option<String>,
 }
 
 /// Parses `args`, accepting only the flags in `allowed` — a flag another
@@ -203,6 +226,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         json: None,
         fault_spec: None,
         retry: None,
+        workers: 0,
+        worker_cmd: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -245,6 +270,8 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--json" => options.json = Some(PathBuf::from(value_for("--json")?)),
             "--fault-spec" => options.fault_spec = Some(value_for("--fault-spec")?),
             "--retry" => options.retry = Some(parse_num(&value_for("--retry")?)?),
+            "--workers" => options.workers = parse_num(&value_for("--workers")?)?,
+            "--worker-cmd" => options.worker_cmd = Some(value_for("--worker-cmd")?),
             positional => options.positional.push(positional.to_string()),
         }
     }
@@ -256,22 +283,26 @@ fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, String> {
         .map_err(|_| format!("invalid numeric value `{text}`"))
 }
 
-/// Resolves the run's fault plan: `--fault-spec` wins, else the
-/// `VERITAS_FAULT_SPEC` environment variable, else none. A malformed
+/// The fault spec string a run would arm: `--fault-spec` wins, else the
+/// `VERITAS_FAULT_SPEC` environment variable, else none.
+fn resolved_fault_spec(options: &Options) -> Option<String> {
+    options.fault_spec.clone().or_else(|| {
+        std::env::var("VERITAS_FAULT_SPEC")
+            .ok()
+            .filter(|value| !value.is_empty())
+    })
+}
+
+/// Resolves the run's fault plan ([`resolved_fault_spec`]). A malformed
 /// spec is a usage error (exit 2).
 fn resolve_fault_plan(options: &Options) -> Result<Option<Arc<FaultPlan>>, CliError> {
-    let spec = match &options.fault_spec {
-        Some(spec) => Some(spec.clone()),
-        None => std::env::var("VERITAS_FAULT_SPEC")
-            .ok()
-            .filter(|value| !value.is_empty()),
-    };
-    spec.map(|spec| {
-        FaultPlan::parse(&spec)
-            .map(Arc::new)
-            .map_err(|e| CliError::Usage(format!("invalid fault spec `{spec}`: {e}")))
-    })
-    .transpose()
+    resolved_fault_spec(options)
+        .map(|spec| {
+            FaultPlan::parse(&spec)
+                .map(Arc::new)
+                .map_err(|e| CliError::Usage(format!("invalid fault spec `{spec}`: {e}")))
+        })
+        .transpose()
 }
 
 /// Loads the corpus a `--corpus`/`--synthetic` pair names. A `--corpus`
@@ -369,6 +400,8 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "--allow-errors",
             "--fault-spec",
             "--retry",
+            "--workers",
+            "--worker-cmd",
         ],
     )?;
     let [query_path] = options.positional.as_slice() else {
@@ -376,42 +409,54 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "run expects exactly one <queries.json> argument".to_string(),
         ));
     };
-    // The builder validates the flag combinations (`--no-cache` vs
-    // `--cache-dir` / `--min-cache-hits`) before any work happens. The
-    // same fault plan is shared by the engine and the corpus, so every
-    // injection point draws from one seeded decision stream.
-    let fault = resolve_fault_plan(&options)?;
-    let engine = build_engine(&options, fault.as_ref())?;
     let json = std::fs::read_to_string(query_path)
         .map_err(|e| format!("cannot read {query_path}: {e}"))?;
     let set = QuerySet::from_json(&json).map_err(|e| format!("cannot parse {query_path}: {e}"))?;
-    // The CLI owns both values, so they are shared with the workers via
-    // `submit_shared` instead of paying `submit`'s defensive deep copies.
-    let corpus = load_corpus(&options, fault.as_ref())?;
-    let plan = Arc::new(QueryPlan::compile(&set, corpus.as_ref())?);
 
-    let summary = if options.stream {
-        // Incremental consumption: each record is written (and flushed)
-        // the moment its unit completes, in completion order.
-        let mut handle = engine.submit_shared(Arc::clone(&corpus), Arc::clone(&plan))?;
-        let mut writer = record_writer(&options.out)?;
-        for record in &mut handle {
-            let line = serde_json::to_string(&record).expect("record serialization cannot fail");
-            writeln!(writer, "{line}").map_err(|e| format!("cannot write record: {e}"))?;
-            writer
-                .flush()
-                .map_err(|e| format!("cannot flush record: {e}"))?;
+    let summary = if options.workers > 0 {
+        if options.no_cache {
+            return Err(CliError::Usage(
+                "--no-cache cannot be combined with --workers (spawned workers always run a \
+                 cache; share one across them with --cache-dir)"
+                    .to_string(),
+            ));
         }
-        handle.into_summary()
+        run_distributed(&options, &set)?
     } else {
-        let report = engine
-            .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))?
-            .wait();
-        let mut writer = record_writer(&options.out)?;
-        write!(writer, "{}", report.to_jsonl())
-            .and_then(|()| writer.flush())
-            .map_err(|e| format!("cannot write records: {e}"))?;
-        report.summary
+        // The builder validates the flag combinations (`--no-cache` vs
+        // `--cache-dir` / `--min-cache-hits`) before any work happens. The
+        // same fault plan is shared by the engine and the corpus, so every
+        // injection point draws from one seeded decision stream.
+        let fault = resolve_fault_plan(&options)?;
+        let engine = build_engine(&options, fault.as_ref())?;
+        // The CLI owns both values, so they are shared with the workers via
+        // `submit_shared` instead of paying `submit`'s defensive deep copies.
+        let corpus = load_corpus(&options, fault.as_ref())?;
+        let plan = Arc::new(QueryPlan::compile(&set, corpus.as_ref())?);
+        if options.stream {
+            // Incremental consumption: each record is written (and flushed)
+            // the moment its unit completes, in completion order.
+            let mut handle = engine.submit_shared(Arc::clone(&corpus), Arc::clone(&plan))?;
+            let mut writer = record_writer(&options.out)?;
+            for record in &mut handle {
+                let line =
+                    serde_json::to_string(&record).expect("record serialization cannot fail");
+                writeln!(writer, "{line}").map_err(|e| format!("cannot write record: {e}"))?;
+                writer
+                    .flush()
+                    .map_err(|e| format!("cannot flush record: {e}"))?;
+            }
+            handle.into_summary()
+        } else {
+            let report = engine
+                .submit_shared(Arc::clone(&corpus), Arc::clone(&plan))?
+                .wait();
+            let mut writer = record_writer(&options.out)?;
+            write!(writer, "{}", report.to_jsonl())
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("cannot write records: {e}"))?;
+            report.summary
+        }
     };
 
     if let Some(path) = &options.summary {
@@ -426,10 +471,87 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             units: summary.units,
         }));
     }
-    // `--min-cache-hits` became the engine's cache floor; `verify_summary`
-    // raises the typed `CacheShortfall` when the run fell below it.
-    engine.verify_summary(&summary)?;
+    // The `--min-cache-hits` floor, checked the same way for both
+    // execution paths (`Engine::verify_summary` semantics): a shortfall
+    // is the typed `CacheShortfall`, exit 1.
+    if let Some(expected) = options.min_cache_hits {
+        if summary.cache_hits < expected {
+            return Err(CliError::Engine(EngineError::CacheShortfall {
+                expected,
+                observed: summary.cache_hits,
+            }));
+        }
+    }
     Ok(())
+}
+
+/// The `--workers N` execution path: compile the plan locally, spawn a
+/// local worker pool, farm the corpus shards to it through a
+/// [`Coordinator`], and write the merged records exactly where the
+/// in-process path writes them. `--retry` bounds the coordinator's
+/// shard-level re-dispatches; `--shards` fixes the partition width
+/// (default: one shard per worker).
+fn run_distributed(options: &Options, set: &QuerySet) -> Result<RunSummary, CliError> {
+    // The coordinator's corpus copy is only partitioned and key-mapped,
+    // never decoded, so the fault plan is not armed locally — the spec
+    // string is forwarded so the *workers* inject the faults.
+    let corpus = load_corpus(options, None)?;
+    let plan = Arc::new(QueryPlan::compile(set, corpus.as_ref())?);
+    let mut forward: Vec<String> = Vec::new();
+    match (&options.corpus, options.synthetic) {
+        (Some(path), _) => forward.extend(["--corpus".to_string(), path.display().to_string()]),
+        (None, n) => forward.extend([
+            "--synthetic".to_string(),
+            n.unwrap_or(4).to_string(),
+            "--seed".to_string(),
+            options.seed.to_string(),
+        ]),
+    }
+    if let Some(dir) = &options.cache_dir {
+        forward.extend(["--cache-dir".to_string(), dir.display().to_string()]);
+    }
+    if let Some(threads) = options.threads {
+        forward.extend(["--threads".to_string(), threads.to_string()]);
+    }
+    if let Some(spec) = resolved_fault_spec(options) {
+        forward.extend(["--fault-spec".to_string(), spec]);
+    }
+    let command = worker_command(options.worker_cmd.as_deref())?;
+    let coordinator = Coordinator::spawn(
+        options.workers,
+        &command,
+        &forward,
+        DistConfig {
+            shards: options.shards.unwrap_or(0),
+            retry: options
+                .retry
+                .map(RetryPolicy::with_max_attempts)
+                .unwrap_or_default(),
+            ..DistConfig::default()
+        },
+    )?;
+    let summary = if options.stream {
+        let mut handle = coordinator.submit(Arc::clone(&corpus), Arc::clone(&plan))?;
+        let mut writer = record_writer(&options.out)?;
+        for record in &mut handle {
+            let line = serde_json::to_string(&record).expect("record serialization cannot fail");
+            writeln!(writer, "{line}").map_err(|e| format!("cannot write record: {e}"))?;
+            writer
+                .flush()
+                .map_err(|e| format!("cannot flush record: {e}"))?;
+        }
+        handle.into_summary()
+    } else {
+        let report = coordinator
+            .submit(Arc::clone(&corpus), Arc::clone(&plan))?
+            .wait();
+        let mut writer = record_writer(&options.out)?;
+        write!(writer, "{}", report.to_jsonl())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot write records: {e}"))?;
+        report.summary
+    };
+    Ok(summary)
 }
 
 /// `veritas ingest <DIR> --out FILE.vcorp [--append]`: convert a JSON
@@ -501,7 +623,7 @@ fn cmd_synth(args: &[String]) -> Result<(), CliError> {
 fn report_summary(s: &RunSummary) {
     eprintln!(
         "queryset={} units={} ok={} errors={} cache_hits={} cache_misses={} disk_hits={} \
-         retries={} quarantined={} threads={} shards={} elapsed_ms={:.1}",
+         retries={} quarantined={} shard_retries={} threads={} shards={} elapsed_ms={:.1}",
         s.queryset,
         s.units,
         s.ok,
@@ -511,6 +633,7 @@ fn report_summary(s: &RunSummary) {
         s.disk_hits,
         s.retries,
         s.quarantined.len(),
+        s.shard_retries,
         s.threads,
         s.shards,
         s.elapsed_ms

@@ -10,6 +10,7 @@
 //!          [--seed S] [--threads N] [--shards N] [--cache-dir DIR]
 //!          [--admission N] [--io-timeout SECS] [--max-connections N]
 //!          [--auth-token SECRET] [--fault-spec SPEC]
+//!          [--workers N] [--worker-cmd CMD]
 //! ```
 //!
 //! On startup the daemon prints `veritasd: listening on <addr>` to
@@ -27,6 +28,7 @@ USAGE:
              [--seed S] [--threads N] [--shards N] [--cache-dir DIR]
              [--admission N] [--io-timeout SECS] [--max-connections N]
              [--auth-token SECRET] [--fault-spec SPEC]
+             [--workers N] [--worker-cmd CMD]
 
 OPTIONS:
     --addr HOST:PORT     Listen address (default 127.0.0.1:4617; port 0 = ephemeral)
@@ -48,6 +50,13 @@ OPTIONS:
     --fault-spec SPEC    Seeded deterministic fault injection for chaos tests,
                          e.g. seed=42,compute=0.1,socket=0.05 (sites: disk_read,
                          disk_write, decode, compute, panic, socket)
+    --workers N          Distributed front end: spawn N local worker daemons
+                         and farm each plan's corpus shards to them (deterministic
+                         merge; a dead worker costs one shard re-dispatch). The
+                         workers inherit this daemon's corpus source, cache dir,
+                         thread count, and fault spec
+    --worker-cmd CMD     Launch workers with CMD (whitespace-split) instead of
+                         re-invoking this executable
 
 PROTOCOL (one JSON object per line, responses are JSON lines too):
     {\"query\": <QuerySet>, \"stream\": bool?}  -> QueryRecord lines, then

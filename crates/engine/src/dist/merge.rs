@@ -1,0 +1,383 @@
+//! The deterministic merge: re-key every worker record to its global
+//! plan position, restore batch order, and fold aggregation queries
+//! across shards exactly the way the in-process run folds them.
+//!
+//! Determinism rests on two facts. First, a record's wire identity —
+//! `(query_id, session, variant)` — names exactly one plan unit, so a
+//! record can be assigned its global plan index no matter which worker
+//! produced it or when it arrived. Second,
+//! [`crate::plan::AggregateSummary::reduce`] sorts its inputs before
+//! reducing, so folding per-session scalars in shard-arrival order
+//! yields the same bytes as folding them in plan order.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use crate::corpus::Corpus;
+use crate::plan::{percentile_u64, QueryPlan};
+use crate::query::QueryKind;
+use crate::runner::{
+    aggregate_record, AggregateFold, EngineReport, QueryLatency, QueryRecord, RunSummary,
+};
+
+/// The wire identity of one work unit: query id, session id, and sweep
+/// variant label. Unique per plan unit by construction (units are
+/// query × session × config, and variant labels are unique per query).
+pub(crate) type UnitKey = (String, String, Option<String>);
+
+/// The wire identity of a worker record.
+pub(crate) fn unit_key(record: &QueryRecord) -> UnitKey {
+    (
+        record.query_id.clone(),
+        record.session.clone(),
+        record.variant.clone(),
+    )
+}
+
+/// Builds a plan's wire-identity → global-unit-index map, the inverse
+/// the merge uses to re-key worker records.
+pub(crate) fn key_map(plan: &QueryPlan, corpus: &dyn Corpus) -> HashMap<UnitKey, usize> {
+    plan.units()
+        .iter()
+        .enumerate()
+        .map(|(ui, unit)| {
+            let query = &plan.set().queries[unit.query];
+            let planned = &plan.configs()[unit.config];
+            (
+                (
+                    query.id.clone(),
+                    corpus.session_id(unit.session).to_string(),
+                    planned.label.clone(),
+                ),
+                ui,
+            )
+        })
+        .collect()
+}
+
+/// What one shard's dispatch thread reports back to the merge.
+pub(crate) enum ShardOutcome {
+    /// The shard ran to completion on some worker: the complete record
+    /// batch (already re-keyed to global plan positions) plus the worker
+    /// run's summary, whose cache and supervision counters fold into the
+    /// merged summary.
+    Done {
+        /// The shard's records, keyed by global plan-unit index.
+        keyed: Vec<(usize, QueryRecord)>,
+        /// The worker's per-shard [`RunSummary`].
+        summary: RunSummary,
+        /// Re-dispatches this shard needed before an attempt succeeded.
+        retries: u64,
+    },
+    /// Every attempt under the coordinator's retry policy failed; the
+    /// merge synthesizes one typed error record per unit in the shard.
+    Failed {
+        /// The shard index.
+        shard: usize,
+        /// Total attempts consumed.
+        attempts: u64,
+        /// The last attempt's failure.
+        error: String,
+        /// Re-dispatches performed (`attempts - 1`).
+        retries: u64,
+    },
+}
+
+/// A live distributed run: the coordinator-side mirror of
+/// [`crate::RunHandle`].
+///
+/// Iterate it for records in completion order — completion here is
+/// *shard-granular*: a shard's records surface together once its worker
+/// batch is complete, which is what makes exactly-once delivery under
+/// shard retry possible — then close with [`DistHandle::into_summary`];
+/// or call [`DistHandle::wait`] for the deterministic batch report,
+/// whose record order (and bytes, after timing normalization) is
+/// identical to the single-process [`crate::Engine::run`].
+pub struct DistHandle {
+    rx: Option<mpsc::Receiver<ShardOutcome>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    plan: Arc<QueryPlan>,
+    corpus: Arc<dyn Corpus>,
+    /// Global unit indices of each shard, for synthesizing a failed
+    /// shard's error records.
+    units_of_shard: Vec<Vec<usize>>,
+    /// Records waiting to be yielded.
+    pending: VecDeque<(usize, QueryRecord)>,
+    folds: Vec<Option<AggregateFold>>,
+    latencies: Vec<Vec<u64>>,
+    ok: usize,
+    errors: usize,
+    shards: usize,
+    workers: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    disk_hits: u64,
+    unit_retries: u64,
+    quarantined: BTreeSet<String>,
+    shard_retries: u64,
+    started: Instant,
+}
+
+impl DistHandle {
+    pub(crate) fn new(
+        rx: mpsc::Receiver<ShardOutcome>,
+        threads: Vec<std::thread::JoinHandle<()>>,
+        plan: Arc<QueryPlan>,
+        corpus: Arc<dyn Corpus>,
+        units_of_shard: Vec<Vec<usize>>,
+        workers: usize,
+    ) -> Self {
+        let folds = plan
+            .set()
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, query)| {
+                (query.kind == QueryKind::Aggregate).then(|| AggregateFold {
+                    remaining: plan.unit_count(qi),
+                    values: Vec::new(),
+                    unit_errors: 0,
+                })
+            })
+            .collect();
+        let latencies = vec![Vec::new(); plan.set().queries.len()];
+        let shards = units_of_shard.len();
+        Self {
+            rx: Some(rx),
+            threads,
+            plan,
+            corpus,
+            units_of_shard,
+            pending: VecDeque::new(),
+            folds,
+            latencies,
+            ok: 0,
+            errors: 0,
+            shards,
+            workers,
+            cache_hits: 0,
+            cache_misses: 0,
+            disk_hits: 0,
+            unit_retries: 0,
+            quarantined: BTreeSet::new(),
+            shard_retries: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Yields the next record with its deterministic sort key.
+    fn next_keyed(&mut self) -> Option<(usize, QueryRecord)> {
+        loop {
+            if let Some(entry) = self.pending.pop_front() {
+                return Some(entry);
+            }
+            let rx = self.rx.as_ref()?;
+            match rx.recv() {
+                Ok(outcome) => self.absorb_outcome(outcome),
+                Err(_) => {
+                    self.rx = None;
+                    self.join_threads();
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn absorb_outcome(&mut self, outcome: ShardOutcome) {
+        match outcome {
+            ShardOutcome::Done {
+                keyed,
+                summary,
+                retries,
+            } => {
+                self.shard_retries += retries;
+                self.cache_hits += summary.cache_hits;
+                self.cache_misses += summary.cache_misses;
+                self.disk_hits += summary.disk_hits;
+                self.unit_retries += summary.retries;
+                self.quarantined.extend(summary.quarantined);
+                for (key, record) in keyed {
+                    self.absorb_record(key, record);
+                }
+            }
+            ShardOutcome::Failed {
+                shard,
+                attempts,
+                error,
+                retries,
+            } => {
+                self.shard_retries += retries;
+                for ui in std::mem::take(&mut self.units_of_shard[shard]) {
+                    let record = self.synth_shard_error(ui, shard, attempts, &error);
+                    self.absorb_record(ui, record);
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`crate::RunHandle`]'s per-record bookkeeping: counters,
+    /// latency samples, and the aggregation fold (whose final record is
+    /// queued right after the unit that completed it, keyed past every
+    /// plan unit so batch order puts folds at the end).
+    fn absorb_record(&mut self, key: usize, record: QueryRecord) {
+        self.count(&record);
+        let unit = self.plan.units()[key];
+        self.latencies[unit.query].push(record.elapsed_us);
+        let mut final_record = None;
+        if let Some(fold) = self.folds[unit.query].as_mut() {
+            match record.output.as_ref().and_then(|o| o.metric_value) {
+                Some(value) => fold.values.push(value),
+                None => fold.unit_errors += 1,
+            }
+            fold.remaining -= 1;
+            if fold.remaining == 0 {
+                let query = &self.plan.set().queries[unit.query];
+                final_record = Some(aggregate_record(
+                    query,
+                    self.folds[unit.query].as_ref().unwrap(),
+                ));
+            }
+        }
+        self.pending.push_back((key, record));
+        if let Some(final_record) = final_record {
+            self.count(&final_record);
+            let final_key = self.plan.units().len() + unit.query;
+            self.pending.push_back((final_key, final_record));
+        }
+    }
+
+    fn count(&mut self, record: &QueryRecord) {
+        if record.is_ok() {
+            self.ok += 1;
+        } else {
+            self.errors += 1;
+        }
+    }
+
+    /// A typed error record for one unit of a shard whose every dispatch
+    /// attempt failed — the distributed analogue of a quarantined unit.
+    fn synth_shard_error(
+        &self,
+        index: usize,
+        shard: usize,
+        attempts: u64,
+        error: &str,
+    ) -> QueryRecord {
+        let unit = self.plan.units()[index];
+        let query = &self.plan.set().queries[unit.query];
+        let planned = &self.plan.configs()[unit.config];
+        QueryRecord {
+            query_id: query.id.clone(),
+            kind: query.kind,
+            session: self.corpus.session_id(unit.session).to_string(),
+            variant: planned.label.clone(),
+            status: "error".to_string(),
+            error: Some(format!(
+                "shard {shard}/{} failed after {attempts} attempts: {error}",
+                self.shards
+            )),
+            cache: None,
+            elapsed_us: 0,
+            output: None,
+            attempts: Some(attempts),
+        }
+    }
+
+    fn join_threads(&mut self) {
+        for handle in self.threads.drain(..) {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// The merged summary of everything absorbed so far. Cache counters
+    /// and unit retries are the sums over the worker summaries;
+    /// `threads` reports the worker-process count (the distributed
+    /// analogue of a thread pool); `quarantined` is the sorted union of
+    /// the workers' quarantine lists.
+    fn summary_now(&self) -> RunSummary {
+        let per_query = self
+            .plan
+            .set()
+            .queries
+            .iter()
+            .zip(&self.latencies)
+            .map(|(query, elapsed)| {
+                let mut sorted = elapsed.clone();
+                sorted.sort_unstable();
+                QueryLatency {
+                    id: query.id.clone(),
+                    units: sorted.len(),
+                    p50_us: percentile_u64(&sorted, 50.0),
+                    p95_us: percentile_u64(&sorted, 95.0),
+                    max_us: sorted.last().copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        RunSummary {
+            queryset: self.plan.set().name.clone(),
+            queries: self.plan.set().queries.len(),
+            sessions: self.corpus.len(),
+            units: self.ok + self.errors,
+            ok: self.ok,
+            errors: self.errors,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            disk_hits: self.disk_hits,
+            threads: self.workers,
+            shards: self.shards,
+            elapsed_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            retries: self.unit_retries,
+            quarantined: self.quarantined.iter().cloned().collect(),
+            shard_retries: self.shard_retries,
+            per_query,
+        }
+    }
+
+    /// Drains the remaining shards and returns the batch-shaped report:
+    /// records in deterministic plan order (aggregation folds at the
+    /// end) — the same order, and after timing normalization the same
+    /// bytes, as the single-process [`crate::Engine::run`].
+    pub fn wait(mut self) -> EngineReport {
+        let mut keyed: Vec<(usize, QueryRecord)> = Vec::with_capacity(self.plan.units().len());
+        while let Some(entry) = self.next_keyed() {
+            keyed.push(entry);
+        }
+        self.join_threads();
+        keyed.sort_unstable_by_key(|(key, _)| *key);
+        EngineReport {
+            records: keyed.into_iter().map(|(_, record)| record).collect(),
+            summary: self.summary_now(),
+        }
+    }
+
+    /// Discards any remaining records and returns the merged summary —
+    /// the closing call of the incremental path.
+    pub fn into_summary(mut self) -> RunSummary {
+        while self.next_keyed().is_some() {}
+        self.join_threads();
+        self.summary_now()
+    }
+}
+
+impl Iterator for DistHandle {
+    type Item = QueryRecord;
+
+    fn next(&mut self) -> Option<QueryRecord> {
+        self.next_keyed().map(|(_, record)| record)
+    }
+}
+
+impl Drop for DistHandle {
+    fn drop(&mut self) {
+        // Close the channel so dispatch threads fail their sends, then
+        // let them finish their in-flight attempt. Panics are not
+        // re-raised here; the consuming methods propagate them.
+        self.rx = None;
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

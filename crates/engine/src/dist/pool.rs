@@ -1,0 +1,133 @@
+//! Worker-process lifecycle: spawn local executor daemons on ephemeral
+//! ports, parse their readiness banners, and own their lifetimes.
+//!
+//! A worker is nothing special — it is a full `veritasd` over the same
+//! corpus source, reached through the ordinary JSONL protocol. The pool
+//! only adds three flags to whatever launch command it is given:
+//! `--addr 127.0.0.1:0` (ephemeral port, announced on stdout) and
+//! `--admission 64` (so concurrent shard dispatches and retries are
+//! never shed by the daemon's conservative default bound).
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+use crate::error::EngineError;
+
+/// Admission bound spawned workers run with: high enough that a
+/// coordinator's concurrent shard dispatches (plus retries) are never
+/// shed by [`crate::service::DEFAULT_ADMISSION_BOUND`].
+const WORKER_ADMISSION: usize = 64;
+
+/// Resolves the argv prefix used to launch worker processes: an explicit
+/// `--worker-cmd` override (whitespace-split), or this very executable.
+/// When the current executable is the multi-command `veritas` binary its
+/// `worker` subcommand is appended, so the child lands in the daemon
+/// flag parser either way.
+pub fn worker_command(override_cmd: Option<&str>) -> Result<Vec<String>, EngineError> {
+    if let Some(cmd) = override_cmd {
+        let parts: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
+        if parts.is_empty() {
+            return Err(EngineError::Config(
+                "--worker-cmd must name an executable".to_string(),
+            ));
+        }
+        return Ok(parts);
+    }
+    let exe = std::env::current_exe()?;
+    let mut command = vec![exe.display().to_string()];
+    if exe.file_stem().is_some_and(|stem| stem == "veritas") {
+        command.push("worker".to_string());
+    }
+    Ok(command)
+}
+
+/// A set of locally spawned worker processes. Children are killed (and
+/// reaped) when the pool drops, so a coordinator can never leak
+/// executors past its own lifetime.
+pub struct WorkerPool {
+    children: Vec<Child>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.addrs)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` children with the launch prefix `command` (see
+    /// [`worker_command`]) plus `args` (corpus source, cache directory,
+    /// thread count, fault spec — whatever the front end forwards),
+    /// blocking until every child has announced `veritasd: listening on
+    /// <addr>` on its stdout. A child that exits, or prints something
+    /// unparseable, before announcing readiness fails the whole spawn.
+    pub fn spawn(workers: usize, command: &[String], args: &[String]) -> Result<Self, EngineError> {
+        if workers == 0 {
+            return Err(EngineError::Config(
+                "a worker pool needs at least one worker (--workers)".to_string(),
+            ));
+        }
+        let (head, tail) = command
+            .split_first()
+            .ok_or_else(|| EngineError::Config("the worker launch command is empty".to_string()))?;
+        let mut pool = Self {
+            children: Vec::with_capacity(workers),
+            addrs: Vec::with_capacity(workers),
+        };
+        for _ in 0..workers {
+            let mut child = Command::new(head)
+                .args(tail)
+                .args(args)
+                .args(["--addr", "127.0.0.1:0"])
+                .args(["--admission", &WORKER_ADMISSION.to_string()])
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| {
+                    EngineError::Config(format!("failed to launch worker `{head}`: {e}"))
+                })?;
+            let stdout = child.stdout.take().expect("worker stdout was piped");
+            // Dropping the pool kills this child even if readiness fails.
+            pool.children.push(child);
+            let mut reader = BufReader::new(stdout);
+            let mut banner = String::new();
+            if reader.read_line(&mut banner)? == 0 {
+                return Err(EngineError::Config(format!(
+                    "worker `{head}` exited before announcing readiness \
+                     (check its flags against the veritasd usage)"
+                )));
+            }
+            let addr = banner
+                .trim()
+                .strip_prefix("veritasd: listening on ")
+                .and_then(|rest| rest.parse().ok())
+                .ok_or_else(|| {
+                    EngineError::Config(format!(
+                        "unexpected worker readiness banner: {}",
+                        banner.trim()
+                    ))
+                })?;
+            pool.addrs.push(addr);
+        }
+        Ok(pool)
+    }
+
+    /// The workers' listen addresses, in spawn order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}

@@ -82,6 +82,20 @@
 //! a run over an intact corpus emits records byte-identical to the
 //! fault-free run.
 //!
+//! # Distributed execution
+//!
+//! The same partitioning that feeds in-process worker threads can feed
+//! worker *processes*: a [`Coordinator`] (module [`dist`], front ends
+//! `veritas run --workers N` and `veritasd --workers N`) compiles the
+//! plan once, farms each [`CorpusShard`] to a pool of `veritasd` workers
+//! over the JSONL wire protocol, and merges the record streams back into
+//! the exact batch order — and, after timing normalization, the exact
+//! bytes — of the single-process run. A worker that dies or hangs costs
+//! one shard re-dispatch under the coordinator's [`RetryPolicy`]
+//! ([`RunSummary::shard_retries`]), and a shared `--cache-dir` makes the
+//! re-execution mostly disk hits. See the [`dist`] module docs for the
+//! topology and the retry semantics.
+//!
 //! # Binary corpora
 //!
 //! Corpora implement the [`Corpus`] trait, and come in three
@@ -135,6 +149,7 @@
 
 pub(crate) mod cache;
 pub(crate) mod corpus;
+pub mod dist;
 pub(crate) mod error;
 pub mod executor;
 pub(crate) mod fault;
@@ -149,6 +164,7 @@ pub use cache::{
     config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheSource, CacheStats,
 };
 pub use corpus::{Corpus, CorpusSession, CorpusShard, LogRef, SessionCorpus, SyntheticSpec};
+pub use dist::{worker_command, Coordinator, DistConfig, DistHandle, WorkerPool};
 pub use error::{EngineError, ErrorEnvelope, WireError};
 pub use fault::{FaultPlan, FaultSite};
 pub use persist::{DiskLoadOutcome, DiskStore, PersistKey};
@@ -167,5 +183,5 @@ pub use service::{
 };
 pub use store::{
     append_dir, ingest_dir, CorpusMeta, IngestReport, LazyCorpus, VcorpError, VcorpWriter,
-    DEFAULT_MAX_RESIDENT, VCORP_VERSION,
+    DEFAULT_MAX_RESIDENT, VCORP_VERSION, VCORP_VERSION_MAX,
 };

@@ -301,6 +301,9 @@ pub struct RunSummary {
     /// remaining units were short-circuited to typed errors. Sorted;
     /// empty when no policy is set.
     pub quarantined: Vec<String>,
+    /// Worker-shard re-dispatches performed by a distributed coordinator
+    /// ([`crate::dist::Coordinator`]); always zero for in-process runs.
+    pub shard_retries: u64,
     /// Per-query latency aggregates, in query order.
     pub per_query: Vec<QueryLatency>,
 }
@@ -767,7 +770,7 @@ impl Engine {
     pub fn run(&self, corpus: &SessionCorpus, set: &QuerySet) -> Result<EngineReport, EngineError> {
         let plan = QueryPlan::compile(set, corpus)?;
         Ok(self
-            .submit_inner(Arc::new(corpus.clone()), Arc::new(plan), false)?
+            .submit_inner(Arc::new(corpus.clone()), Arc::new(plan), false, None)?
             .wait())
     }
 
@@ -800,18 +803,46 @@ impl Engine {
         corpus: Arc<dyn Corpus>,
         plan: Arc<QueryPlan>,
     ) -> Result<RunHandle, EngineError> {
-        self.submit_inner(corpus, plan, true)
+        self.submit_inner(corpus, plan, true, None)
+    }
+
+    /// [`Engine::submit_shared`] restricted to one [`crate::CorpusShard`]
+    /// of a `of`-way partition: only the plan units whose session falls
+    /// in shard `index` (as produced by [`Corpus::shard`]) execute; every
+    /// other unit is skipped entirely. This is the worker half of
+    /// distributed execution ([`crate::dist`]): a coordinator hands each
+    /// worker process a `(index, of)` pair and merges the resulting
+    /// record streams.
+    ///
+    /// Aggregation queries are *not* folded on a restricted run — the
+    /// handle yields only the shard's per-session `metric_value` records
+    /// and never the final `session: "*"` record, because no single shard
+    /// sees every contribution. The coordinator folds across shards.
+    ///
+    /// `index` at or past the actual partition width (the corpus clamps
+    /// `of` to its session count) is an [`EngineError::Config`].
+    pub fn submit_shard_shared(
+        &self,
+        corpus: Arc<dyn Corpus>,
+        plan: Arc<QueryPlan>,
+        index: usize,
+        of: usize,
+    ) -> Result<RunHandle, EngineError> {
+        self.submit_inner(corpus, plan, true, Some((index, of)))
     }
 
     /// The one submit implementation. `verify_content` re-hashes the
     /// corpus to prove it is the one the plan was compiled against —
     /// required on the public paths, skipped by [`Engine::run`], which
-    /// compiles and submits the same borrow in one call.
+    /// compiles and submits the same borrow in one call. `shard_sel`
+    /// restricts execution to one shard of a fixed-width partition
+    /// ([`Engine::submit_shard_shared`]).
     fn submit_inner(
         &self,
         corpus: Arc<dyn Corpus>,
         plan: Arc<QueryPlan>,
         verify_content: bool,
+        shard_sel: Option<(usize, usize)>,
     ) -> Result<RunHandle, EngineError> {
         if corpus.is_empty() {
             return Err(EngineError::EmptyCorpus);
@@ -851,19 +882,47 @@ impl Engine {
         let started = Instant::now();
 
         // Partition units into shard groups: one worker group per corpus
-        // shard, preserving plan order within each group.
-        let shard_views = corpus.shard(self.shards);
-        let shards = shard_views.len();
-        let mut shard_of = vec![0usize; corpus.len()];
-        for shard in &shard_views {
-            for &si in &shard.sessions {
-                shard_of[si] = shard.index;
+        // shard, preserving plan order within each group. A restricted
+        // submit instead keeps the single selected shard's units (in plan
+        // order) and drops the rest of the plan on the floor.
+        let (groups, shards) = match shard_sel {
+            None => {
+                let shard_views = corpus.shard(self.shards);
+                let shards = shard_views.len();
+                let mut shard_of = vec![0usize; corpus.len()];
+                for shard in &shard_views {
+                    for &si in &shard.sessions {
+                        shard_of[si] = shard.index;
+                    }
+                }
+                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
+                for (ui, unit) in plan.units().iter().enumerate() {
+                    groups[shard_of[unit.session]].push(ui);
+                }
+                (groups, shards)
             }
-        }
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
-        for (ui, unit) in plan.units().iter().enumerate() {
-            groups[shard_of[unit.session]].push(ui);
-        }
+            Some((index, of)) => {
+                let shard_views = corpus.shard(of);
+                let shards = shard_views.len();
+                if index >= shards {
+                    return Err(EngineError::Config(format!(
+                        "shard {index} out of range: the corpus partitions into {shards} shards"
+                    )));
+                }
+                let mut mine = vec![false; corpus.len()];
+                for &si in &shard_views[index].sessions {
+                    mine[si] = true;
+                }
+                let group: Vec<usize> = plan
+                    .units()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, unit)| mine[unit.session])
+                    .map(|(ui, _)| ui)
+                    .collect();
+                (vec![group], shards)
+            }
+        };
         let ctx = Arc::new(ExecCtx {
             corpus: Arc::clone(&corpus),
             plan: Arc::clone(&plan),
@@ -889,7 +948,7 @@ impl Engine {
             .iter()
             .enumerate()
             .map(|(qi, query)| {
-                (query.kind == QueryKind::Aggregate).then(|| AggregateFold {
+                (shard_sel.is_none() && query.kind == QueryKind::Aggregate).then(|| AggregateFold {
                     remaining: plan.unit_count(qi),
                     values: Vec::new(),
                     unit_errors: 0,
@@ -916,11 +975,13 @@ impl Engine {
 }
 
 /// Incremental fold state of one aggregation query: only the per-session
-/// scalars are retained, never the records themselves.
-struct AggregateFold {
-    remaining: usize,
-    values: Vec<f64>,
-    unit_errors: usize,
+/// scalars are retained, never the records themselves. Shared with the
+/// distributed coordinator ([`crate::dist`]), which folds the same way
+/// across worker shards.
+pub(crate) struct AggregateFold {
+    pub(crate) remaining: usize,
+    pub(crate) values: Vec<f64>,
+    pub(crate) unit_errors: usize,
 }
 
 /// A live streaming run: the **consume** stage.
@@ -1064,6 +1125,7 @@ impl RunHandle {
                 ids.sort();
                 ids
             },
+            shard_retries: 0,
             per_query,
         }
     }
@@ -1486,8 +1548,10 @@ impl ExecCtx {
 }
 
 /// Builds the final `session: "*"` record of an aggregation query from
-/// its fold state.
-fn aggregate_record(query: &Query, fold: &AggregateFold) -> QueryRecord {
+/// its fold state. [`AggregateSummary::reduce`] sorts the values itself,
+/// so the fold is insensitive to the order contributions arrived in —
+/// the property the distributed merge ([`crate::dist`]) relies on.
+pub(crate) fn aggregate_record(query: &Query, fold: &AggregateFold) -> QueryRecord {
     let spec = query.aggregate.as_ref().expect("validated aggregate query");
     let mut record = QueryRecord {
         query_id: query.id.clone(),

@@ -22,7 +22,10 @@
 //! * `{"query": <QuerySet>}` — compile and run a query set against the
 //!   resident corpus. Optional `"stream": true` switches the record feed
 //!   from deterministic batch order to completion order (records are
-//!   flushed the moment their unit finishes).
+//!   flushed the moment their unit finishes). Optional `"shard":
+//!   {"index": I, "of": S}` restricts execution to one corpus shard of
+//!   an `S`-way partition ([`Engine::submit_shard_shared`]) — the worker
+//!   half of distributed execution (see [`crate::dist`]).
 //! * `{"metrics": true}` — a point-in-time [`MetricsSnapshot`].
 //! * `{"shutdown": true}` — begin a graceful drain: the request is
 //!   acknowledged with `{"draining": true}`, in-flight plans finish,
@@ -71,6 +74,18 @@
 //!   per-connection read *and* write deadlines, so a client that stalls
 //!   mid-line — or stops draining its record feed — frees its thread
 //!   instead of holding it forever. `0` disables the deadlines.
+//!
+//! # Distributed front end
+//!
+//! With `--workers N` the daemon spawns N local worker processes (each a
+//! full `veritasd` over the same corpus source, bound to an ephemeral
+//! port) and serves every full query through a
+//! [`crate::dist::Coordinator`]: the plan is partitioned into corpus
+//! shards, farmed to the workers over this very JSONL protocol with
+//! per-shard `shard` requests, and the record streams are merged back
+//! deterministically. Clients observe no protocol difference. A shared
+//! `--cache-dir` makes the workers' disk tier common, so a posterior any
+//! worker infers is a disk hit for all of them.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -85,11 +100,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::corpus::{Corpus, SessionCorpus, SyntheticSpec};
+use crate::dist::{Coordinator, DistConfig, DistHandle};
 use crate::error::EngineError;
 use crate::fault::{FaultPlan, FaultSite};
 use crate::plan::{percentile_u64, QueryPlan};
-use crate::query::{object_fields, opt, reject_unknown, QuerySet};
-use crate::runner::{Engine, QueryLatency, QueryRecord, RunSummary, AGGREGATE_SESSION};
+use crate::query::{object_fields, opt, reject_unknown, req, QuerySet};
+use crate::runner::{
+    Engine, EngineReport, QueryLatency, QueryRecord, RunHandle, RunSummary, AGGREGATE_SESSION,
+};
 use crate::store::LazyCorpus;
 
 /// Concurrent plans admitted by default; past it requests are shed with
@@ -154,6 +172,23 @@ impl CorpusSource {
             )),
         }
     }
+
+    /// The command-line flags that reproduce this source in a spawned
+    /// worker process (`--corpus PATH` or `--synthetic N --seed S`) —
+    /// how a distributed front end hands its corpus to its workers.
+    pub fn to_args(&self) -> Vec<String> {
+        match self {
+            CorpusSource::Dir(path) | CorpusSource::Vcorp(path) => {
+                vec!["--corpus".to_string(), path.display().to_string()]
+            }
+            CorpusSource::Synthetic { sessions, seed } => vec![
+                "--synthetic".to_string(),
+                sessions.to_string(),
+                "--seed".to_string(),
+                seed.to_string(),
+            ],
+        }
+    }
 }
 
 /// Everything needed to bind a [`Service`]: the listen address, the
@@ -187,6 +222,13 @@ pub struct ServiceConfig {
     /// parsed plan is attached to the engine, the corpus, and the
     /// service's own socket I/O for chaos testing.
     pub fault_spec: Option<String>,
+    /// Worker processes to spawn for distributed execution (`0`: serve
+    /// every plan in-process). See the module docs.
+    pub workers: usize,
+    /// Override for the worker launch command (whitespace-split; the
+    /// corpus and service flags are appended). Defaults to re-launching
+    /// this very executable.
+    pub worker_cmd: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -205,6 +247,8 @@ impl Default for ServiceConfig {
             max_connections: 0,
             auth_token: None,
             fault_spec: None,
+            workers: 0,
+            worker_cmd: None,
         }
     }
 }
@@ -217,7 +261,7 @@ impl ServiceConfig {
     /// [--addr HOST:PORT] [--corpus DIR|FILE.vcorp | --synthetic N] [--seed S]
     /// [--threads N] [--shards N] [--cache-dir DIR] [--admission N]
     /// [--io-timeout SECS] [--max-connections N] [--auth-token SECRET]
-    /// [--fault-spec SPEC]
+    /// [--fault-spec SPEC] [--workers N] [--worker-cmd CMD]
     /// ```
     ///
     /// A `--corpus` path ending in `.vcorp` is served lazily from the
@@ -256,11 +300,14 @@ impl ServiceConfig {
                 }
                 "--auth-token" => config.auth_token = Some(value_for("--auth-token")?),
                 "--fault-spec" => config.fault_spec = Some(value_for("--fault-spec")?),
+                "--workers" => config.workers = parse_num(&value_for("--workers")?, "--workers")?,
+                "--worker-cmd" => config.worker_cmd = Some(value_for("--worker-cmd")?),
                 other => {
                     return Err(EngineError::Config(format!(
                         "unknown flag `{other}` (accepted: --addr, --corpus, --synthetic, \
                          --seed, --threads, --shards, --cache-dir, --admission, --io-timeout, \
-                         --max-connections, --auth-token, --fault-spec)"
+                         --max-connections, --auth-token, --fault-spec, --workers, \
+                         --worker-cmd)"
                     )))
                 }
             }
@@ -298,6 +345,14 @@ struct Request {
     metrics: bool,
     shutdown: bool,
     auth: Option<String>,
+    shard: Option<ShardSel>,
+}
+
+/// The `shard` member of a query request: restrict execution to shard
+/// `index` of an `of`-way corpus partition.
+struct ShardSel {
+    index: usize,
+    of: usize,
 }
 
 impl<'de> Deserialize<'de> for Request {
@@ -309,9 +364,22 @@ impl<'de> Deserialize<'de> for Request {
             metrics: opt(&mut fields, "metrics")?.unwrap_or(false),
             shutdown: opt(&mut fields, "shutdown")?.unwrap_or(false),
             auth: opt(&mut fields, "auth")?,
+            shard: opt(&mut fields, "shard")?,
         };
         reject_unknown(&fields, "service request")?;
         Ok(request)
+    }
+}
+
+impl<'de> Deserialize<'de> for ShardSel {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields = object_fields(deserializer, "shard selector")?;
+        let shard = ShardSel {
+            index: req(&mut fields, "shard selector", "index")?,
+            of: req(&mut fields, "shard selector", "of")?,
+        };
+        reject_unknown(&fields, "shard selector")?;
+        Ok(shard)
     }
 }
 
@@ -356,6 +424,22 @@ pub struct MetricsSnapshot {
     pub plans_shed: u64,
     /// Query records written to clients so far.
     pub records_streamed: u64,
+    /// Unit retries performed across every served plan (the sum of
+    /// [`RunSummary::retries`]); zero unless the engine has a
+    /// [`crate::RetryPolicy`].
+    pub retries: u64,
+    /// Sessions quarantined across every served plan (the summed lengths
+    /// of [`RunSummary::quarantined`]).
+    pub quarantined: u64,
+    /// Worker-shard re-dispatches across every served plan (the sum of
+    /// [`RunSummary::shard_retries`]); zero unless the daemon fronts a
+    /// worker pool (`--workers`).
+    pub shard_retries: u64,
+    /// Corrupt persistent-store entries the cache healed (detected,
+    /// quarantined on disk, and re-inferred) since the service started —
+    /// mirrored from [`CacheStats::healed`] so the supervision counters
+    /// read as one group.
+    pub healed: u64,
     /// The shared abduction cache's counters (memory hits, disk hits,
     /// misses, resident entries) since the service started.
     pub cache: CacheStats,
@@ -394,7 +478,13 @@ struct ServiceState {
     plans_served: AtomicU64,
     plans_shed: AtomicU64,
     records_streamed: AtomicU64,
+    retries_total: AtomicU64,
+    quarantined_total: AtomicU64,
+    shard_retries_total: AtomicU64,
     latencies: Mutex<HashMap<String, Vec<u64>>>,
+    /// The worker-pool coordinator when the daemon fronts `--workers N`
+    /// executor processes; `None` serves every plan in-process.
+    dist: Option<Coordinator>,
 }
 
 /// One structured stderr log line — the daemon's per-plan operational
@@ -461,6 +551,7 @@ impl ServiceState {
             per_query.sort_by(|a, b| a.id.cmp(&b.id));
             per_query
         };
+        let cache = self.engine.cache().stats();
         MetricsSnapshot {
             uptime_s: self.started.elapsed().as_secs_f64(),
             sessions: self.corpus.len(),
@@ -472,7 +563,11 @@ impl ServiceState {
             plans_active: self.engine.active_plans(),
             plans_shed: self.plans_shed.load(Ordering::Relaxed),
             records_streamed: self.records_streamed.load(Ordering::Relaxed),
-            cache: self.engine.cache().stats(),
+            retries: self.retries_total.load(Ordering::Relaxed),
+            quarantined: self.quarantined_total.load(Ordering::Relaxed),
+            shard_retries: self.shard_retries_total.load(Ordering::Relaxed),
+            healed: cache.healed,
+            cache,
             per_query,
         }
     }
@@ -522,7 +617,9 @@ impl ServiceState {
                 writer.flush()
             }
             (None, false, true) => self.begin_drain(writer),
-            (Some(set), false, false) => self.serve_query(set, request.stream, peer, writer),
+            (Some(set), false, false) => {
+                self.serve_query(set, request.stream, request.shard, peer, writer)
+            }
             _ => self.refuse(
                 writer,
                 &EngineError::Protocol(
@@ -590,10 +687,16 @@ impl ServiceState {
     /// Runs one admitted query set: stream the records, then the summary
     /// envelope. The admission permit is held until the summary is on the
     /// wire, so `plans_active` covers the full client-visible lifetime.
+    ///
+    /// A `shard` selector runs the restricted in-process path (this
+    /// daemon is someone's worker); a full request on a daemon fronting a
+    /// worker pool is served through the [`Coordinator`] instead of the
+    /// local engine.
     fn serve_query(
         &self,
         set: QuerySet,
         streaming: bool,
+        shard: Option<ShardSel>,
         peer: &str,
         writer: &mut impl Write,
     ) -> io::Result<()> {
@@ -623,7 +726,20 @@ impl ServiceState {
             Ok(plan) => Arc::new(plan),
             Err(error) => return self.refuse(writer, &error),
         };
-        let handle = match self.engine.submit_shared(Arc::clone(&self.corpus), plan) {
+        let submitted = match (&shard, &self.dist) {
+            (Some(sel), _) => self
+                .engine
+                .submit_shard_shared(Arc::clone(&self.corpus), plan, sel.index, sel.of)
+                .map(AnyHandle::Local),
+            (None, Some(coordinator)) => coordinator
+                .submit(Arc::clone(&self.corpus), plan)
+                .map(AnyHandle::Dist),
+            (None, None) => self
+                .engine
+                .submit_shared(Arc::clone(&self.corpus), plan)
+                .map(AnyHandle::Local),
+        };
+        let handle = match submitted {
             Ok(handle) => handle,
             Err(error) => return self.refuse(writer, &error),
         };
@@ -652,6 +768,12 @@ impl ServiceState {
             writer.write_all(report.to_jsonl().as_bytes())?;
             report.summary
         };
+        self.retries_total
+            .fetch_add(summary.retries, Ordering::Relaxed);
+        self.quarantined_total
+            .fetch_add(summary.quarantined.len() as u64, Ordering::Relaxed);
+        self.shard_retries_total
+            .fetch_add(summary.shard_retries, Ordering::Relaxed);
         let line = serde_json::to_string(&SummaryEnvelope {
             summary,
             req_id: Some(req_id),
@@ -669,6 +791,41 @@ impl ServiceState {
         );
         drop(permit);
         Ok(())
+    }
+}
+
+/// Either execution backend behind one `serve_query` flow: the local
+/// engine's [`RunHandle`] or the worker pool's [`DistHandle`]. Both
+/// stream records in completion order and close with a [`RunSummary`].
+enum AnyHandle {
+    Local(RunHandle),
+    Dist(DistHandle),
+}
+
+impl Iterator for AnyHandle {
+    type Item = QueryRecord;
+
+    fn next(&mut self) -> Option<QueryRecord> {
+        match self {
+            AnyHandle::Local(handle) => handle.next(),
+            AnyHandle::Dist(handle) => handle.next(),
+        }
+    }
+}
+
+impl AnyHandle {
+    fn wait(self) -> EngineReport {
+        match self {
+            AnyHandle::Local(handle) => handle.wait(),
+            AnyHandle::Dist(handle) => handle.wait(),
+        }
+    }
+
+    fn into_summary(self) -> RunSummary {
+        match self {
+            AnyHandle::Local(handle) => handle.into_summary(),
+            AnyHandle::Dist(handle) => handle.into_summary(),
+        }
     }
 }
 
@@ -702,6 +859,37 @@ impl Service {
         if corpus.is_empty() {
             return Err(EngineError::EmptyCorpus);
         }
+        let dist = if config.workers > 0 {
+            // The workers re-open the same corpus source and (when set)
+            // share the front end's disk cache tier and fault spec. Each
+            // is a full daemon on an ephemeral port; the coordinator owns
+            // their lifetimes.
+            let mut forward = config.corpus.to_args();
+            if let Some(dir) = &config.cache_dir {
+                forward.push("--cache-dir".to_string());
+                forward.push(dir.display().to_string());
+            }
+            if let Some(threads) = config.threads {
+                forward.push("--threads".to_string());
+                forward.push(threads.to_string());
+            }
+            if let Some(spec) = &config.fault_spec {
+                forward.push("--fault-spec".to_string());
+                forward.push(spec.clone());
+            }
+            let command = crate::dist::worker_command(config.worker_cmd.as_deref())?;
+            Some(Coordinator::spawn(
+                config.workers,
+                &command,
+                &forward,
+                DistConfig {
+                    shards: config.shards.unwrap_or(0),
+                    ..DistConfig::default()
+                },
+            )?)
+        } else {
+            None
+        };
         let mut builder = Engine::builder().admission(config.admission);
         if let Some(threads) = config.threads {
             builder = builder.threads(threads);
@@ -740,7 +928,11 @@ impl Service {
                 plans_served: AtomicU64::new(0),
                 plans_shed: AtomicU64::new(0),
                 records_streamed: AtomicU64::new(0),
+                retries_total: AtomicU64::new(0),
+                quarantined_total: AtomicU64::new(0),
+                shard_retries_total: AtomicU64::new(0),
                 latencies: Mutex::new(HashMap::new()),
+                dist,
             }),
         })
     }
@@ -947,6 +1139,10 @@ mod tests {
             "hunter2",
             "--fault-spec",
             "seed=7,compute=0.1",
+            "--workers",
+            "3",
+            "--worker-cmd",
+            "./veritasd",
         ]))
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -968,6 +1164,8 @@ mod tests {
         assert_eq!(config.max_connections, 64);
         assert_eq!(config.auth_token.as_deref(), Some("hunter2"));
         assert_eq!(config.fault_spec.as_deref(), Some("seed=7,compute=0.1"));
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.worker_cmd.as_deref(), Some("./veritasd"));
     }
 
     #[test]
@@ -1008,8 +1206,24 @@ mod tests {
             serde_json::from_str(r#"{"shutdown": true, "auth": "hunter2"}"#).unwrap();
         assert!(drain.shutdown && drain.query.is_none() && !drain.metrics);
         assert_eq!(drain.auth.as_deref(), Some("hunter2"));
+        let sharded: Request = serde_json::from_str(
+            r#"{"query": {"queries": [{"id": "a", "kind": "abduction"}]},
+                "shard": {"index": 1, "of": 3}}"#,
+        )
+        .unwrap();
+        let shard = sharded.shard.expect("the shard selector must parse");
+        assert_eq!((shard.index, shard.of), (1, 3));
         assert!(serde_json::from_str::<Request>(r#"{"querry": {}}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"[1, 2]"#).is_err());
+        // A shard selector is strict too: both members, nothing else.
+        assert!(serde_json::from_str::<Request>(
+            r#"{"query": {"queries": []}, "shard": {"index": 0}}"#
+        )
+        .is_err());
+        assert!(serde_json::from_str::<Request>(
+            r#"{"query": {"queries": []}, "shard": {"index": 0, "of": 2, "x": 1}}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -3,7 +3,6 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
-use std::io::{Read as _, Seek as _, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -18,6 +17,50 @@ use crate::fault::{FaultPlan, FaultSite};
 
 /// Default ceiling on concurrently resident decoded session logs.
 pub const DEFAULT_MAX_RESIDENT: usize = 256;
+
+/// Positioned reads over the backing file. On unix every block read is
+/// a lock-free `pread` ([`std::os::unix::fs::FileExt::read_exact_at`]),
+/// so concurrent work units — and concurrent *shards*, when several
+/// worker threads stream blocks from one corpus — never serialize on a
+/// seek mutex; elsewhere a mutexed seek-then-read preserves the exact
+/// same semantics.
+#[derive(Debug)]
+struct PositionedFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl PositionedFile {
+    fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self {
+                file: Mutex::new(file),
+            }
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = self.file.lock().expect("corpus file lock");
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct Resident {
@@ -45,7 +88,7 @@ struct Resident {
 #[derive(Debug)]
 pub struct LazyCorpus {
     path: PathBuf,
-    file: Mutex<File>,
+    file: PositionedFile,
     meta: CorpusMeta,
     asset: VideoAsset,
     player: PlayerConfig,
@@ -74,7 +117,7 @@ impl LazyCorpus {
             PlayerConfig::paper_default().with_buffer_capacity(parts.meta.buffer_capacity_s);
         Ok(Self {
             path: path.to_path_buf(),
-            file: Mutex::new(parts.file),
+            file: PositionedFile::new(parts.file),
             meta: parts.meta,
             asset,
             player,
@@ -169,13 +212,8 @@ impl LazyCorpus {
             }
         }
         let entry = &self.index[index];
-        let bytes = {
-            let mut file = self.file.lock().expect("corpus file lock");
-            file.seek(SeekFrom::Start(entry.offset))?;
-            let mut bytes = vec![0u8; entry.block_len as usize];
-            file.read_exact(&mut bytes)?;
-            bytes
-        };
+        let mut bytes = vec![0u8; entry.block_len as usize];
+        self.file.read_exact_at(&mut bytes, entry.offset)?;
         let log = Arc::new(decode_block(&bytes, entry)?);
         let mut resident = self.resident.lock().expect("resident lock");
         if let Some(raced) = resident.map.get(&index) {

@@ -59,7 +59,15 @@
 //! or first decode — never a silently partial corpus. The version word is
 //! checked *before* the checksum, so a file written by a newer schema
 //! fails with [`VcorpError::UnsupportedVersion`] rather than a misleading
-//! corruption report. Bump [`VCORP_VERSION`] on any layout change.
+//! corruption report. Bump [`VCORP_VERSION`] on any incompatible layout
+//! change.
+//!
+//! Backward-compatible header extensions ride on higher versions gated
+//! by the same word: version 2 ([`VCORP_VERSION_MAX`]) appends an
+//! optional `note` string to the header ([`CorpusMeta::note`]). Files
+//! without the field are written at version 1, byte-identical to older
+//! binaries' output, and version-1 files load bit-exactly forever — the
+//! version word, not probing, decides which fields exist.
 
 mod lazy;
 
@@ -80,10 +88,19 @@ use crate::corpus::{natural_cmp, sorted_json_paths, SyntheticSpec};
 use crate::error::EngineError;
 use crate::persist::{put_f64, put_u64, Reader};
 
-/// Schema version of the `.vcorp` layout; bump on any change so newer
-/// files fail typed ([`VcorpError::UnsupportedVersion`]) in older
-/// binaries instead of decoding as garbage.
+/// Base schema version of the `.vcorp` layout; bump on any incompatible
+/// change so newer files fail typed ([`VcorpError::UnsupportedVersion`])
+/// in older binaries instead of decoding as garbage.
 pub const VCORP_VERSION: u64 = 1;
+
+/// Newest schema version this binary reads. Version 2 appends one
+/// optional free-form `note` string to the header
+/// ([`CorpusMeta::note`]); everything else is unchanged. Note-less
+/// corpora are still written as version 1, byte-for-byte identical to
+/// what version-1-only binaries produce, so the extension costs old
+/// files nothing and new files without the field stay readable
+/// everywhere.
+pub const VCORP_VERSION_MAX: u64 = 2;
 
 /// Leading magic of every corpus file.
 const MAGIC: [u8; 8] = *b"VRTSCORP";
@@ -185,6 +202,10 @@ pub struct CorpusMeta {
     pub video_duration_s: f64,
     /// Seed of the stand-in generated asset.
     pub asset_seed: u64,
+    /// Optional free-form provenance note (version 2 headers). `None`
+    /// keeps the file at the base layout ([`VCORP_VERSION`]); `Some`
+    /// writes a version-2 header with the note appended.
+    pub note: Option<String>,
 }
 
 impl CorpusMeta {
@@ -200,6 +221,7 @@ impl CorpusMeta {
             chunk_duration_s: log.chunk_duration_s,
             video_duration_s: log.records.len() as f64 * log.chunk_duration_s,
             asset_seed: spec.seed,
+            note: None,
         }
     }
 }
@@ -291,6 +313,11 @@ impl VcorpWriter {
                 "deployed ABR name exceeds the {MAX_STR}-byte bound"
             )));
         }
+        if meta.note.as_ref().is_some_and(|n| n.len() as u64 > MAX_STR) {
+            return Err(VcorpError::Corrupt(format!(
+                "corpus note exceeds the {MAX_STR}-byte bound"
+            )));
+        }
         let parent = match final_path.parent() {
             Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
             _ => PathBuf::from("."),
@@ -312,12 +339,25 @@ impl VcorpWriter {
         };
         writer.write_raw(&MAGIC)?;
         let mut head = Vec::new();
-        put_u64(&mut head, VCORP_VERSION);
+        // A note upgrades the header to version 2; without one the file
+        // is written at the base version, byte-identical to what a
+        // version-1-only binary would produce.
+        put_u64(
+            &mut head,
+            if meta.note.is_some() {
+                VCORP_VERSION_MAX
+            } else {
+                VCORP_VERSION
+            },
+        );
         put_str(&mut head, &meta.deployed_abr);
         put_f64(&mut head, meta.buffer_capacity_s);
         put_f64(&mut head, meta.chunk_duration_s);
         put_f64(&mut head, meta.video_duration_s);
         put_u64(&mut head, meta.asset_seed);
+        if let Some(note) = &meta.note {
+            put_str(&mut head, note);
+        }
         writer.write_words(&head)?;
         Ok(writer)
     }
@@ -608,10 +648,10 @@ pub(crate) fn open_parts(path: &Path) -> Result<VcorpParts, VcorpError> {
         return Err(corrupt("bad magic (not a .vcorp corpus)"));
     }
     let version = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
-    if version != VCORP_VERSION {
+    if !(VCORP_VERSION..=VCORP_VERSION_MAX).contains(&version) {
         return Err(VcorpError::UnsupportedVersion {
             found: version,
-            supported: VCORP_VERSION,
+            supported: VCORP_VERSION_MAX,
         });
     }
     file.seek(SeekFrom::End(-16))?;
@@ -648,8 +688,9 @@ pub(crate) fn open_parts(path: &Path) -> Result<VcorpParts, VcorpError> {
         )));
     }
     // Header: bounded by the string ceiling, parsed with the shared
-    // bounds-checked reader.
-    let header_cap = ((index_offset - 16) as usize).min(8 + MAX_STR as usize + 32);
+    // bounds-checked reader. Two strings can appear (ABR name always,
+    // the version-2 note optionally), so the cap covers both.
+    let header_cap = ((index_offset - 16) as usize).min(2 * (8 + MAX_STR as usize) + 32);
     let mut header_bytes = vec![0u8; header_cap];
     file.seek(SeekFrom::Start(16))?;
     file.read_exact(&mut header_bytes)?;
@@ -659,6 +700,14 @@ pub(crate) fn open_parts(path: &Path) -> Result<VcorpParts, VcorpError> {
     let chunk_duration_s = need_f64(&mut reader, "chunk duration")?;
     let video_duration_s = need_f64(&mut reader, "video duration")?;
     let asset_seed = need_u64(&mut reader, "asset seed")?;
+    // The version word gates every extension field: a version-1 file
+    // ends its header here, bit-exactly as always, and is never probed
+    // for fields it predates.
+    let note = if version >= 2 {
+        Some(take_str(&mut reader, "corpus note")?)
+    } else {
+        None
+    };
     let header_end = 16 + reader.pos() as u64;
     if header_end > index_offset {
         return Err(corrupt("header overlaps the session index"));
@@ -669,6 +718,7 @@ pub(crate) fn open_parts(path: &Path) -> Result<VcorpParts, VcorpError> {
         chunk_duration_s,
         video_duration_s,
         asset_seed,
+        note,
     };
     // Index region: [index_offset, len - 16).
     let region_len = (len - 16 - index_offset) as usize;

@@ -86,6 +86,7 @@ fn meta() -> CorpusMeta {
         chunk_duration_s: 4.0,
         video_duration_s: 40.0,
         asset_seed: 7,
+        note: None,
     }
 }
 
@@ -204,16 +205,17 @@ proptest! {
 fn future_schema_versions_fail_typed_before_the_checksum() {
     let dir = temp_dir("future_version");
     let mut bytes = valid_corpus_bytes(&dir);
-    // Patch only the version word: the checksum is now also wrong, but
-    // the version must be checked first so the error is actionable.
-    bytes[8..16].copy_from_slice(&(VCORP_VERSION + 1).to_le_bytes());
+    // Patch only the version word (to one past the newest readable
+    // version): the checksum is now also wrong, but the version must be
+    // checked first so the error is actionable.
+    bytes[8..16].copy_from_slice(&(VCORP_VERSION_MAX + 1).to_le_bytes());
     let path = dir.join("future.vcorp");
     fs::write(&path, &bytes).expect("write future-version file");
     let err = LazyCorpus::open(&path).expect_err("a future-version corpus must not open");
     match err {
         VcorpError::UnsupportedVersion { found, supported } => {
-            assert_eq!(found, VCORP_VERSION + 1);
-            assert_eq!(supported, VCORP_VERSION);
+            assert_eq!(found, VCORP_VERSION_MAX + 1);
+            assert_eq!(supported, VCORP_VERSION_MAX);
         }
         other => panic!("expected UnsupportedVersion, got: {other}"),
     }

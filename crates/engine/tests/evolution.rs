@@ -1,0 +1,140 @@
+//! `.vcorp` schema evolution: the version-2 optional header note must
+//! cost version-1 files nothing.
+//!
+//! The contract under test: files without the note are written at the
+//! base version, byte-for-byte what a version-1-only binary produces;
+//! version-1 files keep loading bit-exactly; the note rides only on
+//! version-2 headers and never changes corpus identity (fingerprints),
+//! so cache entries stay interchangeable across the schema bump; and a
+//! version past [`VCORP_VERSION_MAX`] still fails typed before the
+//! checksum.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use veritas_engine::{
+    log_fingerprint, Corpus, CorpusMeta, LazyCorpus, SessionCorpus, VcorpError, VcorpWriter,
+    VCORP_VERSION, VCORP_VERSION_MAX,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("veritas_evolution_test_{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Writes the same small synthetic corpus with an optional header note
+/// and returns the file's bytes.
+fn write_corpus(source: &SessionCorpus, path: &Path, note: Option<&str>) -> Vec<u8> {
+    let mut meta = CorpusMeta::for_log(&source.sessions[0].log);
+    meta.note = note.map(str::to_string);
+    let mut writer = VcorpWriter::create(path, &meta).expect("create writer");
+    for session in &source.sessions {
+        writer.append(&session.id, &session.log).expect("append");
+    }
+    writer.finish().expect("finish");
+    fs::read(path).expect("read corpus back")
+}
+
+fn version_word(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"))
+}
+
+#[test]
+fn noteless_corpora_stay_at_the_base_version_byte_for_byte() {
+    let dir = temp_dir("base_version");
+    let source = SessionCorpus::synthetic(3, 21);
+    let first = write_corpus(&source, &dir.join("a.vcorp"), None);
+    let second = write_corpus(&source, &dir.join("b.vcorp"), None);
+    // No note → the base layout, bit for bit: nothing about version-2
+    // support leaks into files that don't use the extension, so they
+    // remain readable by (and identical to the output of) binaries that
+    // predate it.
+    assert_eq!(version_word(&first), VCORP_VERSION);
+    assert_eq!(first, second, "noteless writes must be deterministic");
+}
+
+#[test]
+fn version_1_files_still_load_bit_exactly() {
+    let dir = temp_dir("v1_load");
+    let source = SessionCorpus::synthetic(3, 21);
+    let path = dir.join("v1.vcorp");
+    write_corpus(&source, &path, None);
+
+    let corpus = LazyCorpus::open(&path).expect("open the version-1 file");
+    assert_eq!(corpus.meta().note, None, "a v1 header has no note field");
+    assert_eq!(Corpus::len(&corpus), source.len());
+    for (i, session) in source.sessions.iter().enumerate() {
+        assert_eq!(Corpus::session_id(&corpus, i), session.id.as_str());
+        assert_eq!(
+            Corpus::log_fingerprint(&corpus, i),
+            log_fingerprint(&session.log)
+        );
+        let loaded = corpus.load_log(i).expect("decode");
+        assert_eq!(
+            loaded.to_json(),
+            session.log.to_json(),
+            "session `{}` must reload exactly",
+            session.id
+        );
+    }
+}
+
+#[test]
+fn a_note_upgrades_the_header_to_version_2_and_round_trips() {
+    let dir = temp_dir("v2_note");
+    let source = SessionCorpus::synthetic(3, 21);
+    let path = dir.join("v2.vcorp");
+    let bytes = write_corpus(&source, &path, Some("ingested from cdn-west, 2026-08"));
+    assert_eq!(version_word(&bytes), VCORP_VERSION_MAX);
+
+    let corpus = LazyCorpus::open(&path).expect("open the version-2 file");
+    assert_eq!(
+        corpus.meta().note.as_deref(),
+        Some("ingested from cdn-west, 2026-08")
+    );
+    // The extension touches only the header: session blocks are
+    // unchanged and reload bit-exactly.
+    for (i, session) in source.sessions.iter().enumerate() {
+        let loaded = corpus.load_log(i).expect("decode");
+        assert_eq!(loaded.to_json(), session.log.to_json());
+    }
+}
+
+#[test]
+fn the_note_never_changes_corpus_identity() {
+    let dir = temp_dir("identity");
+    let source = SessionCorpus::synthetic(3, 21);
+    let plain = dir.join("plain.vcorp");
+    let noted = dir.join("noted.vcorp");
+    write_corpus(&source, &plain, None);
+    write_corpus(&source, &noted, Some("provenance only"));
+
+    let plain = LazyCorpus::open(&plain).expect("open v1");
+    let noted = LazyCorpus::open(&noted).expect("open v2");
+    // Plans and disk-cache entries key on these fingerprints; a
+    // provenance note must not invalidate either.
+    assert_eq!(plain.deployed_fingerprint(), noted.deployed_fingerprint());
+    assert_eq!(
+        Corpus::content_fingerprint(&plain),
+        Corpus::content_fingerprint(&noted)
+    );
+}
+
+#[test]
+fn versions_past_the_newest_readable_one_fail_typed() {
+    let dir = temp_dir("future");
+    let source = SessionCorpus::synthetic(2, 21);
+    let path = dir.join("future.vcorp");
+    let mut bytes = write_corpus(&source, &path, None);
+    bytes[8..16].copy_from_slice(&(VCORP_VERSION_MAX + 1).to_le_bytes());
+    fs::write(&path, &bytes).expect("write future-version file");
+    match LazyCorpus::open(&path).expect_err("a future version must not open") {
+        VcorpError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, VCORP_VERSION_MAX + 1);
+            assert_eq!(supported, VCORP_VERSION_MAX);
+        }
+        other => panic!("expected UnsupportedVersion, got: {other}"),
+    }
+}

@@ -198,6 +198,12 @@ fn concurrent_clients_see_batch_identical_records() {
     assert_eq!(metrics.plans_shed, 0);
     assert_eq!(metrics.records_streamed, expected_stream_total);
     assert!(metrics.per_query.iter().any(|q| q.id == "posterior"));
+    // Supervision counters ride in the same snapshot; a fault-free
+    // in-process daemon has absorbed nothing.
+    assert_eq!(metrics.retries, 0);
+    assert_eq!(metrics.shard_retries, 0);
+    assert_eq!(metrics.healed, 0);
+    assert_eq!(metrics.quarantined, 0);
     handle.stop();
 }
 
