@@ -142,11 +142,71 @@ fn bench_abr(c: &mut Criterion) {
     });
 }
 
+/// The storage-layer projection pin: a 3-column aggregate pass over a
+/// 1000-session `.vcorp`, re-decoding every block each iteration (the
+/// resident bound of 1 defeats the cache). The companion full-decode
+/// bench gives the ratio projection is expected to beat.
+fn bench_store(c: &mut Criterion) {
+    use veritas_engine::{columns, ColumnSet, LazyCorpus, SyntheticSpec, VcorpWriter};
+    use veritas_engine::{CorpusMeta, SessionCorpus};
+
+    let corpus: SessionCorpus = SyntheticSpec {
+        sessions: 1000,
+        video_duration_s: 120.0,
+        ..SyntheticSpec::default()
+    }
+    .try_build()
+    .expect("synthetic corpus");
+    let path =
+        std::env::temp_dir().join(format!("veritas_bench_store_{}.vcorp", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut writer = VcorpWriter::create(&path, &CorpusMeta::for_log(&corpus.sessions[0].log))
+        .expect("create .vcorp");
+    for session in &corpus.sessions {
+        writer.append(&session.id, &session.log).expect("append");
+    }
+    writer.finish().expect("finish .vcorp");
+
+    let cols = ColumnSet::of(&[columns::SSIM, columns::SIZE_BYTES, columns::REBUFFER_S]);
+    let mut group = c.benchmark_group("store");
+    group.bench_function("projected_aggregate_1000", |b| {
+        let lazy = LazyCorpus::open(&path).expect("open").with_max_resident(1);
+        b.iter(|| {
+            let mut acc = 0.0_f64;
+            for index in 0..lazy.len() {
+                let log = lazy
+                    .load_log_projected(index, black_box(cols))
+                    .expect("projected decode");
+                for record in &log.records {
+                    acc += record.ssim + record.size_bytes + record.rebuffer_s;
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("full_aggregate_1000", |b| {
+        let lazy = LazyCorpus::open(&path).expect("open").with_max_resident(1);
+        b.iter(|| {
+            let mut acc = 0.0_f64;
+            for index in 0..lazy.len() {
+                let log = lazy.load_log(index).expect("full decode");
+                for record in &log.records {
+                    acc += record.ssim + record.size_bytes + record.rebuffer_s;
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group!(
     benches,
     bench_ehmm,
     bench_abduction_scaling,
     bench_tcp,
-    bench_abr
+    bench_abr,
+    bench_store
 );
 criterion_main!(benches);

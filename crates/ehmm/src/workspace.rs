@@ -139,6 +139,41 @@ impl EhmmWorkspace {
         self.kernels.read().len()
     }
 
+    /// A snapshot of every materialized kernel as `(gap, A^Δ)` pairs,
+    /// sorted by gap — deterministic input for persistence. Only the
+    /// linear matrix is exported: the log table and the bandwidth are
+    /// derived from it bit-deterministically on [`Self::preload_kernel`],
+    /// so they never need to travel.
+    pub fn export_kernels(&self) -> Vec<(u32, TransitionMatrix)> {
+        let kernels = self.kernels.read();
+        let mut out: Vec<(u32, TransitionMatrix)> = kernels
+            .iter()
+            .map(|(&gap, kernel)| (gap, kernel.matrix().clone()))
+            .collect();
+        out.sort_unstable_by_key(|&(gap, _)| gap);
+        out
+    }
+
+    /// Installs a previously exported `A^Δ` for `gap`, skipping the
+    /// matrix-power computation [`Self::kernel`] would run. The log table
+    /// and bandwidth are re-derived from the matrix (cheap and
+    /// deterministic, so a preloaded kernel is indistinguishable from a
+    /// computed one). A matrix whose state count does not match the spec
+    /// is rejected, and a gap that is already materialized is left
+    /// untouched — both sides hold the same deterministic power. Returns
+    /// whether the kernel was installed.
+    pub fn preload_kernel(&self, gap: u32, matrix: TransitionMatrix) -> bool {
+        if matrix.num_states() != self.spec.num_states() {
+            return false;
+        }
+        let mut kernels = self.kernels.write();
+        if kernels.contains_key(&gap) {
+            return false;
+        }
+        kernels.insert(gap, Arc::new(GapKernel::new(matrix)));
+        true
+    }
+
     /// The kernel for gap Δ — `A^Δ`, `ln A^Δ`, bandwidth — computed on
     /// first use and shared thereafter (chunk gaps repeat heavily within
     /// and across sessions).
@@ -497,6 +532,42 @@ mod tests {
             }
         });
         assert_eq!(ws.cached_gaps(), 8);
+    }
+
+    #[test]
+    fn exported_kernels_preload_bit_identically() {
+        let ws = EhmmWorkspace::new(spec(7, 0.8));
+        for gap in [5u32, 1, 3] {
+            let _ = ws.kernel(gap);
+        }
+        let exported = ws.export_kernels();
+        assert_eq!(
+            exported.iter().map(|&(g, _)| g).collect::<Vec<_>>(),
+            vec![1, 3, 5],
+            "export must be gap-sorted"
+        );
+
+        let restored = EhmmWorkspace::new(spec(7, 0.8));
+        for (gap, matrix) in exported {
+            assert!(restored.preload_kernel(gap, matrix));
+        }
+        assert_eq!(restored.cached_gaps(), 3);
+        for gap in [1u32, 3, 5] {
+            let a = ws.kernel(gap);
+            let b = restored.kernel(gap);
+            assert_eq!(a.matrix(), b.matrix(), "gap {gap}: matrices");
+            assert_eq!(a.bandwidth(), b.bandwidth(), "gap {gap}: bandwidth");
+            for i in 0..7 {
+                let (ra, rb) = (a.log_row(i), b.log_row(i));
+                let bits = |r: &[f64]| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(ra), bits(rb), "gap {gap}: log row {i}");
+            }
+        }
+
+        // Mismatched state counts and already-present gaps are refused.
+        let other = EhmmWorkspace::new(spec(4, 0.8));
+        assert!(!other.preload_kernel(2, ws.kernel(2).matrix().clone()));
+        assert!(!restored.preload_kernel(1, ws.kernel(1).matrix().clone()));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!             [--seed S] [--threads N] [--shards N] [--stream] [--out FILE]
 //!             [--summary FILE] [--no-cache] [--cache-dir DIR]
 //!             [--min-cache-hits N] [--allow-errors] [--fault-spec SPEC]
-//!             [--retry N] [--workers N] [--worker-cmd CMD]
+//!             [--retry N] [--workers N] [--worker-cmd CMD] [--mmap]
 //! veritas worker [--addr HOST:PORT] ...              # veritasd under another name
 //! veritas ingest <DIR> --out FILE.vcorp [--append]
 //! veritas synth --out DIR [--sessions N] [--seed S]
@@ -40,7 +40,10 @@
 //! `seed=42,compute=0.1,disk_read=0.2`) so CI can chaos-test the real
 //! binary, and `--retry N` enables per-unit supervision: failed units
 //! are re-run up to N attempts with deterministic exponential backoff,
-//! and sessions that exhaust their attempts are quarantined.
+//! and sessions that exhaust their attempts are quarantined. `--mmap`
+//! backs `.vcorp` column decodes with a read-only memory map instead of
+//! positioned reads (ignored silently on platforms without `mmap`;
+//! rejected for non-`.vcorp` corpora).
 //!
 //! `--workers N` switches `run` to distributed execution: the corpus is
 //! partitioned into shards and farmed to N locally spawned worker
@@ -74,9 +77,9 @@ use std::time::Instant;
 
 use veritas::VeritasConfig;
 use veritas_engine::{
-    append_dir, ingest_dir, service, worker_command, Coordinator, Corpus, DistConfig, Engine,
-    EngineError, EngineReport, FaultPlan, LazyCorpus, Query, QueryKind, QueryPlan, QueryRecord,
-    QuerySet, RetryPolicy, RunSummary, SessionCorpus, SyntheticSpec,
+    append_dir, columns, ingest_dir, service, worker_command, ColumnSet, Coordinator, Corpus,
+    DistConfig, Engine, EngineError, EngineReport, FaultPlan, LazyCorpus, Query, QueryKind,
+    QueryPlan, QueryRecord, QuerySet, RetryPolicy, RunSummary, SessionCorpus, SyntheticSpec,
 };
 
 /// What a subcommand can fail with: a usage problem (bad flags or
@@ -161,7 +164,7 @@ fn print_usage() {
          \x20                            [--out FILE] [--summary FILE] [--no-cache]\n\
          \x20                            [--cache-dir DIR] [--min-cache-hits N]\n\
          \x20                            [--allow-errors] [--fault-spec SPEC] [--retry N]\n\
-         \x20                            [--workers N] [--worker-cmd CMD]\n\
+         \x20                            [--workers N] [--worker-cmd CMD] [--mmap]\n\
          \x20 veritas worker [--addr HOST:PORT] ...   (veritasd under another name)\n\
          \x20 veritas ingest <DIR> --out FILE.vcorp [--append]\n\
          \x20 veritas synth --out DIR [--sessions N] [--seed S]\n\
@@ -200,6 +203,7 @@ struct Options {
     retry: Option<u32>,
     workers: usize,
     worker_cmd: Option<String>,
+    mmap: bool,
 }
 
 /// Parses `args`, accepting only the flags in `allowed` — a flag another
@@ -228,6 +232,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
         retry: None,
         workers: 0,
         worker_cmd: None,
+        mmap: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -272,6 +277,7 @@ fn parse_options(args: &[String], allowed: &[&str]) -> Result<Options, String> {
             "--retry" => options.retry = Some(parse_num(&value_for("--retry")?)?),
             "--workers" => options.workers = parse_num(&value_for("--workers")?)?,
             "--worker-cmd" => options.worker_cmd = Some(value_for("--worker-cmd")?),
+            "--mmap" => options.mmap = true,
             positional => options.positional.push(positional.to_string()),
         }
     }
@@ -314,12 +320,26 @@ fn load_corpus(
     options: &Options,
     fault: Option<&Arc<FaultPlan>>,
 ) -> Result<Arc<dyn Corpus>, CliError> {
+    let is_vcorp = options
+        .corpus
+        .as_deref()
+        .is_some_and(|path| path.extension().is_some_and(|ext| ext == "vcorp"));
+    if options.mmap && !is_vcorp {
+        return Err(CliError::Usage(
+            "--mmap applies only to `.vcorp` corpora".to_string(),
+        ));
+    }
     match (&options.corpus, options.synthetic) {
         (Some(_), Some(_)) => Err(CliError::Usage(
             "--corpus and --synthetic are mutually exclusive".to_string(),
         )),
         (Some(path), None) if path.extension().is_some_and(|ext| ext == "vcorp") => {
-            let corpus = LazyCorpus::open(path).map_err(EngineError::from)?;
+            let mut corpus = LazyCorpus::open(path).map_err(EngineError::from)?;
+            if options.mmap {
+                // Falls back to positioned reads silently where mapping is
+                // unavailable; `is_mapped` reports what actually happened.
+                corpus = corpus.with_mmap();
+            }
             Ok(Arc::new(match fault {
                 Some(plan) => corpus.with_fault_plan(Arc::clone(plan)),
                 None => corpus,
@@ -402,6 +422,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             "--retry",
             "--workers",
             "--worker-cmd",
+            "--mmap",
         ],
     )?;
     let [query_path] = options.positional.as_slice() else {
@@ -669,6 +690,19 @@ struct BenchJson {
     /// Peak concurrently resident decoded logs during a full lazy pass
     /// over the `.vcorp` corpus (bounded at 64 for the benchmark).
     peak_resident_sessions: Option<usize>,
+    /// Peak resident decoded-log bytes during the full lazy pass.
+    peak_resident_bytes: Option<usize>,
+    /// Block bytes decoded by the full (every-column) lazy pass.
+    bytes_decoded_full: Option<u64>,
+    /// Block bytes decoded by the 3-column projected aggregate pass over
+    /// the same corpus.
+    bytes_decoded_projected: Option<u64>,
+    /// Per-session columns the projected pass decoded.
+    columns_decoded_projected: Option<u64>,
+    /// `bytes_decoded_projected / bytes_decoded_full` — the I/O fraction
+    /// column projection leaves of a full decode (the acceptance pin:
+    /// <= 0.25 for a 3-of-18-column aggregate).
+    projected_bytes_ratio: Option<f64>,
 }
 
 /// Result of the `--load-sessions` corpus-load benchmark.
@@ -677,6 +711,11 @@ struct LoadBench {
     vcorp_open_ms: f64,
     speedup: f64,
     peak_resident: usize,
+    peak_resident_bytes: usize,
+    bytes_decoded_full: u64,
+    bytes_decoded_projected: u64,
+    columns_decoded_projected: u64,
+    projected_bytes_ratio: f64,
 }
 
 /// Times "open the corpus and answer one probe query" for a JSON session
@@ -733,12 +772,41 @@ fn bench_load(n: usize, seed: u64, threads: usize) -> Result<LoadBench, CliError
         bounded.load_log(index).map_err(EngineError::from)?;
     }
     let peak_resident = bounded.peak_resident();
+    let peak_resident_bytes = bounded.peak_resident_bytes();
+    let bytes_decoded_full = bounded.bytes_decoded();
+
+    // Projected aggregate pass: the same corpus, decoding only the three
+    // columns a quality/stall aggregate reads. The byte ratio against the
+    // full pass is what column projection saves.
+    let projected_cols = ColumnSet::of(&[columns::SSIM, columns::SIZE_BYTES, columns::REBUFFER_S]);
+    let projected = LazyCorpus::open(&vcorp)
+        .map_err(EngineError::from)?
+        .with_max_resident(64);
+    let mut aggregate = 0.0_f64;
+    for index in 0..projected.len() {
+        let log = projected
+            .load_log_projected(index, projected_cols)
+            .map_err(EngineError::from)?;
+        for record in &log.records {
+            aggregate += record.ssim + record.size_bytes + record.rebuffer_s;
+        }
+    }
+    std::hint::black_box(aggregate);
+    let bytes_decoded_projected = projected.bytes_decoded();
+    let columns_decoded_projected = projected.columns_decoded();
+
     let _ = std::fs::remove_dir_all(&root);
     Ok(LoadBench {
         json_load_ms,
         vcorp_open_ms,
         speedup: json_load_ms / vcorp_open_ms.max(1e-9),
         peak_resident,
+        peak_resident_bytes,
+        bytes_decoded_full,
+        bytes_decoded_projected,
+        columns_decoded_projected,
+        projected_bytes_ratio: bytes_decoded_projected as f64
+            / (bytes_decoded_full as f64).max(1e-9),
     })
 }
 
@@ -826,8 +894,21 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             let load = bench_load(n, options.seed, threads)?;
             println!(
                 "corpus load ({n} sessions): json {:.1} ms   vcorp {:.1} ms   speedup {:.1}x   \
-                 peak resident {}",
-                load.json_load_ms, load.vcorp_open_ms, load.speedup, load.peak_resident
+                 peak resident {} ({} bytes)",
+                load.json_load_ms,
+                load.vcorp_open_ms,
+                load.speedup,
+                load.peak_resident,
+                load.peak_resident_bytes
+            );
+            println!(
+                "projection (3/{} columns): {} of {} block bytes decoded ({:.1}%), \
+                 {} columns",
+                ColumnSet::COUNT,
+                load.bytes_decoded_projected,
+                load.bytes_decoded_full,
+                load.projected_bytes_ratio * 100.0,
+                load.columns_decoded_projected
             );
             Some(load)
         }
@@ -851,6 +932,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             vcorp_open_ms: load.as_ref().map(|l| l.vcorp_open_ms),
             load_speedup: load.as_ref().map(|l| l.speedup),
             peak_resident_sessions: load.as_ref().map(|l| l.peak_resident),
+            peak_resident_bytes: load.as_ref().map(|l| l.peak_resident_bytes),
+            bytes_decoded_full: load.as_ref().map(|l| l.bytes_decoded_full),
+            bytes_decoded_projected: load.as_ref().map(|l| l.bytes_decoded_projected),
+            columns_decoded_projected: load.as_ref().map(|l| l.columns_decoded_projected),
+            projected_bytes_ratio: load.as_ref().map(|l| l.projected_bytes_ratio),
         };
         let json =
             serde_json::to_string_pretty(&report).map_err(|e| format!("serialization: {e}"))?;

@@ -261,6 +261,10 @@ pub struct CacheStats {
     /// Corrupt disk entries detected, deleted, and (via re-inference +
     /// write-through) rewritten — the disk tier's self-heals.
     pub healed: u64,
+    /// `A^Δ` transition kernels restored from a persisted kernel table
+    /// (`.vkern`) instead of being recomputed by repeated matrix
+    /// squaring — the workspace-level analogue of `disk_hits`.
+    pub kernel_disk_hits: u64,
 }
 
 /// A concurrent, compute-once cache of [`Abduction`] results.
@@ -281,12 +285,17 @@ pub struct CacheStats {
 pub struct AbductionCache {
     slots: Mutex<HashMap<CacheKey, Slot>>,
     workspaces: Mutex<HashMap<u64, Arc<EhmmWorkspace>>>,
+    /// Kernel count last written through to the store per config
+    /// fingerprint, so the kernel table is only rewritten when the
+    /// workspace has actually grown new gaps.
+    kernel_saves: Mutex<HashMap<u64, usize>>,
     disk: Option<DiskStore>,
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
     entries: AtomicU64,
     healed: AtomicU64,
+    kernel_disk_hits: AtomicU64,
 }
 
 impl AbductionCache {
@@ -405,6 +414,10 @@ impl AbductionCache {
             // directory degrades to memory-only caching, it never fails
             // the query.
             let _ = disk.save(&persist_key, &abduction);
+            // Piggyback the kernel table: the inference above may have
+            // materialized new gaps worth warm-starting the next process
+            // with.
+            self.persist_kernels(fingerprint, abduction.workspace());
         }
         Ok((abduction, CacheSource::Inferred))
     }
@@ -460,11 +473,53 @@ impl AbductionCache {
         fingerprint: u64,
         spec: veritas_ehmm::EhmmSpec,
     ) -> Arc<EhmmWorkspace> {
-        self.workspaces
-            .lock()
-            .entry(fingerprint)
-            .or_insert_with(|| Arc::new(EhmmWorkspace::new(spec)))
-            .clone()
+        let mut workspaces = self.workspaces.lock();
+        if let Some(workspace) = workspaces.get(&fingerprint) {
+            return workspace.clone();
+        }
+        let workspace = Arc::new(EhmmWorkspace::new(spec));
+        // A fresh workspace warm-starts from the persisted kernel table
+        // of its config, skipping the repeated-squaring matrix powers a
+        // cold process would otherwise recompute per distinct gap. Like
+        // every disk read here, failure is a silent miss.
+        if let Some(disk) = &self.disk {
+            if let Some(kernels) = disk.load_kernels(fingerprint, workspace.spec().num_states()) {
+                let mut restored: u64 = 0;
+                for (gap, matrix) in kernels {
+                    if workspace.preload_kernel(gap, matrix) {
+                        restored += 1;
+                    }
+                }
+                self.kernel_disk_hits.fetch_add(restored, Ordering::Relaxed);
+                self.kernel_saves
+                    .lock()
+                    .insert(fingerprint, workspace.cached_gaps());
+            }
+        }
+        workspaces.insert(fingerprint, workspace.clone());
+        workspace
+    }
+
+    /// Writes the workspace's kernel table through to the disk store when
+    /// it has materialized gaps the store has not seen — called after
+    /// each inferred write-through, so a warm restart skips the matrix
+    /// powers too, not just the posteriors. Best-effort like every disk
+    /// write.
+    fn persist_kernels(&self, fingerprint: u64, workspace: &Arc<EhmmWorkspace>) {
+        let Some(disk) = &self.disk else { return };
+        let mut saved = self.kernel_saves.lock();
+        let last = saved.entry(fingerprint).or_insert(0);
+        if workspace.cached_gaps() <= *last {
+            return;
+        }
+        let kernels = workspace.export_kernels();
+        if kernels.is_empty() {
+            return;
+        }
+        let count = kernels.len();
+        if disk.save_kernels(fingerprint, &kernels).is_ok() {
+            *last = count;
+        }
     }
 
     /// Lookups served from memory so far.
@@ -494,6 +549,11 @@ impl AbductionCache {
         self.healed.load(Ordering::Relaxed)
     }
 
+    /// Transition kernels restored from persisted kernel tables so far.
+    pub fn kernel_disk_hits(&self) -> u64 {
+        self.kernel_disk_hits.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -502,6 +562,7 @@ impl AbductionCache {
             disk_hits: self.disk_hits(),
             entries: self.entries(),
             healed: self.healed(),
+            kernel_disk_hits: self.kernel_disk_hits(),
         }
     }
 
@@ -518,6 +579,7 @@ impl AbductionCache {
     pub fn clear(&self) {
         self.slots.lock().clear();
         self.workspaces.lock().clear();
+        self.kernel_saves.lock().clear();
         self.entries.store(0, Ordering::Relaxed);
     }
 }
@@ -606,7 +668,8 @@ mod tests {
                 misses: 1,
                 disk_hits: 0,
                 entries: 1,
-                healed: 0
+                healed: 0,
+                kernel_disk_hits: 0
             }
         );
     }
@@ -880,6 +943,9 @@ mod tests {
         // Once restored, the entry lives in memory.
         let (_, source) = warm.get_or_infer("s", &log, &config).unwrap();
         assert_eq!(source, CacheSource::Memory);
+        // The cold run wrote its kernel table through alongside the
+        // posterior, so the warm workspace restored kernels from disk too.
+        assert!(warm.kernel_disk_hits() > 0);
         assert_eq!(
             warm.stats(),
             CacheStats {
@@ -887,9 +953,92 @@ mod tests {
                 misses: 0,
                 disk_hits: 1,
                 entries: 1,
-                healed: 0
+                healed: 0,
+                kernel_disk_hits: warm.kernel_disk_hits()
             }
         );
+    }
+
+    #[test]
+    fn kernel_tables_restore_across_cache_instances() {
+        let store = temp_store("kernels");
+        let dir = store.dir().to_path_buf();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+
+        let cold = AbductionCache::new().with_disk_store(store);
+        cold.get_or_infer("s", &log, &config).unwrap();
+        let cold_kernels = cold.workspace_for(&config).export_kernels();
+        assert!(!cold_kernels.is_empty(), "inference materializes kernels");
+        let vkern = cold
+            .disk_store()
+            .unwrap()
+            .kernel_path_for(config_fingerprint(&config));
+        assert!(vkern.exists(), "the kernel table was written through");
+
+        // A fresh cache restores every kernel before running anything, and
+        // the restored matrices are bit-identical to the computed ones.
+        let warm = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        let workspace = warm.workspace_for(&config);
+        assert_eq!(warm.kernel_disk_hits(), cold_kernels.len() as u64);
+        let warm_kernels = workspace.export_kernels();
+        assert_eq!(warm_kernels.len(), cold_kernels.len());
+        for ((gap, matrix), (back_gap, back_matrix)) in cold_kernels.iter().zip(&warm_kernels) {
+            assert_eq!(gap, back_gap);
+            assert_eq!(matrix.num_states(), back_matrix.num_states());
+            for i in 0..matrix.num_states() {
+                let bits = |row: &[f64]| -> Vec<u64> { row.iter().map(|p| p.to_bits()).collect() };
+                assert_eq!(bits(matrix.row(i)), bits(back_matrix.row(i)));
+            }
+        }
+
+        // Inference *through* restored kernels is bit-identical. A log the
+        // store has never seen forces the warm cache to actually infer
+        // (disk entries are keyed by log fingerprint, not session id); the
+        // reference runs in a memory-only cache whose workspace computes
+        // every kernel from scratch.
+        let mut other = log.clone();
+        other.records[1].start_time_s = 4.0;
+        other.session_duration_s = 8.0;
+        let (warm_abduction, source) = warm.get_or_infer("s2", &other, &config).unwrap();
+        assert_eq!(source, CacheSource::Inferred);
+        let reference = AbductionCache::new();
+        let (ref_abduction, _) = reference.get_or_infer("s2", &other, &config).unwrap();
+        assert_eq!(warm_abduction.posteriors(), ref_abduction.posteriors());
+        assert_eq!(
+            warm_abduction.sample_traces(4),
+            ref_abduction.sample_traces(4)
+        );
+    }
+
+    #[test]
+    fn corrupt_kernel_tables_do_not_poison_the_cache() {
+        let store = temp_store("kernels_corrupt");
+        let dir = store.dir().to_path_buf();
+        let log = log();
+        let config = VeritasConfig::paper_default();
+
+        let cold = AbductionCache::new().with_disk_store(store);
+        let (inferred, _) = cold.get_or_infer("s", &log, &config).unwrap();
+        let vkern = cold
+            .disk_store()
+            .unwrap()
+            .kernel_path_for(config_fingerprint(&config));
+        let mut bytes = std::fs::read(&vkern).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&vkern, &bytes).unwrap();
+
+        // The corrupt table is a silent miss: no kernel restores, the
+        // posterior restore still works, and answers are unchanged.
+        let warm = AbductionCache::new().with_disk_store(DiskStore::open(&dir).unwrap());
+        let (restored, source) = warm.get_or_infer("s", &log, &config).unwrap();
+        assert_eq!(source, CacheSource::Disk);
+        assert_eq!(warm.kernel_disk_hits(), 0);
+        assert_eq!(restored.posteriors(), inferred.posteriors());
+        // The load deleted the corrupt file so a later write-through can
+        // replace it cleanly.
+        assert!(!vkern.exists());
     }
 
     #[test]
@@ -1022,7 +1171,10 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap().path())
             .collect();
-        leftovers.retain(|p| !p.extension().is_some_and(|ext| ext == "vpost"));
+        leftovers.retain(|p| {
+            !p.extension()
+                .is_some_and(|ext| ext == "vpost" || ext == "vkern")
+        });
         assert!(leftovers.is_empty(), "no torn temp files: {leftovers:?}");
         assert_eq!(
             std::fs::read(&entry).unwrap(),

@@ -24,6 +24,7 @@ use veritas_trace::BandwidthTrace;
 
 use crate::cache::{combine_fingerprints, log_fingerprint};
 use crate::error::EngineError;
+use crate::store::ColumnSet;
 
 /// A session log borrowed from a corpus.
 ///
@@ -76,6 +77,32 @@ pub trait Corpus: Send + Sync {
     /// run aborts.
     fn log(&self, index: usize) -> Result<LogRef<'_>, String>;
 
+    /// The log of session `index` with *at least* the columns in
+    /// `columns` populated — the seam query-aware column projection
+    /// threads through ([`crate::QueryPlan::column_demand`] derives the
+    /// set, the executor passes it here).
+    ///
+    /// # Contract
+    ///
+    /// * Every field backed by a selected column must be bit-identical
+    ///   to what [`Corpus::log`] would return; unselected per-chunk
+    ///   fields may come back zero-filled (callers must not read them —
+    ///   the plan's demand derivation guarantees the engine never does).
+    /// * Session-level scalars (ABR name, durations, chunk count) are
+    ///   always populated, whatever the set.
+    /// * [`Corpus::log_fingerprint`] is unaffected: projection is pure
+    ///   I/O pruning and must never change fingerprints, cache keys, or
+    ///   emitted records.
+    ///
+    /// The default delegates to the full [`Corpus::log`], which
+    /// trivially satisfies the contract — eager corpora (JSON dirs,
+    /// synthetic) already hold complete logs, so only lazily decoding
+    /// implementations ([`crate::LazyCorpus`]) override this.
+    fn log_projected(&self, index: usize, columns: ColumnSet) -> Result<LogRef<'_>, String> {
+        let _ = columns;
+        self.log(index)
+    }
+
     /// The [`crate::log_fingerprint`] of session `index`, without
     /// necessarily loading the log (a `.vcorp` serves it from its index).
     fn log_fingerprint(&self, index: usize) -> u64;
@@ -117,6 +144,17 @@ pub trait Corpus: Send + Sync {
         shard_indices(self.len(), shards)
     }
 
+    /// Point-in-time residency and decode counters, for corpora that
+    /// stream sessions through a bounded resident set. Eager corpora
+    /// (everything resident, nothing decoded on demand) return `None`;
+    /// [`crate::LazyCorpus`] reports its resident window, high-water
+    /// marks, and cumulative decode volume — surfaced by
+    /// `veritas bench --load-sessions` and the daemon's
+    /// `{"metrics": true}` snapshot.
+    fn residency(&self) -> Option<ResidencyStats> {
+        None
+    }
+
     /// Resolves a query's session selector against this corpus: `None`
     /// selects every session, `Some(indices)` is validated to be in
     /// range.
@@ -136,6 +174,27 @@ pub trait Corpus: Send + Sync {
             }
         }
     }
+}
+
+/// Point-in-time residency counters of a lazily backed corpus (see
+/// [`Corpus::residency`]): how much of it is decoded right now, the
+/// high-water marks, and the cumulative decode volume — the numbers that
+/// make column projection's I/O pruning observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ResidencyStats {
+    /// Decoded logs currently resident.
+    pub resident_sessions: usize,
+    /// Projected bytes of the currently resident decoded logs.
+    pub resident_bytes: usize,
+    /// High-water mark of concurrently resident decoded logs.
+    pub peak_resident_sessions: usize,
+    /// High-water mark of resident projected log bytes.
+    pub peak_resident_bytes: usize,
+    /// Cumulative block bytes decoded (header + selected columns, summed
+    /// over every decode).
+    pub bytes_decoded: u64,
+    /// Cumulative per-session columns decoded.
+    pub columns_decoded: u64,
 }
 
 /// One session of a corpus: an id (stable across runs, used as the cache

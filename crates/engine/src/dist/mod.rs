@@ -126,6 +126,13 @@ impl std::fmt::Debug for Coordinator {
 struct WorkerRequest<'a> {
     query: &'a QuerySet,
     shard: WireShard,
+    /// Plan-wide column-demand union
+    /// ([`QueryPlan::column_demand_union`]) as a bitmask. The worker
+    /// recompiles the plan from `query`, so it derives the same demand
+    /// by construction; advertising the coordinator's view lets the
+    /// worker refuse on any derivation skew (version drift) instead of
+    /// silently decoding different columns.
+    columns: u32,
 }
 
 // Hand-written because the serde shim's derive does not handle
@@ -133,9 +140,10 @@ struct WorkerRequest<'a> {
 impl serde::Serialize for WorkerRequest<'_> {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut state = serializer.serialize_struct("WorkerRequest", 2)?;
+        let mut state = serializer.serialize_struct("WorkerRequest", 3)?;
         state.serialize_field("query", self.query)?;
         state.serialize_field("shard", &self.shard)?;
+        state.serialize_field("columns", &self.columns)?;
         state.end()
     }
 }
@@ -251,6 +259,7 @@ impl Coordinator {
                     index: s,
                     of: shards,
                 },
+                columns: plan.column_demand_union().bits(),
             })
             .expect("request serialization cannot fail");
             let job = ShardJob {

@@ -108,9 +108,24 @@
 //! and reads only the session index — ids, offsets, and precomputed
 //! [`log_fingerprint`]s — so a daemon restart or a cold run parses zero
 //! JSON and re-hashes zero floats. Session logs decode on demand per
-//! work unit, digest-verified, into a bounded resident set, so corpora
-//! larger than RAM stream through a run. See the [`store`] module docs
-//! for the file layout and versioning rules.
+//! work unit, digest-verified, into a bounded resident set
+//! ([`LazyCorpus::with_max_resident`], [`LazyCorpus::with_max_resident_bytes`]),
+//! so corpora larger than RAM stream through a run. See the [`store`]
+//! module docs for the file layout and versioning rules.
+//!
+//! Decoding is **query-aware**: [`QueryPlan::compile`] derives the
+//! [`ColumnSet`] each query kind actually reads (module
+//! [`columns`]), the executor requests logs through
+//! [`Corpus::log_projected`], and a [`LazyCorpus`] decodes only those
+//! column ranges — per-column digest-verified — instead of the full
+//! block. Projection never changes answers or cache keys (the
+//! [`log_fingerprint`] is precomputed in the index); disable it with
+//! `VERITAS_NO_PROJECTION=1` to A/B against full decodes, and observe it
+//! via [`Corpus::residency`] ([`ResidencyStats`]: bytes/columns decoded,
+//! peak resident bytes — surfaced by `veritas bench --json` and the
+//! service's `{"metrics": true}`). `--mmap` (CLI) /
+//! [`LazyCorpus::with_mmap`] back decodes with a memory map instead of
+//! positioned reads where the platform supports it.
 //!
 //! # Example: streaming consumption
 //!
@@ -163,7 +178,9 @@ pub mod store;
 pub use cache::{
     config_fingerprint, infer_prefix, log_fingerprint, AbductionCache, CacheSource, CacheStats,
 };
-pub use corpus::{Corpus, CorpusSession, CorpusShard, LogRef, SessionCorpus, SyntheticSpec};
+pub use corpus::{
+    Corpus, CorpusSession, CorpusShard, LogRef, ResidencyStats, SessionCorpus, SyntheticSpec,
+};
 pub use dist::{worker_command, Coordinator, DistConfig, DistHandle, WorkerPool};
 pub use error::{EngineError, ErrorEnvelope, WireError};
 pub use fault::{FaultPlan, FaultSite};
@@ -182,6 +199,6 @@ pub use service::{
     SummaryEnvelope, DEFAULT_ADMISSION_BOUND,
 };
 pub use store::{
-    append_dir, ingest_dir, CorpusMeta, IngestReport, LazyCorpus, VcorpError, VcorpWriter,
-    DEFAULT_MAX_RESIDENT, VCORP_VERSION, VCORP_VERSION_MAX,
+    append_dir, columns, ingest_dir, ColumnSet, CorpusMeta, IngestReport, LazyCorpus, VcorpError,
+    VcorpWriter, DEFAULT_MAX_RESIDENT, VCORP_VERSION, VCORP_VERSION_MAX,
 };

@@ -53,7 +53,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use veritas::{Abduction, VeritasConfig};
-use veritas_ehmm::{EhmmWorkspace, Posteriors, StateMatrix, ViterbiResult};
+use veritas_ehmm::{EhmmWorkspace, Posteriors, StateMatrix, TransitionMatrix, ViterbiResult};
 use veritas_player::SessionLog;
 
 use crate::cache::{fnv_mix, FNV_OFFSET};
@@ -63,8 +63,20 @@ use crate::fault::{FaultPlan, FaultSite};
 /// change so older binaries' files read as misses instead of garbage.
 pub const FORMAT_VERSION: u64 = 1;
 
+/// Version stamp of persisted kernel tables (`.vkern`); bumped
+/// independently of [`FORMAT_VERSION`] — the two layouts evolve
+/// separately.
+pub const KERNEL_FORMAT_VERSION: u64 = 1;
+
 /// Leading magic of every store file.
 const MAGIC: [u8; 8] = *b"VRTSPOST";
+
+/// Leading magic of every kernel-table file.
+const KERNEL_MAGIC: [u8; 8] = *b"VRTSKERN";
+
+/// Sanity ceiling on the kernel count of one stored table (distinct
+/// chunk gaps per config; real corpora have at most a few hundred).
+const MAX_KERNELS: u64 = 1 << 16;
 
 /// Decode-time sanity ceilings: a corrupted length field must fail fast
 /// instead of driving a multi-gigabyte allocation. Real sessions have
@@ -242,6 +254,76 @@ impl DiskStore {
             },
         }
     }
+
+    /// The file path the kernel table of config fingerprint `config`
+    /// lives at — content-addressed like the posterior entries, so every
+    /// process pointed at one directory shares one table per config.
+    pub fn kernel_path_for(&self, config: u64) -> PathBuf {
+        self.dir
+            .join(format!("kern-v{KERNEL_FORMAT_VERSION}-{config:016x}.vkern"))
+    }
+
+    /// Persists the materialized `A^Δ` kernel tables of one config's
+    /// inference workspace ([`EhmmWorkspace::export_kernels`]),
+    /// atomically (temp + rename, like [`DiskStore::save`]). Kernels are
+    /// deterministic matrix powers, so racing writers of the same gap
+    /// set produce identical bytes; writers with different gap sets
+    /// last-write-wins a still-valid table.
+    pub fn save_kernels(
+        &self,
+        config: u64,
+        kernels: &[(u32, TransitionMatrix)],
+    ) -> std::io::Result<()> {
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::DiskWrite) {
+                return Err(std::io::Error::other("injected disk write fault"));
+            }
+        }
+        let bytes = encode_kernels(config, kernels);
+        let tmp = self.dir.join(format!(
+            ".tmp-kern-{}-{}-{config:016x}",
+            std::process::id(),
+            self.nonce.fetch_add(1, Ordering::Relaxed),
+        ));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            fs::rename(&tmp, self.kernel_path_for(config))
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads the persisted kernel table of config fingerprint `config`,
+    /// validating the checksum, the embedded fingerprint, and that every
+    /// matrix is `num_states`-square and row-stochastic. Like the
+    /// posterior loads, every failure is a miss (`None`), and a corrupt
+    /// file is deleted so the next write-through replaces it.
+    pub fn load_kernels(
+        &self,
+        config: u64,
+        num_states: usize,
+    ) -> Option<Vec<(u32, TransitionMatrix)>> {
+        if let Some(fault) = &self.fault {
+            if fault.should_inject(FaultSite::DiskRead) {
+                return None;
+            }
+        }
+        let path = self.kernel_path_for(config);
+        let bytes = fs::read(&path).ok()?;
+        let decoded = decode_kernels(&bytes)
+            .filter(|&(stored_config, stored_states, _)| {
+                stored_config == config && stored_states == num_states
+            })
+            .map(|(_, _, kernels)| kernels);
+        if decoded.is_none() {
+            let _ = fs::remove_file(&path);
+        }
+        decoded
+    }
 }
 
 /// Append helpers: everything is little-endian, floats as raw bit patterns
@@ -291,6 +373,100 @@ fn encode(key: &PersistKey, viterbi: &ViterbiResult, posteriors: &Posteriors) ->
     let checksum = fnv_checksum(&buf[MAGIC.len()..]);
     put_u64(&mut buf, checksum);
     buf
+}
+
+/// Serializes one kernel table: magic, version, config fingerprint, the
+/// state count, the kernel count, each `(gap, A^Δ)` pair (floats as raw
+/// bit patterns), and a trailing FNV-1a checksum over everything after
+/// the magic — the same envelope discipline as the posterior entries.
+fn encode_kernels(config: u64, kernels: &[(u32, TransitionMatrix)]) -> Vec<u8> {
+    let num_states = kernels.first().map_or(0, |(_, matrix)| matrix.num_states());
+    let mut buf = Vec::with_capacity(48 + kernels.len() * (8 + num_states * num_states * 8));
+    buf.extend_from_slice(&KERNEL_MAGIC);
+    put_u64(&mut buf, KERNEL_FORMAT_VERSION);
+    put_u64(&mut buf, config);
+    put_u64(&mut buf, num_states as u64);
+    put_u64(&mut buf, kernels.len() as u64);
+    for (gap, matrix) in kernels {
+        assert_eq!(
+            matrix.num_states(),
+            num_states,
+            "one table holds one spec's kernels"
+        );
+        put_u64(&mut buf, u64::from(*gap));
+        for i in 0..num_states {
+            for &p in matrix.row(i) {
+                put_f64(&mut buf, p);
+            }
+        }
+    }
+    let checksum = fnv_checksum(&buf[KERNEL_MAGIC.len()..]);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// A decoded kernel table: the config fingerprint and state count it
+/// was written for, plus the gap-sorted kernels themselves.
+type KernelTable = (u64, usize, Vec<(u32, TransitionMatrix)>);
+
+/// Parses one kernel table, validating magic, version, checksum, sanity
+/// bounds, strictly increasing gaps, and (via the length check) the
+/// declared shapes — before any large allocation. Row-stochasticity is
+/// checked here too, so [`TransitionMatrix::from_rows`] can never panic
+/// on disk garbage. Returns `(config, num_states, kernels)` or `None`.
+fn decode_kernels(bytes: &[u8]) -> Option<KernelTable> {
+    if bytes.len() < KERNEL_MAGIC.len() + 8 || bytes[..KERNEL_MAGIC.len()] != KERNEL_MAGIC {
+        return None;
+    }
+    let payload = &bytes[KERNEL_MAGIC.len()..bytes.len() - 8];
+    let stored_checksum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if fnv_checksum(payload) != stored_checksum {
+        return None;
+    }
+    let mut reader = Reader::new(payload);
+    if reader.take_u64()? != KERNEL_FORMAT_VERSION {
+        return None;
+    }
+    let config = reader.take_u64()?;
+    let num_states = reader.take_u64()?;
+    let count = reader.take_u64()?;
+    if num_states == 0 || num_states > MAX_STATES || count == 0 || count > MAX_KERNELS {
+        return None;
+    }
+    let (num_states, count) = (num_states as usize, count as usize);
+    let cells = num_states.checked_mul(num_states)?;
+    let expected_words = count.checked_mul(cells.checked_add(1)?)?;
+    if payload.len() - reader.pos() != expected_words.checked_mul(8)? {
+        return None;
+    }
+    let mut kernels = Vec::with_capacity(count);
+    let mut last_gap: Option<u32> = None;
+    for _ in 0..count {
+        let gap = u32::try_from(reader.take_u64()?).ok()?;
+        if last_gap.is_some_and(|last| gap <= last) {
+            return None;
+        }
+        last_gap = Some(gap);
+        let mut rows = Vec::with_capacity(num_states);
+        for _ in 0..num_states {
+            let mut row = Vec::with_capacity(num_states);
+            let mut sum = 0.0_f64;
+            for _ in 0..num_states {
+                let p = reader.take_f64()?;
+                if !(p.is_finite() && p >= 0.0) {
+                    return None;
+                }
+                sum += p;
+                row.push(p);
+            }
+            if (sum - 1.0).abs() >= 1e-6 {
+                return None;
+            }
+            rows.push(row);
+        }
+        kernels.push((gap, TransitionMatrix::from_rows(rows)));
+    }
+    Some((config, num_states, kernels))
 }
 
 /// FNV-1a over a byte slice, word-at-a-time via the fingerprint mixer so
@@ -592,5 +768,140 @@ mod tests {
         let checksum = fnv_checksum(&buf[MAGIC.len()..]);
         put_u64(&mut buf, checksum);
         assert!(decode(&buf).is_none());
+    }
+
+    /// A small row-stochastic matrix with rows that sum to exactly 1.0 in
+    /// floating point, so the codec's stochasticity re-check is exercised
+    /// without tolerance games.
+    fn stochastic(rows: Vec<Vec<f64>>) -> TransitionMatrix {
+        TransitionMatrix::from_rows(rows)
+    }
+
+    fn kernel_table() -> Vec<(u32, TransitionMatrix)> {
+        vec![
+            (
+                1,
+                stochastic(vec![
+                    vec![0.75, 0.25, 0.0],
+                    vec![0.5, 0.25, 0.25],
+                    vec![0.0, 0.0, 1.0],
+                ]),
+            ),
+            (
+                4,
+                stochastic(vec![
+                    vec![0.125, 0.375, 0.5],
+                    vec![1.0, 0.0, 0.0],
+                    vec![0.25, 0.25, 0.5],
+                ]),
+            ),
+            (
+                9,
+                stochastic(vec![
+                    vec![0.0, 1.0, 0.0],
+                    vec![0.0, 0.0, 1.0],
+                    vec![1.0, 0.0, 0.0],
+                ]),
+            ),
+        ]
+    }
+
+    fn matrix_bits(matrix: &TransitionMatrix) -> Vec<u64> {
+        (0..matrix.num_states())
+            .flat_map(|i| matrix.row(i).iter().map(|p| p.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn kernel_tables_round_trip_bit_exactly() {
+        let dir = std::env::temp_dir().join("veritas_persist_kern_roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        let kernels = kernel_table();
+        store.save_kernels(0xFEED_FACE, &kernels).unwrap();
+        assert!(store.kernel_path_for(0xFEED_FACE).exists());
+
+        let loaded = store
+            .load_kernels(0xFEED_FACE, 3)
+            .expect("a just-saved table must load");
+        assert_eq!(loaded.len(), kernels.len());
+        for ((gap, matrix), (back_gap, back_matrix)) in kernels.iter().zip(&loaded) {
+            assert_eq!(gap, back_gap);
+            assert_eq!(matrix_bits(matrix), matrix_bits(back_matrix));
+        }
+        // A different config fingerprint is a plain miss (distinct path).
+        assert!(store.load_kernels(0xBAAD_CAFE, 3).is_none());
+    }
+
+    #[test]
+    fn kernel_state_count_mismatch_is_a_healed_miss() {
+        let dir = std::env::temp_dir().join("veritas_persist_kern_states");
+        let _ = fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        store.save_kernels(7, &kernel_table()).unwrap();
+        // Asking for a different state count (config/spec skew) misses and
+        // deletes the stale table so the next write-through replaces it.
+        assert!(store.load_kernels(7, 4).is_none());
+        assert!(!store.kernel_path_for(7).exists());
+    }
+
+    #[test]
+    fn corrupt_kernel_tables_are_misses_and_deleted() {
+        let dir = std::env::temp_dir().join("veritas_persist_kern_corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        store.save_kernels(11, &kernel_table()).unwrap();
+        let path = store.kernel_path_for(11);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte: the checksum (or the stochasticity
+        // re-check) must catch it, and the corrupt file must be removed.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_kernels(11, 3).is_none());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn kernel_decode_rejects_unordered_gaps_and_bad_rows() {
+        // Hand-build tables that pass the checksum but violate semantic
+        // invariants: decode must return None, never panic (from_rows
+        // would panic on a non-stochastic row).
+        let build = |rows_per_kernel: &[(u64, Vec<f64>)], num_states: u64| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&KERNEL_MAGIC);
+            put_u64(&mut buf, KERNEL_FORMAT_VERSION);
+            put_u64(&mut buf, 5); // config
+            put_u64(&mut buf, num_states);
+            put_u64(&mut buf, rows_per_kernel.len() as u64);
+            for (gap, cells) in rows_per_kernel {
+                put_u64(&mut buf, *gap);
+                for &p in cells {
+                    put_f64(&mut buf, p);
+                }
+            }
+            let checksum = fnv_checksum(&buf[KERNEL_MAGIC.len()..]);
+            put_u64(&mut buf, checksum);
+            buf
+        };
+        let identity = vec![1.0, 0.0, 0.0, 1.0];
+        // Gaps must be strictly increasing.
+        let unordered = build(&[(3, identity.clone()), (3, identity.clone())], 2);
+        assert!(decode_kernels(&unordered).is_none());
+        // Rows must sum to 1 ...
+        let not_stochastic = build(&[(1, vec![0.9, 0.2, 0.5, 0.5])], 2);
+        assert!(decode_kernels(&not_stochastic).is_none());
+        // ... with finite, non-negative entries.
+        let negative = build(&[(1, vec![1.5, -0.5, 0.0, 1.0])], 2);
+        assert!(decode_kernels(&negative).is_none());
+        let nan = build(&[(1, vec![f64::NAN, 1.0, 0.0, 1.0])], 2);
+        assert!(decode_kernels(&nan).is_none());
+        // An empty table or an oversized declared count is rejected too.
+        let empty = build(&[], 2);
+        assert!(decode_kernels(&empty).is_none());
+        // The valid counterpart decodes, confirming the builder itself is
+        // not what the assertions above are catching.
+        let valid = build(&[(3, identity)], 2);
+        assert!(decode_kernels(&valid).is_some());
     }
 }

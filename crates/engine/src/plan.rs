@@ -29,8 +29,11 @@ use veritas_player::QoeSummary;
 use crate::cache::config_fingerprint;
 use crate::corpus::Corpus;
 use crate::error::EngineError;
-use crate::query::{object_fields, opt, reject_unknown, req, QueryKind, QuerySet, ScenarioSpec};
+use crate::query::{
+    object_fields, opt, reject_unknown, req, Query, QueryKind, QuerySet, ScenarioSpec,
+};
 use crate::runner::materialize_scenario;
+use crate::store::{columns, ColumnSet};
 
 /// Upper bound on the variants one sweep may expand to — a guard against
 /// accidentally declaring a grid that turns one query into thousands of
@@ -439,6 +442,55 @@ pub(crate) fn percentile_u64(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// The columns of a session block that abduction itself consumes: the
+/// observation series (chunk sizes, start times, observed throughputs)
+/// and the TCP snapshot the emission model conditions on. Every query
+/// kind abduces, so every kind demands at least these.
+const ABDUCTION_COLUMNS: ColumnSet = ColumnSet::of(&[
+    columns::SIZE_BYTES,
+    columns::START_TIME_S,
+    columns::THROUGHPUT_MBPS,
+    columns::CWND_SEGMENTS,
+    columns::SSTHRESH_SEGMENTS,
+    columns::RTO_S,
+    columns::SRTT_S,
+    columns::MIN_RTT_S,
+    columns::LAST_SEND_GAP_S,
+]);
+
+/// The per-chunk columns one query's work units read from each selected
+/// session log, derived from the query kind and scenario presence alone
+/// — never from the corpus or the logs, so demand derivation keeps
+/// compilation decode-free.
+///
+/// * Every kind abduces, so every kind needs [`ABDUCTION_COLUMNS`].
+/// * Interventional queries additionally read the logged
+///   `download_time_s` of the decision chunk (the actual outcome echoed
+///   next to the prediction).
+/// * Counterfactual answers — the counterfactual kind itself, and a
+///   sweep carrying a scenario — additionally read `end_time_s`: the
+///   Baseline estimator interpolates over the logged download windows.
+///   Aggregations replay scenarios over posterior-sampled traces only
+///   (no Baseline), so they stay at the abduction demand.
+///
+/// Session-level scalars (durations, chunk count, ABR name) ride in the
+/// block header and are always decoded; they are not columns.
+fn query_column_demand(query: &Query) -> ColumnSet {
+    let demand = ABDUCTION_COLUMNS;
+    match query.kind {
+        QueryKind::Abduction | QueryKind::Aggregate => demand,
+        QueryKind::Interventional => demand.with(columns::DOWNLOAD_TIME_S),
+        QueryKind::Counterfactual => demand.with(columns::END_TIME_S),
+        QueryKind::Sweep => {
+            if query.scenario.is_some() {
+                demand.with(columns::END_TIME_S)
+            } else {
+                demand
+            }
+        }
+    }
+}
+
 /// One configuration a plan executes under: the query set's base config
 /// (label `None`) or a sweep variant (label `Some`), with its cache
 /// fingerprint computed once at compile time.
@@ -486,6 +538,7 @@ pub struct QueryPlan {
     units: Vec<WorkUnit>,
     scenarios: Vec<Option<Result<Scenario, String>>>,
     unit_counts: Vec<usize>,
+    column_demand: Vec<ColumnSet>,
 }
 
 impl QueryPlan {
@@ -526,10 +579,15 @@ impl QueryPlan {
             memo.push((spec.clone(), result.clone()));
             result
         };
+        let mut column_demand = vec![ColumnSet::empty(); corpus.len()];
         for (qi, query) in set.queries.iter().enumerate() {
             let selected = corpus
                 .select(&query.sessions)
                 .map_err(|e| EngineError::Query(format!("query `{}`: {e}", query.id)))?;
+            let demand = query_column_demand(query);
+            for &si in &selected {
+                column_demand[si] = column_demand[si].union(demand);
+            }
             let scenario = match query.kind {
                 QueryKind::Counterfactual => Some(materialize(
                     query.scenario.as_ref().unwrap_or(&default_spec),
@@ -577,6 +635,7 @@ impl QueryPlan {
             units,
             scenarios,
             unit_counts,
+            column_demand,
         })
     }
 
@@ -626,6 +685,26 @@ impl QueryPlan {
     /// Number of work units query `qi` expands to.
     pub fn unit_count(&self, qi: usize) -> usize {
         self.unit_counts[qi]
+    }
+
+    /// The per-chunk columns the plan's units read from session
+    /// `session`: the union of [the demand] of every query that selected
+    /// it. Empty for sessions no query selected. The executor passes this
+    /// to [`crate::Corpus::log_projected`] so a columnar store decodes
+    /// only what the plan will touch.
+    ///
+    /// [the demand]: query_column_demand
+    pub fn column_demand(&self, session: usize) -> ColumnSet {
+        self.column_demand[session]
+    }
+
+    /// The union of [`Self::column_demand`] across every session — what a
+    /// shard coordinator advertises to remote workers as the plan-wide
+    /// column footprint.
+    pub fn column_demand_union(&self) -> ColumnSet {
+        self.column_demand
+            .iter()
+            .fold(ColumnSet::empty(), |acc, &d| acc.union(d))
     }
 }
 
@@ -821,6 +900,59 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn column_demand_tracks_query_kind_and_selection() {
+        let corpus = corpus();
+        let base = ABDUCTION_COLUMNS;
+        let set = QuerySet::new("t", VeritasConfig::paper_default().with_samples(2))
+            .with_query(Query::abduction("ab").with_sessions(vec![0]))
+            .with_query(Query::interventional("iv").with_sessions(vec![1]));
+        let plan = QueryPlan::compile(&set, &corpus).unwrap();
+        assert_eq!(plan.column_demand(0), base);
+        assert_eq!(plan.column_demand(1), base.with(columns::DOWNLOAD_TIME_S));
+        assert_eq!(
+            plan.column_demand_union(),
+            base.with(columns::DOWNLOAD_TIME_S)
+        );
+
+        // Counterfactual answers (including sweeps that carry a scenario)
+        // add the download-window column for the Baseline estimator; a
+        // scenario-less sweep is abduction-shaped.
+        let set = QuerySet::new("t", VeritasConfig::paper_default().with_samples(2))
+            .with_query(
+                Query::counterfactual("cf", ScenarioSpec::abr("bba")).with_sessions(vec![0]),
+            )
+            .with_query(
+                Query::sweep("sw", ConfigSweep::new().over_sigma(vec![0.25, 0.5]))
+                    .with_sessions(vec![1]),
+            );
+        let plan = QueryPlan::compile(&set, &corpus).unwrap();
+        assert_eq!(plan.column_demand(0), base.with(columns::END_TIME_S));
+        assert_eq!(plan.column_demand(1), base);
+
+        let set = QuerySet::new("t", VeritasConfig::paper_default().with_samples(2)).with_query(
+            Query::sweep("sw", ConfigSweep::new().over_sigma(vec![0.25, 0.5]))
+                .with_scenario(ScenarioSpec::abr("bba")),
+        );
+        let plan = QueryPlan::compile(&set, &corpus).unwrap();
+        assert_eq!(plan.column_demand(0), base.with(columns::END_TIME_S));
+
+        // Aggregations replay posterior samples, never the Baseline, so
+        // they stay at the abduction demand; unselected sessions stay
+        // empty.
+        let set = QuerySet::new("t", VeritasConfig::paper_default().with_samples(2)).with_query(
+            Query::aggregate("agg", AggregateSpec::of(AggregateMetric::MeanSsim))
+                .with_sessions(vec![1]),
+        );
+        let plan = QueryPlan::compile(&set, &corpus).unwrap();
+        assert_eq!(plan.column_demand(0), ColumnSet::empty());
+        assert_eq!(plan.column_demand(1), base);
+        // Every demand is a strict subset of the full column set — the
+        // projection must actually prune something.
+        assert!(ColumnSet::all().is_superset_of(base));
+        assert!(base.len() < ColumnSet::all().len());
     }
 
     #[test]

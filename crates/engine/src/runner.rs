@@ -42,7 +42,7 @@ use veritas_player::QoeSummary;
 use veritas_trace::stats::trace_mae;
 
 use crate::cache::{infer_prefix, AbductionCache, CacheSource};
-use crate::corpus::{Corpus, SessionCorpus};
+use crate::corpus::{Corpus, LogRef, SessionCorpus};
 use crate::error::EngineError;
 use crate::executor;
 use crate::fault::{FaultPlan, FaultSite};
@@ -935,6 +935,7 @@ impl Engine {
             fault: self.fault.clone(),
             run_retries: AtomicU64::new(0),
             quarantined: Mutex::new(BTreeSet::new()),
+            projection: projection_enabled(),
         });
         let worker_ctx = Arc::clone(&ctx);
         let capacity = threads.saturating_mul(2).clamp(4, 1024);
@@ -1203,9 +1204,37 @@ struct ExecCtx {
     run_retries: AtomicU64,
     /// Corpus session indices quarantined by retry exhaustion.
     quarantined: Mutex<BTreeSet<usize>>,
+    /// Whether unit log loads pass the plan's column demand to
+    /// [`Corpus::log_projected`] (the default) or force full decodes
+    /// (`VERITAS_NO_PROJECTION=1`, the differential-testing escape
+    /// hatch). Projection never changes an answer — only how many bytes
+    /// a columnar store decodes to produce it.
+    projection: bool,
+}
+
+/// Whether executors request column-projected logs (the default).
+/// Setting `VERITAS_NO_PROJECTION=1` forces full decodes — the escape
+/// hatch the projection differential tests and the ingest-smoke CI job
+/// use to prove projected runs answer byte-identically.
+fn projection_enabled() -> bool {
+    !std::env::var("VERITAS_NO_PROJECTION").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 impl ExecCtx {
+    /// Loads a session log for unit execution, asking the corpus to
+    /// decode only the columns the plan's queries will read (unless
+    /// projection is disabled). [`Corpus::log_projected`] guarantees the
+    /// selected fields are bit-identical to a full decode, so answers —
+    /// and through the precomputed fingerprints, cache keys — do not
+    /// depend on this choice.
+    fn load_log(&self, si: usize) -> Result<LogRef<'_>, String> {
+        if self.projection {
+            self.corpus.log_projected(si, self.plan.column_demand(si))
+        } else {
+            self.corpus.log(si)
+        }
+    }
+
     /// The supervised unit path every worker goes through: quarantine
     /// short-circuit, panic isolation, and (under a [`RetryPolicy`])
     /// bounded retry with deterministic backoff.
@@ -1364,7 +1393,7 @@ impl ExecCtx {
         // A lazy corpus decodes (or returns the resident copy of) the
         // session block here; a load failure surfaces as this unit's
         // per-record error, like any other per-unit failure.
-        let log = self.corpus.log(si)?;
+        let log = self.load_log(si)?;
         match &self.cache {
             Some(cache) => {
                 let (abduction, source) = cache
@@ -1397,7 +1426,7 @@ impl ExecCtx {
         planned: &PlannedConfig,
         si: usize,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let log = self.corpus.log(si)?;
+        let log = self.load_log(si)?;
         let (abduction, cache) = self.abduce(si, log.records.len(), planned)?;
         let viterbi = abduction.viterbi_trace();
         let mae = self.corpus.truth(si).map(|truth| {
@@ -1425,7 +1454,7 @@ impl ExecCtx {
         query: &Query,
         si: usize,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let log = self.corpus.log(si)?;
+        let log = self.load_log(si)?;
         let next_index = query.chunk_index.unwrap_or(log.records.len());
         if next_index == 0 || next_index > log.records.len() {
             return Err(format!(
@@ -1475,7 +1504,7 @@ impl ExecCtx {
         si: usize,
         scenario: &Scenario,
     ) -> Result<(Arc<Abduction>, RangePrediction, Option<String>), String> {
-        let horizon = self.corpus.log(si)?.records.len();
+        let horizon = self.load_log(si)?.records.len();
         let (abduction, cache) = self.abduce(si, horizon, planned)?;
         let samples = query.samples.unwrap_or(planned.config.num_samples).max(1);
         let seed = query.seed.unwrap_or(planned.config.seed);
@@ -1496,7 +1525,7 @@ impl ExecCtx {
         si: usize,
         scenario: &Scenario,
     ) -> Result<(QueryOutput, Option<String>), String> {
-        let log = self.corpus.log(si)?;
+        let log = self.load_log(si)?;
         let (_, prediction, cache) = self.replay_prediction(planned, query, si, scenario)?;
         let baseline = scenario.replay(&baseline_trace(&log, planned.config.delta_s));
         let oracle = self
@@ -1533,7 +1562,7 @@ impl ExecCtx {
             // of the metric across posterior samples (paper §4.3).
             (prediction.median_of(|q| spec.metric.of_qoe(q)), cache)
         } else {
-            let horizon = self.corpus.log(si)?.records.len();
+            let horizon = self.load_log(si)?.records.len();
             let (abduction, cache) = self.abduce(si, horizon, planned)?;
             (abduction.viterbi_trace().mean(), cache)
         };

@@ -108,7 +108,7 @@ use crate::query::{object_fields, opt, reject_unknown, req, QuerySet};
 use crate::runner::{
     Engine, EngineReport, QueryLatency, QueryRecord, RunHandle, RunSummary, AGGREGATE_SESSION,
 };
-use crate::store::LazyCorpus;
+use crate::store::{ColumnSet, LazyCorpus};
 
 /// Concurrent plans admitted by default; past it requests are shed with
 /// a typed `"overloaded"` response.
@@ -346,6 +346,12 @@ struct Request {
     shutdown: bool,
     auth: Option<String>,
     shard: Option<ShardSel>,
+    /// Coordinator-advertised column-demand union bitmask
+    /// ([`QueryPlan::column_demand_union`]); when present, the worker
+    /// cross-checks it against the demand it derives from its own
+    /// compiled plan and refuses on mismatch, so coordinator and worker
+    /// can never prune different columns.
+    columns: Option<u32>,
 }
 
 /// The `shard` member of a query request: restrict execution to shard
@@ -365,6 +371,7 @@ impl<'de> Deserialize<'de> for Request {
             shutdown: opt(&mut fields, "shutdown")?.unwrap_or(false),
             auth: opt(&mut fields, "auth")?,
             shard: opt(&mut fields, "shard")?,
+            columns: opt(&mut fields, "columns")?,
         };
         reject_unknown(&fields, "service request")?;
         Ok(request)
@@ -443,6 +450,11 @@ pub struct MetricsSnapshot {
     /// The shared abduction cache's counters (memory hits, disk hits,
     /// misses, resident entries) since the service started.
     pub cache: CacheStats,
+    /// The resident corpus's decode/residency counters
+    /// ([`crate::Corpus::residency`]) — present only for lazily backed
+    /// corpora (`.vcorp`), where column projection and the bounded
+    /// resident set make decode volume worth watching.
+    pub residency: Option<crate::ResidencyStats>,
     /// Per-query-id p50/p95/max unit latency over a sliding window of
     /// the last [`LATENCY_WINDOW`] units, sorted by id.
     pub per_query: Vec<QueryLatency>,
@@ -568,6 +580,7 @@ impl ServiceState {
             shard_retries: self.shard_retries_total.load(Ordering::Relaxed),
             healed: cache.healed,
             cache,
+            residency: self.corpus.residency(),
             per_query,
         }
     }
@@ -617,9 +630,14 @@ impl ServiceState {
                 writer.flush()
             }
             (None, false, true) => self.begin_drain(writer),
-            (Some(set), false, false) => {
-                self.serve_query(set, request.stream, request.shard, peer, writer)
-            }
+            (Some(set), false, false) => self.serve_query(
+                set,
+                request.stream,
+                request.shard,
+                request.columns,
+                peer,
+                writer,
+            ),
             _ => self.refuse(
                 writer,
                 &EngineError::Protocol(
@@ -697,6 +715,7 @@ impl ServiceState {
         set: QuerySet,
         streaming: bool,
         shard: Option<ShardSel>,
+        columns: Option<u32>,
         peer: &str,
         writer: &mut impl Write,
     ) -> io::Result<()> {
@@ -726,6 +745,25 @@ impl ServiceState {
             Ok(plan) => Arc::new(plan),
             Err(error) => return self.refuse(writer, &error),
         };
+        // A coordinator advertises the column demand it derived; this
+        // worker just derived its own from the identical query set. Any
+        // difference means the two ends would prune different columns —
+        // refuse loudly rather than decode divergently.
+        if let Some(bits) = columns {
+            let derived = plan.column_demand_union();
+            if ColumnSet::from_bits(bits) != Some(derived) {
+                self.log_plan(Some(req_id), peer, 0, 0, "column-mismatch");
+                return self.refuse(
+                    writer,
+                    &EngineError::Protocol(format!(
+                        "column-demand mismatch: request advertised bitmask {bits:#x}, this \
+                         worker derives {:#x} from the same query set (coordinator/worker \
+                         version skew?)",
+                        derived.bits()
+                    )),
+                );
+            }
+        }
         let submitted = match (&shard, &self.dist) {
             (Some(sel), _) => self
                 .engine
@@ -1213,6 +1251,13 @@ mod tests {
         .unwrap();
         let shard = sharded.shard.expect("the shard selector must parse");
         assert_eq!((shard.index, shard.of), (1, 3));
+        assert_eq!(sharded.columns, None);
+        let with_columns: Request = serde_json::from_str(
+            r#"{"query": {"queries": [{"id": "a", "kind": "abduction"}]},
+                "shard": {"index": 0, "of": 2}, "columns": 8}"#,
+        )
+        .unwrap();
+        assert_eq!(with_columns.columns, Some(8));
         assert!(serde_json::from_str::<Request>(r#"{"querry": {}}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"[1, 2]"#).is_err());
         // A shard selector is strict too: both members, nothing else.

@@ -1,18 +1,22 @@
 //! [`LazyCorpus`]: a `.vcorp`-backed [`Corpus`] that decodes session
-//! logs on demand and keeps only a bounded resident set in memory.
+//! logs on demand — optionally only the *columns* a query plan demands —
+//! and keeps a bounded resident set in memory.
 
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use veritas_media::{QualityLadder, VbrParams, VideoAsset};
 use veritas_player::{PlayerConfig, SessionLog};
 use veritas_trace::BandwidthTrace;
 
-use super::{decode_block, open_parts, CorpusMeta, IndexEntry, VcorpError};
-use crate::corpus::{Corpus, LogRef};
+use super::{
+    block_header_len, decode_block_projected, open_parts, projected_ranges, ColumnSet, CorpusMeta,
+    IndexEntry, VcorpError,
+};
+use crate::corpus::{Corpus, LogRef, ResidencyStats};
 use crate::fault::{FaultPlan, FaultSite};
 
 /// Default ceiling on concurrently resident decoded session logs.
@@ -60,13 +64,40 @@ impl PositionedFile {
             file.read_exact(buf)
         }
     }
+
+    /// The raw handle, where mapping it is possible (unix only — which
+    /// is also the only place [`vmmap::Mmap::map`] can succeed).
+    fn for_map(&self) -> Option<&File> {
+        #[cfg(unix)]
+        {
+            Some(&self.file)
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+}
+
+/// One resident decoded log: the log, the columns that were actually
+/// decoded into it, and its projected in-memory size for byte-bounded
+/// eviction accounting.
+#[derive(Debug)]
+struct ResidentEntry {
+    log: Arc<SessionLog>,
+    columns: ColumnSet,
+    bytes: usize,
 }
 
 #[derive(Debug, Default)]
 struct Resident {
-    map: HashMap<usize, Arc<SessionLog>>,
-    /// Decode order, for FIFO eviction.
+    map: HashMap<usize, ResidentEntry>,
+    /// Decode order, for FIFO eviction. May contain stale indices (a
+    /// widening re-decode re-enqueues its session); eviction skips
+    /// entries no longer in the map.
     order: VecDeque<usize>,
+    /// Sum of resident entry sizes.
+    bytes: usize,
 }
 
 /// A corpus served lazily from a `.vcorp` file.
@@ -78,8 +109,20 @@ struct Resident {
 /// [`Corpus::log_fingerprint`] / [`Corpus::content_fingerprint`] never
 /// touch a session block. Logs are decoded (and digest-verified) on
 /// first access per session and cached in a FIFO resident set bounded by
-/// [`LazyCorpus::with_max_resident`], so a streaming run over a corpus
-/// larger than RAM holds only a window of it.
+/// [`LazyCorpus::with_max_resident`] sessions and, optionally,
+/// [`LazyCorpus::with_max_resident_bytes`] of projected log memory, so a
+/// streaming run over a corpus larger than RAM holds only a window of it.
+///
+/// [`LazyCorpus::load_log_projected`] decodes only the columns in a
+/// [`ColumnSet`]: the unselected column ranges are never read (one
+/// positioned read per contiguous selected range — or a plain slice of
+/// the mapping under [`LazyCorpus::with_mmap`]), never digest-checked,
+/// and zero-filled in the returned log. A resident log decoded under a
+/// narrower set than a later request is *widened*: re-decoded under the
+/// union and replaced, so a resident entry always covers every column
+/// any holder of it may read. [`LazyCorpus::bytes_decoded`] /
+/// [`LazyCorpus::columns_decoded`] count the cumulative decode work, the
+/// observable I/O win of projection.
 ///
 /// The deployed setting (asset, player, ABR) is reconstructed from the
 /// header exactly as [`crate::SessionCorpus::from_dir`] reconstructs it
@@ -89,13 +132,20 @@ struct Resident {
 pub struct LazyCorpus {
     path: PathBuf,
     file: PositionedFile,
+    /// Opt-in whole-file mapping ([`LazyCorpus::with_mmap`]); block
+    /// decodes slice it instead of issuing positioned reads.
+    map: Option<vmmap::Mmap>,
     meta: CorpusMeta,
     asset: VideoAsset,
     player: PlayerConfig,
     index: Vec<IndexEntry>,
     resident: Mutex<Resident>,
     max_resident: usize,
+    max_resident_bytes: usize,
     peak_resident: AtomicUsize,
+    peak_resident_bytes: AtomicUsize,
+    bytes_decoded: AtomicU64,
+    columns_decoded: AtomicU64,
     /// Chaos hook: injects [`FaultSite::Decode`] failures when set.
     fault: Option<Arc<FaultPlan>>,
 }
@@ -118,13 +168,18 @@ impl LazyCorpus {
         Ok(Self {
             path: path.to_path_buf(),
             file: PositionedFile::new(parts.file),
+            map: None,
             meta: parts.meta,
             asset,
             player,
             index: parts.index,
             resident: Mutex::new(Resident::default()),
             max_resident: DEFAULT_MAX_RESIDENT,
+            max_resident_bytes: usize::MAX,
             peak_resident: AtomicUsize::new(0),
+            peak_resident_bytes: AtomicUsize::new(0),
+            bytes_decoded: AtomicU64::new(0),
+            columns_decoded: AtomicU64::new(0),
             fault: None,
         })
     }
@@ -134,6 +189,37 @@ impl LazyCorpus {
     pub fn with_max_resident(mut self, max: usize) -> Self {
         self.max_resident = max.max(1);
         self
+    }
+
+    /// Caps the resident set at `max` bytes of projected log memory
+    /// (at least 1; unbounded by default). Entry sizes are the projected
+    /// block sizes — header plus decoded columns — so a set of narrow
+    /// projections admits proportionally more sessions than full decodes
+    /// would. A single oversized entry is still admitted (the bound
+    /// never starves a load); eviction is FIFO, same as the session cap.
+    pub fn with_max_resident_bytes(mut self, max: usize) -> Self {
+        self.max_resident_bytes = max.max(1);
+        self
+    }
+
+    /// Switches block reads to an opt-in read-only memory map of the
+    /// backing file. Projected decodes then copy only the column slices
+    /// they return — no per-range positioned reads. Falls back silently
+    /// to the positioned-read path when mapping is unsupported (non-unix)
+    /// or refused by the OS; [`LazyCorpus::is_mapped`] reports which path
+    /// is active.
+    pub fn with_mmap(mut self) -> Self {
+        self.map = self
+            .file
+            .for_map()
+            .and_then(|file| vmmap::Mmap::map(file).ok());
+        self
+    }
+
+    /// Whether block reads are served from a memory map
+    /// ([`LazyCorpus::with_mmap`]) rather than positioned reads.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_some()
     }
 
     /// Attaches a fault plan: block decodes consult it and fail
@@ -176,7 +262,7 @@ impl LazyCorpus {
         &self.index[index].id
     }
 
-    /// The configured resident-set bound.
+    /// The configured resident-set session bound.
     pub fn max_resident(&self) -> usize {
         self.max_resident
     }
@@ -186,6 +272,11 @@ impl LazyCorpus {
         self.resident.lock().expect("resident lock").map.len()
     }
 
+    /// Projected bytes of the currently resident decoded logs.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.lock().expect("resident lock").bytes
+    }
+
     /// High-water mark of concurrently resident decoded logs — the
     /// observable bound on lazy streaming memory (reported by
     /// `veritas bench --load-sessions`).
@@ -193,47 +284,174 @@ impl LazyCorpus {
         self.peak_resident.load(Ordering::Relaxed)
     }
 
-    /// Loads (or returns the resident copy of) session `index`,
-    /// verifying the block's column digests and log fingerprint on
-    /// decode.
+    /// High-water mark of resident projected log bytes — the
+    /// size-aware companion of [`LazyCorpus::peak_resident`], which
+    /// counts sessions regardless of their size.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes of block data decoded (header + selected column
+    /// ranges, summed over every decode including widenings). Under full
+    /// decodes this equals the sum of loaded block lengths; under
+    /// projection it is the measure of the pruning win.
+    pub fn bytes_decoded(&self) -> u64 {
+        self.bytes_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative number of per-session columns decoded (≤ 18 per
+    /// decode).
+    pub fn columns_decoded(&self) -> u64 {
+        self.columns_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Loads (or returns the resident copy of) session `index`, fully:
+    /// every column decoded, digest-verified, and the recomputed log
+    /// fingerprint checked against the stored one.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn load_log(&self, index: usize) -> Result<Arc<SessionLog>, VcorpError> {
-        if let Some(log) = self.resident.lock().expect("resident lock").map.get(&index) {
-            return Ok(Arc::clone(log));
-        }
-        if let Some(fault) = &self.fault {
-            if fault.should_inject(FaultSite::Decode) {
-                return Err(VcorpError::Corrupt(format!(
-                    "injected block decode fault (session index {index})"
-                )));
-            }
-        }
-        let entry = &self.index[index];
-        let mut bytes = vec![0u8; entry.block_len as usize];
-        self.file.read_exact_at(&mut bytes, entry.offset)?;
-        let log = Arc::new(decode_block(&bytes, entry)?);
-        let mut resident = self.resident.lock().expect("resident lock");
-        if let Some(raced) = resident.map.get(&index) {
-            // Another thread decoded the same session concurrently; keep
-            // its copy so the FIFO order stays consistent.
-            return Ok(Arc::clone(raced));
-        }
-        while resident.map.len() >= self.max_resident {
-            match resident.order.pop_front() {
-                Some(evict) => {
-                    resident.map.remove(&evict);
+        self.load_log_projected(index, ColumnSet::all())
+    }
+
+    /// Loads session `index` with at least the columns in `cols` decoded
+    /// and digest-verified; unselected columns are zero-filled and
+    /// *unverified* (their digests are still checked by any later full
+    /// decode). A resident copy decoded under a superset is returned
+    /// as-is; a narrower resident copy is widened (re-decoded under the
+    /// union) and replaced, so every outstanding `Arc` of a session saw
+    /// at least the columns it asked for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn load_log_projected(
+        &self,
+        index: usize,
+        cols: ColumnSet,
+    ) -> Result<Arc<SessionLog>, VcorpError> {
+        loop {
+            // Resident hit — or the widened target a miss must decode.
+            let want = {
+                let resident = self.resident.lock().expect("resident lock");
+                match resident.map.get(&index) {
+                    Some(entry) if entry.columns.is_superset_of(cols) => {
+                        return Ok(Arc::clone(&entry.log))
+                    }
+                    Some(entry) => entry.columns.union(cols),
+                    None => cols,
                 }
-                None => break,
+            };
+            if let Some(fault) = &self.fault {
+                if fault.should_inject(FaultSite::Decode) {
+                    return Err(VcorpError::Corrupt(format!(
+                        "injected block decode fault (session index {index})"
+                    )));
+                }
             }
+            let (log, decoded_bytes) = self.decode_projected(index, want)?;
+            let log = Arc::new(log);
+            let mut resident = self.resident.lock().expect("resident lock");
+            match resident.map.get(&index) {
+                // Another thread decoded the same session concurrently
+                // with everything we need; keep its copy.
+                Some(raced) if raced.columns.is_superset_of(cols) => {
+                    return Ok(Arc::clone(&raced.log))
+                }
+                // It decoded columns we did not: neither copy covers
+                // both demands. Retry (rare) — the next pass widens over
+                // the union.
+                Some(raced) if !want.is_superset_of(raced.columns) => continue,
+                _ => {}
+            }
+            if let Some(old) = resident.map.remove(&index) {
+                resident.bytes -= old.bytes;
+            }
+            while !resident.order.is_empty()
+                && (resident.map.len() >= self.max_resident
+                    || resident.bytes.saturating_add(decoded_bytes) > self.max_resident_bytes)
+            {
+                let evict = resident.order.pop_front().expect("non-empty order");
+                if let Some(old) = resident.map.remove(&evict) {
+                    resident.bytes -= old.bytes;
+                }
+            }
+            resident.map.insert(
+                index,
+                ResidentEntry {
+                    log: Arc::clone(&log),
+                    columns: want,
+                    bytes: decoded_bytes,
+                },
+            );
+            resident.order.push_back(index);
+            resident.bytes += decoded_bytes;
+            self.peak_resident
+                .fetch_max(resident.map.len(), Ordering::Relaxed);
+            self.peak_resident_bytes
+                .fetch_max(resident.bytes, Ordering::Relaxed);
+            return Ok(log);
         }
-        resident.map.insert(index, Arc::clone(&log));
-        resident.order.push_back(index);
-        let now = resident.map.len();
-        self.peak_resident.fetch_max(now, Ordering::Relaxed);
-        Ok(log)
+    }
+
+    /// Reads and decodes the block of session `index` restricted to
+    /// `cols`, returning the log and the number of block bytes actually
+    /// decoded (header + selected columns).
+    fn decode_projected(
+        &self,
+        index: usize,
+        cols: ColumnSet,
+    ) -> Result<(SessionLog, usize), VcorpError> {
+        let entry = &self.index[index];
+        let block_len = entry.block_len as usize;
+        let chunks = entry.chunk_count as usize;
+        let header_len = block_header_len(entry).ok_or_else(|| {
+            VcorpError::Corrupt(format!(
+                "session `{}`: block is shorter than its column region",
+                entry.id
+            ))
+        })?;
+        let decoded_bytes = header_len + cols.len() * chunks * 8;
+        let log = if let Some(map) = &self.map {
+            let start = entry.offset as usize;
+            let bytes = map
+                .as_slice()
+                .get(start..start + block_len)
+                .ok_or_else(|| {
+                    VcorpError::Corrupt(format!(
+                        "session `{}`: block extends past the mapped file",
+                        entry.id
+                    ))
+                })?;
+            decode_block_projected(bytes, entry, cols)?
+        } else if cols.is_all() {
+            let mut bytes = vec![0u8; block_len];
+            self.file.read_exact_at(&mut bytes, entry.offset)?;
+            decode_block_projected(&bytes, entry, cols)?
+        } else {
+            // Only the header and the selected column ranges are read;
+            // the rest of the buffer stays zeroed and is never examined
+            // by the projected decode.
+            let mut bytes = vec![0u8; block_len];
+            for (start, len) in projected_ranges(header_len, chunks, cols) {
+                if start + len > block_len {
+                    return Err(VcorpError::Corrupt(format!(
+                        "session `{}`: column range extends past its block",
+                        entry.id
+                    )));
+                }
+                self.file
+                    .read_exact_at(&mut bytes[start..start + len], entry.offset + start as u64)?;
+            }
+            decode_block_projected(&bytes, entry, cols)?
+        };
+        self.bytes_decoded
+            .fetch_add(decoded_bytes as u64, Ordering::Relaxed);
+        self.columns_decoded
+            .fetch_add(cols.len() as u64, Ordering::Relaxed);
+        Ok((log, decoded_bytes))
     }
 }
 
@@ -252,10 +470,16 @@ impl Corpus for LazyCorpus {
             .map_err(|e| e.to_string())
     }
 
+    fn log_projected(&self, index: usize, columns: ColumnSet) -> Result<LogRef<'_>, String> {
+        self.load_log_projected(index, columns)
+            .map(LogRef::Shared)
+            .map_err(|e| e.to_string())
+    }
+
     fn log_fingerprint(&self, index: usize) -> u64 {
         // Served from the index: no block decode, no float re-hash. The
         // stored value is cross-checked against a recompute whenever the
-        // block itself is decoded (see `decode_block`).
+        // block itself is fully decoded (see `decode_block`).
         self.index[index].log_fingerprint
     }
 
@@ -275,5 +499,20 @@ impl Corpus for LazyCorpus {
 
     fn deployed_abr(&self) -> &str {
         &self.meta.deployed_abr
+    }
+
+    fn residency(&self) -> Option<ResidencyStats> {
+        let (resident_sessions, resident_bytes) = {
+            let resident = self.resident.lock().expect("resident lock");
+            (resident.map.len(), resident.bytes)
+        };
+        Some(ResidencyStats {
+            resident_sessions,
+            resident_bytes,
+            peak_resident_sessions: self.peak_resident(),
+            peak_resident_bytes: self.peak_resident_bytes(),
+            bytes_decoded: self.bytes_decoded(),
+            columns_decoded: self.columns_decoded(),
+        })
     }
 }

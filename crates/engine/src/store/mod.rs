@@ -73,6 +73,179 @@ mod lazy;
 
 pub use lazy::{LazyCorpus, DEFAULT_MAX_RESIDENT};
 
+/// On-disk column indices of a `.vcorp` session block, for building
+/// [`ColumnSet`]s by name. The order is the block layout order: chunk
+/// index, quality, then the 16 `f64` fields of
+/// [`veritas_player::ChunkRecord`] exactly as `F64_COLUMNS` stores them.
+pub mod columns {
+    /// Chunk index within the session.
+    pub const INDEX: usize = 0;
+    /// Quality rung the chunk was fetched at.
+    pub const QUALITY: usize = 1;
+    /// Chunk size in bytes.
+    pub const SIZE_BYTES: usize = 2;
+    /// Per-chunk SSIM of the fetched encoding.
+    pub const SSIM: usize = 3;
+    /// Idle wait before the request was issued, in seconds.
+    pub const WAIT_BEFORE_REQUEST_S: usize = 4;
+    /// Download start time, in seconds.
+    pub const START_TIME_S: usize = 5;
+    /// Download end time, in seconds.
+    pub const END_TIME_S: usize = 6;
+    /// Download duration, in seconds.
+    pub const DOWNLOAD_TIME_S: usize = 7;
+    /// Observed download throughput, in Mbps.
+    pub const THROUGHPUT_MBPS: usize = 8;
+    /// Player buffer level when the chunk was requested, in seconds.
+    pub const BUFFER_AT_REQUEST_S: usize = 9;
+    /// Rebuffer time attributed to the chunk, in seconds.
+    pub const REBUFFER_S: usize = 10;
+    /// TCP congestion window at request time, in segments.
+    pub const CWND_SEGMENTS: usize = 11;
+    /// TCP slow-start threshold at request time, in segments.
+    pub const SSTHRESH_SEGMENTS: usize = 12;
+    /// TCP retransmission timeout at request time, in seconds.
+    pub const RTO_S: usize = 13;
+    /// TCP smoothed RTT at request time, in seconds.
+    pub const SRTT_S: usize = 14;
+    /// TCP minimum observed RTT at request time, in seconds.
+    pub const MIN_RTT_S: usize = 15;
+    /// Gap since the previous TCP send at request time, in seconds.
+    pub const LAST_SEND_GAP_S: usize = 16;
+    /// Ground-truth bandwidth at request time, in Mbps (synthetic logs).
+    pub const GTBW_AT_REQUEST_MBPS: usize = 17;
+}
+
+/// A set of `.vcorp` block columns, as a bitset over the
+/// [`ColumnSet::COUNT`] on-disk columns (named in [`columns`]).
+///
+/// Compiled query plans derive one per session — the union of every work
+/// unit's column demand — and thread it through
+/// [`crate::Corpus::log_projected`] down to the storage layer, which
+/// decodes (and digest-verifies) only the selected columns; see
+/// [`LazyCorpus`]. An empty set still decodes the block header
+/// (session-level scalars), just no per-chunk series. Unselected columns
+/// come back zero-filled, so a projected log is only valid for consumers
+/// whose demand the set covers — which the plan guarantees.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnSet(u32);
+
+impl ColumnSet {
+    /// Number of on-disk columns per session block (chunk index, quality,
+    /// and the 16 `f64` fields of [`veritas_player::ChunkRecord`]).
+    pub const COUNT: usize = NUM_COLUMNS;
+
+    const ALL_BITS: u32 = (1 << Self::COUNT as u32) - 1;
+
+    /// The empty set.
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Every column — a full decode.
+    pub const fn all() -> Self {
+        Self(Self::ALL_BITS)
+    }
+
+    /// The set containing exactly `columns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= ColumnSet::COUNT`.
+    pub const fn of(columns: &[usize]) -> Self {
+        let mut set = Self::empty();
+        let mut i = 0;
+        while i < columns.len() {
+            set = set.with(columns[i]);
+            i += 1;
+        }
+        set
+    }
+
+    /// This set plus `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column >= ColumnSet::COUNT`.
+    pub const fn with(self, column: usize) -> Self {
+        assert!(column < Self::COUNT, "column index out of range");
+        Self(self.0 | 1 << column as u32)
+    }
+
+    /// Whether `column` is selected (out-of-range indices are not).
+    pub const fn contains(self, column: usize) -> bool {
+        column < Self::COUNT && self.0 & (1 << column as u32) != 0
+    }
+
+    /// Set union.
+    pub const fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Whether `other` is entirely contained in this set.
+    pub const fn is_superset_of(self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether every column is selected.
+    pub const fn is_all(self) -> bool {
+        self.0 == Self::ALL_BITS
+    }
+
+    /// Whether no column is selected.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of selected columns.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The raw bitmask (bit `i` ⇔ column `i`), for wire transport.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a set from [`ColumnSet::bits`]; `None` if `bits` has any
+    /// bit beyond the known columns set (a newer or corrupt producer).
+    pub const fn from_bits(bits: u32) -> Option<Self> {
+        if bits & !Self::ALL_BITS != 0 {
+            None
+        } else {
+            Some(Self(bits))
+        }
+    }
+
+    /// Human-readable name of on-disk column `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column >= ColumnSet::COUNT`.
+    pub fn name(column: usize) -> &'static str {
+        match column {
+            0 => "index",
+            1 => "quality",
+            _ => F64_COLUMNS[column - 2].0,
+        }
+    }
+}
+
+impl fmt::Debug for ColumnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_all() {
+            return write!(f, "ColumnSet(all)");
+        }
+        let mut set = f.debug_set();
+        for column in 0..Self::COUNT {
+            if self.contains(column) {
+                set.entry(&Self::name(column));
+            }
+        }
+        set.finish()
+    }
+}
+
 use std::collections::HashSet;
 use std::fmt;
 use std::fs::{self, File};
@@ -615,6 +788,168 @@ fn decode_block(bytes: &[u8], entry: &IndexEntry) -> Result<SessionLog, VcorpErr
         ));
     }
     Ok(log)
+}
+
+/// Length in bytes of a session block's header (ABR string, five session
+/// scalars, chunk-count word) — everything before the column region. The
+/// index pins the chunk count, so this is derivable without touching the
+/// block itself; projected reads use it to locate column byte ranges.
+pub(crate) fn block_header_len(entry: &IndexEntry) -> Option<usize> {
+    let columns = (entry.chunk_count as usize).checked_mul(NUM_COLUMNS * 8)?;
+    (entry.block_len as usize).checked_sub(columns)
+}
+
+/// The byte ranges of a block a projected decode actually reads: the
+/// header, then each selected column, with adjacent selections coalesced
+/// into one contiguous range (a `pread`-backed reader issues one read per
+/// range). Returns `(start, len)` pairs in ascending order.
+pub(crate) fn projected_ranges(
+    header_len: usize,
+    chunks: usize,
+    cols: ColumnSet,
+) -> Vec<(usize, usize)> {
+    let stride = chunks * 8;
+    let mut ranges: Vec<(usize, usize)> = vec![(0, header_len)];
+    for column in 0..NUM_COLUMNS {
+        if !cols.contains(column) {
+            continue;
+        }
+        let start = header_len + column * stride;
+        match ranges.last_mut() {
+            Some((last_start, last_len)) if *last_start + *last_len == start => *last_len += stride,
+            _ => ranges.push((start, stride)),
+        }
+    }
+    ranges.retain(|&(_, len)| len > 0);
+    ranges
+}
+
+/// [`decode_block`] restricted to the columns in `cols`: unselected
+/// columns are skipped — not digest-checked — and their record fields
+/// zero-filled. Selected columns are verified against their index digests
+/// exactly as a full decode would. The whole-log fingerprint recompute is
+/// *skipped* (it hashes fields that may not be decoded); cache identity
+/// comes from the index's stored fingerprint, which full decodes prove
+/// equal to the recomputed one. `cols == all` delegates to
+/// [`decode_block`], full verification included.
+///
+/// Callers may hand in a block buffer whose unselected column ranges were
+/// never read (left zeroed): this function touches only the header and
+/// the selected ranges.
+fn decode_block_projected(
+    bytes: &[u8],
+    entry: &IndexEntry,
+    cols: ColumnSet,
+) -> Result<SessionLog, VcorpError> {
+    if cols.is_all() {
+        return decode_block(bytes, entry);
+    }
+    let fail = |reason: String| corrupt(format!("session `{}`: {reason}", entry.id));
+    let mut reader = Reader::new(bytes);
+    let abr_name = take_str(&mut reader, "ABR name")?;
+    let buffer_capacity_s = need_f64(&mut reader, "buffer capacity")?;
+    let chunk_duration_s = need_f64(&mut reader, "chunk duration")?;
+    let startup_delay_s = need_f64(&mut reader, "startup delay")?;
+    let total_rebuffer_s = need_f64(&mut reader, "total rebuffer")?;
+    let session_duration_s = need_f64(&mut reader, "session duration")?;
+    let n = need_u64(&mut reader, "chunk count")?;
+    if n != entry.chunk_count {
+        return Err(fail(format!(
+            "block declares {n} chunks but the index says {}",
+            entry.chunk_count
+        )));
+    }
+    let n = n as usize;
+    let expected = n
+        .checked_mul(NUM_COLUMNS * 8)
+        .filter(|&cols| bytes.len() - reader.pos() == cols);
+    if expected.is_none() {
+        return Err(fail(format!(
+            "block length {} does not match its {n} declared chunks",
+            bytes.len()
+        )));
+    }
+    let mut int_column = |column: usize, name: &str| -> Result<Vec<usize>, VcorpError> {
+        if !cols.contains(column) {
+            reader.take_bytes(n * 8).expect("length verified above");
+            return Ok(vec![0usize; n]);
+        }
+        let mut values = Vec::with_capacity(n);
+        let mut digest = FNV_OFFSET;
+        for _ in 0..n {
+            let v = reader.take_u64().expect("length verified above");
+            fnv_mix(&mut digest, v);
+            values.push(usize::try_from(v).map_err(|_| {
+                corrupt(format!("session `{}`: column `{name}` overflows", entry.id))
+            })?);
+        }
+        if digest != entry.column_digests[column] {
+            return Err(corrupt(format!(
+                "session `{}`: column `{name}` digest mismatch",
+                entry.id
+            )));
+        }
+        Ok(values)
+    };
+    let index_column = int_column(0, "index")?;
+    let quality_column = int_column(1, "quality")?;
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(F64_COLUMNS.len());
+    for (column, (name, _)) in F64_COLUMNS.iter().enumerate() {
+        if !cols.contains(2 + column) {
+            reader.take_bytes(n * 8).expect("length verified above");
+            columns.push(vec![0.0; n]);
+            continue;
+        }
+        let mut values = Vec::with_capacity(n);
+        let mut digest = FNV_OFFSET;
+        for _ in 0..n {
+            let v = reader.take_f64().expect("length verified above");
+            fnv_mix_f64(&mut digest, v);
+            values.push(v);
+        }
+        if digest != entry.column_digests[2 + column] {
+            return Err(fail(format!("column `{name}` digest mismatch")));
+        }
+        columns.push(values);
+    }
+    debug_assert!(reader.at_end(), "length verified above");
+    // Positional access below mirrors the F64_COLUMNS on-disk order.
+    let records = (0..n)
+        .map(|i| ChunkRecord {
+            index: index_column[i],
+            quality: quality_column[i],
+            size_bytes: columns[0][i],
+            ssim: columns[1][i],
+            wait_before_request_s: columns[2][i],
+            start_time_s: columns[3][i],
+            end_time_s: columns[4][i],
+            download_time_s: columns[5][i],
+            throughput_mbps: columns[6][i],
+            buffer_at_request_s: columns[7][i],
+            rebuffer_s: columns[8][i],
+            tcp_info: TcpInfo {
+                cwnd_segments: columns[9][i],
+                ssthresh_segments: columns[10][i],
+                rto_s: columns[11][i],
+                srtt_s: columns[12][i],
+                min_rtt_s: columns[13][i],
+                last_send_gap_s: columns[14][i],
+            },
+            gtbw_at_request_mbps: columns[15][i],
+        })
+        .collect();
+    // No whole-log fingerprint recompute here: it covers fields that may
+    // be undecoded. The stored fingerprint in the index is the cache
+    // identity, and full decodes verify it equals the recompute.
+    Ok(SessionLog {
+        abr_name,
+        buffer_capacity_s,
+        chunk_duration_s,
+        records,
+        startup_delay_s,
+        total_rebuffer_s,
+        session_duration_s,
+    })
 }
 
 /// The verified skeleton of an open `.vcorp`: the file handle (positioned

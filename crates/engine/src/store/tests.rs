@@ -201,6 +201,178 @@ proptest! {
     }
 }
 
+proptest! {
+    /// A projected decode is bit-identical to the source on every
+    /// selected column — over arbitrary bit patterns (NaN payloads,
+    /// ±inf, −0.0, subnormals) and an arbitrary column mask — while the
+    /// unselected columns come back zero-filled, and the header scalars
+    /// always decode bit-exactly.
+    #[test]
+    fn projected_decodes_are_bit_exact_on_selected_columns(
+        seed in any::<u64>(),
+        mask in 0u32..(1u32 << ColumnSet::COUNT),
+        sessions in 1usize..4,
+        chunks in 1usize..8,
+    ) {
+        let dir = temp_dir("projected_bits");
+        let path = dir.join("corpus.vcorp");
+        let mut values = bit_source(seed);
+        let logs: Vec<SessionLog> = (0..sessions)
+            .map(|_| synth_log("mpc", chunks, &mut values))
+            .collect();
+        let mut writer = VcorpWriter::create(&path, &meta()).expect("create writer");
+        for (i, log) in logs.iter().enumerate() {
+            writer.append(&format!("s{i}"), log).expect("append");
+        }
+        writer.finish().expect("finish");
+
+        let cols = ColumnSet::from_bits(mask).expect("mask is in range");
+        // A fresh open per mask: nothing resident, so the decode carries
+        // exactly `cols` and the zero-fill of the rest is observable.
+        let corpus = LazyCorpus::open(&path).expect("open");
+        for (i, log) in logs.iter().enumerate() {
+            let loaded = corpus
+                .load_log_projected(i, cols)
+                .expect("projected decode of a valid corpus");
+            prop_assert_eq!(&loaded.abr_name, &log.abr_name);
+            prop_assert_eq!(
+                loaded.buffer_capacity_s.to_bits(),
+                log.buffer_capacity_s.to_bits()
+            );
+            prop_assert_eq!(
+                loaded.chunk_duration_s.to_bits(),
+                log.chunk_duration_s.to_bits()
+            );
+            prop_assert_eq!(
+                loaded.startup_delay_s.to_bits(),
+                log.startup_delay_s.to_bits()
+            );
+            prop_assert_eq!(
+                loaded.total_rebuffer_s.to_bits(),
+                log.total_rebuffer_s.to_bits()
+            );
+            prop_assert_eq!(
+                loaded.session_duration_s.to_bits(),
+                log.session_duration_s.to_bits()
+            );
+            prop_assert_eq!(loaded.records.len(), log.records.len());
+            for (got, want) in loaded.records.iter().zip(&log.records) {
+                let index = if cols.contains(columns::INDEX) { want.index } else { 0 };
+                prop_assert_eq!(got.index, index);
+                let quality = if cols.contains(columns::QUALITY) { want.quality } else { 0 };
+                prop_assert_eq!(got.quality, quality);
+                for (c, (name, get)) in F64_COLUMNS.iter().enumerate() {
+                    let expected = if cols.contains(2 + c) {
+                        get(want).to_bits()
+                    } else {
+                        0.0f64.to_bits()
+                    };
+                    prop_assert_eq!(
+                        get(got).to_bits(),
+                        expected,
+                        "column `{}` under mask {:?}",
+                        name,
+                        cols
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Per-column digest semantics, demonstrated with a byte flipped *after*
+/// open (open itself verifies a whole-file checksum, so a pre-open flip
+/// never reaches the block decoder): projections that skip the damaged
+/// column still decode bit-exactly, projections that select it — and
+/// full decodes — fail typed.
+#[test]
+fn post_open_column_flips_fail_only_the_projections_that_read_them() {
+    let dir = temp_dir("post_open_flip");
+    let path = dir.join("corpus.vcorp");
+    let mut values = finite_source(0.0);
+    let log = synth_log("mpc", 6, &mut values);
+    let mut writer = VcorpWriter::create(&path, &meta()).expect("create writer");
+    writer.append("s0", &log).expect("append");
+    writer.finish().expect("finish");
+
+    // Locate the SSIM column's byte range from the verified index.
+    let parts = open_parts(&path).expect("open parts");
+    let entry = parts.index[0].clone();
+    drop(parts);
+    let header_len = block_header_len(&entry).expect("header length");
+    let stride = entry.chunk_count as usize * 8;
+    let ssim_start = entry.offset as usize + header_len + columns::SSIM * stride;
+
+    // Open first — the retained handle reads whatever the file holds at
+    // decode time — then flip one low mantissa byte inside SSIM.
+    let corpus = LazyCorpus::open(&path).expect("open before corruption");
+    let mut bytes = fs::read(&path).expect("read file");
+    bytes[ssim_start + 2] ^= 0x01;
+    fs::write(&path, &bytes).expect("rewrite corrupted file");
+
+    // A projection that skips SSIM never reads the damaged bytes: it
+    // decodes, and its selected columns are still bit-exact.
+    let safe = ColumnSet::of(&[columns::SIZE_BYTES, columns::REBUFFER_S]);
+    let loaded = corpus
+        .load_log_projected(0, safe)
+        .expect("projection skipping the damaged column must decode");
+    for (got, want) in loaded.records.iter().zip(&log.records) {
+        assert_eq!(got.size_bytes.to_bits(), want.size_bytes.to_bits());
+        assert_eq!(got.rebuffer_s.to_bits(), want.rebuffer_s.to_bits());
+    }
+
+    // Selecting SSIM (here: a widening re-decode of the resident narrow
+    // copy) trips its digest.
+    let err = corpus
+        .load_log_projected(0, ColumnSet::of(&[columns::SSIM]))
+        .expect_err("the damaged column's digest must catch the flip");
+    assert!(
+        matches!(err, VcorpError::Corrupt(_)),
+        "expected Corrupt, got: {err}"
+    );
+
+    // So does a full decode, which reads every column.
+    let err = corpus
+        .load_log(0)
+        .expect_err("a full decode must catch the flip");
+    assert!(
+        matches!(err, VcorpError::Corrupt(_)),
+        "expected Corrupt, got: {err}"
+    );
+}
+
+#[test]
+fn mmap_and_pread_decodes_agree_bit_for_bit() {
+    let dir = temp_dir("mmap_agreement");
+    let path = dir.join("corpus.vcorp");
+    let mut values = bit_source(1234);
+    let logs: Vec<SessionLog> = (0..4).map(|_| synth_log("mpc", 5, &mut values)).collect();
+    let mut writer = VcorpWriter::create(&path, &meta()).expect("create writer");
+    for (i, log) in logs.iter().enumerate() {
+        writer.append(&format!("s{i}"), log).expect("append");
+    }
+    writer.finish().expect("finish");
+
+    let cols = ColumnSet::of(&[columns::SSIM, columns::THROUGHPUT_MBPS]);
+    let pread = LazyCorpus::open(&path).expect("open pread");
+    let mapped = LazyCorpus::open(&path).expect("open mmap").with_mmap();
+    for i in 0..logs.len() {
+        assert_eq!(
+            log_bits(&mapped.load_log(i).expect("mmap full decode")),
+            log_bits(&pread.load_log(i).expect("pread full decode")),
+        );
+    }
+    // Fresh opens so both sides decode the projection (nothing resident).
+    let pread = LazyCorpus::open(&path).expect("reopen pread");
+    let mapped = LazyCorpus::open(&path).expect("reopen mmap").with_mmap();
+    for i in 0..logs.len() {
+        assert_eq!(
+            log_bits(&mapped.load_log_projected(i, cols).expect("mmap projected")),
+            log_bits(&pread.load_log_projected(i, cols).expect("pread projected")),
+        );
+    }
+}
+
 #[test]
 fn future_schema_versions_fail_typed_before_the_checksum() {
     let dir = temp_dir("future_version");

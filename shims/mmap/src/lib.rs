@@ -1,0 +1,177 @@
+//! Tiny read-only memory-map wrapper.
+//!
+//! The build environment vendors every dependency, so instead of `memmap2`
+//! this crate declares the two libc symbols it needs (`mmap`/`munmap` —
+//! std already links libc on unix) and wraps them in a safe, immutable,
+//! whole-file mapping. On non-unix targets [`Mmap::map`] returns
+//! [`std::io::ErrorKind::Unsupported`], so callers can fall back to
+//! positioned reads without conditional compilation of their own.
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: the file contents are
+//! never written through the map, and writes by *other* processes are not
+//! expected to be observed — callers map files that are replaced
+//! atomically (write-temp-then-rename), never mutated in place.
+
+#![deny(missing_docs)]
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+}
+
+/// An immutable memory mapping of an entire file.
+///
+/// Dereferences to `&[u8]` via [`Mmap::as_slice`]; unmapped on drop.
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is immutable shared memory: concurrent reads are safe.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// Fails with [`io::ErrorKind::Unsupported`] on non-unix targets and
+    /// for empty files (a zero-length `mmap` is an error by spec), and
+    /// with the underlying OS error when the syscall itself refuses.
+    #[cfg(unix)]
+    pub fn map(file: &File) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "cannot map an empty file",
+            ));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::Unsupported, "file too large to map"))?;
+        // SAFETY: NULL hint, a length validated non-zero, a live fd, and
+        // flag constants fixed by POSIX; the result is checked below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        let ptr = std::ptr::NonNull::new(ptr as *mut u8)
+            .ok_or_else(|| io::Error::other("mmap returned NULL"))?;
+        Ok(Self { ptr, len })
+    }
+
+    /// Non-unix targets have no mapping support; callers fall back to
+    /// positioned reads.
+    #[cfg(not(unix))]
+    pub fn map(_file: &File) -> io::Result<Self> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is only supported on unix targets",
+        ))
+    }
+
+    /// The mapped bytes.
+    #[cfg(unix)]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: the region [ptr, ptr+len) stays mapped and immutable
+        // for the lifetime of self.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The mapped bytes (unreachable off-unix: `map` never succeeds).
+    #[cfg(not(unix))]
+    pub fn as_slice(&self) -> &[u8] {
+        &[]
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a successful map).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len are exactly what mmap returned; double-unmap is
+        // impossible because drop runs once.
+        unsafe {
+            sys::munmap(self.ptr.as_ptr() as *mut _, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents_read_only() {
+        let dir = std::env::temp_dir().join("vmmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(8192).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        match Mmap::map(&file) {
+            Ok(map) => {
+                assert_eq!(map.len(), payload.len());
+                assert!(!map.is_empty());
+                assert_eq!(map.as_slice(), &payload[..]);
+            }
+            Err(e) if cfg!(unix) => panic!("unix map must succeed: {e}"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn empty_files_are_refused() {
+        let dir = std::env::temp_dir().join("vmmap_test_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        assert!(Mmap::map(&file).is_err());
+    }
+}
